@@ -1,0 +1,164 @@
+// Reproduces the channel data-structure anecdote of paper Sec 12: "In
+// earlier versions, each channel was represented as a binary tree of
+// segments... In reality, however, the access pattern to a channel is far
+// from random. It is localized... The change from binary tree to doubly
+// linked list with a moving head-of-list pointer halved the running time on
+// most problems."
+//
+// The same localized probe/insert/erase workloads and full Trace searches
+// run against both implementations.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "grid/grid_spec.hpp"
+#include "layer/free_space.hpp"
+#include "layer/layer.hpp"
+
+namespace grr {
+namespace {
+
+constexpr Coord kExtentHi = 2999;
+constexpr int kSegments = 400;
+
+template <typename ChannelT>
+void fill_channel(SegmentPool& pool, ChannelT& ch) {
+  // Segments of length 4 every 7 positions: plenty of gaps.
+  for (Coord lo = 0; lo + 4 <= kExtentHi; lo += 7) {
+    Segment s;
+    s.span = {lo, lo + 3};
+    s.conn = 1;
+    ch.insert(pool, s);
+    if (ch.count() >= kSegments) break;
+  }
+}
+
+/// Localized probes: a random walk with small steps, like the probes made
+/// while routing one connection.
+template <typename ChannelT>
+void BM_LocalizedProbes(benchmark::State& state) {
+  SegmentPool pool;
+  ChannelT ch;
+  fill_channel(pool, ch);
+  std::mt19937 rng(1);
+  std::uniform_int_distribution<Coord> step(-12, 12);
+  Coord pos = kExtentHi / 2;
+  for (auto _ : state) {
+    pos = std::clamp<Coord>(pos + step(rng), 0, kExtentHi);
+    benchmark::DoNotOptimize(ch.find_at(pool, pos));
+  }
+}
+BENCHMARK_TEMPLATE(BM_LocalizedProbes, Channel);
+BENCHMARK_TEMPLATE(BM_LocalizedProbes, TreeChannel);
+
+/// Uniform random probes — the case binary trees are good at; the paper's
+/// point is that this pattern does not occur in practice.
+template <typename ChannelT>
+void BM_RandomProbes(benchmark::State& state) {
+  SegmentPool pool;
+  ChannelT ch;
+  fill_channel(pool, ch);
+  std::mt19937 rng(1);
+  std::uniform_int_distribution<Coord> pick(0, kExtentHi);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.find_at(pool, pick(rng)));
+  }
+}
+BENCHMARK_TEMPLATE(BM_RandomProbes, Channel);
+BENCHMARK_TEMPLATE(BM_RandomProbes, TreeChannel);
+
+/// Localized insert/erase churn, as rip-up and re-route produce.
+template <typename ChannelT>
+void BM_LocalizedChurn(benchmark::State& state) {
+  SegmentPool pool;
+  ChannelT ch;
+  fill_channel(pool, ch);
+  std::mt19937 rng(1);
+  std::uniform_int_distribution<Coord> step(-9, 9);
+  Coord pos = kExtentHi / 2;
+  for (auto _ : state) {
+    pos = std::clamp<Coord>(pos + step(rng), 0, kExtentHi - 7);
+    Interval gap = ch.free_gap_at(pool, {0, kExtentHi}, pos);
+    if (gap.empty() || gap.length() < 2) {
+      SegId hit = ch.find_at(pool, pos);
+      if (hit != kNoSeg && pool[hit].conn == 2) ch.erase(pool, hit);
+      continue;
+    }
+    Segment s;
+    s.span = {gap.lo, std::min<Coord>(gap.lo + 1, gap.hi)};
+    s.conn = 2;
+    benchmark::DoNotOptimize(ch.insert(pool, s));
+  }
+}
+BENCHMARK_TEMPLATE(BM_LocalizedChurn, Channel);
+BENCHMARK_TEMPLATE(BM_LocalizedChurn, TreeChannel);
+
+/// Gap enumeration across a window, the inner loop of the free-space DFS.
+template <typename ChannelT>
+void BM_GapEnumeration(benchmark::State& state) {
+  SegmentPool pool;
+  ChannelT ch;
+  fill_channel(pool, ch);
+  std::mt19937 rng(1);
+  std::uniform_int_distribution<Coord> step(-15, 15);
+  Coord pos = kExtentHi / 2;
+  for (auto _ : state) {
+    pos = std::clamp<Coord>(pos + step(rng), 60, kExtentHi - 60);
+    Coord total = 0;
+    ch.for_gaps_overlapping(pool, {0, kExtentHi}, {pos - 50, pos + 50},
+                            [&](Interval g) { total += g.length(); });
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK_TEMPLATE(BM_GapEnumeration, Channel);
+BENCHMARK_TEMPLATE(BM_GapEnumeration, TreeChannel);
+
+/// Full Trace searches through identical clutter on both layer flavours.
+template <typename LayerT>
+void BM_TraceSearch(benchmark::State& state) {
+  GridSpec spec(41, 31);
+  SegmentPool pool;
+  LayerT layer(0, Orientation::kHorizontal, spec.extent());
+  std::mt19937 rng(7);
+  auto rnd = [&](Coord lo, Coord hi) {
+    return std::uniform_int_distribution<Coord>(lo, hi)(rng);
+  };
+  for (int i = 0; i < 300; ++i) {
+    Coord ch = rnd(0, layer.across_extent().hi);
+    Coord lo = rnd(0, layer.along_extent().hi - 5);
+    Interval span{lo, lo + rnd(0, 4)};
+    Interval gap =
+        layer.channel(ch).free_gap_at(pool, layer.along_extent(), span.lo);
+    if (!gap.contains(span)) continue;
+    Segment s;
+    s.span = span;
+    s.channel = ch;
+    s.conn = 1;
+    layer.channel(ch).insert(pool, s);
+  }
+  Point a = spec.grid_of_via({2, 15});
+  Point b = spec.grid_of_via({38, 15});
+  // End points occupied, as Trace expects.
+  for (Point p : {a, b}) {
+    if (layer.channel(layer.across_of(p)).find_at(pool, layer.along_of(p)) ==
+        kNoSeg) {
+      Segment s;
+      s.span = {layer.along_of(p), layer.along_of(p)};
+      s.channel = layer.across_of(p);
+      s.conn = kPinConn;
+      layer.channel(layer.across_of(p)).insert(pool, s);
+    }
+  }
+  for (auto _ : state) {
+    auto spans = trace_path(layer, pool, a, b, spec.extent(),
+                            kDefaultMaxFreeNodes, nullptr, spec.period());
+    benchmark::DoNotOptimize(spans);
+  }
+}
+BENCHMARK_TEMPLATE(BM_TraceSearch, Layer);
+BENCHMARK_TEMPLATE(BM_TraceSearch, TreeLayer);
+
+}  // namespace
+}  // namespace grr
+
+BENCHMARK_MAIN();

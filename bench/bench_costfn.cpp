@@ -1,0 +1,55 @@
+// Reproduces the cost-function comparison of paper Sec 8.2 Mod 3:
+//   cost(n) = cost(p) + 1          — original Lee: minimum vias, slow;
+//   cost(n) = distance(n, target)  — greedy: fast but via-happy;
+//   cost(n) = distance * hops      — grr's compromise.
+//
+// Usage: bench_costfn [scale]   (default 0.8)
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "route/router.hpp"
+#include "workload/suite.hpp"
+
+using namespace grr;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  std::cout << "Sec 8.2 Mod 3 cost function comparison (scale " << scale
+            << ")\n"
+            << "Paper: dist*hops trades the minimum-via guarantee for a "
+               "much shorter search.\n\n";
+  std::cout << "  cost fn        routed/total   lee expansions   "
+               "expansions/search   vias/conn   CPU s\n";
+
+  struct Entry {
+    const char* name;
+    CostFn fn;
+  };
+  const Entry entries[] = {
+      {"hops (Lee 61)", CostFn::kUnitHops},
+      {"distance     ", CostFn::kDistance},
+      {"dist*hops    ", CostFn::kDistTimesHops},
+  };
+
+  BoardGenParams params = table1_board("nmc-4L", scale);
+  for (const Entry& e : entries) {
+    GeneratedBoard gb = generate_board(params);
+    RouterConfig cfg;
+    cfg.cost_fn = e.fn;
+    Router router(gb.board->stack(), cfg);
+    auto t0 = std::chrono::steady_clock::now();
+    router.route_all(gb.strung.connections);
+    auto t1 = std::chrono::steady_clock::now();
+    const RouterStats& st = router.stats();
+    std::printf("  %s  %6d/%-6d   %14ld   %17.1f   %9.2f   %5.2f\n", e.name,
+                st.routed, st.total, st.lee_expansions,
+                st.lee_searches
+                    ? static_cast<double>(st.lee_expansions) /
+                          st.lee_searches
+                    : 0.0,
+                st.vias_per_conn(),
+                std::chrono::duration<double>(t1 - t0).count());
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Post-route improvement pass (Sec 12 methodology as a feature): how much
+// of the routing's via count and length is left on the table by the
+// one-pass greedy order, and what a cleanup pass recovers.
+//
+// Usage: bench_improve [scale]   (default 1.0)
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "route/improve.hpp"
+#include "workload/suite.hpp"
+
+using namespace grr;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  std::cout << "Post-route improvement pass (scale " << scale << ")\n\n";
+  std::cout << "  board       improved/examined   vias before->after   "
+               "inches before->after   CPU s\n";
+
+  for (const char* name : {"nmc-4L", "coproc-6L", "tna-6L"}) {
+    GeneratedBoard gb = generate_board(table1_board(name, scale));
+    Router router(gb.board->stack());
+    router.route_all(gb.strung.connections);
+
+    auto t0 = std::chrono::steady_clock::now();
+    ImproveStats st = improve_routes(router, gb.strung.connections, 2);
+    auto t1 = std::chrono::steady_clock::now();
+    std::printf(
+        "  %-10s  %8d/%-9d   %8ld -> %-8ld   %8.1f -> %-8.1f   %5.2f\n",
+        name, st.improved, st.examined, st.vias_before, st.vias_after,
+        st.mils_before / 1000.0, st.mils_after / 1000.0,
+        std::chrono::duration<double>(t1 - t0).count());
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces Sec 8.2 Mod 1 (Fig 11): redefining a via's "neighbors" as the
+// via sites directly connectable by a one-layer trace, instead of the
+// adjacent grid points. The unit-step definition "leads to very slow
+// searches, since many individual grid points must be scanned to advance a
+// small distance across the board surface."
+//
+// The same connections are searched on the same partially-routed board by
+// the classic unit-step Lee baseline and by grr's generalized Lee; we
+// compare nodes touched and wall time.
+//
+// Usage: bench_lee_neighbors [scale]   (default 0.6)
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "baseline/lee_grid_router.hpp"
+#include "baseline/line_search_router.hpp"
+#include "route/lee.hpp"
+#include "route/router.hpp"
+#include "workload/suite.hpp"
+
+using namespace grr;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.6;
+  std::cout << "Sec 8.2 Mod 1: via-site neighbors vs unit-step neighbors "
+               "(scale "
+            << scale << ")\n\n";
+
+  // Route most of a board, then probe a sample of connections on top of
+  // the realistic clutter.
+  BoardGenParams params = table1_board("nmc-6L", scale);
+  GeneratedBoard gb = generate_board(params);
+  ConnectionList conns = gb.strung.connections;
+  const std::size_t probe_count = std::min<std::size_t>(conns.size() / 5, 200);
+  ConnectionList to_route(conns.begin() + static_cast<long>(probe_count),
+                          conns.end());
+  ConnectionList probes(conns.begin(),
+                        conns.begin() + static_cast<long>(probe_count));
+  Router router(gb.board->stack(), RouterConfig{});
+  router.route_all(to_route);
+
+  LeeGridRouter baseline(gb.board->stack());
+  LineSearchRouter lines(gb.board->stack());
+  LeeSearch generalized(gb.board->stack());
+  RouterConfig cfg;
+
+  long base_nodes = 0, line_nodes = 0, gen_nodes = 0;
+  int base_found = 0, line_found = 0, gen_found = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (const Connection& c : probes) {
+    if (c.a == c.b) continue;
+    LeeGridResult r = baseline.search(c.a, c.b);
+    base_nodes += static_cast<long>(r.expansions);
+    base_found += r.found;
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  for (const Connection& c : probes) {
+    if (c.a == c.b) continue;
+    LineSearchResult r = lines.search(c.a, c.b);
+    line_nodes += static_cast<long>(r.lines + r.sites_scanned);
+    line_found += r.found;
+  }
+  auto t2 = std::chrono::steady_clock::now();
+  for (const Connection& c : probes) {
+    if (c.a == c.b) continue;
+    LeeResult r = generalized.search(c, cfg);
+    gen_nodes += static_cast<long>(r.expansions + r.marks);
+    gen_found += r.found;
+  }
+  auto t3 = std::chrono::steady_clock::now();
+
+  double base_sec = std::chrono::duration<double>(t1 - t0).count();
+  double line_sec = std::chrono::duration<double>(t2 - t1).count();
+  double gen_sec = std::chrono::duration<double>(t3 - t2).count();
+  std::cout << "  probes: " << probes.size() << " connections on a board "
+            << "with " << to_route.size() << " routed\n";
+  std::cout << "  unit-step Lee (Lee 61)     : " << base_nodes
+            << " cells touched, " << base_found << " found, " << base_sec
+            << " s\n";
+  std::cout << "  line search (Mikami 70)    : " << line_nodes
+            << " lines+sites, " << line_found << " found, " << line_sec
+            << " s\n";
+  std::cout << "  via-site Lee (grr, Mod 1)  : " << gen_nodes
+            << " nodes touched, " << gen_found << " found, " << gen_sec
+            << " s\n";
+  std::cout << "  node ratio vs unit-step: "
+            << (gen_nodes ? static_cast<double>(base_nodes) / gen_nodes : 0)
+            << "x, time ratio: " << (gen_sec > 0 ? base_sec / gen_sec : 0)
+            << "x\n";
+  return 0;
+}

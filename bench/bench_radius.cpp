@@ -1,0 +1,40 @@
+// Reproduces the radius discussion of paper Sec 8.1 (Figs 9-11): "Typical
+// values of radius are 1 or 2. Increasing radius allows more vias to be
+// reached, but increases channel blockage for later connections. Large
+// values of radius are counterproductive for this reason."
+//
+// Usage: bench_radius [scale]   (default 0.8)
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "route/router.hpp"
+#include "workload/suite.hpp"
+
+using namespace grr;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  std::cout << "Sec 8.1 radius sweep (scale " << scale << ")\n"
+            << "Paper: radius 1 or 2 is best; larger radii block channels "
+               "and are counterproductive.\n\n";
+  std::cout << "  radius   routed/total   %optimal   %lee   rip-ups   "
+               "vias/conn   CPU s\n";
+
+  BoardGenParams params = table1_board("nmc-4L", scale);
+  for (int radius = 0; radius <= 5; ++radius) {
+    GeneratedBoard gb = generate_board(params);
+    RouterConfig cfg;
+    cfg.radius = radius;
+    Router router(gb.board->stack(), cfg);
+    auto t0 = std::chrono::steady_clock::now();
+    router.route_all(gb.strung.connections);
+    auto t1 = std::chrono::steady_clock::now();
+    const RouterStats& st = router.stats();
+    std::printf("  %6d   %6d/%-6d   %8.1f   %4.1f   %7ld   %9.2f   %5.2f\n",
+                radius, st.routed, st.total, st.pct_optimal(), st.pct_lee(),
+                st.rip_ups, st.vias_per_conn(),
+                std::chrono::duration<double>(t1 - t0).count());
+  }
+  return 0;
+}

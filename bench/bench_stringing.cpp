@@ -1,0 +1,66 @@
+// Reproduces the stringing experiment of paper Sec 3: the same routing
+// problem strung greedily vs randomly. The paper reports a factor of 25 in
+// CPU time (2 min vs 50 min); the shape to reproduce is a large slowdown
+// (and more Lee searches / rip-ups) for the random stringing.
+//
+// Usage: bench_stringing [scale]   (default 0.8)
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "route/audit.hpp"
+#include "route/router.hpp"
+#include "workload/suite.hpp"
+
+using namespace grr;
+
+namespace {
+
+struct RunResult {
+  double sec = 0;
+  RouterStats stats;
+  long manhattan = 0;
+};
+
+RunResult run(const BoardGenParams& params, StringingMethod method) {
+  GeneratedBoard gb = generate_board(params);
+  StringingResult strung = string_nets(*gb.board, method, params.seed);
+  Router router(gb.board->stack(), RouterConfig{});
+  auto t0 = std::chrono::steady_clock::now();
+  router.route_all(strung.connections);
+  auto t1 = std::chrono::steady_clock::now();
+  RunResult r;
+  r.sec = std::chrono::duration<double>(t1 - t0).count();
+  r.stats = router.stats();
+  r.manhattan = strung.total_manhattan;
+  return r;
+}
+
+void report(const char* label, const RunResult& r) {
+  std::cout << "  " << label << ": " << r.sec << " s, routed "
+            << r.stats.routed << "/" << r.stats.total << ", %lee "
+            << r.stats.pct_lee() << ", rip-ups " << r.stats.rip_ups
+            << ", total Manhattan " << r.manhattan << " via units\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  std::cout << "Sec 3 stringing experiment (scale " << scale << ")\n"
+            << "Paper: greedy stringing 2 CPU min, random stringing 50 CPU "
+               "min (25x) on the same problem.\n\n";
+
+  BoardGenParams params = table1_board("nmc-4L", scale);
+  RunResult greedy = run(params, StringingMethod::kGreedy);
+  RunResult random = run(params, StringingMethod::kRandom);
+  report("greedy stringing", greedy);
+  report("random stringing", random);
+  std::cout << "\n  slowdown from random stringing: "
+            << (greedy.sec > 0 ? random.sec / greedy.sec : 0) << "x (length "
+            << (greedy.manhattan > 0
+                    ? static_cast<double>(random.manhattan) / greedy.manhattan
+                    : 0)
+            << "x)\n";
+  return 0;
+}

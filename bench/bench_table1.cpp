@@ -1,0 +1,64 @@
+// Reproduces Table 1 (paper Sec 9): the nine-board suite in decreasing
+// order of difficulty. The shape to look for, per the paper:
+//   * kdj11 on 2 layers fails (%chan far above 50); the same problem on 4
+//     layers routes easily — "routing boards of even medium density on two
+//     routing layers is difficult";
+//   * denser boards (higher %chan) push more connections to Lee's algorithm;
+//   * rip-ups are rare except near failure;
+//   * vias per connection stays below 1.
+//
+// Usage: bench_table1 [scale]   (default 1.0; e.g. 0.5 for a quick run)
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "report/table.hpp"
+#include "route/audit.hpp"
+#include "workload/suite.hpp"
+
+using namespace grr;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  std::cout << "Table 1 reproduction (scale " << scale << ")\n\n";
+
+  std::vector<Table1Row> rows;
+  for (const BoardGenParams& params : table1_suite(scale)) {
+    GeneratedBoard gb = generate_board(params);
+    Router router(gb.board->stack(), RouterConfig{});
+
+    auto t0 = std::chrono::steady_clock::now();
+    router.route_all(gb.strung.connections);
+    auto t1 = std::chrono::steady_clock::now();
+    double sec = std::chrono::duration<double>(t1 - t0).count();
+
+    AuditReport audit =
+        audit_all(gb.board->stack(), router.db(), gb.strung.connections);
+    if (!audit.ok()) {
+      std::cout << "AUDIT FAILED on " << params.name << ": "
+                << audit.errors.front() << "\n";
+    }
+    rows.push_back(Table1Row::from_run(gb, router.stats(), sec));
+    const RouterStats& st = router.stats();
+    // Sec 12: on difficult boards, Lee's algorithm is where the CPU goes.
+    double strat = st.sec_zero_via + st.sec_one_via + st.sec_lee +
+                   st.sec_ripup + st.sec_putback;
+    std::cout << "  " << params.name << ": done in " << sec << " s, "
+              << st.routed << "/" << st.total
+              << " routed, %optimal=" << st.pct_optimal()
+              << ", lee share of strategy time="
+              << (strat > 0 ? 100.0 * st.sec_lee / strat : 0.0) << "%\n";
+  }
+
+  std::cout << "\n";
+  print_table1(std::cout, rows);
+  std::cout << "\nPaper (VAX 11/785 CPU minutes):\n"
+            << "  kdj11-2L: FAIL (~80% routed)   nmc-4L: %lee 14, 20 ripups, "
+               ".99 vias, 28.5 min\n"
+            << "  dpath-6L: %lee 8, .65 vias     coproc-6L: %lee 6, .62 "
+               "vias   kdj11-4L: %lee 8, .70 vias\n"
+            << "  icache-6L: %lee 3, .41 vias    nmc-6L: %lee 3, .68 vias   "
+               "dcache-6L: %lee 2, .40 vias\n"
+            << "  tna-6L: %lee 3, .50 vias\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Reproduces the length-tuning discussion of paper Sec 10.1:
+//   * the detour method "leads to acceptable performance if there are a few
+//     tens of length-tuned wires on a board. It is slow for hundreds";
+//   * the rejected cost-function method was "overwhelmed with false
+//     solutions" and "unacceptably slow".
+//
+// Usage: bench_tuning [max_wires]   (default 200)
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "tune/costfn_tuner.hpp"
+#include "tune/length_tuner.hpp"
+#include "workload/board_gen.hpp"
+
+using namespace grr;
+
+namespace {
+
+/// An open board with rows of pin pairs to tune.
+struct Fixture {
+  GridSpec spec{121, 101};
+  LayerStack stack{spec, 6};
+  ConnectionList conns;
+
+  explicit Fixture(int wires) {
+    int made = 0;
+    for (Coord vy = 2; vy < 99 && made < wires; vy += 2) {
+      for (Coord vx = 2; vx + 24 < 119 && made < wires; vx += 30) {
+        Connection c;
+        c.id = made;
+        c.a = {vx, vy};
+        c.b = {vx + 20, vy};
+        c.target_delay_ns = 0.6;  // direct is ~2000 mils = ~0.31-0.34 ns
+        stack.drill_via(c.a, kPinConn);
+        stack.drill_via(c.b, kPinConn);
+        conns.push_back(c);
+        ++made;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int max_wires = argc > 1 ? std::atoi(argv[1]) : 200;
+  std::cout << "Sec 10.1 length tuning (detour method scaling)\n"
+            << "Paper: acceptable for tens of tuned wires, slow for "
+               "hundreds.\n\n";
+  std::cout << "  wires   tuned   total s   ms/wire\n";
+  for (int wires : {10, 25, 50, 100, 200, 400}) {
+    if (wires > max_wires) break;
+    Fixture fx(wires);
+    Router router(fx.stack, RouterConfig{});
+    router.route_all(fx.conns);
+    DelayModel model;
+    model.num_layers = 6;
+    LengthTuner tuner(router, model, 0.02);
+    auto t0 = std::chrono::steady_clock::now();
+    int ok = tuner.tune_all(fx.conns);
+    auto t1 = std::chrono::steady_clock::now();
+    double sec = std::chrono::duration<double>(t1 - t0).count();
+    std::printf("  %5d   %5d   %7.3f   %7.2f\n", wires, ok, sec,
+                wires ? 1000.0 * sec / wires : 0.0);
+  }
+
+  std::cout << "\nRejected cost-function tuner vs detour tuner (25 wires)\n"
+            << "Paper: the cost-function variant generates plausible but "
+               "unacceptable solutions and is far slower.\n\n";
+  {
+    Fixture fx(25);
+    Router router(fx.stack, RouterConfig{});
+    router.route_all(fx.conns);
+    DelayModel model;
+    model.num_layers = 6;
+    LengthTuner detour(router, model, 0.02);
+    auto t0 = std::chrono::steady_clock::now();
+    int ok = detour.tune_all(fx.conns);
+    auto t1 = std::chrono::steady_clock::now();
+    std::cout << "  detour method : " << ok << "/25 tuned, "
+              << std::chrono::duration<double>(t1 - t0).count() << " s\n";
+  }
+  {
+    Fixture fx(25);
+    Router router(fx.stack, RouterConfig{});
+    router.route_all(fx.conns);
+    DelayModel model;
+    model.num_layers = 6;
+    CostFnTuner costfn(router, model, 0.02);
+    int ok = 0;
+    long expansions = 0, false_solutions = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (const Connection& c : fx.conns) {
+      CostFnTuneResult r = costfn.tune(c);
+      ok += r.success;
+      expansions += static_cast<long>(r.expansions);
+      false_solutions += r.false_solutions;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    std::cout << "  cost-fn method: " << ok << "/25 tuned, "
+              << std::chrono::duration<double>(t1 - t0).count() << " s, "
+              << expansions << " expansions, " << false_solutions
+              << " false solutions\n";
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation of this implementation's via-row avoidance (a design choice
+// motivated by paper Sec 4: a trace "running over a via site... is avoided
+// where possible in practice", because a covered site can never be drilled
+// by a later connection).
+//
+// With avoidance off, straight traces run down the via rows and consume
+// drill sites; one-via and Lee solutions then starve for free vias.
+//
+// Usage: bench_via_avoidance [scale]   (default 1.0)
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "route/router.hpp"
+#include "workload/suite.hpp"
+
+using namespace grr;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  std::cout << "Via-row avoidance ablation (scale " << scale << ")\n\n";
+  std::cout << "  board       avoidance   routed/total   free via sites "
+               "left   vias/conn   rip-ups   CPU s\n";
+
+  for (const char* name : {"nmc-4L", "dpath-6L"}) {
+    for (bool avoid : {true, false}) {
+      GeneratedBoard gb = generate_board(table1_board(name, scale));
+      RouterConfig cfg;
+      cfg.via_avoidance = avoid;
+      Router router(gb.board->stack(), cfg);
+      auto t0 = std::chrono::steady_clock::now();
+      router.route_all(gb.strung.connections);
+      auto t1 = std::chrono::steady_clock::now();
+
+      const GridSpec& spec = gb.board->spec();
+      long free_sites = 0;
+      for (Coord vy = 0; vy < spec.ny_vias(); ++vy) {
+        for (Coord vx = 0; vx < spec.nx_vias(); ++vx) {
+          free_sites += gb.board->stack().via_free({vx, vy});
+        }
+      }
+      const RouterStats& st = router.stats();
+      std::printf("  %-10s  %-9s   %6d/%-6d   %19ld   %9.2f   %7ld   %5.2f\n",
+                  name, avoid ? "on" : "off", st.routed, st.total,
+                  free_sites, st.vias_per_conn(), st.rip_ups,
+                  std::chrono::duration<double>(t1 - t0).count());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Reproduces the via-map rationale of paper Sec 4: "inquiries about the
+// availability of via sites are two to four orders of magnitude more
+// frequent than updates of via site usage... Since updates to the routing
+// layers are much rarer than probes, maintaining the via map results in
+// significant performance improvements."
+//
+// We measure the probe cost with the incremental map vs probing every
+// layer, and a mixed workload at the paper's inquiry:update ratios.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "layer/layer_stack.hpp"
+
+namespace grr {
+namespace {
+
+/// A 12x10-inch six-layer board with scattered traces and vias.
+LayerStack make_stack(bool use_map) {
+  GridSpec spec(121, 101);
+  LayerStack stack(spec, 6);
+  stack.set_use_via_map(use_map);
+  std::mt19937 rng(3);
+  auto rnd = [&](Coord lo, Coord hi) {
+    return std::uniform_int_distribution<Coord>(lo, hi)(rng);
+  };
+  for (int i = 0; i < 4000; ++i) {
+    LayerId l = static_cast<LayerId>(rng() % 6);
+    const Layer& layer = stack.layer(l);
+    Coord ch = rnd(0, layer.across_extent().hi);
+    Coord lo = rnd(0, layer.along_extent().hi - 9);
+    Interval span{lo, lo + rnd(1, 8)};
+    Interval gap =
+        layer.channel(ch).free_gap_at(stack.pool(), layer.along_extent(),
+                                      span.lo);
+    if (!gap.contains(span)) continue;
+    stack.insert_span({l, ch, span}, 1);
+  }
+  return stack;
+}
+
+void BM_ViaProbe_WithMap(benchmark::State& state) {
+  LayerStack stack = make_stack(true);
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<Coord> px(0, 120), py(0, 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack.via_free({px(rng), py(rng)}));
+  }
+}
+BENCHMARK(BM_ViaProbe_WithMap);
+
+void BM_ViaProbe_ProbingLayers(benchmark::State& state) {
+  LayerStack stack = make_stack(false);
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<Coord> px(0, 120), py(0, 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack.via_free({px(rng), py(rng)}));
+  }
+}
+BENCHMARK(BM_ViaProbe_ProbingLayers);
+
+/// Mixed workload: `ratio` inquiries per update (the paper reports the mix
+/// is 100:1 to 10000:1). The map pays a small update tax to make every
+/// probe O(1); the break-even is far below any realistic ratio.
+void BM_MixedWorkload(benchmark::State& state) {
+  const bool use_map = state.range(0) != 0;
+  const long ratio = state.range(1);
+  LayerStack stack = make_stack(use_map);
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<Coord> px(0, 120), py(0, 100);
+  SegId last = kNoSeg;
+  long ops = 0;
+  for (auto _ : state) {
+    if (ops++ % ratio == ratio - 1) {
+      // One update: add or remove a trace span near a via row.
+      if (last == kNoSeg) {
+        Coord ch = (py(rng) / 3) * 3;
+        Coord lo = px(rng);
+        if (stack.span_free({0, ch, {lo, lo + 2}})) {
+          last = stack.insert_span({0, ch, {lo, lo + 2}}, 2);
+        }
+      } else {
+        stack.erase_segment(last);
+        last = kNoSeg;
+      }
+    } else {
+      benchmark::DoNotOptimize(stack.via_free({px(rng), py(rng)}));
+    }
+  }
+}
+BENCHMARK(BM_MixedWorkload)
+    ->ArgsProduct({{0, 1}, {100, 1000, 10000}})
+    ->ArgNames({"map", "probes_per_update"});
+
+}  // namespace
+}  // namespace grr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// A backplane scenario: the Titan's 15x15-inch backplane carried the buses
+// between board slots (paper Sec 9). Two columns of high-pin-count slot
+// connectors are wired with bit-parallel buses; slot-to-slot nets are long
+// and highly parallel, exactly where the channel representation and the
+// sorted connection order shine.
+#include <chrono>
+#include <iostream>
+
+#include "board/board.hpp"
+#include "report/pattern_stats.hpp"
+#include "route/audit.hpp"
+#include "route/router.hpp"
+#include "stringer/stringer.hpp"
+
+using namespace grr;
+
+int main() {
+  GridSpec spec(151, 151);  // 15 x 15 inches
+  Board board(spec, 6);
+
+  // Four slots per column, 96-pin (4x24) connectors.
+  int conn96 = board.add_footprint(Footprint::connector(4, 24));
+  std::vector<PartId> left, right;
+  for (int s = 0; s < 4; ++s) {
+    left.push_back(board.add_part("SLOTL" + std::to_string(s), conn96,
+                                  {12, 6 + s * 34}));
+    right.push_back(board.add_part("SLOTR" + std::to_string(s), conn96,
+                                   {132, 6 + s * 34}));
+  }
+
+  // Buses: every left slot drives a 24-bit bus to every right slot, plus
+  // daisy chains down each column.
+  auto bus = [&](PartId from, PartId to, int from_base, int to_base,
+                 int bits) {
+    for (int b = 0; b < bits; ++b) {
+      Net net;
+      net.klass = SignalClass::kTTL;
+      net.name = "B" + std::to_string(board.netlist().nets.size());
+      net.pins.push_back({from, from_base + b, PinRole::kOutput});
+      net.pins.push_back({to, to_base + b, PinRole::kInput});
+      board.netlist().add(std::move(net));
+    }
+  };
+  // Pins 0..47 carry the cross buses, 48..55 the daisy-chain outputs,
+  // 56..63 the daisy-chain inputs; 64..95 stay free for power/spares.
+  for (int s = 0; s < 4; ++s) {
+    for (int d = 0; d < 4; ++d) {
+      bus(left[static_cast<std::size_t>(s)],
+          right[static_cast<std::size_t>(d)], d * 12, s * 12, 12);
+    }
+    if (s + 1 < 4) {
+      bus(left[static_cast<std::size_t>(s)],
+          left[static_cast<std::size_t>(s + 1)], 48, 56, 8);
+      bus(right[static_cast<std::size_t>(s)],
+          right[static_cast<std::size_t>(s + 1)], 48, 56, 8);
+    }
+  }
+
+  StringingResult strung = string_nets(board);
+  std::cout << "backplane: " << board.parts().size() << " slot connectors, "
+            << board.total_pins() << " pins, "
+            << strung.connections.size() << " connections\n";
+
+  Router router(board.stack());
+  auto t0 = std::chrono::steady_clock::now();
+  bool ok = router.route_all(strung.connections);
+  auto t1 = std::chrono::steady_clock::now();
+  const RouterStats& st = router.stats();
+  std::cout << (ok ? "routed all " : "INCOMPLETE: ") << st.routed << "/"
+            << st.total << " in "
+            << std::chrono::duration<double>(t1 - t0).count() << " s ("
+            << st.pct_optimal() << "% optimal, " << st.vias_per_conn()
+            << " vias/conn)\n";
+
+  AuditReport audit =
+      audit_all(board.stack(), router.db(), strung.connections);
+  std::cout << "audit: " << (audit.ok() ? "clean" : "VIOLATIONS") << "\n";
+  print_pattern_stats(std::cout,
+                      analyze_patterns(board.stack(), router.db(),
+                                       strung.connections));
+  return ok && audit.ok() ? 0 : 1;
+}

@@ -1,0 +1,301 @@
+// grr_tool — a command-line driver around the library, the shape a
+// downstream user consumes:
+//
+//   grr_tool gen <table1-board|name> <problem.grr> [scale]
+//       Generate a synthetic problem file (e.g. "coproc-6L", scale 0.5).
+//
+//   grr_tool route <problem.grr> [options]
+//       Route a problem file fully automatically.
+//       --radius N        radius control parameter (default 1)
+//       --routes FILE     write the realized routes
+//       --svg PREFIX      write PREFIX_layerK.svg for every signal layer,
+//                         plus PREFIX_problem.svg
+//       --gerber PREFIX   write RS-274X Gerbers (layers + power planes)
+//       --html FILE       write a self-contained HTML board report
+//       --improve         run the post-route cleanup pass
+//       --report          print the per-strategy profile and pattern stats
+//
+//   grr_tool check <problem.grr> <routes.grr>
+//       Re-install saved routes on a fresh board and audit every invariant.
+//
+//   grr_tool stats <problem.grr> <routes.grr>
+//       Pattern statistics (Sec 12) of a saved routing.
+#include <cstring>
+#include <iostream>
+
+#include "board/lint.hpp"
+#include "io/problem_io.hpp"
+#include "io/route_io.hpp"
+#include "report/gerber.hpp"
+#include "report/html_report.hpp"
+#include "report/pattern_stats.hpp"
+#include "report/svg.hpp"
+#include "route/audit.hpp"
+#include "route/improve.hpp"
+#include "route/mixed.hpp"
+#include "route/router.hpp"
+#include "stringer/stringer.hpp"
+#include "workload/suite.hpp"
+
+using namespace grr;
+
+namespace {
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: grr_tool gen <board-name> <out.grr> [scale]\n"
+              << "       grr_tool gen custom <out.grr> <w_in> <h_in> "
+                 "<layers> <connections> [locality] [seed]\n";
+    return 2;
+  }
+  GeneratedBoard gb;
+  if (!std::strcmp(argv[0], "custom")) {
+    if (argc < 6) {
+      std::cerr << "usage: grr_tool gen custom <out.grr> <w_in> <h_in> "
+                   "<layers> <connections> [locality] [seed]\n";
+      return 2;
+    }
+    BoardGenParams p;
+    p.name = "custom";
+    p.width_in = std::atof(argv[2]);
+    p.height_in = std::atof(argv[3]);
+    p.layers = std::atoi(argv[4]);
+    p.target_connections = std::atoi(argv[5]);
+    if (argc > 6) p.locality = std::atof(argv[6]);
+    if (argc > 7) p.seed = static_cast<std::uint32_t>(std::atoi(argv[7]));
+    if (p.width_in < 1 || p.height_in < 1 || p.layers < 1 ||
+        p.layers > 64) {
+      std::cerr << "bad custom board parameters\n";
+      return 2;
+    }
+    gb = generate_board(p);
+  } else {
+    double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+    gb = generate_board(table1_board(argv[0], scale));
+  }
+  if (!write_problem(*gb.board, argv[1])) {
+    std::cerr << "cannot write " << argv[1] << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << argv[1] << ": " << gb.board->parts().size()
+            << " parts, " << gb.board->netlist().nets.size() << " nets, "
+            << gb.strung.connections.size() << " connections after "
+            << "stringing, %chan " << gb.pct_chan << "\n";
+  return 0;
+}
+
+int cmd_route(int argc, char** argv) {
+  if (argc < 1) {
+    std::cerr << "usage: grr_tool route <problem.grr> [options]\n";
+    return 2;
+  }
+  ProblemReadResult pr = read_problem(argv[0]);
+  if (!pr.ok()) {
+    std::cerr << "parse error: " << pr.error << "\n";
+    return 1;
+  }
+  RouterConfig cfg;
+  const char* routes_path = nullptr;
+  const char* svg_prefix = nullptr;
+  const char* gerber_prefix = nullptr;
+  const char* html_path = nullptr;
+  bool report = false;
+  bool improve = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--radius") && i + 1 < argc) {
+      cfg.radius = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--routes") && i + 1 < argc) {
+      routes_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--svg") && i + 1 < argc) {
+      svg_prefix = argv[++i];
+    } else if (!std::strcmp(argv[i], "--gerber") && i + 1 < argc) {
+      gerber_prefix = argv[++i];
+    } else if (!std::strcmp(argv[i], "--html") && i + 1 < argc) {
+      html_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--report")) {
+      report = true;
+    } else if (!std::strcmp(argv[i], "--improve")) {
+      improve = true;
+    } else {
+      std::cerr << "unknown option " << argv[i] << "\n";
+      return 2;
+    }
+  }
+
+  Board& board = *pr.board;
+  LintReport lint = lint_netlist(board);
+  for (const std::string& w : lint.warnings) {
+    std::cerr << "lint warning: " << w << "\n";
+  }
+  if (!lint.ok()) {
+    for (const std::string& e : lint.errors) {
+      std::cerr << "lint error: " << e << "\n";
+    }
+    return 1;
+  }
+  StringingResult strung = string_nets(board);
+  // Tesselated boards route as two superimposed problems (Sec 10.2).
+  if (!pr.tiles.tiles().empty()) {
+    MixedRouteResult mixed =
+        route_mixed(board.stack(), pr.tiles, strung.connections, cfg);
+    std::cout << "mixed board: ECL "
+              << mixed.ecl->stats().routed << "/"
+              << mixed.ecl->stats().total << ", TTL "
+              << mixed.ttl->stats().routed << "/"
+              << mixed.ttl->stats().total
+              << (mixed.ok ? "" : " INCOMPLETE") << "\n";
+    AuditReport am1 = audit_all(board.stack(), mixed.ecl->db(),
+                                mixed.ecl_conns, &pr.tiles);
+    AuditReport am2 = audit_all(board.stack(), mixed.ttl->db(),
+                                mixed.ttl_conns, &pr.tiles);
+    std::cout << "audit: "
+              << (am1.ok() && am2.ok() ? "clean" : "VIOLATIONS") << "\n";
+    return mixed.ok && am1.ok() && am2.ok() ? 0 : 1;
+  }
+  Router router(board.stack(), cfg);
+  bool ok = router.route_all(strung.connections);
+  if (improve) {
+    ImproveStats ist = improve_routes(router, strung.connections, 2);
+    std::cout << "improvement pass: " << ist.improved << " connections "
+              << "improved, vias " << ist.vias_before << " -> "
+              << ist.vias_after << "\n";
+  }
+  const RouterStats& st = router.stats();
+  std::cout << (ok ? "routed " : "INCOMPLETE: ") << st.routed << "/"
+            << st.total << " connections (" << st.pct_optimal()
+            << "% optimal, " << st.pct_lee() << "% lee, " << st.rip_ups
+            << " rip-ups, " << st.vias_per_conn() << " vias/conn)\n";
+
+  AuditReport audit =
+      audit_all(board.stack(), router.db(), strung.connections);
+  if (!audit.ok()) {
+    std::cerr << "AUDIT FAILED: " << audit.errors.front() << "\n";
+    return 1;
+  }
+  if (report) {
+    std::cout << "strategy profile: zero-via " << st.sec_zero_via
+              << " s, one-via " << st.sec_one_via << " s, lee " << st.sec_lee
+              << " s, rip-up " << st.sec_ripup << " s, put-back "
+              << st.sec_putback << " s\n";
+    print_pattern_stats(
+        std::cout,
+        analyze_patterns(board.stack(), router.db(), strung.connections));
+  }
+  if (routes_path) {
+    if (!write_routes(router.db(), strung.connections, routes_path)) {
+      std::cerr << "cannot write " << routes_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << routes_path << "\n";
+  }
+  if (svg_prefix) {
+    std::string prefix = svg_prefix;
+    write_file(prefix + "_problem.svg",
+               svg_string_art(board, strung.connections));
+    for (int l = 0; l < board.stack().num_layers(); ++l) {
+      write_file(prefix + "_layer" + std::to_string(l) + ".svg",
+                 svg_signal_layer(board, router.db(), strung.connections,
+                                  static_cast<LayerId>(l)));
+    }
+    std::cout << "wrote " << prefix << "_problem.svg and "
+              << board.stack().num_layers() << " layer SVGs\n";
+  }
+  if (gerber_prefix) {
+    std::string prefix = gerber_prefix;
+    for (int l = 0; l < board.stack().num_layers(); ++l) {
+      write_file(prefix + "_layer" + std::to_string(l) + ".gbr",
+                 gerber_signal_layer(board, router.db(),
+                                     strung.connections,
+                                     static_cast<LayerId>(l)));
+    }
+    for (const auto& [net, pins] : board.power_assignments()) {
+      (void)pins;
+      write_file(prefix + "_plane_" + net + ".gbr",
+                 gerber_power_plane(board,
+                                    generate_power_plane(board, net)));
+    }
+    std::cout << "wrote " << board.stack().num_layers()
+              << " layer Gerbers and " << board.power_assignments().size()
+              << " plane Gerbers\n";
+  }
+  if (html_path) {
+    write_file(html_path,
+               html_board_report(board, router, strung.connections,
+                                 std::string("grr report: ") + argv[0]));
+    std::cout << "wrote " << html_path << "\n";
+  }
+  return ok ? 0 : 1;
+}
+
+int cmd_check(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: grr_tool check <problem.grr> <routes.grr>\n";
+    return 2;
+  }
+  ProblemReadResult pr = read_problem(argv[0]);
+  if (!pr.ok()) {
+    std::cerr << "parse error: " << pr.error << "\n";
+    return 1;
+  }
+  RoutesReadResult rr = read_routes(argv[1]);
+  if (!rr.ok()) {
+    std::cerr << "parse error: " << rr.error << "\n";
+    return 1;
+  }
+  StringingResult strung = string_nets(*pr.board);
+  ConnId max_id = -1;
+  for (const SavedRoute& sr : rr.routes) max_id = std::max(max_id, sr.id);
+  RouteDB db(static_cast<std::size_t>(max_id + 1));
+  int installed = install_routes(pr.board->stack(), db, rr.routes);
+  std::cout << "installed " << installed << "/" << rr.routes.size()
+            << " routes\n";
+  AuditReport audit =
+      audit_all(pr.board->stack(), db, strung.connections);
+  std::cout << "audit: " << (audit.ok() ? "clean" : "VIOLATIONS") << "\n";
+  for (const std::string& e : audit.errors) std::cout << "  " << e << "\n";
+  return installed == static_cast<int>(rr.routes.size()) && audit.ok() ? 0
+                                                                       : 1;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: grr_tool stats <problem.grr> <routes.grr>\n";
+    return 2;
+  }
+  ProblemReadResult pr = read_problem(argv[0]);
+  if (!pr.ok()) {
+    std::cerr << "parse error: " << pr.error << "\n";
+    return 1;
+  }
+  RoutesReadResult rr = read_routes(argv[1]);
+  if (!rr.ok()) {
+    std::cerr << "parse error: " << rr.error << "\n";
+    return 1;
+  }
+  StringingResult strung = string_nets(*pr.board);
+  ConnId max_id = -1;
+  for (const SavedRoute& sr : rr.routes) max_id = std::max(max_id, sr.id);
+  RouteDB db(static_cast<std::size_t>(max_id + 1));
+  int installed = install_routes(pr.board->stack(), db, rr.routes);
+  std::cout << "installed " << installed << "/" << rr.routes.size()
+            << " routes\n";
+  print_pattern_stats(std::cout,
+                      analyze_patterns(pr.board->stack(), db,
+                                       strung.connections));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: grr_tool <gen|route|check|stats> ...\n";
+    return 2;
+  }
+  if (!std::strcmp(argv[1], "gen")) return cmd_gen(argc - 2, argv + 2);
+  if (!std::strcmp(argv[1], "route")) return cmd_route(argc - 2, argv + 2);
+  if (!std::strcmp(argv[1], "check")) return cmd_check(argc - 2, argv + 2);
+  if (!std::strcmp(argv[1], "stats")) return cmd_stats(argc - 2, argv + 2);
+  std::cerr << "unknown command " << argv[1] << "\n";
+  return 2;
+}

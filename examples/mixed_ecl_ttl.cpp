@@ -1,0 +1,90 @@
+// Routing a board with mixed ECL and TTL parts (paper Sec 10.2, Fig 18).
+//
+// ECL signal swings are under a volt; a nearby 5-volt TTL transition can
+// induce a false ECL logic value, so ECL and TTL wiring must be separated.
+// Each signal layer is tesselated into areas reserved for one family, and
+// the board is routed as two separate, superimposed problems: to route one
+// class, all free space in the other class's tiles is filled first and the
+// filler removed afterwards.
+#include <iostream>
+
+#include "board/board.hpp"
+#include "board/tile_map.hpp"
+#include "route/audit.hpp"
+#include "route/mixed.hpp"
+#include "stringer/stringer.hpp"
+
+using namespace grr;
+
+int main() {
+  GridSpec spec(81, 61);  // 8 x 6 inch board
+  Board board(spec, 4);
+  int dip16 = board.add_footprint(Footprint::dip(16, 3));
+
+  // ECL parts on the left half, TTL (memory/IO) parts on the right half —
+  // "usually the chips of one or other technology can be arranged in a
+  // compact area on the board".
+  std::vector<PartId> ecl_parts, ttl_parts;
+  for (int i = 0; i < 6; ++i) {
+    ecl_parts.push_back(board.add_part(
+        "E" + std::to_string(i), dip16,
+        {4 + (i % 2) * 9, 6 + (i / 2) * 14}));
+    ttl_parts.push_back(board.add_part(
+        "T" + std::to_string(i), dip16,
+        {52 + (i % 2) * 9, 6 + (i / 2) * 14}));
+  }
+
+  // The tesselation: the left 45 via columns of every layer are ECL, the
+  // rest TTL (tiles are in routing-grid coordinates).
+  TileMap tiles(SignalClass::kECL);
+  const Coord split = spec.grid_of_via(45);
+  for (int l = 0; l < 4; ++l) {
+    tiles.add_tile(static_cast<LayerId>(l),
+                   {{0, split - 1}, {0, spec.extent().y.hi}},
+                   SignalClass::kECL);
+    tiles.add_tile(static_cast<LayerId>(l),
+                   {{split, spec.extent().x.hi}, {0, spec.extent().y.hi}},
+                   SignalClass::kTTL);
+  }
+
+  // Nets within each family.
+  auto wire = [&](const std::vector<PartId>& parts, SignalClass k) {
+    for (int i = 0; i < 16; ++i) {
+      Net net;
+      net.name = (k == SignalClass::kECL ? "E" : "T") + std::to_string(i);
+      net.klass = k;
+      PartId src = parts[static_cast<std::size_t>(i % 3)];
+      PartId dst = parts[static_cast<std::size_t>(3 + i % 3)];
+      net.pins.push_back({src, i % 16, PinRole::kOutput});
+      net.pins.push_back({dst, (i + 5) % 16, PinRole::kInput});
+      board.netlist().add(std::move(net));
+    }
+  };
+  wire(ecl_parts, SignalClass::kECL);
+  wire(ttl_parts, SignalClass::kTTL);
+
+  StringingResult strung = string_nets(board);
+
+  // Two passes over the board, each with the other family's tiles filled
+  // (route_mixed runs the fill / route / unfill dance for both classes).
+  MixedRouteResult mixed =
+      route_mixed(board.stack(), tiles, strung.connections);
+  std::cout << "mixed board: " << mixed.ecl_conns.size() << " ECL + "
+            << mixed.ttl_conns.size() << " TTL connections\n";
+  std::cout << "ECL pass "
+            << (mixed.ecl->stats().failed == 0 ? "complete" : "INCOMPLETE")
+            << ", TTL pass "
+            << (mixed.ttl->stats().failed == 0 ? "complete" : "INCOMPLETE")
+            << "\n";
+
+  // Audit both route databases and the tesselation conformance.
+  AuditReport a1 =
+      audit_all(board.stack(), mixed.ecl->db(), mixed.ecl_conns, &tiles);
+  AuditReport a2 =
+      audit_all(board.stack(), mixed.ttl->db(), mixed.ttl_conns, &tiles);
+  std::cout << "audit: " << (a1.ok() && a2.ok() ? "clean" : "VIOLATIONS")
+            << " (ECL and TTL routes confined to their tiles)\n";
+  for (const auto& e : a1.errors) std::cout << "  " << e << "\n";
+  for (const auto& e : a2.errors) std::cout << "  " << e << "\n";
+  return mixed.ok && a1.ok() && a2.ok() ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Quickstart: build a small board, describe a few nets, string them, route
+// them, audit the result, and print statistics. This walks the public API
+// end to end; the other examples exercise domain scenarios.
+#include <iostream>
+
+#include "board/board.hpp"
+#include "report/svg.hpp"
+#include "route/audit.hpp"
+#include "route/router.hpp"
+#include "stringer/stringer.hpp"
+
+using namespace grr;
+
+int main() {
+  // A 4 x 3 inch board, 100-mil via pitch, 2 routing tracks between vias,
+  // four signal layers (H,V,H,V).
+  GridSpec spec(/*nx_vias=*/41, /*ny_vias=*/31);
+  Board board(spec, /*num_layers=*/4);
+
+  // Two DIP-16s facing each other and a SIP-8 resistor pack.
+  int dip16 = board.add_footprint(Footprint::dip(16, 3));
+  int sip8 = board.add_footprint(Footprint::sip(8));
+  PartId u1 = board.add_part("U1", dip16, {5, 8});
+  PartId u2 = board.add_part("U2", dip16, {20, 12});
+  PartId r1 = board.add_part("R1", sip8, {30, 8});
+  for (int pin = 0; pin < 8; ++pin) board.add_terminator(r1, pin);
+
+  // Three ECL nets: U1 outputs drive U2 inputs; the stringer will pick the
+  // chain order and append the nearest free terminating resistor.
+  for (int i = 0; i < 3; ++i) {
+    Net net;
+    net.name = "NET" + std::to_string(i);
+    net.klass = SignalClass::kECL;
+    net.needs_terminator = true;
+    net.pins.push_back({u1, 2 + i, PinRole::kOutput});
+    net.pins.push_back({u2, 3 + i, PinRole::kInput});
+    net.pins.push_back({u2, 12 - i, PinRole::kInput});
+    board.netlist().add(std::move(net));
+  }
+
+  StringingResult strung = string_nets(board);
+  std::cout << "stringer produced " << strung.connections.size()
+            << " pin-to-pin connections, total Manhattan length "
+            << strung.total_manhattan << " via units\n";
+
+  Router router(board.stack(), RouterConfig{});
+  bool ok = router.route_all(strung.connections);
+  const RouterStats& st = router.stats();
+  std::cout << (ok ? "routed all " : "FAILED, routed ") << st.routed << "/"
+            << st.total << " connections in " << st.passes << " pass(es)\n"
+            << "  zero-via: "
+            << st.by_strategy[static_cast<int>(RouteStrategy::kZeroVia)]
+            << ", one-via: "
+            << st.by_strategy[static_cast<int>(RouteStrategy::kOneVia)]
+            << ", lee: "
+            << st.by_strategy[static_cast<int>(RouteStrategy::kLee)]
+            << ", rip-ups: " << st.rip_ups
+            << ", vias/conn: " << st.vias_per_conn() << "\n";
+
+  AuditReport audit =
+      audit_all(board.stack(), router.db(), strung.connections);
+  std::cout << "audit: " << (audit.ok() ? "clean" : "VIOLATIONS") << " ("
+            << audit.segments_checked << " segments checked)\n";
+  for (const std::string& e : audit.errors) std::cout << "  " << e << "\n";
+
+  write_file("quickstart_layer0.svg",
+             svg_signal_layer(board, router.db(), strung.connections, 0));
+  std::cout << "wrote quickstart_layer0.svg\n";
+  return ok && audit.ok() ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// Surface-mount parts via dispersion patterns (paper Sec 11).
+//
+// SMD pads connect only to the surface layer, so each pad is first fanned
+// out to a nearby via with a top-layer trace ("a dispersion pattern...
+// connect[s] the pads to a regular array of vias by traces lying only on
+// the top surface. The router was told to consider the vias as the end
+// points of the connections"). The connections are then routed normally
+// between the dispersion vias.
+#include <iostream>
+
+#include "board/board.hpp"
+#include "board/dispersion.hpp"
+#include "route/audit.hpp"
+#include "route/router.hpp"
+
+using namespace grr;
+
+int main() {
+  GridSpec spec(41, 31);  // 4 x 3 inch board
+  Board board(spec, 4);
+
+  // Two 8-pad SMD packages facing each other. Fine-pitch pads sit on the
+  // routing grid but off the via grid (one pad per routing track).
+  std::vector<Point> left_pads, right_pads;
+  for (int i = 0; i < 8; ++i) {
+    left_pads.push_back({20, 20 + 4 * i});
+    right_pads.push_back({100, 22 + 4 * i});
+  }
+
+  DispersionResult left = build_dispersion(board.stack(), left_pads);
+  DispersionResult right = build_dispersion(board.stack(), right_pads);
+  if (!left.ok() || !right.ok()) {
+    std::cout << "dispersion failed: " << left.error << right.error << "\n";
+    return 1;
+  }
+  std::cout << "dispersed " << left.pins.size() + right.pins.size()
+            << " SMD pads to via end points\n";
+
+  // Route pad i of the left package to pad i of the right package, using
+  // the dispersion vias as the connection end points.
+  ConnectionList conns;
+  for (int i = 0; i < 8; ++i) {
+    Connection c;
+    c.id = i;
+    c.a = left.pins[static_cast<std::size_t>(i)].via;
+    c.b = right.pins[static_cast<std::size_t>(i)].via;
+    conns.push_back(c);
+  }
+  Router router(board.stack());
+  bool ok = router.route_all(conns);
+  std::cout << (ok ? "routed all " : "INCOMPLETE: ")
+            << router.stats().routed << "/" << router.stats().total
+            << " pad-to-pad connections ("
+            << router.stats().vias_per_conn() << " vias/conn)\n";
+
+  AuditReport audit = audit_all(board.stack(), router.db(), conns);
+  std::cout << "audit: " << (audit.ok() ? "clean" : "VIOLATIONS") << "\n";
+  return ok && audit.ok() ? 0 : 1;
+}

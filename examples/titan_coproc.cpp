@@ -1,0 +1,69 @@
+// The paper's appendix walk-through (Sec 13, Figs 19-22): a Titan floating
+// point coprocessor-like board — 16 x 22 inches, six signal layers, DIP-24
+// ECL parts flanked by SIP-12 termination resistor packs — is generated,
+// strung, routed fully automatically, and rendered:
+//
+//   coproc_placement.svg    the board placement            (Fig 19)
+//   coproc_problem.svg      the stringer output, one line
+//                           per pin-to-pin connection      (Fig 20)
+//   coproc_layer0.svg       one routed signal layer, with
+//                           45-degree postprocessing       (Fig 21)
+//   coproc_ground.svg       the generated ground plane     (Fig 22)
+//
+// Usage: titan_coproc [scale]   (default 0.5 for a quick run; 1.0 = paper
+// size)
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "report/svg.hpp"
+#include "route/audit.hpp"
+#include "workload/suite.hpp"
+
+using namespace grr;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  GeneratedBoard gb = generate_board(table1_board("coproc-6L", scale));
+  Board& board = *gb.board;
+  std::cout << "coproc-like board: " << board.spec().board_width_inches()
+            << "x" << board.spec().board_height_inches() << " in, "
+            << board.stack().num_layers() << " signal layers, "
+            << board.parts().size() << " parts, " << board.total_pins()
+            << " pins, " << gb.strung.connections.size()
+            << " connections (%chan " << gb.pct_chan << ")\n";
+
+  Router router(board.stack(), RouterConfig{});
+  auto t0 = std::chrono::steady_clock::now();
+  bool ok = router.route_all(gb.strung.connections);
+  auto t1 = std::chrono::steady_clock::now();
+  std::cout << (ok ? "routed completely" : "INCOMPLETE") << " in "
+            << std::chrono::duration<double>(t1 - t0).count() << " s ("
+            << router.stats().pct_optimal() << "% optimal, "
+            << router.stats().pct_lee() << "% lee, "
+            << router.stats().rip_ups << " rip-ups, "
+            << router.stats().vias_per_conn() << " vias/conn)\n";
+
+  AuditReport audit =
+      audit_all(board.stack(), router.db(), gb.strung.connections);
+  std::cout << "audit: " << (audit.ok() ? "clean" : "VIOLATIONS") << "\n";
+
+  // The ground plane connects the ground pins the generator assigned to
+  // the "GND" power net; everything else gets isolation disks.
+  PowerPlaneArt ground = generate_power_plane(board, "GND");
+  std::cout << "ground plane: " << ground.disks.size()
+            << " etched features ("
+            << board.power_pin_vias("GND").size()
+            << " thermal-relief ground pins)\n";
+
+  write_file("coproc_placement.svg", svg_placement(board));
+  write_file("coproc_problem.svg",
+             svg_string_art(board, gb.strung.connections));
+  write_file("coproc_layer0.svg",
+             svg_signal_layer(board, router.db(), gb.strung.connections, 0,
+                              /*mitered=*/true));
+  write_file("coproc_ground.svg", svg_power_plane(ground));
+  std::cout << "wrote coproc_placement.svg, coproc_problem.svg, "
+               "coproc_layer0.svg, coproc_ground.svg\n";
+  return ok && audit.ok() ? 0 : 1;
+}

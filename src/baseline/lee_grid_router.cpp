@@ -1,0 +1,128 @@
+#include "baseline/lee_grid_router.hpp"
+
+#include <deque>
+
+namespace grr {
+
+LeeGridRouter::LeeGridRouter(const LayerStack& stack)
+    : spec_(stack.spec()),
+      num_layers_(stack.num_layers()),
+      width_(spec_.extent().x.length()),
+      height_(spec_.extent().y.length()) {
+  const std::size_t cells = static_cast<std::size_t>(num_layers_) * width_ *
+                            static_cast<std::size_t>(height_);
+  occupied_.assign(cells, 0);
+  parent_.assign(cells, -1);
+  mark_.assign(cells, 0);
+
+  // Snapshot per-layer occupancy by walking every channel's segments.
+  const SegmentPool& pool = stack.pool();
+  for (int li = 0; li < num_layers_; ++li) {
+    const Layer& layer = stack.layer(static_cast<LayerId>(li));
+    const Interval across = layer.across_extent();
+    for (Coord c = across.lo; c <= across.hi; ++c) {
+      for (SegId s = layer.channel(c).head(); s != kNoSeg;
+           s = pool[s].next) {
+        const Segment& seg = pool[s];
+        for (Coord v = seg.span.lo; v <= seg.span.hi; ++v) {
+          occupied_[cell_index(li, layer.point_of(c, v))] = 1;
+        }
+      }
+    }
+  }
+
+  via_blocked_.assign(
+      static_cast<std::size_t>(spec_.nx_vias()) * spec_.ny_vias(), 0);
+  for (Coord vy = 0; vy < spec_.ny_vias(); ++vy) {
+    for (Coord vx = 0; vx < spec_.nx_vias(); ++vx) {
+      if (!stack.via_free({vx, vy})) {
+        via_blocked_[static_cast<std::size_t>(vy) * spec_.nx_vias() + vx] =
+            1;
+      }
+    }
+  }
+}
+
+std::size_t LeeGridRouter::cell_index(int layer, Point g) const {
+  return (static_cast<std::size_t>(layer) * height_ + g.y) * width_ + g.x;
+}
+
+LeeGridResult LeeGridRouter::search(Point a_via, Point b_via,
+                                    std::size_t max_expansions) {
+  LeeGridResult res;
+  ++epoch_;
+  const Point ag = spec_.grid_of_via(a_via);
+  const Point bg = spec_.grid_of_via(b_via);
+
+  // The end points themselves are occupied (pin pads); seed the wave with
+  // their free neighbors on every layer, and accept any cell adjacent to b.
+  std::deque<std::size_t> wave;
+  auto try_mark = [&](int layer, Point g, std::int32_t par) {
+    if (g.x < 0 || g.y < 0 || g.x >= width_ || g.y >= height_) return false;
+    std::size_t idx = cell_index(layer, g);
+    if (occupied_[idx] || mark_[idx] == epoch_) return false;
+    mark_[idx] = epoch_;
+    parent_[idx] = par;
+    wave.push_back(idx);
+    return true;
+  };
+
+  for (int l = 0; l < num_layers_; ++l) {
+    try_mark(l, {ag.x - 1, ag.y}, -1);
+    try_mark(l, {ag.x + 1, ag.y}, -1);
+    try_mark(l, {ag.x, ag.y - 1}, -1);
+    try_mark(l, {ag.x, ag.y + 1}, -1);
+  }
+
+  std::size_t goal = static_cast<std::size_t>(-1);
+  while (!wave.empty() && res.expansions < max_expansions) {
+    std::size_t idx = wave.front();
+    wave.pop_front();
+    ++res.expansions;
+    const int layer = static_cast<int>(idx / (static_cast<std::size_t>(width_) * height_));
+    const std::size_t rem = idx % (static_cast<std::size_t>(width_) * height_);
+    const Point g{static_cast<Coord>(rem % width_),
+                  static_cast<Coord>(rem / width_)};
+
+    if (manhattan(g, bg) == 1) {
+      goal = idx;
+      break;
+    }
+
+    const std::int32_t par = static_cast<std::int32_t>(idx);
+    try_mark(layer, {g.x - 1, g.y}, par);
+    try_mark(layer, {g.x + 1, g.y}, par);
+    try_mark(layer, {g.x, g.y - 1}, par);
+    try_mark(layer, {g.x, g.y + 1}, par);
+
+    // Layer change through a drillable via site.
+    if (spec_.is_via_site(g)) {
+      Point v = spec_.via_of_grid(g);
+      if (!via_blocked_[static_cast<std::size_t>(v.y) * spec_.nx_vias() +
+                        v.x]) {
+        for (int l2 = 0; l2 < num_layers_; ++l2) {
+          if (l2 != layer) try_mark(l2, g, par);
+        }
+      }
+    }
+  }
+
+  if (goal == static_cast<std::size_t>(-1)) return res;
+  res.found = true;
+  // Retrace for path statistics.
+  std::size_t cur = goal;
+  const std::size_t plane = static_cast<std::size_t>(width_) * height_;
+  while (true) {
+    std::int32_t par = parent_[cur];
+    if (par < 0) break;
+    if (cur / plane != static_cast<std::size_t>(par) / plane) {
+      ++res.vias_used;  // layer change
+    } else {
+      ++res.path_grid_steps;
+    }
+    cur = static_cast<std::size_t>(par);
+  }
+  return res;
+}
+
+}  // namespace grr

@@ -1,0 +1,54 @@
+// Classic Lee/Moore maze routing on the raw routing grid (paper Sec 8.2,
+// the algorithm grr generalizes; [Moore 59, Lee 61]).
+//
+// The "neighbors" of a point are the adjacent grid points, so the search is
+// O(n^2) in the distance between the vias: many individual grid points must
+// be scanned to advance a small distance across the board. bench_lee_neighbors
+// compares this against grr's Mod 1 (via-site neighbors) on identical
+// problems.
+//
+// Layer changes are allowed at free via sites (a drill hole makes a
+// potential connection to all layers). The search is read-only against a
+// snapshot of the layer stack's occupancy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "layer/layer_stack.hpp"
+
+namespace grr {
+
+struct LeeGridResult {
+  bool found = false;
+  std::size_t expansions = 0;  // grid cells dequeued
+  long path_grid_steps = 0;    // unit steps in the found path
+  int vias_used = 0;           // layer changes in the found path
+};
+
+class LeeGridRouter {
+ public:
+  /// Snapshots the stack's occupancy (one bit per layer/grid cell).
+  explicit LeeGridRouter(const LayerStack& stack);
+
+  /// Breadth-first wave from a to b (via coordinates), unit-cost.
+  LeeGridResult search(Point a_via, Point b_via,
+                       std::size_t max_expansions = 50'000'000);
+
+ private:
+  std::size_t cell_index(int layer, Point g) const;
+  bool blocked(int layer, Point g) const {
+    return occupied_[cell_index(layer, g)] != 0;
+  }
+
+  const GridSpec spec_;
+  int num_layers_;
+  Coord width_, height_;  // grid points per dimension
+  std::vector<std::uint8_t> occupied_;
+  std::vector<std::uint8_t> via_blocked_;  // per via site: not drillable
+  std::vector<std::int32_t> parent_;       // per cell, for retracing
+  std::vector<std::uint32_t> mark_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace grr

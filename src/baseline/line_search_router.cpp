@@ -1,0 +1,176 @@
+#include "baseline/line_search_router.hpp"
+
+#include <deque>
+#include <map>
+#include <unordered_set>
+
+namespace grr {
+namespace {
+
+struct Line {
+  LayerId layer;
+  Coord channel;  // across coordinate
+  Interval span;  // along interval
+  int depth;
+};
+
+std::uint64_t line_key(LayerId l, Coord ch, Coord lo) {
+  return (static_cast<std::uint64_t>(l) << 56) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ch))
+          << 28) |
+         static_cast<std::uint32_t>(lo);
+}
+
+/// Per-side index of generated lines, split by orientation for crossing
+/// queries: horizontal lines keyed by their y (channel), vertical by x.
+struct Side {
+  std::deque<Line> frontier;
+  std::map<Coord, std::vector<Line>> by_channel[2];  // [orientation]
+  std::unordered_set<std::uint64_t> visited;
+};
+
+}  // namespace
+
+LineSearchResult LineSearchRouter::search(Point a_via, Point b_via,
+                                          std::size_t max_lines) {
+  const GridSpec& spec = stack_.spec();
+  const SegmentPool& pool = stack_.pool();
+  const int period = spec.period();
+  LineSearchResult res;
+
+  Side sides[2];
+  const Point src[2] = {a_via, b_via};
+
+  // Does a new line meet the opposite tree? Either a collinear overlap in
+  // the same channel/layer (same free gap), or a perpendicular crossing at
+  // a drillable via site.
+  auto meets = [&](int s, const Line& ln) {
+    const Side& other = sides[1 - s];
+    const Orientation o = stack_.layer(ln.layer).orientation();
+    // Collinear: any other-side line in the same channel of any layer with
+    // the same orientation, overlapping at a drillable via site (or the
+    // same layer: plain overlap).
+    for (int oi = 0; oi < 2; ++oi) {
+      const Orientation oo = static_cast<Orientation>(oi);
+      if (oo == o) {
+        auto it = other.by_channel[oi].find(ln.channel);
+        if (it != other.by_channel[oi].end()) {
+          for (const Line& ol : it->second) {
+            Interval ov = ol.span.intersect(ln.span);
+            if (ov.empty()) continue;
+            if (ol.layer == ln.layer) return true;
+            // Different layers: need a drillable via site in the overlap,
+            // on a via-row channel.
+            if (ln.channel % period != 0) continue;
+            Coord first = ((ov.lo + period - 1) / period) * period;
+            for (Coord v = first; v <= ov.hi; v += period) {
+              Point g = stack_.layer(ln.layer).point_of(ln.channel, v);
+              if (stack_.via_free(spec.via_of_grid(g))) return true;
+            }
+          }
+        }
+      } else {
+        // Perpendicular: other-side lines whose channel lies inside our
+        // span and whose span contains our channel; the crossing must be
+        // a drillable via site.
+        auto lo = other.by_channel[oi].lower_bound(ln.span.lo);
+        auto hi = other.by_channel[oi].upper_bound(ln.span.hi);
+        for (auto it = lo; it != hi; ++it) {
+          for (const Line& ol : it->second) {
+            if (!ol.span.contains(ln.channel)) continue;
+            if (ln.channel % period != 0 || ol.channel % period != 0) {
+              continue;
+            }
+            Point g = stack_.layer(ln.layer).point_of(ln.channel,
+                                                      ol.channel);
+            if (stack_.layer(ol.layer).orientation() ==
+                stack_.layer(ln.layer).orientation()) {
+              continue;  // same orientation cannot cross
+            }
+            if (stack_.via_free(spec.via_of_grid(g))) return true;
+          }
+        }
+      }
+    }
+    return false;
+  };
+
+  bool met = false;
+  auto add_line = [&](int s, LayerId l, Coord ch, Interval span,
+                      int depth) {
+    if (span.empty() || met || res.lines >= max_lines) return;
+    if (!sides[s].visited.insert(line_key(l, ch, span.lo)).second) return;
+    Line ln{l, ch, span, depth};
+    ++res.lines;
+    if (meets(s, ln)) {
+      met = true;
+      res.found = true;
+      res.depth = depth;
+      return;
+    }
+    const int oi =
+        static_cast<int>(stack_.layer(l).orientation());
+    sides[s].by_channel[oi][ch].push_back(ln);
+    sides[s].frontier.push_back(ln);
+  };
+
+  // Seed: the free gaps bordering each source on every layer.
+  for (int s = 0; s < 2 && !met; ++s) {
+    Point g = spec.grid_of_via(src[s]);
+    for (int li = 0; li < stack_.num_layers() && !met; ++li) {
+      const Layer& layer = stack_.layer(static_cast<LayerId>(li));
+      Coord ac = layer.across_of(g), av = layer.along_of(g);
+      for (Coord probe : {av - 1, av + 1}) {
+        Interval gap =
+            layer.channel(ac).free_gap_at(pool, layer.along_extent(),
+                                          probe);
+        if (gap.contains(probe)) {
+          add_line(s, static_cast<LayerId>(li), ac, gap, 0);
+        }
+      }
+      for (Coord ch : {ac - 1, ac + 1}) {
+        if (!layer.across_extent().contains(ch)) continue;
+        Interval gap =
+            layer.channel(ch).free_gap_at(pool, layer.along_extent(), av);
+        if (gap.contains(av)) {
+          add_line(s, static_cast<LayerId>(li), ch, gap, 0);
+        }
+      }
+    }
+  }
+
+  // Alternate breadth-first expansion: from every drillable via site on a
+  // line, spawn the free lines through that site on the other layers.
+  int side = 0;
+  while (!met && res.lines < max_lines) {
+    if (sides[0].frontier.empty() && sides[1].frontier.empty()) break;
+    if (sides[side].frontier.empty()) side = 1 - side;
+    Line ln = sides[side].frontier.front();
+    sides[side].frontier.pop_front();
+
+    if (ln.channel % period == 0) {
+      Coord first = ((ln.span.lo + period - 1) / period) * period;
+      for (Coord v = first; v <= ln.span.hi && !met; v += period) {
+        ++res.sites_scanned;
+        Point g = stack_.layer(ln.layer).point_of(ln.channel, v);
+        Point via = spec.via_of_grid(g);
+        if (!spec.is_via_site(g) || !stack_.via_free(via)) continue;
+        for (int li = 0; li < stack_.num_layers() && !met; ++li) {
+          if (li == ln.layer) continue;
+          const Layer& layer = stack_.layer(static_cast<LayerId>(li));
+          Coord ch = layer.across_of(g);
+          Interval gap = layer.channel(ch).free_gap_at(
+              pool, layer.along_extent(), layer.along_of(g));
+          if (!gap.empty()) {
+            add_line(side, static_cast<LayerId>(li), ch, gap,
+                     ln.depth + 1);
+          }
+        }
+      }
+    }
+    side = 1 - side;
+  }
+  return res;
+}
+
+}  // namespace grr

@@ -1,0 +1,40 @@
+// Line-search maze routing (Mikami-Tabuchi style), the second classic the
+// paper positions itself against: grr's "concept of neighbors radiating in
+// lines from a via is a generalization of the line-searching method of
+// Hightower [Hightower 69]. Combinations of the Lee and Hightower
+// algorithms have also been made by Mikami [Mikami 70]..." (Sec 8.2).
+//
+// Escape lines (maximal free intervals through a point) grow alternately
+// from both ends; from every drillable via site on a line, perpendicular
+// lines are spawned on the other layers. Two lines of opposite trees that
+// cross at a drillable site (or overlap in the same channel) complete the
+// connection. Like the unit-step baseline, the search is read-only and
+// exists for head-to-head comparison with grr's generalized Lee.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "layer/layer_stack.hpp"
+
+namespace grr {
+
+struct LineSearchResult {
+  bool found = false;
+  std::size_t lines = 0;       // escape lines generated
+  std::size_t sites_scanned = 0;  // via sites examined along lines
+  int depth = 0;               // line depth at the meet (~ vias used)
+};
+
+class LineSearchRouter {
+ public:
+  explicit LineSearchRouter(const LayerStack& stack) : stack_(stack) {}
+
+  LineSearchResult search(Point a_via, Point b_via,
+                          std::size_t max_lines = 200000);
+
+ private:
+  const LayerStack& stack_;
+};
+
+}  // namespace grr

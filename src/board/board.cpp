@@ -1,0 +1,65 @@
+#include "board/board.hpp"
+
+#include <cassert>
+
+namespace grr {
+
+Board::Board(const GridSpec& spec, int num_layers, DesignRules rules,
+             std::vector<Orientation> orients)
+    : rules_(rules), stack_(spec, num_layers, std::move(orients)) {}
+
+int Board::add_footprint(Footprint fp) {
+  footprints_.push_back(std::move(fp));
+  return static_cast<int>(footprints_.size() - 1);
+}
+
+PartId Board::add_part(std::string name, int footprint, Point origin_via) {
+  assert(footprint >= 0 &&
+         footprint < static_cast<int>(footprints_.size()));
+  Part p{std::move(name), footprint, origin_via};
+  const Footprint& fp = footprints_[static_cast<std::size_t>(footprint)];
+  for (Point off : fp.pin_offsets) {
+    Point via{origin_via.x + off.x, origin_via.y + off.y};
+    assert(spec().via_in_board(via));
+    assert(stack_.via_free(via));
+    stack_.drill_via(via, kPinConn);
+    ++total_pins_;
+  }
+  parts_.push_back(std::move(p));
+  return static_cast<PartId>(parts_.size() - 1);
+}
+
+Point Board::pin_via(PartId part_id, int pin) const {
+  const Part& p = part(part_id);
+  const Footprint& fp = footprints_[static_cast<std::size_t>(p.footprint)];
+  assert(pin >= 0 && pin < fp.pin_count());
+  Point off = fp.pin_offsets[static_cast<std::size_t>(pin)];
+  return {p.origin.x + off.x, p.origin.y + off.y};
+}
+
+void Board::add_obstacle(Point via) {
+  assert(stack_.via_free(via));
+  stack_.drill_via(via, kObstacleConn);
+  obstacles_.push_back(via);
+}
+
+void Board::assign_power_pin(const std::string& net, PartId part, int pin) {
+  power_[net].push_back({part, pin, PinRole::kInput});
+}
+
+std::vector<Point> Board::power_pin_vias(const std::string& net) const {
+  std::vector<Point> vias;
+  auto it = power_.find(net);
+  if (it == power_.end()) return vias;
+  vias.reserve(it->second.size());
+  for (const NetPin& np : it->second) vias.push_back(pin_via(np));
+  return vias;
+}
+
+double Board::pins_per_sq_inch() const {
+  double area =
+      spec().board_width_inches() * spec().board_height_inches();
+  return area > 0 ? total_pins_ / area : 0.0;
+}
+
+}  // namespace grr

@@ -1,0 +1,95 @@
+// The board: grid spec, layer stack, placed parts, pins and keep-outs
+// (paper Sec 2). Through-hole pins are drilled vias connected to all layers;
+// instantiating a part occupies its pins' via sites on every signal layer.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "board/design_rules.hpp"
+#include "board/footprint.hpp"
+#include "board/netlist.hpp"
+#include "layer/layer_stack.hpp"
+
+namespace grr {
+
+struct Part {
+  std::string name;
+  int footprint = -1;  // index into Board's footprint table
+  Point origin;        // via-grid position of pin 0's reference
+};
+
+class Board {
+ public:
+  Board(const GridSpec& spec, int num_layers,
+        DesignRules rules = DesignRules::paper_process(),
+        std::vector<Orientation> orients = {});
+
+  const GridSpec& spec() const { return stack_.spec(); }
+  const DesignRules& rules() const { return rules_; }
+  LayerStack& stack() { return stack_; }
+  const LayerStack& stack() const { return stack_; }
+
+  int add_footprint(Footprint fp);
+  const Footprint& footprint(int idx) const {
+    return footprints_[static_cast<std::size_t>(idx)];
+  }
+  const std::vector<Footprint>& footprints() const { return footprints_; }
+
+  /// Place a part; its pins are drilled immediately (they must all land on
+  /// free via sites inside the board).
+  PartId add_part(std::string name, int footprint, Point origin_via);
+
+  const std::vector<Part>& parts() const { return parts_; }
+  const Part& part(PartId id) const {
+    return parts_[static_cast<std::size_t>(id)];
+  }
+
+  /// Via-grid location of a part pin.
+  Point pin_via(PartId part, int pin) const;
+  Point pin_via(const NetPin& np) const { return pin_via(np.part, np.pin); }
+
+  /// Register a pin as an available ECL terminating resistor (Sec 3).
+  void add_terminator(PartId part, int pin) {
+    terminators_.push_back({part, pin, PinRole::kInput});
+  }
+  const std::vector<NetPin>& terminators() const { return terminators_; }
+
+  /// Mounting hole / keep-out: permanently occupies the via site.
+  void add_obstacle(Point via);
+  const std::vector<Point>& obstacles() const { return obstacles_; }
+
+  /// Power nets (Sec 2): nearly every part connects to at least two of
+  /// them; their pins are served by dedicated power planes, never by
+  /// signal routing. generate_power_plane() draws its member pins from
+  /// these assignments.
+  void assign_power_pin(const std::string& net, PartId part, int pin);
+  const std::map<std::string, std::vector<NetPin>>& power_assignments()
+      const {
+    return power_;
+  }
+  /// Via sites of a power net's pins (empty if the net is unknown).
+  std::vector<Point> power_pin_vias(const std::string& net) const;
+
+  Netlist& netlist() { return netlist_; }
+  const Netlist& netlist() const { return netlist_; }
+
+  /// Average pin density (pins per square inch), as in Table 1.
+  double pins_per_sq_inch() const;
+  int total_pins() const { return total_pins_; }
+
+ private:
+  DesignRules rules_;
+  LayerStack stack_;
+  std::vector<Footprint> footprints_;
+  std::vector<Part> parts_;
+  std::vector<NetPin> terminators_;
+  std::vector<Point> obstacles_;
+  std::map<std::string, std::vector<NetPin>> power_;
+  Netlist netlist_;
+  int total_pins_ = 0;
+};
+
+}  // namespace grr

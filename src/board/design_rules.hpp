@@ -1,0 +1,26 @@
+// Manufacturing design rules (paper Sec 2, Fig 1). These determine the grid
+// embedding: how many routing tracks fit between via sites, and the pad and
+// clearance geometry the power-plane generator needs.
+#pragma once
+
+namespace grr {
+
+struct DesignRules {
+  int trace_width_mils = 8;
+  int trace_gap_mils = 8;
+  int via_pad_mils = 60;    // pad diameter
+  int via_drill_mils = 37;  // finished hole
+  int pin_pitch_mils = 100;
+  int tracks_between_vias = 2;
+
+  // Power plane artwork (appendix, Fig 22).
+  int plane_clearance_mils = 70;        // isolation disk around foreign holes
+  int thermal_relief_outer_mils = 80;   // thermal relief around member pins
+  int mounting_clearance_mils = 250;    // keep-out around mounting screws
+
+  /// The process of Fig 1: 8/8 mil traces, 60 mil pads, 100 mil pitch,
+  /// two tracks between vias.
+  static DesignRules paper_process() { return DesignRules{}; }
+};
+
+}  // namespace grr

@@ -1,0 +1,154 @@
+#include "board/dispersion.hpp"
+
+#include <algorithm>
+
+namespace grr {
+namespace {
+
+/// Via-site candidates around a grid point, nearest first.
+std::vector<Point> candidates_near(const GridSpec& spec, Point pad_grid,
+                                   int search_radius) {
+  Point center = spec.nearest_via(pad_grid);
+  struct Cand {
+    long dist;
+    Point v;
+  };
+  std::vector<Cand> cands;
+  for (Coord dx = -search_radius; dx <= search_radius; ++dx) {
+    for (Coord dy = -search_radius; dy <= search_radius; ++dy) {
+      Point v{center.x + dx, center.y + dy};
+      if (!spec.via_in_board(v)) continue;
+      Point g = spec.grid_of_via(v);
+      cands.push_back({manhattan(g, pad_grid), v});
+    }
+  }
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    return std::tie(a.dist, a.v.x, a.v.y) < std::tie(b.dist, b.v.x, b.v.y);
+  });
+  std::vector<Point> out;
+  out.reserve(cands.size());
+  for (const Cand& c : cands) out.push_back(c.v);
+  return out;
+}
+
+}  // namespace
+
+DispersionResult build_dispersion(LayerStack& stack,
+                                  const std::vector<Point>& pads_grid,
+                                  LayerId surface, int search_radius,
+                                  bool through_hole) {
+  const GridSpec& spec = stack.spec();
+  DispersionResult result;
+
+  auto undo_all = [&] {
+    for (auto it = result.pins.rbegin(); it != result.pins.rend(); ++it) {
+      for (auto sit = it->segs.rbegin(); sit != it->segs.rend(); ++sit) {
+        stack.erase_segment(*sit);
+      }
+    }
+    result.pins.clear();
+  };
+  auto undo_pin = [&](DispersedPin& pin) {
+    for (auto it = pin.segs.rbegin(); it != pin.segs.rend(); ++it) {
+      stack.erase_segment(*it);
+    }
+    pin.segs.clear();
+  };
+
+  // Layers the fan-out trace may run on: the surface for SMD pads (they
+  // connect only to the surface layer), any layer for through-hole pins.
+  std::vector<LayerId> fan_layers;
+  if (through_hole) {
+    for (int l = 0; l < stack.num_layers(); ++l) {
+      fan_layers.push_back(static_cast<LayerId>(l));
+    }
+  } else {
+    fan_layers.push_back(surface);
+  }
+
+  for (Point pad : pads_grid) {
+    if (!spec.in_board(pad)) {
+      undo_all();
+      result.error = "pad off board";
+      return result;
+    }
+    bool free_everywhere = true;
+    for (LayerId l : through_hole ? fan_layers
+                                  : std::vector<LayerId>{surface}) {
+      free_everywhere &= !stack.layer(l).occupied(stack.pool(), pad);
+    }
+    if (!free_everywhere) {
+      undo_all();
+      result.error = "pad location occupied";
+      return result;
+    }
+
+    DispersedPin pin;
+    pin.pad_grid = pad;
+    if (through_hole) {
+      // The off-grid hole penetrates (and blocks) every layer.
+      for (int l = 0; l < stack.num_layers(); ++l) {
+        const Layer& layer = stack.layer(static_cast<LayerId>(l));
+        pin.segs.push_back(stack.insert_span(
+            {static_cast<LayerId>(l), layer.across_of(pad),
+             {layer.along_of(pad), layer.along_of(pad)}},
+            kPinConn, /*is_via=*/true));
+      }
+    } else {
+      const Layer& layer = stack.layer(surface);
+      pin.segs.push_back(stack.insert_span(
+          {surface, layer.across_of(pad),
+           {layer.along_of(pad), layer.along_of(pad)}},
+          kPinConn, /*is_via=*/true));
+    }
+
+    bool placed = false;
+    for (Point v : candidates_near(spec, pad, search_radius)) {
+      if (placed) break;
+      if (!stack.via_free(v)) continue;
+      Point vg = spec.grid_of_via(v);
+      if (vg == pad) continue;  // the pad itself covers this site
+      for (LayerId fl : fan_layers) {
+        // Claim the via, then fan out on one layer within a small box.
+        std::vector<SegId> via_segs = stack.drill_via(v, kPinConn);
+        Rect box = Rect::bounding(pad, vg)
+                       .inflated(spec.period() * (search_radius + 1))
+                       .intersect(spec.extent());
+        auto spans =
+            trace_path(stack.layer(fl), stack.pool(), pad, vg, box,
+                       kDefaultMaxFreeNodes, nullptr, spec.period());
+        if (!spans) {
+          for (auto it = via_segs.rbegin(); it != via_segs.rend(); ++it) {
+            stack.erase_segment(*it);
+          }
+          continue;
+        }
+        for (SegId s : via_segs) pin.segs.push_back(s);
+        for (const ChannelSpan& cs : *spans) {
+          pin.segs.push_back(
+              stack.insert_span({fl, cs.channel, cs.span}, kPinConn));
+        }
+        pin.via = v;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      undo_pin(pin);
+      undo_all();
+      result.error = "no reachable free via site for pad";
+      return result;
+    }
+    result.pins.push_back(std::move(pin));
+  }
+  return result;
+}
+
+void remove_dispersion(LayerStack& stack,
+                       const std::vector<DispersedPin>& pins) {
+  for (const DispersedPin& pin : pins) {
+    for (SegId s : pin.segs) stack.erase_segment(s);
+  }
+}
+
+}  // namespace grr

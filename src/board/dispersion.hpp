@@ -1,0 +1,54 @@
+// Surface-mount dispersion patterns (paper Sec 11).
+//
+// Surface-mount pads connect only to the surface routing layer, which
+// breaks grr's assumption that a connection can start on any layer. The
+// paper's practice: "a hand-designed dispersion pattern was generated to
+// connect the pads to a regular array of vias by traces lying only on the
+// top surface. The router was told to consider the vias as the end points
+// of the connections." This module automates that pattern generation: each
+// pad (which may sit off the via grid — Trace connects arbitrary grid
+// points, as Sec 11 suggests) is fanned out to a nearby free via site with
+// a surface-layer trace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layer/free_space.hpp"
+#include "layer/layer_stack.hpp"
+
+namespace grr {
+
+struct DispersedPin {
+  Point pad_grid;            // the pad, in routing-grid coordinates
+  Point via;                 // the via site the router should use
+  std::vector<SegId> segs;   // pad, fan-out trace, and via segments
+};
+
+struct DispersionResult {
+  std::vector<DispersedPin> pins;
+  std::string error;  // empty on success
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Fan a set of surface pads out to free via sites. Pads occupy only the
+/// `surface` layer; each is connected by a surface trace to the nearest
+/// free via site within `search_radius` via pitches (candidates are tried
+/// nearest-first until one is reachable). On any failure everything built
+/// so far is removed and an error is reported.
+///
+/// With `through_hole = true` the pins are off-grid *through-hole* pins
+/// instead (Sec 11: "parts with off-grid pins were also handled by
+/// manually creating a dispersion pattern to nearby vias"): the hole
+/// occupies every layer, and the fan-out trace may use any layer.
+DispersionResult build_dispersion(LayerStack& stack,
+                                  const std::vector<Point>& pads_grid,
+                                  LayerId surface = 0, int search_radius = 2,
+                                  bool through_hole = false);
+
+/// Remove a dispersion pattern (pads, traces and vias).
+void remove_dispersion(LayerStack& stack,
+                       const std::vector<DispersedPin>& pins);
+
+}  // namespace grr

@@ -1,0 +1,36 @@
+#include "board/footprint.hpp"
+
+#include <cassert>
+
+namespace grr {
+
+Footprint Footprint::dip(int pins, Coord row_span) {
+  assert(pins >= 2 && pins % 2 == 0);
+  Footprint fp;
+  fp.name = "DIP-" + std::to_string(pins);
+  const Coord half = pins / 2;
+  for (Coord i = 0; i < half; ++i) fp.pin_offsets.push_back({0, i});
+  for (Coord i = half - 1; i >= 0; --i) {
+    fp.pin_offsets.push_back({row_span, i});
+  }
+  return fp;
+}
+
+Footprint Footprint::sip(int pins) {
+  assert(pins >= 1);
+  Footprint fp;
+  fp.name = "SIP-" + std::to_string(pins);
+  for (Coord i = 0; i < pins; ++i) fp.pin_offsets.push_back({0, i});
+  return fp;
+}
+
+Footprint Footprint::connector(Coord cols, Coord rows) {
+  Footprint fp;
+  fp.name = "CONN-" + std::to_string(cols * rows);
+  for (Coord x = 0; x < cols; ++x) {
+    for (Coord y = 0; y < rows; ++y) fp.pin_offsets.push_back({x, y});
+  }
+  return fp;
+}
+
+}  // namespace grr

@@ -1,0 +1,30 @@
+// Part footprints: pin patterns on the via grid (paper Sec 2). Through-hole
+// pins sit on the 100-mil via grid and connect to every layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace grr {
+
+struct Footprint {
+  std::string name;
+  std::vector<Point> pin_offsets;  // via-grid offsets from part origin
+
+  int pin_count() const { return static_cast<int>(pin_offsets.size()); }
+
+  /// Dual in-line package: `pins` pins in two columns `row_span` via units
+  /// apart (e.g. DIP-24 with 300-mil row spacing -> dip(24, 3)).
+  /// Pin numbering follows convention: down the left column, up the right.
+  static Footprint dip(int pins, Coord row_span);
+
+  /// Single in-line package: `pins` pins in one column (resistor packs).
+  static Footprint sip(int pins);
+
+  /// Connector: a cols x rows grid of pins.
+  static Footprint connector(Coord cols, Coord rows);
+};
+
+}  // namespace grr

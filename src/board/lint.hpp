@@ -1,0 +1,29 @@
+// Netlist lint: catch malformed inputs before stringing and routing, the
+// checks a board designer's netlist compiler would run.
+//
+//   * every net pin references an existing part and pin;
+//   * no pin appears twice within a net, or in two different nets;
+//   * ECL nets have at least one output and "all output pins must precede
+//     the input pins" (paper Sec 3);
+//   * ECL nets that need terminators can get one (enough terminator pins
+//     registered board-wide);
+//   * power-assigned pins do not appear in signal nets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "board/board.hpp"
+
+namespace grr {
+
+struct LintReport {
+  std::vector<std::string> errors;
+  std::vector<std::string> warnings;
+
+  bool ok() const { return errors.empty(); }
+};
+
+LintReport lint_netlist(const Board& board);
+
+}  // namespace grr

@@ -1,0 +1,3 @@
+#include "board/netlist.hpp"
+
+// Header-only; this file anchors the translation unit for the library.

@@ -1,0 +1,42 @@
+// Nets: collections of pins that must be electrically interconnected
+// (paper Secs 2, 3). ECL nets are transmission lines — outputs at the head
+// of the chain, a terminating resistor at the tail; TTL nets allow arbitrary
+// pin order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grr {
+
+enum class SignalClass : std::uint8_t { kECL, kTTL };
+
+enum class PinRole : std::uint8_t { kOutput, kInput };
+
+using PartId = std::int32_t;
+using NetId = std::int32_t;
+
+struct NetPin {
+  PartId part = -1;
+  int pin = 0;
+  PinRole role = PinRole::kInput;
+};
+
+struct Net {
+  std::string name;
+  SignalClass klass = SignalClass::kECL;
+  bool needs_terminator = false;  // ECL transmission lines end in a resistor
+  std::vector<NetPin> pins;       // all outputs precede all inputs
+};
+
+struct Netlist {
+  std::vector<Net> nets;
+
+  NetId add(Net net) {
+    nets.push_back(std::move(net));
+    return static_cast<NetId>(nets.size() - 1);
+  }
+};
+
+}  // namespace grr

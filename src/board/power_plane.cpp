@@ -1,0 +1,50 @@
+#include "board/power_plane.hpp"
+
+namespace grr {
+
+PowerPlaneArt generate_power_plane(const Board& board,
+                                   const std::string& net_name) {
+  return generate_power_plane(board, net_name,
+                              board.power_pin_vias(net_name));
+}
+
+PowerPlaneArt generate_power_plane(const Board& board,
+                                   const std::string& net_name,
+                                   const std::vector<Point>& member_pins) {
+  const GridSpec& spec = board.spec();
+  const DesignRules& rules = board.rules();
+  const LayerStack& stack = board.stack();
+
+  PowerPlaneArt art;
+  art.net_name = net_name;
+  art.width_mils = (spec.nx_vias() - 1) * spec.via_pitch_mils();
+  art.height_mils = (spec.ny_vias() - 1) * spec.via_pitch_mils();
+
+  std::unordered_set<Point> members(member_pins.begin(), member_pins.end());
+  std::unordered_set<Point> mounts(board.obstacles().begin(),
+                                   board.obstacles().end());
+
+  // Every via site used on all layers is a drilled hole (via or pin).
+  const int nl = stack.num_layers();
+  for (Coord vy = 0; vy < spec.ny_vias(); ++vy) {
+    for (Coord vx = 0; vx < spec.nx_vias(); ++vx) {
+      Point v{vx, vy};
+      if (stack.via_use_count(v) < nl) continue;  // not a drill hole
+      Point c{v.x * spec.via_pitch_mils(), v.y * spec.via_pitch_mils()};
+      if (mounts.contains(v)) {
+        art.disks.push_back(
+            {c, rules.mounting_clearance_mils / 2,
+             PlaneFeature::kMountClearance});
+      } else if (members.contains(v)) {
+        art.disks.push_back({c, rules.thermal_relief_outer_mils / 2,
+                             PlaneFeature::kThermalRelief});
+      } else {
+        art.disks.push_back(
+            {c, rules.plane_clearance_mils / 2, PlaneFeature::kClearance});
+      }
+    }
+  }
+  return art;
+}
+
+}  // namespace grr

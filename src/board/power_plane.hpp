@@ -1,0 +1,50 @@
+// Power-plane etch generation (paper Sec 2 and Appendix, Fig 22).
+//
+// A power layer is left as solid copper except for small isolation disks
+// etched around every drilled hole that is not a member of the plane's net,
+// thermal-relief rings around member pins (so soldering heat does not sink
+// into the copper mass), and large clearances around mounting screws. The
+// pattern is straightforward to generate once the complete via pattern is
+// known — i.e. after routing.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "board/board.hpp"
+
+namespace grr {
+
+enum class PlaneFeature : std::uint8_t {
+  kClearance,       // isolation disk: hole passes through, no contact
+  kThermalRelief,   // member pin: connected through a spoked ring
+  kMountClearance,  // mounting screw keep-out
+};
+
+struct PlaneDisk {
+  Point center_mils;  // physical position
+  int radius_mils = 0;
+  PlaneFeature feature = PlaneFeature::kClearance;
+};
+
+struct PowerPlaneArt {
+  std::string net_name;
+  int width_mils = 0;
+  int height_mils = 0;
+  std::vector<PlaneDisk> disks;
+};
+
+/// Generate the etch artwork of one power plane. `member_pins` are the via
+/// sites (via coordinates) of pins belonging to the plane's net; every other
+/// drilled hole in the stack gets an isolation disk.
+PowerPlaneArt generate_power_plane(
+    const Board& board, const std::string& net_name,
+    const std::vector<Point>& member_pins);
+
+/// Convenience overload: member pins come from the board's power-net
+/// assignments (Board::assign_power_pin).
+PowerPlaneArt generate_power_plane(const Board& board,
+                                   const std::string& net_name);
+
+}  // namespace grr

@@ -1,0 +1,65 @@
+#include "board/tile_map.hpp"
+
+#include <algorithm>
+
+namespace grr {
+
+SignalClass TileMap::class_at(LayerId layer, Point g) const {
+  SignalClass k = default_class_;
+  for (const Tile& t : tiles_) {
+    if (t.layer == layer && t.rect.contains(g)) k = t.klass;
+  }
+  return k;
+}
+
+std::vector<SegId> TileMap::fill_foreign(LayerStack& stack,
+                                         SignalClass klass) const {
+  std::vector<SegId> filler;
+  std::vector<Coord> cuts;
+  std::vector<Interval> gaps;
+  for (int li = 0; li < stack.num_layers(); ++li) {
+    const auto lid = static_cast<LayerId>(li);
+    Layer& layer = stack.layer(lid);
+    const Interval across_ext = layer.across_extent();
+    const Interval along_ext = layer.along_extent();
+    for (Coord c = across_ext.lo; c <= across_ext.hi; ++c) {
+      // Elementary along-intervals bounded by tile edges on this channel.
+      cuts.clear();
+      cuts.push_back(along_ext.lo);
+      cuts.push_back(along_ext.hi + 1);
+      const bool horiz = layer.orientation() == Orientation::kHorizontal;
+      for (const Tile& t : tiles_) {
+        if (t.layer != lid) continue;
+        Interval t_across = horiz ? t.rect.y : t.rect.x;
+        if (!t_across.contains(c)) continue;
+        Interval t_along = (horiz ? t.rect.x : t.rect.y);
+        cuts.push_back(std::max(t_along.lo, along_ext.lo));
+        cuts.push_back(std::min(t_along.hi + 1, along_ext.hi + 1));
+      }
+      std::sort(cuts.begin(), cuts.end());
+      cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+      for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+        Interval piece{cuts[i], cuts[i + 1] - 1};
+        if (piece.empty()) continue;
+        if (class_at(lid, layer.point_of(c, piece.lo)) == klass) continue;
+        // Foreign piece: occupy its free space. Collect gaps first —
+        // inserting while enumerating would invalidate the walk.
+        gaps.clear();
+        layer.channel(c).for_gaps_overlapping(
+            stack.pool(), along_ext, piece,
+            [&](Interval g) { gaps.push_back(g.intersect(piece)); });
+        for (Interval g : gaps) {
+          if (g.empty()) continue;
+          filler.push_back(stack.insert_span({lid, c, g}, kFillerConn));
+        }
+      }
+    }
+  }
+  return filler;
+}
+
+void TileMap::unfill(LayerStack& stack, const std::vector<SegId>& filler) {
+  for (SegId id : filler) stack.erase_segment(id);
+}
+
+}  // namespace grr

@@ -1,0 +1,51 @@
+// ECL/TTL tesselation (paper Sec 10.2, Fig 18).
+//
+// Each signal layer is tesselated into rectangular areas reserved for ECL or
+// TTL wiring. To route one class, all free space inside the other class's
+// tiles is temporarily filled with pseudo-segments, making it unavailable
+// for traces and vias; the filler is removed after the pass.
+#pragma once
+
+#include <vector>
+
+#include "board/netlist.hpp"
+#include "layer/layer_stack.hpp"
+
+namespace grr {
+
+struct Tile {
+  LayerId layer = 0;
+  Rect rect;  // grid coordinates
+  SignalClass klass = SignalClass::kECL;
+};
+
+class TileMap {
+ public:
+  /// Default class applies everywhere no tile is declared.
+  explicit TileMap(SignalClass default_class = SignalClass::kECL)
+      : default_class_(default_class) {}
+
+  void add_tile(LayerId layer, Rect grid_rect, SignalClass klass) {
+    tiles_.push_back({layer, grid_rect, klass});
+  }
+  const std::vector<Tile>& tiles() const { return tiles_; }
+  SignalClass default_class() const { return default_class_; }
+
+  /// Signal class allowed at a grid point of a layer (last declared tile
+  /// containing the point wins; default class if none).
+  SignalClass class_at(LayerId layer, Point g) const;
+
+  /// Fill all free space in tiles NOT belonging to `klass` with filler
+  /// segments (kFillerConn), blocking foreign traces and vias. Returns the
+  /// filler segments for a later unfill().
+  std::vector<SegId> fill_foreign(LayerStack& stack, SignalClass klass) const;
+
+  /// Remove previously inserted filler.
+  static void unfill(LayerStack& stack, const std::vector<SegId>& filler);
+
+ private:
+  SignalClass default_class_;
+  std::vector<Tile> tiles_;
+};
+
+}  // namespace grr

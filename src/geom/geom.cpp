@@ -1,0 +1,17 @@
+#include "geom/geom.hpp"
+
+namespace grr {
+
+std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, Interval iv) {
+  return os << '[' << iv.lo << ',' << iv.hi << ']';
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << r.x << 'x' << r.y;
+}
+
+}  // namespace grr

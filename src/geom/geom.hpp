@@ -1,0 +1,138 @@
+// Basic integer geometry for the routing grid: points, intervals, rectangles
+// and Manhattan metrics. All coordinates are routing-grid or via-grid indices
+// (signed 32-bit); physical units (mils) appear only in grid::GridSpec.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <ostream>
+
+namespace grr {
+
+using Coord = std::int32_t;
+
+/// A point on an integer grid (routing grid or via grid depending on context).
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Manhattan distance between two points.
+inline Coord manhattan(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Chebyshev (max-coordinate) distance between two points.
+inline Coord chebyshev(Point a, Point b) {
+  return std::max(std::abs(a.x - b.x), std::abs(a.y - b.y));
+}
+
+std::ostream& operator<<(std::ostream& os, Point p);
+
+/// A closed integer interval [lo, hi]. Empty iff lo > hi.
+struct Interval {
+  Coord lo = 0;
+  Coord hi = -1;
+
+  bool empty() const { return lo > hi; }
+  Coord length() const { return empty() ? 0 : hi - lo + 1; }
+  bool contains(Coord v) const { return lo <= v && v <= hi; }
+  bool contains(Interval o) const { return lo <= o.lo && o.hi <= hi; }
+  bool overlaps(Interval o) const {
+    return std::max(lo, o.lo) <= std::min(hi, o.hi);
+  }
+
+  Interval intersect(Interval o) const {
+    return {std::max(lo, o.lo), std::min(hi, o.hi)};
+  }
+
+  /// Smallest interval containing both (assumes neither is empty).
+  Interval hull(Interval o) const {
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+  }
+
+  /// Nearest value inside the interval to v (assumes non-empty).
+  Coord clamp(Coord v) const { return std::clamp(v, lo, hi); }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, Interval iv);
+
+/// A closed axis-aligned rectangle [x.lo,x.hi] x [y.lo,y.hi].
+struct Rect {
+  Interval x;
+  Interval y;
+
+  static Rect bounding(Point a, Point b) {
+    return {{std::min(a.x, b.x), std::max(a.x, b.x)},
+            {std::min(a.y, b.y), std::max(a.y, b.y)}};
+  }
+
+  bool empty() const { return x.empty() || y.empty(); }
+  bool contains(Point p) const { return x.contains(p.x) && y.contains(p.y); }
+  bool contains(const Rect& o) const {
+    return x.contains(o.x) && y.contains(o.y);
+  }
+  bool overlaps(const Rect& o) const {
+    return x.overlaps(o.x) && y.overlaps(o.y);
+  }
+  Rect intersect(const Rect& o) const {
+    return {x.intersect(o.x), y.intersect(o.y)};
+  }
+
+  /// Rectangle grown by d on all four sides.
+  Rect inflated(Coord d) const {
+    return {{x.lo - d, x.hi + d}, {y.lo - d, y.hi + d}};
+  }
+
+  Coord width() const { return x.length(); }
+  Coord height() const { return y.length(); }
+  std::int64_t area() const {
+    return std::int64_t{width()} * std::int64_t{height()};
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+/// The two trace orientations a signal layer is optimized for (Sec 4).
+enum class Orientation : std::uint8_t { kHorizontal, kVertical };
+
+inline Orientation other(Orientation o) {
+  return o == Orientation::kHorizontal ? Orientation::kVertical
+                                       : Orientation::kHorizontal;
+}
+
+/// Coordinate of p along a channel of the given orientation (the coordinate
+/// that varies as you walk the channel).
+inline Coord along(Orientation o, Point p) {
+  return o == Orientation::kHorizontal ? p.x : p.y;
+}
+
+/// Coordinate of p across channels (selects which channel p lies in).
+inline Coord across(Orientation o, Point p) {
+  return o == Orientation::kHorizontal ? p.y : p.x;
+}
+
+/// Rebuild a point from channel-space (across = channel index, along =
+/// position within the channel).
+inline Point from_channel(Orientation o, Coord across_v, Coord along_v) {
+  return o == Orientation::kHorizontal ? Point{along_v, across_v}
+                                       : Point{across_v, along_v};
+}
+
+}  // namespace grr
+
+template <>
+struct std::hash<grr::Point> {
+  std::size_t operator()(const grr::Point& p) const noexcept {
+    return (static_cast<std::size_t>(static_cast<std::uint32_t>(p.x)) << 32) ^
+           static_cast<std::uint32_t>(p.y);
+  }
+};

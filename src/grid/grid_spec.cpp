@@ -1,0 +1,62 @@
+#include "grid/grid_spec.hpp"
+
+#include <cassert>
+
+namespace grr {
+
+GridSpec::GridSpec(Coord nx_vias, Coord ny_vias, int tracks_between_vias,
+                   int via_pitch_mils)
+    : nx_vias_(nx_vias),
+      ny_vias_(ny_vias),
+      period_(tracks_between_vias + 1),
+      via_pitch_mils_(via_pitch_mils) {
+  assert(nx_vias >= 2 && ny_vias >= 2);
+  assert(tracks_between_vias >= 0);
+  extent_ = {{0, (nx_vias_ - 1) * period_}, {0, (ny_vias_ - 1) * period_}};
+  via_extent_ = {{0, nx_vias_ - 1}, {0, ny_vias_ - 1}};
+
+  offsets_mils_.resize(static_cast<std::size_t>(period_));
+  if (period_ == 3 && via_pitch_mils_ == 100) {
+    // Paper Fig 3: via point, then 42 mils to the first routing point,
+    // 16 mils between routing points, 42 mils back to the next via.
+    offsets_mils_ = {0, 42, 58};
+  } else {
+    for (int i = 0; i < period_; ++i) {
+      offsets_mils_[static_cast<std::size_t>(i)] =
+          i * via_pitch_mils_ / period_;
+    }
+  }
+}
+
+Coord GridSpec::via_floor(Coord g) const {
+  // Floor division for possibly negative g.
+  Coord q = g / period_;
+  if (g % period_ != 0 && g < 0) --q;
+  return q;
+}
+
+Coord GridSpec::via_ceil(Coord g) const {
+  Coord q = g / period_;
+  if (g % period_ != 0 && g > 0) ++q;
+  return q;
+}
+
+Point GridSpec::nearest_via(Point g) const {
+  auto nearest = [&](Coord c, Interval ext) {
+    Coord lo = via_floor(c);
+    Coord hi = via_ceil(c);
+    Coord pick =
+        (c - grid_of_via(lo) <= grid_of_via(hi) - c) ? lo : hi;
+    return ext.clamp(pick);
+  };
+  return {nearest(g.x, via_extent_.x), nearest(g.y, via_extent_.y)};
+}
+
+int GridSpec::mils_of_grid(Coord g) const {
+  Coord v = via_floor(g);
+  Coord rem = g - grid_of_via(v);
+  return v * via_pitch_mils_ +
+         offsets_mils_[static_cast<std::size_t>(rem)];
+}
+
+}  // namespace grr

@@ -1,0 +1,87 @@
+// The routing grid and the embedded via grid (paper Sec 4, Figs 1 and 3).
+//
+// All traces lie on the routing grid; vias and pins lie on the coarser via
+// grid. With the paper's process, via pitch is 100 mils and two routing
+// tracks fit between adjacent via points, so the grid period is 3 routing
+// points per via pitch. Grid spacing is irregular (42 / 16 / 42 mils); the
+// spec carries the per-period mil offsets so physical lengths (for length
+// tuning) are exact.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace grr {
+
+class GridSpec {
+ public:
+  /// A board nx_vias x ny_vias via sites in extent. `tracks_between_vias`
+  /// routing tracks fit between adjacent via points (paper: 2).
+  GridSpec(Coord nx_vias, Coord ny_vias, int tracks_between_vias = 2,
+           int via_pitch_mils = 100);
+
+  int period() const { return period_; }
+  int via_pitch_mils() const { return via_pitch_mils_; }
+
+  Coord nx_vias() const { return nx_vias_; }
+  Coord ny_vias() const { return ny_vias_; }
+
+  /// Full routing-grid extent (closed rect of valid grid coordinates).
+  const Rect& extent() const { return extent_; }
+  /// Full via-grid extent (closed rect of valid via coordinates).
+  const Rect& via_extent() const { return via_extent_; }
+
+  /// Routing-grid coordinate of a via-grid coordinate.
+  Coord grid_of_via(Coord v) const { return v * period_; }
+  Point grid_of_via(Point v) const {
+    return {grid_of_via(v.x), grid_of_via(v.y)};
+  }
+
+  /// Via-grid coordinate of a routing-grid coordinate that is a via site.
+  /// (Simple integer quotient, as in the paper's via map indexing.)
+  Coord via_of_grid(Coord g) const { return g / period_; }
+  Point via_of_grid(Point g) const {
+    return {via_of_grid(g.x), via_of_grid(g.y)};
+  }
+
+  bool is_via_coord(Coord g) const { return g % period_ == 0; }
+  bool is_via_site(Point g) const {
+    return is_via_coord(g.x) && is_via_coord(g.y);
+  }
+
+  bool in_board(Point g) const { return extent_.contains(g); }
+  bool via_in_board(Point v) const { return via_extent_.contains(v); }
+
+  /// Nearest via-grid coordinate at or below / above g.
+  Coord via_floor(Coord g) const;
+  Coord via_ceil(Coord g) const;
+  /// Via site nearest to an arbitrary grid point (clamped to the board).
+  Point nearest_via(Point g) const;
+
+  /// Physical position (mils from board origin) of a routing-grid coordinate.
+  int mils_of_grid(Coord g) const;
+  /// Physical length in mils of a grid-aligned run from ga to gb (same axis).
+  int mils_between(Coord ga, Coord gb) const {
+    return std::abs(mils_of_grid(ga) - mils_of_grid(gb));
+  }
+
+  double board_width_inches() const {
+    return static_cast<double>(nx_vias_ - 1) * via_pitch_mils_ / 1000.0;
+  }
+  double board_height_inches() const {
+    return static_cast<double>(ny_vias_ - 1) * via_pitch_mils_ / 1000.0;
+  }
+
+ private:
+  Coord nx_vias_;
+  Coord ny_vias_;
+  int period_;
+  int via_pitch_mils_;
+  Rect extent_;
+  Rect via_extent_;
+  std::vector<int> offsets_mils_;  // size period_: mils of g % period within pitch
+};
+
+}  // namespace grr

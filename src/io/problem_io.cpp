@@ -1,0 +1,326 @@
+#include "io/problem_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace grr {
+namespace {
+
+std::string class_name(SignalClass k) {
+  return k == SignalClass::kECL ? "ecl" : "ttl";
+}
+
+struct Parser {
+  std::map<std::string, int> footprints;  // name -> board footprint index
+  std::map<std::string, PartId> parts;    // name -> part id
+  std::unique_ptr<Board> board;
+  TileMap tiles{SignalClass::kECL};
+  std::string error;
+  int line_no = 0;
+
+  bool fail(const std::string& msg) {
+    error = "line " + std::to_string(line_no) + ": " + msg;
+    board.reset();
+    return false;
+  }
+
+  bool handle(const std::string& line) {
+    std::istringstream is(line);
+    std::string kw;
+    if (!(is >> kw) || kw[0] == '#') return true;  // blank/comment
+
+    if (kw == "board") {
+      if (board) return fail("duplicate board line");
+      Coord nx, ny;
+      int layers, tracks = 2, pitch = 100;
+      if (!(is >> nx >> ny >> layers)) return fail("bad board line");
+      is >> tracks >> pitch;  // optional
+      if (nx < 2 || ny < 2 || nx > 4000 || ny > 4000 || layers < 1 ||
+          layers > 64 || tracks < 0 || tracks > 16 || pitch < 1 ||
+          pitch > 10000) {
+        return fail("bad board geometry");
+      }
+      board = std::make_unique<Board>(GridSpec(nx, ny, tracks, pitch),
+                                      layers);
+      return true;
+    }
+    if (!board) return fail("'" + kw + "' before board line");
+
+    if (kw == "footprint") {
+      std::string kind, name;
+      if (!(is >> kind >> name)) return fail("bad footprint line");
+      if (footprints.contains(name)) return fail("duplicate footprint");
+      constexpr int kMaxPins = 4096;
+      Footprint fp;
+      if (kind == "dip") {
+        int pins;
+        Coord span;
+        if (!(is >> pins >> span)) return fail("bad dip footprint");
+        if (pins < 2 || pins % 2 != 0 || pins > kMaxPins || span < 1) {
+          return fail("bad dip footprint geometry");
+        }
+        fp = Footprint::dip(pins, span);
+      } else if (kind == "sip") {
+        int pins;
+        if (!(is >> pins)) return fail("bad sip footprint");
+        if (pins < 1 || pins > kMaxPins) return fail("bad sip pin count");
+        fp = Footprint::sip(pins);
+      } else if (kind == "conn") {
+        Coord cols, rows;
+        if (!(is >> cols >> rows)) return fail("bad conn footprint");
+        if (cols < 1 || rows < 1 || cols * rows > kMaxPins) {
+          return fail("bad conn footprint geometry");
+        }
+        fp = Footprint::connector(cols, rows);
+      } else if (kind == "raw") {
+        int pins;
+        if (!(is >> pins)) return fail("bad raw footprint");
+        if (pins < 0 || pins > kMaxPins) return fail("bad raw pin count");
+        for (int i = 0; i < pins; ++i) {
+          char comma;
+          Point off;
+          if (!(is >> off.x >> comma >> off.y) || comma != ',') {
+            return fail("bad raw footprint offsets");
+          }
+          fp.pin_offsets.push_back(off);
+        }
+      } else {
+        return fail("unknown footprint kind '" + kind + "'");
+      }
+      fp.name = name;
+      footprints[name] = board->add_footprint(std::move(fp));
+      return true;
+    }
+
+    if (kw == "part") {
+      std::string name, fp_name;
+      Point origin;
+      if (!(is >> name >> fp_name >> origin.x >> origin.y)) {
+        return fail("bad part line");
+      }
+      auto it = footprints.find(fp_name);
+      if (it == footprints.end()) {
+        return fail("unknown footprint '" + fp_name + "'");
+      }
+      if (parts.contains(name)) return fail("duplicate part '" + name + "'");
+      // Validate before add_part so a malformed file cannot trip asserts.
+      const Footprint& fp = board->footprint(it->second);
+      for (Point off : fp.pin_offsets) {
+        Point via{origin.x + off.x, origin.y + off.y};
+        if (!board->spec().via_in_board(via)) {
+          return fail("part '" + name + "' pin off board");
+        }
+        if (!board->stack().via_free(via)) {
+          return fail("part '" + name + "' pin collides");
+        }
+      }
+      parts[name] = board->add_part(name, it->second, origin);
+      return true;
+    }
+
+    if (kw == "terminator") {
+      std::string part;
+      int pin;
+      if (!(is >> part >> pin)) return fail("bad terminator line");
+      auto it = parts.find(part);
+      if (it == parts.end()) return fail("unknown part '" + part + "'");
+      board->add_terminator(it->second, pin);
+      return true;
+    }
+
+    if (kw == "power") {
+      std::string net, part;
+      int pin;
+      if (!(is >> net >> part >> pin)) return fail("bad power line");
+      auto it = parts.find(part);
+      if (it == parts.end()) return fail("unknown part '" + part + "'");
+      board->assign_power_pin(net, it->second, pin);
+      return true;
+    }
+
+    if (kw == "tile") {
+      // tile <layer> <x1> <y1> <x2> <y2> <ecl|ttl>   (grid coordinates)
+      int layer;
+      Rect r;
+      std::string klass;
+      if (!(is >> layer >> r.x.lo >> r.y.lo >> r.x.hi >> r.y.hi >> klass)) {
+        return fail("bad tile line");
+      }
+      if (layer < 0 || layer >= board->stack().num_layers() || r.empty() ||
+          !board->spec().extent().contains(r)) {
+        return fail("tile outside the board");
+      }
+      if (klass != "ecl" && klass != "ttl") {
+        return fail("unknown tile class '" + klass + "'");
+      }
+      tiles.add_tile(static_cast<LayerId>(layer), r,
+                     klass == "ecl" ? SignalClass::kECL
+                                    : SignalClass::kTTL);
+      return true;
+    }
+
+    if (kw == "obstacle") {
+      Point via;
+      if (!(is >> via.x >> via.y)) return fail("bad obstacle line");
+      if (!board->spec().via_in_board(via) ||
+          !board->stack().via_free(via)) {
+        return fail("obstacle off board or colliding");
+      }
+      board->add_obstacle(via);
+      return true;
+    }
+
+    if (kw == "net") {
+      std::string name, klass, term;
+      if (!(is >> name >> klass >> term)) return fail("bad net line");
+      Net net;
+      net.name = name;
+      if (klass == "ecl") {
+        net.klass = SignalClass::kECL;
+      } else if (klass == "ttl") {
+        net.klass = SignalClass::kTTL;
+      } else {
+        return fail("unknown signal class '" + klass + "'");
+      }
+      if (term == "term") {
+        net.needs_terminator = true;
+      } else if (term != "noterm") {
+        return fail("expected term|noterm");
+      }
+      std::string pin_spec;
+      while (is >> pin_spec) {
+        std::size_t c1 = pin_spec.find(':');
+        std::size_t c2 = pin_spec.rfind(':');
+        if (c1 == std::string::npos || c2 == c1) {
+          return fail("bad pin spec '" + pin_spec + "'");
+        }
+        std::string part = pin_spec.substr(0, c1);
+        auto it = parts.find(part);
+        if (it == parts.end()) return fail("unknown part '" + part + "'");
+        NetPin np;
+        np.part = it->second;
+        try {
+          np.pin = std::stoi(pin_spec.substr(c1 + 1, c2 - c1 - 1));
+        } catch (...) {
+          return fail("bad pin number in '" + pin_spec + "'");
+        }
+        const Footprint& fp =
+            board->footprint(board->part(np.part).footprint);
+        if (np.pin < 0 || np.pin >= fp.pin_count()) {
+          return fail("pin out of range in '" + pin_spec + "'");
+        }
+        std::string role = pin_spec.substr(c2 + 1);
+        if (role == "out") {
+          np.role = PinRole::kOutput;
+        } else if (role == "in") {
+          np.role = PinRole::kInput;
+        } else {
+          return fail("bad pin role '" + role + "'");
+        }
+        net.pins.push_back(np);
+      }
+      board->netlist().add(std::move(net));
+      return true;
+    }
+
+    return fail("unknown keyword '" + kw + "'");
+  }
+};
+
+}  // namespace
+
+ProblemReadResult read_problem_string(const std::string& text) {
+  Parser p;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    ++p.line_no;
+    if (!p.handle(line)) break;
+  }
+  ProblemReadResult result;
+  if (!p.error.empty()) {
+    result.error = p.error;
+    return result;
+  }
+  if (!p.board) {
+    result.error = "no board line";
+    return result;
+  }
+  result.board = std::move(p.board);
+  result.tiles = std::move(p.tiles);
+  return result;
+}
+
+ProblemReadResult read_problem(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    ProblemReadResult result;
+    result.error = "cannot open " + path;
+    return result;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return read_problem_string(buf.str());
+}
+
+std::string write_problem_string(const Board& board, const TileMap* tiles) {
+  std::ostringstream os;
+  const GridSpec& spec = board.spec();
+  os << "# grr problem file\n";
+  os << "board " << spec.nx_vias() << ' ' << spec.ny_vias() << ' '
+     << board.stack().num_layers() << ' ' << spec.period() - 1 << ' '
+     << spec.via_pitch_mils() << "\n";
+
+  // Footprints get synthesized unique names (the stored names may repeat,
+  // e.g. many identical "DIP-24"s); pin geometry round-trips losslessly.
+  for (std::size_t i = 0; i < board.footprints().size(); ++i) {
+    const Footprint& fp = board.footprints()[i];
+    os << "footprint raw FP" << i << ' ' << fp.pin_count();
+    for (Point off : fp.pin_offsets) os << ' ' << off.x << ',' << off.y;
+    os << "\n";
+  }
+  for (const Part& part : board.parts()) {
+    os << "part " << part.name << " FP" << part.footprint << ' '
+       << part.origin.x << ' ' << part.origin.y << "\n";
+  }
+  for (const NetPin& t : board.terminators()) {
+    os << "terminator " << board.part(t.part).name << ' ' << t.pin << "\n";
+  }
+  for (const auto& [net, pins] : board.power_assignments()) {
+    for (const NetPin& p : pins) {
+      os << "power " << net << ' ' << board.part(p.part).name << ' '
+         << p.pin << "\n";
+    }
+  }
+  for (Point o : board.obstacles()) {
+    os << "obstacle " << o.x << ' ' << o.y << "\n";
+  }
+  if (tiles != nullptr) {
+    for (const Tile& t : tiles->tiles()) {
+      os << "tile " << static_cast<int>(t.layer) << ' ' << t.rect.x.lo
+         << ' ' << t.rect.y.lo << ' ' << t.rect.x.hi << ' ' << t.rect.y.hi
+         << ' ' << (t.klass == SignalClass::kECL ? "ecl" : "ttl") << "\n";
+    }
+  }
+  for (const Net& net : board.netlist().nets) {
+    os << "net " << net.name << ' ' << class_name(net.klass) << ' '
+       << (net.needs_terminator ? "term" : "noterm");
+    for (const NetPin& np : net.pins) {
+      os << ' ' << board.part(np.part).name << ':' << np.pin << ':'
+         << (np.role == PinRole::kOutput ? "out" : "in");
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+bool write_problem(const Board& board, const std::string& path,
+                   const TileMap* tiles) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << write_problem_string(board, tiles);
+  return static_cast<bool>(f);
+}
+
+}  // namespace grr

@@ -1,0 +1,50 @@
+// Text-file interchange for routing problems: the board (grid, layers,
+// footprints, placed parts, terminators, obstacles) and the netlist.
+//
+// The format is line-oriented; '#' starts a comment. Example:
+//
+//   board 41 31 4 2 100
+//   footprint dip DIP16 16 3
+//   footprint sip SIP8 8
+//   part U1 DIP16 5 8
+//   part R1 SIP8 30 8
+//   terminator R1 0
+//   obstacle 1 1
+//   net NET0 ecl term U1:2:out U2:3:in
+//
+// write_problem() emits a file any other tool (or a later session) can
+// read back with read_problem().
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "board/board.hpp"
+#include "board/tile_map.hpp"
+
+namespace grr {
+
+struct ProblemReadResult {
+  std::unique_ptr<Board> board;
+  /// ECL/TTL tesselation (Sec 10.2), from `tile` lines; empty tile list =
+  /// single-technology board.
+  TileMap tiles{SignalClass::kECL};
+  std::string error;  // empty on success
+
+  bool ok() const { return board != nullptr; }
+};
+
+/// Parse a problem file into a fully built board (pins drilled, netlist
+/// populated). On failure, `board` is null and `error` names the line.
+ProblemReadResult read_problem(const std::string& path);
+ProblemReadResult read_problem_string(const std::string& text);
+
+/// Serialize a board + netlist (and optionally its ECL/TTL tesselation)
+/// to the problem format.
+std::string write_problem_string(const Board& board,
+                                 const TileMap* tiles = nullptr);
+bool write_problem(const Board& board, const std::string& path,
+                   const TileMap* tiles = nullptr);
+
+}  // namespace grr

@@ -1,0 +1,225 @@
+#include "io/route_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace grr {
+namespace {
+
+const char* strategy_name(RouteStrategy s) {
+  switch (s) {
+    case RouteStrategy::kNone:
+      return "none";
+    case RouteStrategy::kTrivial:
+      return "trivial";
+    case RouteStrategy::kZeroVia:
+      return "zerovia";
+    case RouteStrategy::kOneVia:
+      return "onevia";
+    case RouteStrategy::kLee:
+      return "lee";
+    case RouteStrategy::kTuned:
+      return "tuned";
+    case RouteStrategy::kTwoVia:
+      return "twovia";
+  }
+  return "none";
+}
+
+bool strategy_of(const std::string& name, RouteStrategy* out) {
+  const struct {
+    const char* n;
+    RouteStrategy s;
+  } table[] = {
+      {"none", RouteStrategy::kNone},       {"trivial", RouteStrategy::kTrivial},
+      {"zerovia", RouteStrategy::kZeroVia}, {"onevia", RouteStrategy::kOneVia},
+      {"lee", RouteStrategy::kLee},         {"tuned", RouteStrategy::kTuned},
+      {"twovia", RouteStrategy::kTwoVia},
+  };
+  for (const auto& e : table) {
+    if (name == e.n) {
+      *out = e.s;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string write_routes_string(const RouteDB& db,
+                                const ConnectionList& conns) {
+  std::ostringstream os;
+  os << "# grr routes file\n";
+  for (const Connection& c : conns) {
+    const RouteRecord& r = db.rec(c.id);
+    if (r.status != RouteStatus::kRouted) continue;
+    os << "route " << c.id << ' ' << strategy_name(r.strategy) << " vias";
+    for (Point v : r.geom.vias) os << ' ' << v.x << ',' << v.y;
+    os << " hops";
+    for (const RouteHop& hop : r.geom.hops) {
+      os << ' ' << static_cast<int>(hop.layer);
+      for (const ChannelSpan& cs : hop.spans) {
+        os << ' ' << cs.channel << ':' << cs.span.lo << ':' << cs.span.hi;
+      }
+      os << " ;";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+bool write_routes(const RouteDB& db, const ConnectionList& conns,
+                  const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << write_routes_string(db, conns);
+  return static_cast<bool>(f);
+}
+
+RoutesReadResult read_routes_string(const std::string& text) {
+  RoutesReadResult result;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw) || kw[0] == '#') continue;
+    if (kw != "route") {
+      result.error = "line " + std::to_string(line_no) +
+                     ": unknown keyword '" + kw + "'";
+      return result;
+    }
+    SavedRoute sr;
+    std::string strat, section;
+    if (!(ls >> sr.id >> strat) || !strategy_of(strat, &sr.strategy)) {
+      result.error = "line " + std::to_string(line_no) + ": bad header";
+      return result;
+    }
+    if (!(ls >> section) || section != "vias") {
+      result.error = "line " + std::to_string(line_no) + ": expected vias";
+      return result;
+    }
+    std::string tok;
+    bool in_hops = false;
+    while (ls >> tok) {
+      if (tok == "hops") {
+        in_hops = true;
+        continue;
+      }
+      if (!in_hops) {
+        Point v;
+        char comma;
+        std::istringstream ts(tok);
+        if (!(ts >> v.x >> comma >> v.y) || comma != ',') {
+          result.error =
+              "line " + std::to_string(line_no) + ": bad via '" + tok + "'";
+          return result;
+        }
+        sr.geom.vias.push_back(v);
+      } else if (tok == ";") {
+        continue;  // hop terminator; next token is a layer id
+      } else if (tok.find(':') == std::string::npos) {
+        RouteHop hop;
+        try {
+          hop.layer = static_cast<LayerId>(std::stoi(tok));
+        } catch (...) {
+          result.error = "line " + std::to_string(line_no) +
+                         ": bad layer '" + tok + "'";
+          return result;
+        }
+        sr.geom.hops.push_back(std::move(hop));
+      } else {
+        ChannelSpan cs;
+        char c1, c2;
+        std::istringstream ts(tok);
+        if (!(ts >> cs.channel >> c1 >> cs.span.lo >> c2 >> cs.span.hi) ||
+            c1 != ':' || c2 != ':' || sr.geom.hops.empty()) {
+          result.error =
+              "line " + std::to_string(line_no) + ": bad span '" + tok + "'";
+          return result;
+        }
+        sr.geom.hops.back().spans.push_back(cs);
+      }
+    }
+    result.routes.push_back(std::move(sr));
+  }
+  return result;
+}
+
+RoutesReadResult read_routes(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return {{}, "cannot open " + path};
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return read_routes_string(buf.str());
+}
+
+namespace {
+
+/// Saved files are untrusted: validate geometry bounds before letting any
+/// of it near the layer stack.
+bool geometry_in_bounds(const LayerStack& stack, const RouteGeom& geom) {
+  const GridSpec& spec = stack.spec();
+  for (Point v : geom.vias) {
+    if (!spec.via_in_board(v)) return false;
+  }
+  for (const RouteHop& hop : geom.hops) {
+    if (hop.layer >= stack.num_layers()) return false;
+    const Layer& layer = stack.layer(hop.layer);
+    for (const ChannelSpan& cs : hop.spans) {
+      if (cs.span.empty()) return false;
+      if (!layer.across_extent().contains(cs.channel)) return false;
+      if (!layer.along_extent().contains(cs.span.lo) ||
+          !layer.along_extent().contains(cs.span.hi)) {
+        return false;
+      }
+    }
+  }
+  // The route must not overlap itself either (the free-space check during
+  // install only guards against the rest of the board).
+  std::vector<PlacedSpan> all;
+  for (const RouteHop& hop : geom.hops) {
+    for (const ChannelSpan& cs : hop.spans) {
+      all.push_back({hop.layer, cs.channel, cs.span});
+    }
+  }
+  for (Point v : geom.vias) {
+    for (int l = 0; l < stack.num_layers(); ++l) {
+      all.push_back(stack.via_span(static_cast<LayerId>(l), v));
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const PlacedSpan& a, const PlacedSpan& b) {
+              return std::tie(a.layer, a.channel, a.span.lo) <
+                     std::tie(b.layer, b.channel, b.span.lo);
+            });
+  for (std::size_t i = 0; i + 1 < all.size(); ++i) {
+    if (all[i].layer == all[i + 1].layer &&
+        all[i].channel == all[i + 1].channel &&
+        all[i].span.hi >= all[i + 1].span.lo) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int install_routes(LayerStack& stack, RouteDB& db,
+                   const std::vector<SavedRoute>& routes) {
+  int installed = 0;
+  for (const SavedRoute& sr : routes) {
+    if (sr.id < 0 || static_cast<std::size_t>(sr.id) >= db.size()) continue;
+    if (db.routed(sr.id)) continue;
+    if (!geometry_in_bounds(stack, sr.geom)) continue;
+    db.adopt_geometry(sr.id, sr.geom, sr.strategy);
+    if (db.try_putback(stack, sr.id)) ++installed;
+  }
+  return installed;
+}
+
+}  // namespace grr

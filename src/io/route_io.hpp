@@ -1,0 +1,46 @@
+// Text-file interchange for routing results. One line per realized
+// connection:
+//
+//   route <conn-id> <strategy> vias <vx>,<vy> ... hops <layer> ...
+//       <channel>:<lo>:<hi> ... ; <layer> ... ;
+//
+// read_routes() + install_routes() re-create the exact metal on a freshly
+// built board (the geometry is validated against free space on insert), so
+// a routed board can be saved and reloaded across runs or tools.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "route/route_db.hpp"
+
+namespace grr {
+
+struct SavedRoute {
+  ConnId id = kNoConn;
+  RouteStrategy strategy = RouteStrategy::kNone;
+  RouteGeom geom;
+};
+
+/// Serialize all routed connections among `conns`.
+std::string write_routes_string(const RouteDB& db,
+                                const ConnectionList& conns);
+bool write_routes(const RouteDB& db, const ConnectionList& conns,
+                  const std::string& path);
+
+struct RoutesReadResult {
+  std::vector<SavedRoute> routes;
+  std::string error;  // empty on success
+
+  bool ok() const { return error.empty(); }
+};
+
+RoutesReadResult read_routes_string(const std::string& text);
+RoutesReadResult read_routes(const std::string& path);
+
+/// Install saved routes into a route database / layer stack. Returns the
+/// number successfully installed (a route whose space is taken is skipped).
+int install_routes(LayerStack& stack, RouteDB& db,
+                   const std::vector<SavedRoute>& routes);
+
+}  // namespace grr

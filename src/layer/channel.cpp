@@ -1,0 +1,77 @@
+#include "layer/channel.hpp"
+
+namespace grr {
+
+SegId Channel::seek(const SegmentPool& pool, Coord v) const {
+  if (head_ == kNoSeg) return kNoSeg;
+  SegId s = (cursor_ != kNoSeg) ? cursor_ : head_;
+  if (pool[s].span.lo <= v) {
+    // Walk up while the next segment still starts at or below v.
+    while (true) {
+      SegId nxt = pool[s].next;
+      if (nxt == kNoSeg || pool[nxt].span.lo > v) break;
+      s = nxt;
+    }
+  } else {
+    // Walk down until a segment starts at or below v (or run off the head).
+    while (s != kNoSeg && pool[s].span.lo > v) s = pool[s].prev;
+    if (s == kNoSeg) {
+      cursor_ = head_;
+      return kNoSeg;
+    }
+  }
+  cursor_ = s;
+  return s;
+}
+
+Interval Channel::free_gap_at(const SegmentPool& pool, Interval extent,
+                              Coord v) const {
+  if (!extent.contains(v)) return {};
+  SegId s = seek(pool, v);
+  if (s != kNoSeg && pool[s].span.hi >= v) return {};  // occupied
+  Coord lo = (s == kNoSeg) ? extent.lo : pool[s].span.hi + 1;
+  SegId nxt = (s == kNoSeg) ? head_ : pool[s].next;
+  Coord hi = (nxt == kNoSeg) ? extent.hi : pool[nxt].span.lo - 1;
+  return {lo, hi};
+}
+
+SegId Channel::insert(SegmentPool& pool, Segment seg) {
+  assert(!seg.span.empty());
+  SegId below = seek(pool, seg.span.lo);
+  assert(below == kNoSeg || pool[below].span.hi < seg.span.lo);
+  SegId above = (below == kNoSeg) ? head_ : pool[below].next;
+  assert(above == kNoSeg || pool[above].span.lo > seg.span.hi);
+
+  seg.prev = below;
+  seg.next = above;
+  SegId id = pool.allocate(seg);
+  if (below != kNoSeg) {
+    pool[below].next = id;
+  } else {
+    head_ = id;
+  }
+  if (above != kNoSeg) pool[above].prev = id;
+  cursor_ = id;
+  ++count_;
+  return id;
+}
+
+void Channel::erase(SegmentPool& pool, SegId id) {
+  const Segment& seg = pool[id];
+  SegId below = seg.prev;
+  SegId above = seg.next;
+  if (below != kNoSeg) {
+    pool[below].next = above;
+  } else {
+    head_ = above;
+  }
+  if (above != kNoSeg) pool[above].prev = below;
+  if (cursor_ == id) {
+    cursor_ = (below != kNoSeg) ? below : above;
+  }
+  pool.release(id);
+  assert(count_ > 0);
+  --count_;
+}
+
+}  // namespace grr

@@ -1,0 +1,97 @@
+// A channel: one grid line of a layer, holding the used segments on it as a
+// sorted doubly linked list with a moving head-of-list cursor (paper Secs 4
+// and 12).
+//
+// The access pattern while routing one connection is strongly localized, so
+// searches start from the segment touched last (the cursor) and walk the
+// list; the paper reports that replacing a binary tree with exactly this
+// structure halved total routing time. Free space is not represented
+// explicitly: it is inferred from the gaps between segments.
+#pragma once
+
+#include <cassert>
+
+#include "layer/segment_pool.hpp"
+
+namespace grr {
+
+class Channel {
+ public:
+  bool empty() const { return head_ == kNoSeg; }
+  SegId head() const { return head_; }
+
+  /// Last segment s with s.span.lo <= v, or kNoSeg if none. Starts walking
+  /// from the cursor; leaves the cursor on the returned segment.
+  SegId seek(const SegmentPool& pool, Coord v) const;
+
+  /// Segment containing v, or kNoSeg.
+  SegId find_at(const SegmentPool& pool, Coord v) const {
+    SegId s = seek(pool, v);
+    return (s != kNoSeg && pool[s].span.hi >= v) ? s : kNoSeg;
+  }
+
+  bool occupied(const SegmentPool& pool, Coord v) const {
+    return find_at(pool, v) != kNoSeg;
+  }
+
+  /// Maximal free interval containing v, clipped to `extent` (the channel's
+  /// valid coordinate range). Returns an empty interval if v is occupied or
+  /// outside the extent.
+  Interval free_gap_at(const SegmentPool& pool, Interval extent,
+                       Coord v) const;
+
+  /// Invoke fn(SegId) for every used segment overlapping `range`, in
+  /// ascending order.
+  template <typename Fn>
+  void for_segs_overlapping(const SegmentPool& pool, Interval range,
+                            Fn&& fn) const {
+    if (range.empty()) return;
+    SegId s = seek(pool, range.lo);
+    if (s == kNoSeg || pool[s].span.hi < range.lo) {
+      s = (s == kNoSeg) ? head_ : pool[s].next;
+    }
+    while (s != kNoSeg && pool[s].span.lo <= range.hi) {
+      fn(s);
+      s = pool[s].next;
+    }
+  }
+
+  /// Invoke fn(Interval) for every maximal free gap that overlaps `range`,
+  /// in ascending order. Gaps are reported in full (clipped to `extent`
+  /// only, not to `range`) so that a gap has one canonical identity no
+  /// matter which probe interval discovered it.
+  template <typename Fn>
+  void for_gaps_overlapping(const SegmentPool& pool, Interval extent,
+                            Interval range, Fn&& fn) const {
+    range = range.intersect(extent);
+    if (range.empty()) return;
+    SegId s = seek(pool, range.lo);
+    // `lo` walks the lower boundary of the next candidate gap.
+    Coord lo = (s == kNoSeg) ? extent.lo : pool[s].span.hi + 1;
+    SegId nxt = (s == kNoSeg) ? head_ : pool[s].next;
+    while (lo <= range.hi) {
+      Coord hi = (nxt == kNoSeg) ? extent.hi : pool[nxt].span.lo - 1;
+      Interval gap{lo, hi};
+      if (!gap.empty() && gap.overlaps(range)) fn(gap);
+      if (nxt == kNoSeg) break;
+      lo = pool[nxt].span.hi + 1;
+      nxt = pool[nxt].next;
+    }
+  }
+
+  /// Insert a segment occupying `seg.span`. The span must not overlap any
+  /// existing segment. Returns the new segment's id.
+  SegId insert(SegmentPool& pool, Segment seg);
+
+  /// Remove a segment from the channel (and release it from the pool).
+  void erase(SegmentPool& pool, SegId id);
+
+  std::size_t count() const { return count_; }
+
+ private:
+  SegId head_ = kNoSeg;
+  mutable SegId cursor_ = kNoSeg;  // cache of the last segment touched
+  std::size_t count_ = 0;
+};
+
+}  // namespace grr

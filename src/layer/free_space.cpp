@@ -1,0 +1,13 @@
+#include "layer/free_space.hpp"
+
+namespace grr {
+
+// Anchor instantiations for the two channel flavours.
+template std::optional<std::vector<ChannelSpan>> trace_path<Layer>(
+    const Layer&, const SegmentPool&, Point, Point, Rect, std::size_t,
+    FreeSpaceStats*, int);
+template std::optional<std::vector<ChannelSpan>> trace_path<TreeLayer>(
+    const TreeLayer&, const SegmentPool&, Point, Point, Rect, std::size_t,
+    FreeSpaceStats*, int);
+
+}  // namespace grr

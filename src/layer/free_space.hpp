@@ -1,0 +1,405 @@
+// The three single-layer algorithms (paper Sec 7): Trace, Vias and
+// Obstructions. All three are variations of one method — recursive
+// enumeration of the free space around a point, where a search step moves
+// from a maximal free gap to overlapping free gaps in the two adjacent
+// channels. The cost is proportional to the number of free segments
+// examined, not to the distance between the end points.
+//
+// They are templates over the layer type so that the linked-list Channel and
+// the binary-tree TreeChannel (Sec 12 ablation) run through identical code.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "layer/layer.hpp"
+
+namespace grr {
+
+/// A used span in a single layer's channel space (no layer id); the
+/// building block Trace returns.
+struct ChannelSpan {
+  Coord channel = 0;
+  Interval span;
+
+  friend bool operator==(const ChannelSpan&, const ChannelSpan&) = default;
+};
+
+inline constexpr std::size_t kDefaultMaxFreeNodes = 1u << 20;
+
+namespace detail {
+
+/// Search box translated into one layer's channel space.
+template <typename LayerT>
+struct FreeSpaceQuery {
+  const LayerT& layer;
+  const SegmentPool& pool;
+  Interval box_across;
+  Interval box_along;
+
+  FreeSpaceQuery(const LayerT& l, const SegmentPool& p, Rect box)
+      : layer(l), pool(p) {
+    const bool horiz = l.orientation() == Orientation::kHorizontal;
+    box_across = (horiz ? box.y : box.x).intersect(l.across_extent());
+    box_along = (horiz ? box.x : box.y).intersect(l.along_extent());
+  }
+
+  bool valid() const { return !box_across.empty() && !box_along.empty(); }
+
+  /// Maximal free gap containing `v` in channel `ch`, clipped to the box.
+  /// Empty if occupied or outside the box.
+  Interval gap_at(Coord ch, Coord v) const {
+    if (!box_across.contains(ch) || !box_along.contains(v)) return {};
+    return layer.channel(ch)
+        .free_gap_at(pool, layer.along_extent(), v)
+        .intersect(box_along);
+  }
+
+  /// Does the clipped gap (ch, g) touch the grid point whose channel-space
+  /// position is (pc, pv)? Touching means: bordering it in its own channel,
+  /// or overlapping its along-coordinate from an adjacent channel (one
+  /// orthogonal crossing step away).
+  static bool touches(Coord ch, Interval g, Coord pc, Coord pv) {
+    if (ch == pc) {
+      return g.contains(pv - 1) || g.contains(pv + 1) || g.contains(pv);
+    }
+    if (ch == pc - 1 || ch == pc + 1) return g.contains(pv);
+    return false;
+  }
+};
+
+struct GapNode {
+  Coord ch;
+  Interval gap;
+  std::int32_t parent;
+};
+
+inline std::uint64_t gap_key(Coord ch, Coord lo) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ch)) << 32) |
+         static_cast<std::uint32_t>(lo);
+}
+
+}  // namespace detail
+
+/// Statistics a free-space search reports back (for benches and tests).
+struct FreeSpaceStats {
+  std::size_t nodes = 0;  // free gaps visited
+  /// For reachable_vias with a touch target: did any visited gap touch it?
+  bool touched = false;
+};
+
+/// Penalty (in grid units of estimated distance) for routing through a
+/// channel that lies on a via row/column: traces there cover via sites,
+/// which "is avoided where possible in practice" (Sec 4, Fig 4) because a
+/// covered site can no longer be drilled by later connections.
+inline constexpr Coord kViaChannelPenalty = 4;
+
+/// Trace (Sec 7.1): find a rectilinear path between grid points a and b on
+/// one layer, lying entirely within `box`. Both end points are expected to
+/// be occupied by via/pin unit segments; the returned spans abut them. On
+/// success the spans, one per channel traversed with overlaps trimmed back
+/// to single crossing points (Fig 6 -> Fig 7), are returned in a-to-b order.
+/// `period` (the via-grid embedding period) steers the search away from
+/// via rows/columns; pass 0 to disable via avoidance.
+template <typename LayerT>
+std::optional<std::vector<ChannelSpan>> trace_path(
+    const LayerT& layer, const SegmentPool& pool, Point a, Point b, Rect box,
+    std::size_t max_nodes = kDefaultMaxFreeNodes,
+    FreeSpaceStats* stats = nullptr, int period = 3) {
+  detail::FreeSpaceQuery<LayerT> q(layer, pool, box);
+  if (!q.valid()) return std::nullopt;
+  const Coord ac = layer.across_of(a), av = layer.along_of(a);
+  const Coord bc = layer.across_of(b), bv = layer.along_of(b);
+
+  // Grid neighbors are already electrically adjacent: no metal needed.
+  if (manhattan(a, b) == 1) return std::vector<ChannelSpan>{};
+
+  std::vector<detail::GapNode> nodes;
+  std::vector<std::int32_t> stack;
+  std::unordered_set<std::uint64_t> visited;
+  std::int32_t goal = -1;
+
+  auto add_node = [&](Coord ch, Interval gap, std::int32_t parent) {
+    if (gap.empty()) return false;
+    if (!visited.insert(detail::gap_key(ch, gap.lo)).second) return false;
+    nodes.push_back({ch, gap, parent});
+    const auto idx = static_cast<std::int32_t>(nodes.size() - 1);
+    if (detail::FreeSpaceQuery<LayerT>::touches(ch, gap, bc, bv)) {
+      goal = idx;
+      return true;
+    }
+    stack.push_back(idx);
+    return false;
+  };
+
+  // Estimated cost of continuing from a gap: distance to the target plus a
+  // penalty for via-row channels (traces there cover drillable sites).
+  auto gap_cost = [&](Coord ch, Interval g) {
+    Coord d = std::abs(ch - bc) +
+              (g.contains(bv)
+                   ? 0
+                   : std::min(std::abs(g.lo - bv), std::abs(g.hi - bv)));
+    if (period > 0 && ch % period == 0) d += kViaChannelPenalty;
+    return d;
+  };
+
+  struct Child {
+    Coord ch;
+    Interval gap;
+    Coord dist;
+  };
+  std::vector<Child> kids;
+
+  // Seed with the free gaps bordering a, best-first.
+  {
+    const Coord seeds[4][2] = {
+        {ac, av - 1}, {ac, av + 1}, {ac - 1, av}, {ac + 1, av}};
+    for (const auto& s : seeds) {
+      Interval g = q.gap_at(s[0], s[1]);
+      if (!g.empty() && g.contains(s[1])) {
+        kids.push_back({s[0], g, gap_cost(s[0], g)});
+      }
+    }
+    std::sort(kids.begin(), kids.end(),
+              [](const Child& x, const Child& y) { return x.dist < y.dist; });
+    for (const Child& k : kids) {
+      if (detail::FreeSpaceQuery<LayerT>::touches(k.ch, k.gap, bc, bv)) {
+        if (add_node(k.ch, k.gap, -1)) break;
+      }
+    }
+    if (goal < 0) {
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+        add_node(it->ch, it->gap, -1);
+      }
+    }
+  }
+
+  while (goal < 0 && !stack.empty() && nodes.size() < max_nodes) {
+    const std::int32_t cur = stack.back();
+    stack.pop_back();
+    const Coord ch = nodes[static_cast<std::size_t>(cur)].ch;
+    const Interval span = nodes[static_cast<std::size_t>(cur)].gap;
+
+    kids.clear();
+    for (Coord dc : {Coord{-1}, Coord{1}}) {
+      const Coord c2 = ch + dc;
+      if (!q.box_across.contains(c2)) continue;
+      layer.channel(c2).for_gaps_overlapping(
+          pool, layer.along_extent(), span, [&](Interval g) {
+            g = g.intersect(q.box_along);
+            if (g.empty() || !g.overlaps(span)) return;
+            kids.push_back({c2, g, gap_cost(c2, g)});
+          });
+    }
+    std::sort(kids.begin(), kids.end(),
+              [](const Child& x, const Child& y) { return x.dist < y.dist; });
+    // Check best-first whether a child reaches the target...
+    bool done = false;
+    for (const Child& k : kids) {
+      if (detail::FreeSpaceQuery<LayerT>::touches(k.ch, k.gap, bc, bv)) {
+        done = add_node(k.ch, k.gap, cur);
+        if (done) break;
+      }
+    }
+    if (done) break;
+    // ...otherwise push them worst-first so the best is on top of the stack
+    // ("the one nearest the destination is searched first").
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      add_node(it->ch, it->gap, cur);
+    }
+  }
+
+  if (stats) stats->nodes = nodes.size();
+  if (goal < 0) return std::nullopt;
+
+  // Reconstruct the node path a -> b.
+  std::vector<std::int32_t> path;
+  for (std::int32_t i = goal; i >= 0;
+       i = nodes[static_cast<std::size_t>(i)].parent) {
+    path.push_back(i);
+  }
+  std::reverse(path.begin(), path.end());
+
+  // Anchor coordinate of an endpoint inside a terminal gap.
+  auto anchor = [](Coord ch, Interval g, Coord pc, Coord pv) -> Coord {
+    if (ch != pc) return pv;             // adjacent channel: cross at pv
+    if (g.contains(pv)) return pv;       // endpoint unexpectedly free
+    return g.lo > pv ? pv + 1 : pv - 1;  // border the endpoint's segment
+  };
+
+  const auto& first = nodes[static_cast<std::size_t>(path.front())];
+  const auto& last = nodes[static_cast<std::size_t>(path.back())];
+  Coord prev = anchor(first.ch, first.gap, ac, av);
+  const Coord end = anchor(last.ch, last.gap, bc, bv);
+
+  // Crossing choice: run straight until forced to jog, but nudge crossings
+  // in via rows/columns off the drillable positions when possible.
+  auto pick_crossing = [&](Interval ov, Coord straight, Coord ch0,
+                           Coord ch1) {
+    Coord v = ov.clamp(straight);
+    if (period <= 0 || v % period != 0) return v;
+    if (ch0 % period != 0 && ch1 % period != 0) return v;
+    for (Coord d = 1; d < period; ++d) {
+      if (ov.contains(v + d)) return v + d;
+      if (ov.contains(v - d)) return v - d;
+    }
+    return v;
+  };
+
+  std::vector<ChannelSpan> spans;
+  spans.reserve(path.size());
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto& n0 = nodes[static_cast<std::size_t>(path[i])];
+    const auto& n1 = nodes[static_cast<std::size_t>(path[i + 1])];
+    Interval ov = n0.gap.intersect(n1.gap);
+    Coord v = pick_crossing(ov, prev, n0.ch, n1.ch);
+    spans.push_back({n0.ch, {std::min(prev, v), std::max(prev, v)}});
+    prev = v;
+  }
+  spans.push_back({last.ch, {std::min(prev, end), std::max(prev, end)}});
+  return spans;
+}
+
+/// Vias (Sec 7.2): enumerate every via site reachable from `a` on one layer
+/// by a path lying entirely within `box`. `on_via` receives the via site in
+/// grid coordinates. The enumeration of free space is exhaustive.
+///
+/// `touch` (optional, grid coordinates) names an occupied point — in
+/// practice the opposite end of the connection being routed — and
+/// stats.touched reports whether any visited gap touches it, i.e. whether a
+/// direct Trace from `a` to it exists on this layer within `box`.
+template <typename LayerT, typename Fn>
+FreeSpaceStats reachable_vias(const LayerT& layer, const SegmentPool& pool,
+                              int period, Point a, Rect box, Fn&& on_via,
+                              std::size_t max_nodes = kDefaultMaxFreeNodes,
+                              const Point* touch = nullptr) {
+  detail::FreeSpaceQuery<LayerT> q(layer, pool, box);
+  FreeSpaceStats st;
+  if (!q.valid()) return st;
+  const Coord ac = layer.across_of(a), av = layer.along_of(a);
+  const Coord tc = touch ? layer.across_of(*touch) : 0;
+  const Coord tv = touch ? layer.along_of(*touch) : 0;
+
+  std::vector<detail::GapNode> nodes;
+  std::vector<std::int32_t> stack;
+  std::unordered_set<std::uint64_t> visited;
+
+  auto emit_vias = [&](Coord ch, Interval g) {
+    if (ch % period != 0) return;  // channel not on a via row/column
+    Coord first = ((g.lo + period - 1) / period) * period;
+    for (Coord v = first; v <= g.hi; v += period) {
+      on_via(layer.point_of(ch, v));
+    }
+  };
+
+  auto add_node = [&](Coord ch, Interval gap) {
+    if (gap.empty()) return;
+    if (!visited.insert(detail::gap_key(ch, gap.lo)).second) return;
+    nodes.push_back({ch, gap, -1});
+    emit_vias(ch, gap);
+    if (touch && detail::FreeSpaceQuery<LayerT>::touches(ch, gap, tc, tv)) {
+      st.touched = true;
+    }
+    stack.push_back(static_cast<std::int32_t>(nodes.size() - 1));
+  };
+
+  const Coord seeds[4][2] = {
+      {ac, av - 1}, {ac, av + 1}, {ac - 1, av}, {ac + 1, av}};
+  for (const auto& s : seeds) {
+    Interval g = q.gap_at(s[0], s[1]);
+    if (!g.empty() && g.contains(s[1])) add_node(s[0], g);
+  }
+
+  while (!stack.empty() && nodes.size() < max_nodes) {
+    const std::int32_t cur = stack.back();
+    stack.pop_back();
+    const Coord ch = nodes[static_cast<std::size_t>(cur)].ch;
+    const Interval span = nodes[static_cast<std::size_t>(cur)].gap;
+    for (Coord dc : {Coord{-1}, Coord{1}}) {
+      const Coord c2 = ch + dc;
+      if (!q.box_across.contains(c2)) continue;
+      layer.channel(c2).for_gaps_overlapping(
+          pool, layer.along_extent(), span, [&](Interval g) {
+            g = g.intersect(q.box_along);
+            if (!g.empty() && g.overlaps(span)) add_node(c2, g);
+          });
+    }
+  }
+  st.nodes = nodes.size();
+  return st;
+}
+
+/// Obstructions (Sec 7.3): report the connection id of every used segment or
+/// via bordering the free space around `a` within `box` — the immediate
+/// obstacles to select rip-up victims from. `on_conn` may see duplicates.
+template <typename LayerT, typename Fn>
+FreeSpaceStats obstructions(const LayerT& layer, const SegmentPool& pool,
+                            Point a, Rect box, Fn&& on_conn,
+                            std::size_t max_nodes = kDefaultMaxFreeNodes) {
+  detail::FreeSpaceQuery<LayerT> q(layer, pool, box);
+  FreeSpaceStats st;
+  if (!q.valid()) return st;
+  const Coord ac = layer.across_of(a), av = layer.along_of(a);
+
+  auto report_at = [&](Coord ch, Coord v) {
+    if (!q.box_across.contains(ch)) return;
+    SegId s = layer.channel(ch).find_at(pool, v);
+    if (s != kNoSeg) on_conn(pool[s].conn);
+  };
+
+  // Even when a is completely walled in (no adjacent free space at all),
+  // the walls themselves are obstructions.
+  report_at(ac, av - 1);
+  report_at(ac, av + 1);
+  report_at(ac - 1, av);
+  report_at(ac + 1, av);
+
+  std::vector<detail::GapNode> nodes;
+  std::vector<std::int32_t> stack;
+  std::unordered_set<std::uint64_t> visited;
+
+  auto add_node = [&](Coord ch, Interval gap) {
+    if (gap.empty()) return;
+    if (!visited.insert(detail::gap_key(ch, gap.lo)).second) return;
+    nodes.push_back({ch, gap, -1});
+    stack.push_back(static_cast<std::int32_t>(nodes.size() - 1));
+    // The used segments bounding this gap in its own channel.
+    layer.channel(ch).for_segs_overlapping(
+        pool, {gap.lo - 1, gap.hi + 1},
+        [&](SegId s) { on_conn(pool[s].conn); });
+  };
+
+  const Coord seeds[4][2] = {
+      {ac, av - 1}, {ac, av + 1}, {ac - 1, av}, {ac + 1, av}};
+  for (const auto& s : seeds) {
+    Interval g = q.gap_at(s[0], s[1]);
+    if (!g.empty() && g.contains(s[1])) add_node(s[0], g);
+  }
+
+  while (!stack.empty() && nodes.size() < max_nodes) {
+    const std::int32_t cur = stack.back();
+    stack.pop_back();
+    const Coord ch = nodes[static_cast<std::size_t>(cur)].ch;
+    const Interval span = nodes[static_cast<std::size_t>(cur)].gap;
+    for (Coord dc : {Coord{-1}, Coord{1}}) {
+      const Coord c2 = ch + dc;
+      if (!q.box_across.contains(c2)) continue;
+      // Used segments across the channel boundary are obstructions...
+      layer.channel(c2).for_segs_overlapping(
+          pool, span, [&](SegId s) { on_conn(pool[s].conn); });
+      // ...and free gaps continue the enumeration.
+      layer.channel(c2).for_gaps_overlapping(
+          pool, layer.along_extent(), span, [&](Interval g) {
+            g = g.intersect(q.box_along);
+            if (!g.empty() && g.overlaps(span)) add_node(c2, g);
+          });
+    }
+  }
+  st.nodes = nodes.size();
+  return st;
+}
+
+}  // namespace grr

@@ -1,0 +1,10 @@
+#include "layer/layer.hpp"
+
+namespace grr {
+
+// Explicit instantiations of the two channel flavours used by the library
+// and the Sec 12 ablation benchmark.
+template class BasicLayer<Channel>;
+template class BasicLayer<TreeChannel>;
+
+}  // namespace grr

@@ -1,0 +1,104 @@
+// One signal layer: an array of channels, horizontal or vertical (Sec 4).
+//
+// For a vertical layer the channels run vertically and the array is indexed
+// by x; for a horizontal layer the channels run horizontally and the array is
+// indexed by y. BasicLayer is parameterized on the channel implementation so
+// the doubly-linked-list Channel and the binary-tree TreeChannel (Sec 12
+// ablation) can be exercised by identical algorithm code.
+#pragma once
+
+#include <vector>
+
+#include "geom/geom.hpp"
+#include "layer/channel.hpp"
+#include "layer/tree_channel.hpp"
+
+namespace grr {
+
+template <typename ChannelT>
+class BasicLayer {
+ public:
+  BasicLayer(LayerId id, Orientation orient, Rect grid_extent)
+      : id_(id), orient_(orient) {
+    along_ = (orient == Orientation::kHorizontal) ? grid_extent.x
+                                                  : grid_extent.y;
+    across_ = (orient == Orientation::kHorizontal) ? grid_extent.y
+                                                   : grid_extent.x;
+    channels_.resize(static_cast<std::size_t>(across_.length()));
+  }
+
+  LayerId id() const { return id_; }
+  Orientation orientation() const { return orient_; }
+  /// Valid coordinate range along a channel.
+  Interval along_extent() const { return along_; }
+  /// Valid channel indices (across coordinate range).
+  Interval across_extent() const { return across_; }
+
+  Coord along_of(Point g) const { return along(orient_, g); }
+  Coord across_of(Point g) const { return across(orient_, g); }
+  Point point_of(Coord across_v, Coord along_v) const {
+    return from_channel(orient_, across_v, along_v);
+  }
+
+  const ChannelT& channel(Coord across_v) const {
+    return channels_[static_cast<std::size_t>(across_v - across_.lo)];
+  }
+  ChannelT& channel(Coord across_v) {
+    return channels_[static_cast<std::size_t>(across_v - across_.lo)];
+  }
+
+  bool in_extent(Point g) const {
+    return across_.contains(across_of(g)) && along_.contains(along_of(g));
+  }
+
+  bool occupied(const SegmentPool& pool, Point g) const {
+    return channel(across_of(g)).occupied(pool, along_of(g));
+  }
+
+  /// Connection occupying g, or kNoConn.
+  ConnId conn_at(const SegmentPool& pool, Point g) const {
+    SegId s = channel(across_of(g)).find_at(pool, along_of(g));
+    return s == kNoSeg ? kNoConn : pool[s].conn;
+  }
+
+  /// Maximal free interval (along the channel) containing g; empty if g is
+  /// occupied.
+  Interval free_gap(const SegmentPool& pool, Point g) const {
+    return channel(across_of(g)).free_gap_at(pool, along_, along_of(g));
+  }
+
+  /// Insert a used span into channel `across_v`. Does not touch the via map;
+  /// use LayerStack::insert_span for that.
+  SegId insert(SegmentPool& pool, Coord across_v, Interval span, ConnId conn,
+               bool is_via) {
+    Segment seg;
+    seg.span = span;
+    seg.channel = across_v;
+    seg.conn = conn;
+    seg.layer = id_;
+    seg.is_via = is_via;
+    return channel(across_v).insert(pool, seg);
+  }
+
+  void erase(SegmentPool& pool, SegId id) {
+    channel(pool[id].channel).erase(pool, id);
+  }
+
+  std::size_t segment_count() const {
+    std::size_t n = 0;
+    for (const auto& ch : channels_) n += ch.count();
+    return n;
+  }
+
+ private:
+  LayerId id_;
+  Orientation orient_;
+  Interval along_;
+  Interval across_;
+  std::vector<ChannelT> channels_;
+};
+
+using Layer = BasicLayer<Channel>;
+using TreeLayer = BasicLayer<TreeChannel>;
+
+}  // namespace grr

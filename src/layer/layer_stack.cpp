@@ -1,0 +1,101 @@
+#include "layer/layer_stack.hpp"
+
+#include <cassert>
+
+namespace grr {
+
+LayerStack::LayerStack(const GridSpec& spec, int num_layers,
+                       std::vector<Orientation> orients)
+    : spec_(spec), via_map_(spec.nx_vias(), spec.ny_vias()) {
+  assert(num_layers >= 1);
+  if (orients.empty()) {
+    orients.reserve(static_cast<std::size_t>(num_layers));
+    for (int i = 0; i < num_layers; ++i) {
+      orients.push_back(i % 2 == 0 ? Orientation::kHorizontal
+                                   : Orientation::kVertical);
+    }
+  }
+  assert(static_cast<int>(orients.size()) == num_layers);
+  layers_.reserve(static_cast<std::size_t>(num_layers));
+  for (int i = 0; i < num_layers; ++i) {
+    layers_.emplace_back(static_cast<LayerId>(i),
+                         orients[static_cast<std::size_t>(i)],
+                         spec_.extent());
+  }
+}
+
+bool LayerStack::via_free(Point via) const {
+  if (use_via_map_) return via_map_.free(via);
+  return via_use_count(via) == 0;
+}
+
+int LayerStack::via_use_count(Point via) const {
+  if (use_via_map_) return via_map_.count(via);
+  Point g = spec_.grid_of_via(via);
+  int n = 0;
+  for (const Layer& l : layers_) {
+    if (l.occupied(pool_, g)) ++n;
+  }
+  return n;
+}
+
+void LayerStack::update_via_map(const Layer& layer, Coord channel,
+                                Interval span, int delta) {
+  const int period = spec_.period();
+  if (channel % period != 0) return;  // channel not on a via row/column
+  Coord first = spec_.grid_of_via(spec_.via_ceil(span.lo));
+  for (Coord g = first; g <= span.hi; g += period) {
+    Point grid_pt = layer.point_of(channel, g);
+    Point via = spec_.via_of_grid(grid_pt);
+    if (delta > 0) {
+      via_map_.inc(via);
+    } else {
+      via_map_.dec(via);
+    }
+  }
+}
+
+SegId LayerStack::insert_span(const PlacedSpan& ps, ConnId conn,
+                              bool is_via) {
+  Layer& l = layers_[ps.layer];
+  SegId id = l.insert(pool_, ps.channel, ps.span, conn, is_via);
+  if (use_via_map_) update_via_map(l, ps.channel, ps.span, +1);
+  return id;
+}
+
+void LayerStack::erase_segment(SegId id) {
+  const Segment& seg = pool_[id];
+  Layer& l = layers_[seg.layer];
+  if (use_via_map_) update_via_map(l, seg.channel, seg.span, -1);
+  l.erase(pool_, id);
+}
+
+PlacedSpan LayerStack::placed_span(SegId id) const {
+  const Segment& seg = pool_[id];
+  return {seg.layer, seg.channel, seg.span};
+}
+
+PlacedSpan LayerStack::via_span(LayerId l, Point via) const {
+  Point g = spec_.grid_of_via(via);
+  const Layer& layer = layers_[l];
+  return {l, layer.across_of(g), {layer.along_of(g), layer.along_of(g)}};
+}
+
+bool LayerStack::span_free(const PlacedSpan& ps) const {
+  const Layer& l = layers_[ps.layer];
+  Interval gap =
+      l.channel(ps.channel).free_gap_at(pool_, l.along_extent(), ps.span.lo);
+  return gap.contains(ps.span);
+}
+
+std::vector<SegId> LayerStack::drill_via(Point via, ConnId conn) {
+  assert(via_free(via));
+  std::vector<SegId> segs;
+  segs.reserve(layers_.size());
+  for (const Layer& l : layers_) {
+    segs.push_back(insert_span(via_span(l.id(), via), conn, /*is_via=*/true));
+  }
+  return segs;
+}
+
+}  // namespace grr

@@ -1,0 +1,89 @@
+// The complete wiring state of a board: all signal layers, the shared segment
+// pool, and the via map, kept mutually consistent (Sec 4).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "grid/grid_spec.hpp"
+#include "layer/layer.hpp"
+#include "layer/via_map.hpp"
+
+namespace grr {
+
+/// A used span placed on a specific layer/channel — the unit of route
+/// geometry stored by the route database and re-inserted by put-back.
+struct PlacedSpan {
+  LayerId layer = 0;
+  Coord channel = 0;  // across coordinate
+  Interval span;      // along interval
+
+  friend bool operator==(const PlacedSpan&, const PlacedSpan&) = default;
+};
+
+class LayerStack {
+ public:
+  /// Build a stack of `num_layers` signal layers. By default orientations
+  /// alternate H,V,H,V,…; pass `orients` to override (must match count).
+  LayerStack(const GridSpec& spec, int num_layers,
+             std::vector<Orientation> orients = {});
+
+  const GridSpec& spec() const { return spec_; }
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  const Layer& layer(LayerId l) const { return layers_[l]; }
+  Layer& layer(LayerId l) { return layers_[l]; }
+  const SegmentPool& pool() const { return pool_; }
+  SegmentPool& pool() { return pool_; }
+  const ViaMap& via_map() const { return via_map_; }
+
+  /// Disable/enable incremental via-map maintenance (bench_viamap measures
+  /// the cost of living without it). When disabled, via_free probes every
+  /// layer directly.
+  void set_use_via_map(bool on) { use_via_map_ = on; }
+  bool use_via_map() const { return use_via_map_; }
+
+  /// Is the via site (via coordinates) free for drilling? With the via map
+  /// this is one array read; without it, one channel probe per layer.
+  bool via_free(Point via) const;
+  /// Count of layer coverings at a via site (probes layers if map disabled).
+  int via_use_count(Point via) const;
+
+  /// Insert a trace span; updates the via map for any via sites it covers.
+  SegId insert_span(const PlacedSpan& ps, ConnId conn, bool is_via = false);
+  /// Erase a segment; updates the via map.
+  void erase_segment(SegId id);
+  /// Geometry of a live segment (for recording before erase).
+  PlacedSpan placed_span(SegId id) const;
+
+  /// Drill a via at a via-grid site: one unit segment per layer. The site
+  /// must be free. Returns the created segments (one per layer).
+  std::vector<SegId> drill_via(Point via, ConnId conn);
+
+  /// Convenience probes in grid coordinates.
+  bool occupied(LayerId l, Point g) const {
+    return layers_[l].occupied(pool_, g);
+  }
+  ConnId conn_at(LayerId l, Point g) const {
+    return layers_[l].conn_at(pool_, g);
+  }
+
+  /// Unit-length placed span for a via site on a given layer.
+  PlacedSpan via_span(LayerId l, Point via) const;
+
+  /// Is the whole span free (no segment overlaps it)?
+  bool span_free(const PlacedSpan& ps) const;
+
+  std::size_t segment_count() const { return pool_.size(); }
+
+ private:
+  void update_via_map(const Layer& layer, Coord channel, Interval span,
+                      int delta);
+
+  GridSpec spec_;
+  SegmentPool pool_;
+  std::vector<Layer> layers_;
+  ViaMap via_map_;
+  bool use_via_map_ = true;
+};
+
+}  // namespace grr

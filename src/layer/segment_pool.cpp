@@ -1,0 +1,25 @@
+#include "layer/segment_pool.hpp"
+
+namespace grr {
+
+SegId SegmentPool::allocate(const Segment& seg) {
+  ++live_;
+  if (!free_.empty()) {
+    SegId id = free_.back();
+    free_.pop_back();
+    slots_[id] = seg;
+    return id;
+  }
+  slots_.push_back(seg);
+  return static_cast<SegId>(slots_.size() - 1);
+}
+
+void SegmentPool::release(SegId id) {
+  assert(id < slots_.size());
+  assert(live_ > 0);
+  --live_;
+  slots_[id] = Segment{};
+  free_.push_back(id);
+}
+
+}  // namespace grr

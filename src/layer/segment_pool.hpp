@@ -1,0 +1,72 @@
+// Pool of channel segments (paper Sec 4).
+//
+// A segment is an interval of a channel used by some trace, doubly linked to
+// the next lower/higher segment in the same channel, and singly linked to the
+// next segment of the same trace (across channels and layers) so that all
+// space occupied by a trace can be found easily. Segments are identified by
+// 32-bit indices into a pool shared by all layers of a board; erased slots go
+// on a free list.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace grr {
+
+/// Identifier of a routed connection. Non-negative ids are real connections;
+/// negative ids mark permanent or pseudo occupancy.
+using ConnId = std::int32_t;
+
+inline constexpr ConnId kNoConn = -1;
+/// Part pin (drilled through all layers; never rippable).
+inline constexpr ConnId kPinConn = -2;
+/// Board obstacle (mounting hole, keep-out; never rippable).
+inline constexpr ConnId kObstacleConn = -3;
+/// ECL/TTL tesselation filler (temporarily blocks foreign tiles, Sec 10.2).
+inline constexpr ConnId kFillerConn = -4;
+
+inline bool is_rippable(ConnId c) { return c >= 0; }
+
+using SegId = std::uint32_t;
+inline constexpr SegId kNoSeg = 0xffffffffu;
+
+using LayerId = std::uint8_t;
+
+struct Segment {
+  Interval span;              // used interval along the channel
+  Coord channel = 0;          // across-coordinate of the channel
+  SegId prev = kNoSeg;        // next lower segment in this channel
+  SegId next = kNoSeg;        // next higher segment in this channel
+  SegId trace_next = kNoSeg;  // next segment of the same trace (any layer)
+  ConnId conn = kNoConn;      // owning connection
+  LayerId layer = 0;          // layer the segment lies on
+  bool is_via = false;        // unit segment representing a drill hole/pin
+};
+
+class SegmentPool {
+ public:
+  SegId allocate(const Segment& seg);
+  void release(SegId id);
+
+  Segment& operator[](SegId id) {
+    assert(id < slots_.size());
+    return slots_[id];
+  }
+  const Segment& operator[](SegId id) const {
+    assert(id < slots_.size());
+    return slots_[id];
+  }
+
+  /// Number of live segments.
+  std::size_t size() const { return live_; }
+
+ private:
+  std::vector<Segment> slots_;
+  std::vector<SegId> free_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace grr

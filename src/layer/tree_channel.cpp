@@ -1,0 +1,45 @@
+#include "layer/tree_channel.hpp"
+
+namespace grr {
+
+Interval TreeChannel::free_gap_at(const SegmentPool& pool, Interval extent,
+                                  Coord v) const {
+  if (!extent.contains(v)) return {};
+  SegId s = seek(pool, v);
+  if (s != kNoSeg && pool[s].span.hi >= v) return {};
+  Coord lo = (s == kNoSeg) ? extent.lo : pool[s].span.hi + 1;
+  auto it = by_lo_.upper_bound(v);
+  Coord hi = (it == by_lo_.end()) ? extent.hi : it->first - 1;
+  return {lo, hi};
+}
+
+SegId TreeChannel::insert(SegmentPool& pool, Segment seg) {
+  assert(!seg.span.empty());
+  SegId below = seek(pool, seg.span.lo);
+  assert(below == kNoSeg || pool[below].span.hi < seg.span.lo);
+  SegId above = (below == kNoSeg)
+                    ? head()
+                    : [&] {
+                        auto it =
+                            std::next(by_lo_.find(pool[below].span.lo));
+                        return it == by_lo_.end() ? kNoSeg : it->second;
+                      }();
+  assert(above == kNoSeg || pool[above].span.lo > seg.span.hi);
+  seg.prev = below;
+  seg.next = above;
+  SegId id = pool.allocate(seg);
+  if (below != kNoSeg) pool[below].next = id;
+  if (above != kNoSeg) pool[above].prev = id;
+  by_lo_.emplace(seg.span.lo, id);
+  return id;
+}
+
+void TreeChannel::erase(SegmentPool& pool, SegId id) {
+  const Segment& seg = pool[id];
+  if (seg.prev != kNoSeg) pool[seg.prev].next = seg.next;
+  if (seg.next != kNoSeg) pool[seg.next].prev = seg.prev;
+  by_lo_.erase(seg.span.lo);
+  pool.release(id);
+}
+
+}  // namespace grr

@@ -1,0 +1,87 @@
+// Binary-tree channel implementation, kept for the Sec 12 ablation.
+//
+// Early versions of grr represented each channel as a balanced binary tree of
+// segments; the paper reports that replacing it with the doubly linked list
+// plus moving cursor (Channel) halved total routing time, because channel
+// accesses are localized rather than random. This class provides the same
+// interface as Channel on top of a red-black tree (std::map) so the two can
+// be compared head-to-head by bench_channel.
+#pragma once
+
+#include <cassert>
+#include <map>
+
+#include "layer/segment_pool.hpp"
+
+namespace grr {
+
+class TreeChannel {
+ public:
+  bool empty() const { return by_lo_.empty(); }
+  SegId head() const {
+    return by_lo_.empty() ? kNoSeg : by_lo_.begin()->second;
+  }
+
+  /// Last segment s with s.span.lo <= v, or kNoSeg (O(log n) tree search).
+  SegId seek(const SegmentPool& pool, Coord v) const {
+    (void)pool;
+    auto it = by_lo_.upper_bound(v);
+    if (it == by_lo_.begin()) return kNoSeg;
+    return std::prev(it)->second;
+  }
+
+  SegId find_at(const SegmentPool& pool, Coord v) const {
+    SegId s = seek(pool, v);
+    return (s != kNoSeg && pool[s].span.hi >= v) ? s : kNoSeg;
+  }
+
+  bool occupied(const SegmentPool& pool, Coord v) const {
+    return find_at(pool, v) != kNoSeg;
+  }
+
+  Interval free_gap_at(const SegmentPool& pool, Interval extent,
+                       Coord v) const;
+
+  template <typename Fn>
+  void for_segs_overlapping(const SegmentPool& pool, Interval range,
+                            Fn&& fn) const {
+    if (range.empty()) return;
+    auto it = by_lo_.upper_bound(range.lo);
+    if (it != by_lo_.begin() &&
+        pool[std::prev(it)->second].span.hi >= range.lo) {
+      --it;
+    }
+    for (; it != by_lo_.end() && it->first <= range.hi; ++it) {
+      fn(it->second);
+    }
+  }
+
+  template <typename Fn>
+  void for_gaps_overlapping(const SegmentPool& pool, Interval extent,
+                            Interval range, Fn&& fn) const {
+    range = range.intersect(extent);
+    if (range.empty()) return;
+    SegId s = seek(pool, range.lo);
+    Coord lo = (s == kNoSeg) ? extent.lo : pool[s].span.hi + 1;
+    auto it = (s == kNoSeg) ? by_lo_.begin()
+                            : std::next(by_lo_.find(pool[s].span.lo));
+    while (lo <= range.hi) {
+      Coord hi = (it == by_lo_.end()) ? extent.hi : it->first - 1;
+      Interval gap{lo, hi};
+      if (!gap.empty() && gap.overlaps(range)) fn(gap);
+      if (it == by_lo_.end()) break;
+      lo = pool[it->second].span.hi + 1;
+      ++it;
+    }
+  }
+
+  SegId insert(SegmentPool& pool, Segment seg);
+  void erase(SegmentPool& pool, SegId id);
+
+  std::size_t count() const { return by_lo_.size(); }
+
+ private:
+  std::map<Coord, SegId> by_lo_;
+};
+
+}  // namespace grr

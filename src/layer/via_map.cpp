@@ -1,0 +1,3 @@
+#include "layer/via_map.hpp"
+
+// Header-only; this file anchors the translation unit for the library.

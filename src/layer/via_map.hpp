@@ -1,0 +1,43 @@
+// The via map (Sec 4): for every via-grid site, the number of traces (layer
+// coverings) using that location on any layer.
+//
+// Inquiries about via-site availability are two to four orders of magnitude
+// more frequent than updates, so the count is maintained incrementally on
+// every segment insert/erase rather than recomputed by probing each layer.
+// A count of zero means the site is free (drillable); a count equal to the
+// number of signal layers means a drilled (or pin) via.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace grr {
+
+class ViaMap {
+ public:
+  ViaMap(Coord nx_vias, Coord ny_vias)
+      : nx_(nx_vias), counts_(static_cast<std::size_t>(nx_vias) * ny_vias) {}
+
+  /// p is in via coordinates.
+  std::uint16_t count(Point p) const { return counts_[index(p)]; }
+  bool free(Point p) const { return counts_[index(p)] == 0; }
+
+  void inc(Point p) { ++counts_[index(p)]; }
+  void dec(Point p) {
+    assert(counts_[index(p)] > 0);
+    --counts_[index(p)];
+  }
+
+ private:
+  std::size_t index(Point p) const {
+    return static_cast<std::size_t>(p.y) * nx_ + p.x;
+  }
+
+  Coord nx_;
+  std::vector<std::uint16_t> counts_;
+};
+
+}  // namespace grr

@@ -1,0 +1,176 @@
+#include "place/placer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <random>
+
+namespace grr {
+namespace {
+
+double net_hpwl(const PlaceNet& net, const std::vector<Point>& pos) {
+  if (net.cells.size() < 2) return 0;
+  Coord min_x = pos[static_cast<std::size_t>(net.cells[0])].x;
+  Coord max_x = min_x;
+  Coord min_y = pos[static_cast<std::size_t>(net.cells[0])].y;
+  Coord max_y = min_y;
+  for (int c : net.cells) {
+    Point p = pos[static_cast<std::size_t>(c)];
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  return net.weight * ((max_x - min_x) + (max_y - min_y));
+}
+
+}  // namespace
+
+double placement_hpwl(const PlacementProblem& problem,
+                      const std::vector<Point>& site_of_cell) {
+  double total = 0;
+  for (const PlaceNet& net : problem.nets) {
+    total += net_hpwl(net, site_of_cell);
+  }
+  return total;
+}
+
+PlacementResult place_anneal(const PlacementProblem& problem,
+                             const PlacementParams& params) {
+  assert(problem.num_cells <=
+         static_cast<int>(problem.sites_x) * problem.sites_y);
+  PlacementResult result;
+  const int n_sites = static_cast<int>(problem.sites_x) * problem.sites_y;
+  const int n_cells = problem.num_cells;
+  if (n_cells == 0) return result;
+
+  // State: cell index occupying each site (-1 = empty), and the inverse.
+  std::vector<int> cell_at(static_cast<std::size_t>(n_sites), -1);
+  std::vector<Point> pos(static_cast<std::size_t>(n_cells));
+  auto site_point = [&](int site) {
+    return Point{site % problem.sites_x, site / problem.sites_x};
+  };
+  for (int c = 0; c < n_cells; ++c) {
+    cell_at[static_cast<std::size_t>(c)] = c;
+    pos[static_cast<std::size_t>(c)] = site_point(c);
+  }
+
+  // Incidence: nets touching each cell, for incremental deltas.
+  std::vector<std::vector<int>> nets_of_cell(
+      static_cast<std::size_t>(n_cells));
+  for (std::size_t ni = 0; ni < problem.nets.size(); ++ni) {
+    for (int c : problem.nets[ni].cells) {
+      nets_of_cell[static_cast<std::size_t>(c)].push_back(
+          static_cast<int>(ni));
+    }
+  }
+
+  result.initial_hpwl = placement_hpwl(problem, pos);
+  double current = result.initial_hpwl;
+
+  std::mt19937 rng(params.seed);
+  std::uniform_int_distribution<int> pick_cell(0, n_cells - 1);
+  std::uniform_int_distribution<int> pick_site(0, n_sites - 1);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  // Cost delta of moving cell a to `to` (and its occupant, if any, to a's
+  // old site): recompute the nets touching the moved cells.
+  auto affected_cost = [&](int a, int b) {
+    double cost = 0;
+    for (int ni : nets_of_cell[static_cast<std::size_t>(a)]) {
+      cost += net_hpwl(problem.nets[static_cast<std::size_t>(ni)], pos);
+    }
+    if (b >= 0) {
+      for (int ni : nets_of_cell[static_cast<std::size_t>(b)]) {
+        cost += net_hpwl(problem.nets[static_cast<std::size_t>(ni)], pos);
+      }
+    }
+    return cost;
+  };
+
+  auto apply_move = [&](int cell, int from_site, int to_site) {
+    int other = cell_at[static_cast<std::size_t>(to_site)];
+    cell_at[static_cast<std::size_t>(to_site)] = cell;
+    cell_at[static_cast<std::size_t>(from_site)] = other;
+    pos[static_cast<std::size_t>(cell)] = site_point(to_site);
+    if (other >= 0) {
+      pos[static_cast<std::size_t>(other)] = site_point(from_site);
+    }
+    return other;
+  };
+
+  // Initial temperature: the magnitude of typical move deltas.
+  double t = 0;
+  {
+    double sum = 0;
+    int samples = 0;
+    for (int i = 0; i < 64; ++i) {
+      int cell = pick_cell(rng);
+      int from = -1;
+      for (int s = 0; s < n_sites; ++s) {
+        if (cell_at[static_cast<std::size_t>(s)] == cell) {
+          from = s;
+          break;
+        }
+      }
+      int to = pick_site(rng);
+      if (to == from) continue;
+      int other = cell_at[static_cast<std::size_t>(to)];
+      double before = affected_cost(cell, other);
+      apply_move(cell, from, to);
+      double after = affected_cost(cell, other);
+      apply_move(cell, to, from);  // undo
+      sum += std::abs(after - before);
+      ++samples;
+    }
+    t = samples ? 2.0 * sum / samples : 1.0;
+    if (t <= 0) t = 1.0;
+  }
+
+  // Site of each cell, maintained for O(1) "from" lookup.
+  std::vector<int> site_of(static_cast<std::size_t>(n_cells));
+  for (int s = 0; s < n_sites; ++s) {
+    if (cell_at[static_cast<std::size_t>(s)] >= 0) {
+      site_of[static_cast<std::size_t>(
+          cell_at[static_cast<std::size_t>(s)])] = s;
+    }
+  }
+
+  const long total_moves =
+      static_cast<long>(params.moves_per_cell) * n_cells;
+  const long stage_len =
+      std::max<long>(1, static_cast<long>(params.moves_per_stage_factor) *
+                            n_cells);
+  // The last quarter is a zero-temperature quench: greedy improvement only.
+  const long quench_at = total_moves * 3 / 4;
+  for (long move = 0; move < total_moves; ++move) {
+    if (move % stage_len == stage_len - 1) t *= params.cooling;
+    const bool quench = move >= quench_at;
+    int cell = pick_cell(rng);
+    int from = site_of[static_cast<std::size_t>(cell)];
+    int to = pick_site(rng);
+    if (to == from) continue;
+    ++result.moves_tried;
+
+    int other = cell_at[static_cast<std::size_t>(to)];
+    double before = affected_cost(cell, other);
+    apply_move(cell, from, to);
+    double after = affected_cost(cell, other);
+    double delta = after - before;
+    if (delta <= 0 ||
+        (!quench && coin(rng) < std::exp(-delta / std::max(t, 1e-9)))) {
+      ++result.moves_accepted;
+      current += delta;
+      site_of[static_cast<std::size_t>(cell)] = to;
+      if (other >= 0) site_of[static_cast<std::size_t>(other)] = from;
+    } else {
+      apply_move(cell, to, from);  // reject: undo
+    }
+  }
+
+  result.site_of_cell = pos;
+  result.final_hpwl = current;
+  return result;
+}
+
+}  // namespace grr

@@ -1,0 +1,62 @@
+// Automatic cell placement by simulated annealing.
+//
+// The paper's placements were produced manually with an interactive
+// graphics editor "over a period of months. Most of the time was devoted
+// to shortening the critical timing paths" (Sec 13, Fig 19). This module
+// is the automatic substrate for that step: cells (part macros) are
+// assigned to legal sites on a grid, minimizing weighted half-perimeter
+// wirelength (HPWL); timing-critical nets can be weighted so the annealer
+// pulls them short, as the manual process did.
+//
+// Placement is deliberately decoupled from Board (whose parts drill their
+// pins on construction): solve the abstract problem first, then build the
+// Board from the resulting coordinates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace grr {
+
+struct PlaceNet {
+  std::vector<int> cells;  // indices of the cells this net connects
+  double weight = 1.0;     // >1 pulls timing-critical nets shorter
+};
+
+struct PlacementProblem {
+  Coord sites_x = 0;  // legal site grid
+  Coord sites_y = 0;
+  int num_cells = 0;  // must be <= sites_x * sites_y
+  std::vector<PlaceNet> nets;
+};
+
+struct PlacementParams {
+  std::uint32_t seed = 1;
+  /// Total annealing moves = moves_per_cell * num_cells.
+  int moves_per_cell = 400;
+  double cooling = 0.95;        // geometric temperature decay per stage
+  int moves_per_stage_factor = 8;  // stage length = factor * num_cells
+};
+
+struct PlacementResult {
+  std::vector<Point> site_of_cell;  // site coordinates per cell
+  double initial_hpwl = 0;
+  double final_hpwl = 0;
+  long moves_tried = 0;
+  long moves_accepted = 0;
+};
+
+/// Weighted half-perimeter wirelength of an assignment.
+double placement_hpwl(const PlacementProblem& problem,
+                      const std::vector<Point>& site_of_cell);
+
+/// Deterministic (seeded) annealing placement. Cells start on sites in
+/// index order; moves swap a random cell with a random site (occupied or
+/// empty); worsening moves are accepted with probability exp(-delta/T).
+PlacementResult place_anneal(const PlacementProblem& problem,
+                             const PlacementParams& params = {});
+
+}  // namespace grr

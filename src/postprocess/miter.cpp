@@ -1,0 +1,123 @@
+#include "postprocess/miter.hpp"
+
+#include <cmath>
+
+namespace grr {
+namespace {
+
+/// Drop consecutive duplicates and interior collinear points.
+void compress(std::vector<Point>& pts) {
+  std::vector<Point> out;
+  for (const Point& p : pts) {
+    if (!out.empty() && out.back() == p) continue;
+    while (out.size() >= 2) {
+      const Point& a = out[out.size() - 2];
+      const Point& b = out.back();
+      const bool collinear =
+          (a.x == b.x && b.x == p.x) || (a.y == b.y && b.y == p.y);
+      if (!collinear) break;
+      out.pop_back();
+    }
+    out.push_back(p);
+  }
+  pts = std::move(out);
+}
+
+}  // namespace
+
+HopPolyline hop_polyline(const GridSpec& spec, const LayerStack& stack,
+                         const RouteHop& hop, Point a_via, Point b_via) {
+  const Layer& layer = stack.layer(hop.layer);
+  HopPolyline poly;
+  poly.layer = hop.layer;
+
+  const Point ag = spec.grid_of_via(a_via);
+  const Point bg = spec.grid_of_via(b_via);
+  poly.points.push_back(ag);
+  if (hop.spans.empty()) {
+    poly.points.push_back(bg);
+    return poly;
+  }
+
+  const Coord ac = layer.across_of(ag), av = layer.along_of(ag);
+  const ChannelSpan& s0 = hop.spans.front();
+  // Entry coordinate in the first span (replays Trace's anchor rule).
+  Coord prev;
+  if (s0.channel == ac) {
+    prev = s0.span.contains(av) ? av : (s0.span.lo > av ? av + 1 : av - 1);
+  } else {
+    prev = av;
+  }
+  poly.points.push_back(layer.point_of(s0.channel, prev));
+
+  for (std::size_t i = 0; i + 1 < hop.spans.size(); ++i) {
+    const ChannelSpan& cur = hop.spans[i];
+    const ChannelSpan& nxt = hop.spans[i + 1];
+    Coord v = cur.span.intersect(nxt.span).clamp(prev);
+    poly.points.push_back(layer.point_of(cur.channel, v));
+    poly.points.push_back(layer.point_of(nxt.channel, v));
+    prev = v;
+  }
+
+  const ChannelSpan& sl = hop.spans.back();
+  const Coord bc = layer.across_of(bg), bv = layer.along_of(bg);
+  Coord end;
+  if (sl.channel == bc) {
+    end = sl.span.contains(bv) ? bv : (sl.span.lo > bv ? bv + 1 : bv - 1);
+  } else {
+    end = bv;
+  }
+  poly.points.push_back(layer.point_of(sl.channel, end));
+  poly.points.push_back(bg);
+
+  compress(poly.points);
+  return poly;
+}
+
+HopPolyline miter45(const HopPolyline& poly, Coord depth) {
+  if (poly.points.size() < 3) return poly;
+  HopPolyline out;
+  out.layer = poly.layer;
+  out.points.push_back(poly.points.front());
+  for (std::size_t i = 1; i + 1 < poly.points.size(); ++i) {
+    const Point a = poly.points[i - 1];
+    const Point b = poly.points[i];
+    const Point c = poly.points[i + 1];
+    const bool in_h = a.y == b.y, out_h = b.y == c.y;
+    if (in_h == out_h) {  // not a right-angle corner
+      out.points.push_back(b);
+      continue;
+    }
+    const Coord len_in = in_h ? std::abs(b.x - a.x) : std::abs(b.y - a.y);
+    const Coord len_out = out_h ? std::abs(c.x - b.x) : std::abs(c.y - b.y);
+    const Coord cut = std::min({depth, len_in / 2, len_out / 2});
+    if (cut == 0) {
+      out.points.push_back(b);
+      continue;
+    }
+    auto step_back = [&](Point from, Point toward, Coord d) {
+      Point r = from;
+      if (from.x != toward.x) r.x += (toward.x > from.x ? d : -d);
+      if (from.y != toward.y) r.y += (toward.y > from.y ? d : -d);
+      return r;
+    };
+    out.points.push_back(step_back(b, a, cut));
+    out.points.push_back(step_back(b, c, cut));
+  }
+  out.points.push_back(poly.points.back());
+  return out;
+}
+
+double polyline_length_mils(const GridSpec& spec, const HopPolyline& poly) {
+  double mils = 0;
+  for (std::size_t i = 0; i + 1 < poly.points.size(); ++i) {
+    const Point a = poly.points[i];
+    const Point b = poly.points[i + 1];
+    const double dx = spec.mils_between(a.x, b.x);
+    const double dy = spec.mils_between(a.y, b.y);
+    mils += (dx == 0 || dy == 0) ? dx + dy : std::hypot(dx, dy);
+  }
+  return mils;
+}
+
+}  // namespace grr

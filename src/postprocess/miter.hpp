@@ -1,0 +1,36 @@
+// Photoplot postprocessing (paper footnote 2 and Sec 13): grr's output is
+// rectilinear; diagonal traces in the shipped artwork come from a
+// postprocessing step that replaces staircase corners with 45-degree miters.
+// This improves manufacturing yield and electrical characteristics and
+// shortens the traces slightly.
+#pragma once
+
+#include <vector>
+
+#include "grid/grid_spec.hpp"
+#include "route/route_db.hpp"
+
+namespace grr {
+
+/// A hop rendered as a polyline of grid points (rectilinear), or with the
+/// corner points pulled in for 45-degree mitering (then consecutive points
+/// may differ in both coordinates).
+struct HopPolyline {
+  LayerId layer = 0;
+  std::vector<Point> points;  // grid coordinates
+};
+
+/// Reconstruct the rectilinear polyline of one hop: the via end points plus
+/// every channel-crossing corner.
+HopPolyline hop_polyline(const GridSpec& spec, const LayerStack& stack,
+                         const RouteHop& hop, Point a_via, Point b_via);
+
+/// Replace each 90-degree corner with a 45-degree miter cutting `depth`
+/// grid steps off both arms (clamped to half of each arm).
+HopPolyline miter45(const HopPolyline& poly, Coord depth = 1);
+
+/// Physical length of a polyline in mils (diagonal segments measured as
+/// Euclidean length).
+double polyline_length_mils(const GridSpec& spec, const HopPolyline& poly);
+
+}  // namespace grr

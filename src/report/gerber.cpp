@@ -1,0 +1,132 @@
+#include "report/gerber.hpp"
+
+#include <sstream>
+
+#include "postprocess/miter.hpp"
+
+namespace grr {
+namespace {
+
+/// 2.4 inch format: 1 unit = 0.1 mil.
+long gerber_units(int mils) { return static_cast<long>(mils) * 10; }
+
+void coord(std::ostringstream& os, long x, long y, const char* op) {
+  os << 'X' << x << 'Y' << y << op << "*\n";
+}
+
+std::string header() {
+  return
+      "%FSLAX24Y24*%\n"
+      "%MOIN*%\n";
+}
+
+}  // namespace
+
+std::string gerber_signal_layer(const Board& board, const RouteDB& db,
+                                const ConnectionList& conns, LayerId layer,
+                                bool mitered) {
+  const GridSpec& spec = board.spec();
+  const LayerStack& stack = board.stack();
+  const DesignRules& rules = board.rules();
+  std::ostringstream os;
+  os << "G04 grr signal layer " << static_cast<int>(layer) << "*\n"
+     << header();
+  // Aperture 10: the trace; aperture 11: the via/pin pad.
+  os << "%ADD10C," << rules.trace_width_mils / 1000.0 << "*%\n";
+  os << "%ADD11C," << rules.via_pad_mils / 1000.0 << "*%\n";
+
+  auto gx = [&](Coord g) { return gerber_units(spec.mils_of_grid(g)); };
+
+  // Pads: every drill hole has a pad on every layer.
+  os << "D11*\n";
+  const int nl = stack.num_layers();
+  for (Coord vy = 0; vy < spec.ny_vias(); ++vy) {
+    for (Coord vx = 0; vx < spec.nx_vias(); ++vx) {
+      if (stack.via_use_count({vx, vy}) < nl) continue;
+      coord(os, gerber_units(vx * spec.via_pitch_mils()),
+            gerber_units(vy * spec.via_pitch_mils()), "D03");
+    }
+  }
+
+  os << "D10*\n";
+  for (const Connection& c : conns) {
+    const RouteRecord& r = db.rec(c.id);
+    if (r.status != RouteStatus::kRouted) continue;
+    std::vector<Point> seq{c.a};
+    seq.insert(seq.end(), r.geom.vias.begin(), r.geom.vias.end());
+    seq.push_back(c.b);
+    for (std::size_t j = 0; j < r.geom.hops.size(); ++j) {
+      if (r.geom.hops[j].layer != layer) continue;
+      HopPolyline poly =
+          hop_polyline(spec, stack, r.geom.hops[j], seq[j], seq[j + 1]);
+      if (mitered) poly = miter45(poly);
+      if (poly.points.size() < 2) continue;
+      coord(os, gx(poly.points[0].x), gx(poly.points[0].y), "D02");
+      for (std::size_t i = 1; i < poly.points.size(); ++i) {
+        coord(os, gx(poly.points[i].x), gx(poly.points[i].y), "D01");
+      }
+    }
+  }
+  os << "M02*\n";
+  return os.str();
+}
+
+std::string gerber_power_plane(const Board& board,
+                               const PowerPlaneArt& art) {
+  const DesignRules& rules = board.rules();
+  std::ostringstream os;
+  os << "G04 grr power plane " << art.net_name << "*\n" << header();
+
+  // Solid copper: a dark region over the whole board.
+  os << "%LPD*%\nG36*\n";
+  coord(os, 0, 0, "D02");
+  coord(os, gerber_units(art.width_mils), 0, "D01");
+  coord(os, gerber_units(art.width_mils), gerber_units(art.height_mils),
+        "D01");
+  coord(os, 0, gerber_units(art.height_mils), "D01");
+  coord(os, 0, 0, "D01");
+  os << "G37*\n";
+
+  // Apertures per feature kind.
+  os << "%ADD20C," << rules.plane_clearance_mils / 1000.0 << "*%\n";
+  os << "%ADD21C," << rules.thermal_relief_outer_mils / 1000.0 << "*%\n";
+  os << "%ADD22C," << rules.thermal_relief_outer_mils / 2000.0 << "*%\n";
+  os << "%ADD23C," << rules.mounting_clearance_mils / 1000.0 << "*%\n";
+
+  // Isolation and mounting clearances: clear-polarity flashes.
+  os << "%LPC*%\nD20*\n";
+  for (const PlaneDisk& d : art.disks) {
+    if (d.feature == PlaneFeature::kClearance) {
+      coord(os, gerber_units(d.center_mils.x),
+            gerber_units(d.center_mils.y), "D03");
+    }
+  }
+  os << "D23*\n";
+  for (const PlaneDisk& d : art.disks) {
+    if (d.feature == PlaneFeature::kMountClearance) {
+      coord(os, gerber_units(d.center_mils.x),
+            gerber_units(d.center_mils.y), "D03");
+    }
+  }
+
+  // Thermal reliefs: clear the annulus, restore the pad (the spokes of
+  // Fig 22 come out of the pad restoration overlapping the clearance).
+  os << "D21*\n";
+  for (const PlaneDisk& d : art.disks) {
+    if (d.feature == PlaneFeature::kThermalRelief) {
+      coord(os, gerber_units(d.center_mils.x),
+            gerber_units(d.center_mils.y), "D03");
+    }
+  }
+  os << "%LPD*%\nD22*\n";
+  for (const PlaneDisk& d : art.disks) {
+    if (d.feature == PlaneFeature::kThermalRelief) {
+      coord(os, gerber_units(d.center_mils.x),
+            gerber_units(d.center_mils.y), "D03");
+    }
+  }
+  os << "M02*\n";
+  return os.str();
+}
+
+}  // namespace grr

@@ -1,0 +1,30 @@
+// RS-274X (Extended Gerber) photoplot output — the modern equivalent of
+// the photoplots in the paper's appendix (Figs 21-22). Signal layers are
+// emitted as draws with a round trace aperture plus pad flashes; power
+// planes as a dark region with clear flashes for isolation and mounting
+// clearances and a simple two-polarity thermal relief at member pins.
+//
+// Coordinates use inch units with 2.4 format (0.1 mil resolution), which
+// represents the 100/42/16-mil grid exactly.
+#pragma once
+
+#include <string>
+
+#include "board/power_plane.hpp"
+#include "route/route_db.hpp"
+#include "route/router.hpp"
+
+namespace grr {
+
+/// One routed signal layer as a Gerber photoplot. With `mitered`, staircase
+/// corners are drawn as 45-degree segments (footnote 2's postprocessing).
+std::string gerber_signal_layer(const Board& board, const RouteDB& db,
+                                const ConnectionList& conns, LayerId layer,
+                                bool mitered = true);
+
+/// A power plane as a Gerber photoplot (positive polarity: copper is what
+/// is drawn; clearances are clear-polarity flashes).
+std::string gerber_power_plane(const Board& board,
+                               const PowerPlaneArt& art);
+
+}  // namespace grr

@@ -1,0 +1,114 @@
+#include "report/html_report.hpp"
+
+#include <sstream>
+
+#include "report/pattern_stats.hpp"
+#include "report/svg.hpp"
+
+namespace grr {
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string html_board_report(const Board& board, Router& router,
+                              const ConnectionList& conns,
+                              const std::string& title) {
+  const RouterStats& st = router.stats();
+  std::ostringstream os;
+  os << "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>\n<title>"
+     << escape(title) << "</title>\n"
+     << "<style>body{font-family:sans-serif;max-width:1100px;margin:2em "
+        "auto;}table{border-collapse:collapse}td,th{border:1px solid "
+        "#999;padding:4px 10px;text-align:right}th{background:#eee}"
+        ".art{border:1px solid #ccc;margin:1em 0;max-width:100%}"
+        "</style></head>\n<body>\n";
+  os << "<h1>" << escape(title) << "</h1>\n";
+
+  os << "<h2>Board</h2>\n<table><tr><th>size</th><th>signal layers</th>"
+     << "<th>parts</th><th>pins</th><th>pins/in&sup2;</th>"
+     << "<th>connections</th></tr><tr>"
+     << "<td>" << board.spec().board_width_inches() << "\" x "
+     << board.spec().board_height_inches() << "\"</td>"
+     << "<td>" << board.stack().num_layers() << "</td>"
+     << "<td>" << board.parts().size() << "</td>"
+     << "<td>" << board.total_pins() << "</td>"
+     << "<td>" << board.pins_per_sq_inch() << "</td>"
+     << "<td>" << conns.size() << "</td></tr></table>\n";
+
+  os << "<h2>Routing</h2>\n<table><tr><th>routed</th><th>%optimal</th>"
+     << "<th>%lee</th><th>rip-ups</th><th>vias/conn</th><th>passes</th>"
+     << "</tr><tr>"
+     << "<td>" << st.routed << "/" << st.total << "</td>"
+     << "<td>" << st.pct_optimal() << "</td>"
+     << "<td>" << st.pct_lee() << "</td>"
+     << "<td>" << st.rip_ups << "</td>"
+     << "<td>" << st.vias_per_conn() << "</td>"
+     << "<td>" << st.passes << "</td></tr></table>\n";
+
+  os << "<h2>Strategy profile</h2>\n<table><tr><th>zero-via</th>"
+     << "<th>one-via</th><th>lee</th><th>rip-up</th><th>put-back</th>"
+     << "</tr><tr>"
+     << "<td>" << st.sec_zero_via << " s</td>"
+     << "<td>" << st.sec_one_via << " s</td>"
+     << "<td>" << st.sec_lee << " s</td>"
+     << "<td>" << st.sec_ripup << " s</td>"
+     << "<td>" << st.sec_putback << " s</td></tr></table>\n";
+
+  PatternStats ps = analyze_patterns(board.stack(), router.db(), conns);
+  os << "<h2>Pattern statistics</h2>\n<table><tr><th>layer</th>"
+     << "<th>dir</th><th>segments</th><th>utilization %</th></tr>\n";
+  for (const LayerUtilization& u : ps.layers) {
+    os << "<tr><td>" << static_cast<int>(u.layer) << "</td><td>"
+       << (u.orientation == Orientation::kHorizontal ? "H" : "V")
+       << "</td><td>" << u.segments << "</td><td>" << u.utilization()
+       << "</td></tr>\n";
+  }
+  os << "</table>\n<p>" << ps.total_trace_mils / 1000.0
+     << " inches of trace, " << ps.avg_bends_per_conn
+     << " bends/connection, detour ratio " << ps.avg_detour_ratio
+     << ". Via histogram:";
+  for (std::size_t i = 0; i < ps.via_histogram.size(); ++i) {
+    os << ' ' << i << (i + 1 == ps.via_histogram.size() ? "+:" : ":")
+       << ps.via_histogram[i];
+  }
+  os << "</p>\n";
+
+  os << "<h2>Routing problem</h2>\n<div class='art'>"
+     << svg_string_art(board, conns) << "</div>\n";
+  for (int l = 0; l < board.stack().num_layers(); ++l) {
+    os << "<h2>Signal layer " << l << " ("
+       << (board.stack().layer(static_cast<LayerId>(l)).orientation() ==
+                   Orientation::kHorizontal
+               ? "horizontal"
+               : "vertical")
+       << ")</h2>\n<div class='art'>"
+       << svg_signal_layer(board, router.db(), conns,
+                           static_cast<LayerId>(l))
+       << "</div>\n";
+  }
+  os << "</body></html>\n";
+  return os.str();
+}
+
+}  // namespace grr

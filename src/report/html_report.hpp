@@ -1,0 +1,18 @@
+// Self-contained HTML board report: routing statistics, per-strategy
+// profile, pattern statistics and the inline SVG artwork (problem string
+// art plus every signal layer) in one file — the artifact to attach to a
+// design review.
+#pragma once
+
+#include <string>
+
+#include "board/board.hpp"
+#include "route/router.hpp"
+
+namespace grr {
+
+std::string html_board_report(const Board& board, Router& router,
+                              const ConnectionList& conns,
+                              const std::string& title);
+
+}  // namespace grr

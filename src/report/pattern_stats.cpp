@@ -1,0 +1,102 @@
+#include "report/pattern_stats.hpp"
+
+#include <iomanip>
+
+#include "postprocess/miter.hpp"
+
+namespace grr {
+
+PatternStats analyze_patterns(const LayerStack& stack, const RouteDB& db,
+                              const ConnectionList& conns) {
+  const GridSpec& spec = stack.spec();
+  const SegmentPool& pool = stack.pool();
+  PatternStats stats;
+
+  for (int li = 0; li < stack.num_layers(); ++li) {
+    const Layer& layer = stack.layer(static_cast<LayerId>(li));
+    LayerUtilization u;
+    u.layer = static_cast<LayerId>(li);
+    u.orientation = layer.orientation();
+    u.capacity = static_cast<long>(layer.across_extent().length()) *
+                 layer.along_extent().length();
+    const Interval across = layer.across_extent();
+    for (Coord c = across.lo; c <= across.hi; ++c) {
+      for (SegId s = layer.channel(c).head(); s != kNoSeg;
+           s = pool[s].next) {
+        ++u.segments;
+        if (pool[s].is_via) {
+          u.via_cells += pool[s].span.length();
+        } else {
+          u.used_track += pool[s].span.length();
+        }
+      }
+    }
+    stats.layers.push_back(u);
+  }
+
+  double detour_sum = 0;
+  for (const Connection& c : conns) {
+    const RouteRecord& r = db.rec(c.id);
+    if (r.status != RouteStatus::kRouted) continue;
+    ++stats.routed;
+
+    const int vias = static_cast<int>(r.geom.vias.size());
+    stats.max_vias_on_conn = std::max(stats.max_vias_on_conn, vias);
+    ++stats.via_histogram[static_cast<std::size_t>(
+        std::min(vias, static_cast<int>(stats.via_histogram.size()) - 1))];
+
+    long mils = db.length_mils(spec, stack, c.id);
+    stats.total_trace_mils += mils;
+    long manhattan_mils =
+        static_cast<long>(manhattan(c.a, c.b)) * spec.via_pitch_mils();
+    if (manhattan_mils > 0) {
+      detour_sum += static_cast<double>(mils) / manhattan_mils;
+    } else {
+      detour_sum += 1.0;
+    }
+
+    // Bends: interior corners of every hop polyline.
+    std::vector<Point> seq{c.a};
+    seq.insert(seq.end(), r.geom.vias.begin(), r.geom.vias.end());
+    seq.push_back(c.b);
+    for (std::size_t j = 0; j < r.geom.hops.size(); ++j) {
+      HopPolyline poly =
+          hop_polyline(spec, stack, r.geom.hops[j], seq[j], seq[j + 1]);
+      if (poly.points.size() >= 3) {
+        stats.total_bends += static_cast<long>(poly.points.size()) - 2;
+      }
+    }
+  }
+  if (stats.routed > 0) {
+    stats.avg_bends_per_conn =
+        static_cast<double>(stats.total_bends) / stats.routed;
+    stats.avg_detour_ratio = detour_sum / stats.routed;
+  }
+  return stats;
+}
+
+void print_pattern_stats(std::ostream& os, const PatternStats& stats) {
+  os << "routing pattern statistics:\n";
+  os << "  layer  dir  segments  track-use%  (track + via cells / "
+        "capacity)\n";
+  for (const LayerUtilization& u : stats.layers) {
+    os << "  " << std::setw(5) << static_cast<int>(u.layer) << "  "
+       << (u.orientation == Orientation::kHorizontal ? "  H" : "  V")
+       << "  " << std::setw(8) << u.segments << "  " << std::fixed
+       << std::setprecision(1) << std::setw(9) << u.utilization() << "   ("
+       << u.used_track << " + " << u.via_cells << " / " << u.capacity
+       << ")\n";
+  }
+  os << "  routed " << stats.routed << " connections, "
+     << stats.total_trace_mils / 1000.0 << " inches of trace, "
+     << std::setprecision(2) << stats.avg_bends_per_conn
+     << " bends/conn, detour ratio " << stats.avg_detour_ratio << "\n";
+  os << "  vias/conn histogram:";
+  for (std::size_t i = 0; i < stats.via_histogram.size(); ++i) {
+    os << ' ' << i << (i + 1 == stats.via_histogram.size() ? "+:" : ":")
+       << stats.via_histogram[i];
+  }
+  os << "\n";
+}
+
+}  // namespace grr

@@ -1,0 +1,51 @@
+// Statistical measures of routing patterns (paper Sec 12: "The most
+// effective tools for improving program performance were careful analysis
+// of the router output to find inefficient routing patterns, statistical
+// measures of routing patterns, and profiles of the CPU usage...").
+//
+// analyze_patterns() summarizes a routed board: per-layer track
+// utilization, bend counts, via-count histogram and detour ratios.
+#pragma once
+
+#include <array>
+#include <ostream>
+#include <vector>
+
+#include "route/route_db.hpp"
+#include "route/router.hpp"
+
+namespace grr {
+
+struct LayerUtilization {
+  LayerId layer = 0;
+  Orientation orientation = Orientation::kHorizontal;
+  long used_track = 0;  // grid units covered by trace metal (vias excluded)
+  long via_cells = 0;   // grid cells covered by via/pin pads
+  long capacity = 0;    // channels x channel length
+  long segments = 0;
+
+  double utilization() const {
+    return capacity ? 100.0 * (used_track + via_cells) / capacity : 0.0;
+  }
+};
+
+struct PatternStats {
+  std::vector<LayerUtilization> layers;
+  int routed = 0;
+  long total_trace_mils = 0;
+  long total_bends = 0;  // right-angle corners across all hops
+  double avg_bends_per_conn = 0.0;
+  /// Routed length over the Manhattan lower bound, averaged over routed
+  /// connections (1.0 = every route is minimal).
+  double avg_detour_ratio = 0.0;
+  /// Connections by intermediate-via count; the last bucket is "7+".
+  std::array<int, 8> via_histogram{};
+  int max_vias_on_conn = 0;
+};
+
+PatternStats analyze_patterns(const LayerStack& stack, const RouteDB& db,
+                              const ConnectionList& conns);
+
+void print_pattern_stats(std::ostream& os, const PatternStats& stats);
+
+}  // namespace grr

@@ -1,0 +1,172 @@
+#include "report/svg.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "postprocess/miter.hpp"
+
+namespace grr {
+namespace {
+
+constexpr double kScale = 0.1;  // 1 px per 10 mils
+
+double px_of_grid(const GridSpec& spec, Coord g) {
+  return spec.mils_of_grid(g) * kScale;
+}
+
+double px_of_via(const GridSpec& spec, Coord v) {
+  return v * spec.via_pitch_mils() * kScale;
+}
+
+std::string svg_open(double w_px, double h_px, const char* bg) {
+  std::ostringstream os;
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << w_px
+     << "' height='" << h_px << "' viewBox='0 0 " << w_px << ' ' << h_px
+     << "'>\n<rect width='100%' height='100%' fill='" << bg << "'/>\n";
+  return os.str();
+}
+
+void board_frame(std::ostringstream& os, const GridSpec& spec) {
+  os << "<rect x='0' y='0' width='"
+     << px_of_via(spec, spec.nx_vias() - 1) << "' height='"
+     << px_of_via(spec, spec.ny_vias() - 1)
+     << "' fill='none' stroke='#888' stroke-width='1'/>\n";
+}
+
+}  // namespace
+
+std::string svg_placement(const Board& board) {
+  const GridSpec& spec = board.spec();
+  std::ostringstream os;
+  os << svg_open(px_of_via(spec, spec.nx_vias() - 1) + 2,
+                 px_of_via(spec, spec.ny_vias() - 1) + 2, "white");
+  board_frame(os, spec);
+  for (std::size_t pi = 0; pi < board.parts().size(); ++pi) {
+    const Part& part = board.parts()[pi];
+    const Footprint& fp = board.footprint(part.footprint);
+    // Outline: bounding box of the pins, slightly inflated.
+    Coord min_x = fp.pin_offsets[0].x, max_x = min_x;
+    Coord min_y = fp.pin_offsets[0].y, max_y = min_y;
+    for (Point p : fp.pin_offsets) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+    }
+    os << "<rect x='" << px_of_via(spec, part.origin.x + min_x) - 3
+       << "' y='" << px_of_via(spec, part.origin.y + min_y) - 3
+       << "' width='" << px_of_via(spec, max_x - min_x) + 6 << "' height='"
+       << px_of_via(spec, max_y - min_y) + 6
+       << "' fill='none' stroke='#444' stroke-width='0.6'/>\n";
+    for (int pin = 0; pin < fp.pin_count(); ++pin) {
+      Point v = board.pin_via(static_cast<PartId>(pi), pin);
+      os << "<circle cx='" << px_of_via(spec, v.x) << "' cy='"
+         << px_of_via(spec, v.y)
+         << "' r='1.6' fill='none' stroke='#222' stroke-width='0.5'/>\n";
+    }
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+std::string svg_string_art(const Board& board, const ConnectionList& conns) {
+  const GridSpec& spec = board.spec();
+  std::ostringstream os;
+  os << svg_open(px_of_via(spec, spec.nx_vias() - 1) + 2,
+                 px_of_via(spec, spec.ny_vias() - 1) + 2, "white");
+  board_frame(os, spec);
+  os << "<g stroke='#333' stroke-width='0.3'>\n";
+  for (const Connection& c : conns) {
+    os << "<line x1='" << px_of_via(spec, c.a.x) << "' y1='"
+       << px_of_via(spec, c.a.y) << "' x2='" << px_of_via(spec, c.b.x)
+       << "' y2='" << px_of_via(spec, c.b.y) << "'/>\n";
+  }
+  os << "</g>\n</svg>\n";
+  return os.str();
+}
+
+std::string svg_signal_layer(const Board& board, const RouteDB& db,
+                             const ConnectionList& conns, LayerId layer,
+                             bool mitered) {
+  const GridSpec& spec = board.spec();
+  const LayerStack& stack = board.stack();
+  std::ostringstream os;
+  os << svg_open(px_of_via(spec, spec.nx_vias() - 1) + 2,
+                 px_of_via(spec, spec.ny_vias() - 1) + 2, "white");
+  board_frame(os, spec);
+
+  // Pads: every drill hole (pin or via) has a pad on every layer.
+  os << "<g fill='black'>\n";
+  const int nl = stack.num_layers();
+  for (Coord vy = 0; vy < spec.ny_vias(); ++vy) {
+    for (Coord vx = 0; vx < spec.nx_vias(); ++vx) {
+      if (stack.via_use_count({vx, vy}) < nl) continue;
+      os << "<circle cx='" << px_of_via(spec, vx) << "' cy='"
+         << px_of_via(spec, vy) << "' r='"
+         << board.rules().via_pad_mils * kScale / 2 << "'/>\n";
+    }
+  }
+  os << "</g>\n";
+
+  os << "<g stroke='black' fill='none' stroke-linejoin='round' "
+        "stroke-width='"
+     << board.rules().trace_width_mils * kScale << "'>\n";
+  for (const Connection& c : conns) {
+    const RouteRecord& r = db.rec(c.id);
+    if (r.status != RouteStatus::kRouted) continue;
+    std::vector<Point> seq;
+    seq.push_back(c.a);
+    seq.insert(seq.end(), r.geom.vias.begin(), r.geom.vias.end());
+    seq.push_back(c.b);
+    for (std::size_t j = 0; j < r.geom.hops.size(); ++j) {
+      if (r.geom.hops[j].layer != layer) continue;
+      HopPolyline poly =
+          hop_polyline(spec, stack, r.geom.hops[j], seq[j], seq[j + 1]);
+      if (mitered) poly = miter45(poly);
+      os << "<polyline points='";
+      for (Point p : poly.points) {
+        os << px_of_grid(spec, p.x) << ',' << px_of_grid(spec, p.y) << ' ';
+      }
+      os << "'/>\n";
+    }
+  }
+  os << "</g>\n</svg>\n";
+  return os.str();
+}
+
+std::string svg_power_plane(const PowerPlaneArt& art) {
+  std::ostringstream os;
+  // Photographic negative: copper is etched away where the image is black.
+  os << svg_open(art.width_mils * kScale + 2, art.height_mils * kScale + 2,
+                 "#c88330");
+  for (const PlaneDisk& d : art.disks) {
+    const char* fill = "black";
+    os << "<circle cx='" << d.center_mils.x * kScale << "' cy='"
+       << d.center_mils.y * kScale << "' r='" << d.radius_mils * kScale
+       << "' fill='" << fill << "'";
+    if (d.feature == PlaneFeature::kThermalRelief) {
+      // Spoked ring: draw the annulus then copper spokes back in.
+      os << " stroke='none'/>\n";
+      os << "<circle cx='" << d.center_mils.x * kScale << "' cy='"
+         << d.center_mils.y * kScale << "' r='" << d.radius_mils * kScale / 2
+         << "' fill='#c88330'/>\n";
+      os << "<path d='M " << (d.center_mils.x - d.radius_mils) * kScale
+         << ' ' << d.center_mils.y * kScale << " H "
+         << (d.center_mils.x + d.radius_mils) * kScale
+         << "' stroke='#c88330' stroke-width='1'/>\n";
+      continue;
+    }
+    os << "/>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << content;
+  return static_cast<bool>(f);
+}
+
+}  // namespace grr

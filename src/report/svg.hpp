@@ -1,0 +1,35 @@
+// SVG rendering of boards, routing problems (Fig 20 string art), routed
+// signal layers (Fig 21, optionally 45-degree mitered) and power planes
+// (Fig 22).
+#pragma once
+
+#include <string>
+
+#include "board/power_plane.hpp"
+#include "route/route_db.hpp"
+#include "route/router.hpp"
+#include "workload/board_gen.hpp"
+
+namespace grr {
+
+/// Placement view: part outlines and pins (Fig 19).
+std::string svg_placement(const Board& board);
+
+/// The routing problem: one straight line per pin-to-pin connection
+/// (Fig 20).
+std::string svg_string_art(const Board& board, const ConnectionList& conns);
+
+/// One routed signal layer: traces of that layer plus all via/pin pads
+/// (Fig 21). With `mitered`, staircase corners are drawn as 45-degree
+/// diagonals, as in the photoplot postprocessing.
+std::string svg_signal_layer(const Board& board, const RouteDB& db,
+                             const ConnectionList& conns, LayerId layer,
+                             bool mitered = true);
+
+/// A power plane negative (Fig 22): etched disks on solid copper.
+std::string svg_power_plane(const PowerPlaneArt& art);
+
+/// Write a string to a file; returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace grr

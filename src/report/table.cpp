@@ -1,0 +1,45 @@
+#include "report/table.hpp"
+
+#include <iomanip>
+
+namespace grr {
+
+Table1Row Table1Row::from_run(const GeneratedBoard& gb,
+                              const RouterStats& stats, double cpu_sec) {
+  Table1Row row;
+  row.board = gb.params.name;
+  row.layers = gb.params.layers;
+  row.conn = static_cast<int>(gb.strung.connections.size());
+  row.pins_in2 = gb.board->pins_per_sq_inch();
+  row.pct_chan = gb.pct_chan;
+  row.pct_lee = stats.pct_lee();
+  row.rip_ups = stats.rip_ups;
+  row.vias_per_conn = stats.vias_per_conn();
+  row.cpu_sec = cpu_sec;
+  row.pct_routed =
+      stats.total ? 100.0 * stats.routed / stats.total : 100.0;
+  return row;
+}
+
+void print_table1(std::ostream& os, const std::vector<Table1Row>& rows) {
+  os << std::left << std::setw(11) << "board" << std::right  //
+     << std::setw(7) << "layers" << std::setw(7) << "conn"   //
+     << std::setw(9) << "pins/in2" << std::setw(8) << "%chan" //
+     << std::setw(7) << "%lee" << std::setw(8) << "ripups"    //
+     << std::setw(7) << "vias" << std::setw(9) << "CPU s"     //
+     << std::setw(9) << "%routed" << '\n';
+  os << std::string(82, '-') << '\n';
+  for (const Table1Row& r : rows) {
+    os << std::left << std::setw(11) << r.board << std::right  //
+       << std::setw(7) << r.layers << std::setw(7) << r.conn   //
+       << std::fixed << std::setprecision(1)                   //
+       << std::setw(9) << r.pins_in2 << std::setw(8) << r.pct_chan
+       << std::setw(7) << r.pct_lee << std::setw(8) << r.rip_ups
+       << std::setprecision(2) << std::setw(7) << r.vias_per_conn
+       << std::setw(9) << r.cpu_sec << std::setprecision(1)
+       << std::setw(8) << r.pct_routed
+       << (r.pct_routed < 100.0 ? " FAIL" : "") << '\n';
+  }
+}
+
+}  // namespace grr

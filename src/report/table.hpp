@@ -1,0 +1,31 @@
+// Table 1 formatting: the per-board results table of the paper's Sec 9.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "route/router.hpp"
+#include "workload/board_gen.hpp"
+
+namespace grr {
+
+struct Table1Row {
+  std::string board;
+  int layers = 0;
+  int conn = 0;
+  double pins_in2 = 0;
+  double pct_chan = 0;
+  double pct_lee = 0;
+  long rip_ups = 0;
+  double vias_per_conn = 0;
+  double cpu_sec = 0;
+  double pct_routed = 100.0;  // < 100 marks a failure, as in row 1
+
+  static Table1Row from_run(const GeneratedBoard& gb,
+                            const RouterStats& stats, double cpu_sec);
+};
+
+void print_table1(std::ostream& os, const std::vector<Table1Row>& rows);
+
+}  // namespace grr

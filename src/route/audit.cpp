@@ -1,0 +1,223 @@
+#include "route/audit.hpp"
+
+#include <sstream>
+
+namespace grr {
+namespace {
+
+std::string str(Point p) {
+  std::ostringstream os;
+  os << p;
+  return os.str();
+}
+
+/// Does a span in `channel` touch grid point p (channel space pc, pv)?
+/// Touching = abutting it in its own channel or covering its along
+/// coordinate from an adjacent channel (one crossing step away).
+bool span_touches(Coord ch, Interval s, Coord pc, Coord pv) {
+  if (ch == pc) return s.hi == pv - 1 || s.lo == pv + 1;
+  if (ch == pc - 1 || ch == pc + 1) return s.contains(pv);
+  return false;
+}
+
+}  // namespace
+
+AuditReport audit_stack(const LayerStack& stack) {
+  AuditReport rep;
+  const GridSpec& spec = stack.spec();
+  const SegmentPool& pool = stack.pool();
+
+  // Recount via coverings while walking every channel.
+  std::vector<int> recount(
+      static_cast<std::size_t>(spec.nx_vias()) * spec.ny_vias(), 0);
+
+  for (int li = 0; li < stack.num_layers(); ++li) {
+    const Layer& layer = stack.layer(static_cast<LayerId>(li));
+    const Interval along = layer.along_extent();
+    const Interval across = layer.across_extent();
+    for (Coord c = across.lo; c <= across.hi; ++c) {
+      const Channel& ch = layer.channel(c);
+      SegId prev = kNoSeg;
+      for (SegId s = ch.head(); s != kNoSeg; s = pool[s].next) {
+        const Segment& seg = pool[s];
+        ++rep.segments_checked;
+        if (seg.prev != prev) {
+          rep.errors.push_back("channel back-link broken at layer " +
+                               std::to_string(li));
+        }
+        if (seg.channel != c || seg.layer != li) {
+          rep.errors.push_back("segment/channel bookkeeping mismatch");
+        }
+        if (seg.span.empty() || !along.contains(seg.span.lo) ||
+            !along.contains(seg.span.hi)) {
+          rep.errors.push_back("segment span outside channel extent");
+        }
+        if (prev != kNoSeg && pool[prev].span.hi >= seg.span.lo) {
+          rep.errors.push_back("overlapping/unsorted segments in channel " +
+                               std::to_string(c) + " layer " +
+                               std::to_string(li));
+        }
+        if (c % spec.period() == 0) {
+          Coord first =
+              ((seg.span.lo + spec.period() - 1) / spec.period()) *
+              spec.period();
+          for (Coord g = first; g <= seg.span.hi; g += spec.period()) {
+            Point via = spec.via_of_grid(layer.point_of(c, g));
+            recount[static_cast<std::size_t>(via.y) * spec.nx_vias() +
+                    via.x]++;
+          }
+        }
+        prev = s;
+      }
+    }
+  }
+
+  if (stack.use_via_map()) {
+    for (Coord vy = 0; vy < spec.ny_vias(); ++vy) {
+      for (Coord vx = 0; vx < spec.nx_vias(); ++vx) {
+        Point v{vx, vy};
+        int want =
+            recount[static_cast<std::size_t>(vy) * spec.nx_vias() + vx];
+        if (stack.via_map().count(v) != want) {
+          rep.errors.push_back("via map stale at " + str(v) + ": map says " +
+                               std::to_string(stack.via_map().count(v)) +
+                               ", layers say " + std::to_string(want));
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+AuditReport audit_routes(const LayerStack& stack, const RouteDB& db,
+                         const ConnectionList& conns) {
+  AuditReport rep;
+  const GridSpec& spec = stack.spec();
+  const SegmentPool& pool = stack.pool();
+
+  for (const Connection& c : conns) {
+    const RouteRecord& r = db.rec(c.id);
+    if (r.status != RouteStatus::kRouted) continue;
+    ++rep.connections_checked;
+    auto fail = [&](const std::string& msg) {
+      rep.errors.push_back("conn " + std::to_string(c.id) + " (" +
+                           str(c.a) + "->" + str(c.b) + "): " + msg);
+    };
+
+    if (c.a == c.b) continue;  // trivial
+
+    // Every live segment belongs to this connection and the trace_next
+    // chain mirrors the record's segment list (Sec 4's trace link).
+    for (std::size_t i = 0; i < r.segs.size(); ++i) {
+      const Segment& seg = pool[r.segs[i]];
+      if (seg.conn != c.id) fail("segment owned by someone else");
+      SegId want_next = (i + 1 < r.segs.size()) ? r.segs[i + 1] : kNoSeg;
+      if (seg.trace_next != want_next) fail("trace link chain broken");
+    }
+
+    // Vias drilled on all layers with the right owner.
+    for (Point v : r.geom.vias) {
+      Point g = spec.grid_of_via(v);
+      for (int li = 0; li < stack.num_layers(); ++li) {
+        if (stack.conn_at(static_cast<LayerId>(li), g) != c.id) {
+          fail("via at " + str(v) + " not covering layer " +
+               std::to_string(li));
+        }
+      }
+    }
+
+    // Electrical continuity through the via sequence.
+    std::vector<Point> seq;
+    seq.push_back(c.a);
+    seq.insert(seq.end(), r.geom.vias.begin(), r.geom.vias.end());
+    seq.push_back(c.b);
+    if (r.geom.hops.size() != seq.size() - 1) {
+      fail("hop count " + std::to_string(r.geom.hops.size()) +
+           " does not chain " + std::to_string(seq.size()) + " vias");
+      continue;
+    }
+    for (std::size_t j = 0; j < r.geom.hops.size(); ++j) {
+      const RouteHop& hop = r.geom.hops[j];
+      const Layer& layer = stack.layer(hop.layer);
+      Point ug = spec.grid_of_via(seq[j]);
+      Point wg = spec.grid_of_via(seq[j + 1]);
+      Coord uc = layer.across_of(ug), uv = layer.along_of(ug);
+      Coord wc = layer.across_of(wg), wv = layer.along_of(wg);
+      if (hop.spans.empty()) {
+        if (manhattan(ug, wg) != 1) fail("empty hop between distant vias");
+        continue;
+      }
+      if (!span_touches(hop.spans.front().channel, hop.spans.front().span,
+                        uc, uv)) {
+        fail("hop " + std::to_string(j) + " start does not touch its via");
+      }
+      if (!span_touches(hop.spans.back().channel, hop.spans.back().span, wc,
+                        wv)) {
+        fail("hop " + std::to_string(j) + " end does not touch its via");
+      }
+      for (std::size_t k = 0; k + 1 < hop.spans.size(); ++k) {
+        const ChannelSpan& s0 = hop.spans[k];
+        const ChannelSpan& s1 = hop.spans[k + 1];
+        if (std::abs(s0.channel - s1.channel) != 1 ||
+            !s0.span.overlaps(s1.span)) {
+          fail("hop " + std::to_string(j) + " discontinuous at span " +
+               std::to_string(k));
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+AuditReport audit_tiles(const LayerStack& stack, const RouteDB& db,
+                        const ConnectionList& conns, const TileMap& tiles) {
+  AuditReport rep;
+  const GridSpec& spec = stack.spec();
+  for (const Connection& c : conns) {
+    const RouteRecord& r = db.rec(c.id);
+    if (r.status != RouteStatus::kRouted) continue;
+    ++rep.connections_checked;
+    for (const RouteHop& hop : r.geom.hops) {
+      const Layer& layer = stack.layer(hop.layer);
+      const bool horiz = layer.orientation() == Orientation::kHorizontal;
+      for (const ChannelSpan& cs : hop.spans) {
+        Rect span_rect =
+            horiz ? Rect{cs.span, {cs.channel, cs.channel}}
+                  : Rect{{cs.channel, cs.channel}, cs.span};
+        for (const Tile& t : tiles.tiles()) {
+          if (t.layer == hop.layer && t.klass != c.klass &&
+              t.rect.overlaps(span_rect)) {
+            rep.errors.push_back("conn " + std::to_string(c.id) +
+                                 " trespasses a foreign tile");
+          }
+        }
+      }
+    }
+    for (Point v : r.geom.vias) {
+      Point g = spec.grid_of_via(v);
+      for (const Tile& t : tiles.tiles()) {
+        if (t.klass != c.klass && t.rect.contains(g)) {
+          rep.errors.push_back("conn " + std::to_string(c.id) +
+                               " via inside a foreign tile");
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+AuditReport audit_all(const LayerStack& stack, const RouteDB& db,
+                      const ConnectionList& conns, const TileMap* tiles) {
+  AuditReport rep = audit_stack(stack);
+  AuditReport routes = audit_routes(stack, db, conns);
+  rep.errors.insert(rep.errors.end(), routes.errors.begin(),
+                    routes.errors.end());
+  rep.connections_checked = routes.connections_checked;
+  if (tiles) {
+    AuditReport tr = audit_tiles(stack, db, conns, *tiles);
+    rep.errors.insert(rep.errors.end(), tr.errors.begin(), tr.errors.end());
+  }
+  return rep;
+}
+
+}  // namespace grr

@@ -1,0 +1,55 @@
+// Search boxes derived from the radius control parameter (paper Sec 8.1,
+// Figs 9 and 11). Radius is measured in via-grid units; boxes are returned
+// in routing-grid coordinates, clamped to the board.
+#pragma once
+
+#include "grid/grid_spec.hpp"
+
+namespace grr {
+
+/// Box for a direct (zero-via) connection attempt between a and b: their
+/// bounding rectangle inflated by radius via pitches on all sides (Fig 9's
+/// strip of accessible vias).
+inline Rect zero_via_box(const GridSpec& spec, Point a_via, Point b_via,
+                         int radius) {
+  Rect r = Rect::bounding(spec.grid_of_via(a_via), spec.grid_of_via(b_via))
+               .inflated(radius * spec.period());
+  return r.intersect(spec.extent());
+}
+
+/// Box for neighbor enumeration from a wavefront point on one layer: a strip
+/// radius via pitches wide in the orthogonal direction, running the full
+/// length of the board in the layer's direction (one arm of Fig 11's cross).
+inline Rect strip_box(const GridSpec& spec, Orientation orient,
+                      Point center_via, int radius) {
+  Point g = spec.grid_of_via(center_via);
+  Coord rg = radius * spec.period();
+  Rect r = spec.extent();
+  if (orient == Orientation::kHorizontal) {
+    r.y = Interval{g.y - rg, g.y + rg}.intersect(r.y);
+  } else {
+    r.x = Interval{g.x - rg, g.x + rg}.intersect(r.x);
+  }
+  return r;
+}
+
+/// Box covering the strips of both hop end points (used when re-tracing a
+/// Lee path: the neighbor relation was discovered from one end's strip, so
+/// the union certainly contains a path).
+inline Rect hull_strip_box(const GridSpec& spec, Orientation orient,
+                           Point u_via, Point w_via, int radius) {
+  Point gu = spec.grid_of_via(u_via);
+  Point gw = spec.grid_of_via(w_via);
+  Coord rg = radius * spec.period();
+  Rect r = spec.extent();
+  if (orient == Orientation::kHorizontal) {
+    r.y = Interval{std::min(gu.y, gw.y) - rg, std::max(gu.y, gw.y) + rg}
+              .intersect(r.y);
+  } else {
+    r.x = Interval{std::min(gu.x, gw.x) - rg, std::max(gu.x, gw.x) + rg}
+              .intersect(r.x);
+  }
+  return r;
+}
+
+}  // namespace grr

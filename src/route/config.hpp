@@ -1,0 +1,59 @@
+// Router control parameters (paper Secs 8.1-8.4) and ablation switches for
+// the experiments of Secs 6, 8.2 and 12.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "layer/free_space.hpp"
+
+namespace grr {
+
+/// Mod 3 cost functions (Sec 8.2). kDistTimesHops is the one grr shipped
+/// with: each via used in a path must bring progress towards the target.
+enum class CostFn : std::uint8_t {
+  kUnitHops,       // cost(n) = cost(p) + 1: original Lee, minimizes vias
+  kDistance,       // cost(n) = distance(n, target): greedy, via-happy
+  kDistTimesHops,  // cost(n) = distance(n, target) * hops(n, source)
+};
+
+struct RouterConfig {
+  /// Orthogonal freedom in via-grid units (Sec 8.1). Typical values are 1
+  /// or 2; larger values reach more vias but block more channels and are
+  /// counterproductive (bench_radius reproduces this).
+  int radius = 1;
+  CostFn cost_fn = CostFn::kDistTimesHops;
+
+  /// Budgets.
+  std::size_t max_lee_expansions = 100000;
+  std::size_t max_trace_nodes = kDefaultMaxFreeNodes;
+  int max_rip_rounds = 25;  // per-connection rip-up rounds before giving up
+  int max_passes = 50;      // outer passes (the progress rule usually stops
+                            // far earlier)
+  /// Half-size of the Obstructions box around a rip-up point, in via units.
+  int rip_box_vias = 2;
+
+  /// Strategy/ablation switches.
+  /// Sec 6 ordering: false routes connections in the order given
+  /// (bench_sorting measures what that costs).
+  bool sort_connections = true;
+  bool enable_zero_via = true;
+  bool enable_one_via = true;
+  /// The rejected two-via divide-and-conquer extension (Sec 8.1): "there
+  /// are usually too many possibilities to examine exhaustively... a
+  /// pre-determined order without concern for local congestion". Off by
+  /// default; bench_two_via reproduces why.
+  bool enable_two_via = false;
+  /// Candidate budget per connection for the two-via strategy.
+  int two_via_max_candidates = 2000;
+  bool enable_lee = true;
+  bool enable_ripup = true;
+  /// Mod 2: spread wavefronts from both ends (false = single wavefront).
+  bool bidirectional = true;
+  /// Steer traces away from via rows/columns so drill sites stay available
+  /// ("running over a via site... is avoided where possible in practice",
+  /// Sec 4). bench_via_avoidance measures what this buys.
+  bool via_avoidance = true;
+};
+
+}  // namespace grr

@@ -1,0 +1,3 @@
+#include "route/connection.hpp"
+
+// Header-only; this file anchors the translation unit for the library.

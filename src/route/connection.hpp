@@ -1,0 +1,32 @@
+// The router's unit of work: one pin-to-pin connection (paper Sec 3).
+//
+// Stringing reduces every net to a list of pin-to-pin connections that can
+// be considered independently and in any order; any realization that makes
+// all of them connects the nets correctly.
+#pragma once
+
+#include <vector>
+
+#include "board/netlist.hpp"
+#include "geom/geom.hpp"
+#include "layer/segment_pool.hpp"
+
+namespace grr {
+
+struct Connection {
+  ConnId id = kNoConn;
+  Point a;  // via-grid coordinates of the two end pins
+  Point b;
+  NetId net = -1;
+  SignalClass klass = SignalClass::kECL;
+  /// Target propagation delay for length tuning (Sec 10.1); 0 = untuned.
+  double target_delay_ns = 0.0;
+
+  /// Via-grid deltas.
+  Coord dx() const { return std::abs(a.x - b.x); }
+  Coord dy() const { return std::abs(a.y - b.y); }
+};
+
+using ConnectionList = std::vector<Connection>;
+
+}  // namespace grr

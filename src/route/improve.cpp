@@ -1,0 +1,95 @@
+#include "route/improve.hpp"
+
+#include <algorithm>
+
+namespace grr {
+namespace {
+
+struct Cost {
+  std::size_t vias;
+  long mils;
+
+  friend bool operator<(const Cost& a, const Cost& b) {
+    return std::tie(a.vias, a.mils) < std::tie(b.vias, b.mils);
+  }
+};
+
+Cost cost_of(Router& router, ConnId id) {
+  const RouteDB& db = router.db();
+  return {db.rec(id).geom.vias.size(),
+          db.length_mils(router.stack().spec(), router.stack(), id)};
+}
+
+}  // namespace
+
+ImproveStats improve_routes(Router& router, const ConnectionList& conns,
+                            int rounds) {
+  ImproveStats stats;
+  RouteDB& db = router.db();
+  LayerStack& stack = router.stack();
+
+  // Totals before.
+  for (const Connection& c : conns) {
+    if (!db.routed(c.id)) continue;
+    Cost cost = cost_of(router, c.id);
+    stats.vias_before += static_cast<long>(cost.vias);
+    stats.mils_before += cost.mils;
+  }
+
+  // The improvement pass must not cannibalize other connections.
+  RouterConfig cfg = router.config();
+  cfg.enable_ripup = false;
+
+  for (int round = 0; round < rounds; ++round) {
+    // Worst first: most vias, then longest.
+    std::vector<const Connection*> order;
+    for (const Connection& c : conns) {
+      if (db.routed(c.id) && !db.rec(c.id).geom.hops.empty()) {
+        order.push_back(&c);
+      }
+    }
+    std::sort(order.begin(), order.end(),
+              [&](const Connection* x, const Connection* y) {
+                return cost_of(router, y->id) < cost_of(router, x->id);
+              });
+
+    bool any = false;
+    for (const Connection* c : order) {
+      ++stats.examined;
+      const Cost before = cost_of(router, c->id);
+      const RouteGeom snapshot = db.rec(c->id).geom;
+      const RouteStrategy snap_strategy = db.rec(c->id).strategy;
+
+      router.unroute(c->id);
+      bool rerouted;
+      {
+        // Route without rip-up under a temporary config.
+        RouterConfig saved = router.config();
+        router.set_config(cfg);
+        rerouted = router.route_connection(*c);
+        router.set_config(saved);
+      }
+      if (rerouted && cost_of(router, c->id) < before) {
+        ++stats.improved;
+        any = true;
+        continue;
+      }
+      // Not better (or failed): restore the original realization.
+      if (rerouted) router.unroute(c->id);
+      db.adopt_geometry(c->id, snapshot, snap_strategy);
+      bool restored = db.try_putback(stack, c->id);
+      (void)restored;
+    }
+    if (!any) break;
+  }
+
+  for (const Connection& c : conns) {
+    if (!db.routed(c.id)) continue;
+    Cost cost = cost_of(router, c.id);
+    stats.vias_after += static_cast<long>(cost.vias);
+    stats.mils_after += cost.mils;
+  }
+  return stats;
+}
+
+}  // namespace grr

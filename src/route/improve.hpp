@@ -1,0 +1,31 @@
+// Post-route cleanup: re-route the ugliest connections and keep the better
+// realization.
+//
+// The paper's tuning methodology was "careful analysis of the router output
+// to find inefficient routing patterns" (Sec 12). Early connections are
+// routed on an empty board and later rip-ups can leave detours behind;
+// once everything is in place, many of them can be re-done better. Each
+// pass unroutes one connection at a time, re-routes it against the now
+// final board, and keeps whichever realization has fewer vias (then less
+// length). Monotone by construction: a worse re-route is rolled back.
+#pragma once
+
+#include "route/router.hpp"
+
+namespace grr {
+
+struct ImproveStats {
+  int examined = 0;
+  int improved = 0;
+  long vias_before = 0;
+  long vias_after = 0;
+  long mils_before = 0;
+  long mils_after = 0;
+};
+
+/// Run `rounds` improvement passes over the routed connections of `conns`.
+/// Connections are processed worst-first (most vias, then longest).
+ImproveStats improve_routes(Router& router, const ConnectionList& conns,
+                            int rounds = 1);
+
+}  // namespace grr

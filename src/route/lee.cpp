@@ -1,0 +1,193 @@
+#include "route/lee.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "route/boxes.hpp"
+
+namespace grr {
+namespace {
+
+std::int64_t cost_of(CostFn fn, Coord dist_to_target, int hops) {
+  switch (fn) {
+    case CostFn::kUnitHops:
+      return hops;
+    case CostFn::kDistance:
+      return dist_to_target;
+    case CostFn::kDistTimesHops:
+      return static_cast<std::int64_t>(dist_to_target) * hops;
+  }
+  return 0;
+}
+
+struct QEntry {
+  std::int64_t cost;
+  std::uint64_t seq;  // FIFO tiebreak: equal-cost points expand in order
+  Point p;
+};
+
+struct QGreater {
+  bool operator()(const QEntry& x, const QEntry& y) const {
+    return std::tie(x.cost, x.seq) > std::tie(y.cost, y.seq);
+  }
+};
+
+}  // namespace
+
+LeeSearch::LeeSearch(const LayerStack& stack) : stack_(stack) {}
+
+std::size_t LeeSearch::via_index(Point v) const {
+  return static_cast<std::size_t>(v.y) * stack_.spec().nx_vias() + v.x;
+}
+
+bool LeeSearch::marked(int side, Point v) const {
+  return marks_[side][via_index(v)].epoch == epoch_;
+}
+
+const LeeSearch::Mark& LeeSearch::mark_of(int side, Point v) const {
+  return marks_[side][via_index(v)];
+}
+
+void LeeSearch::set_mark(int side, Point v, Point parent, LayerId layer,
+                         std::uint16_t hops) {
+  marks_[side][via_index(v)] = {epoch_, parent, layer, hops};
+}
+
+std::vector<Point> LeeSearch::chain(int side, Point from,
+                                    std::vector<LayerId>* layers) const {
+  std::vector<Point> pts;
+  std::vector<LayerId> lyr;
+  Point cur = from;
+  while (true) {
+    pts.push_back(cur);
+    const Mark& m = mark_of(side, cur);
+    if (m.parent == cur) break;  // reached the wavefront source
+    lyr.push_back(m.layer);
+    cur = m.parent;
+  }
+  std::reverse(pts.begin(), pts.end());
+  std::reverse(lyr.begin(), lyr.end());
+  if (layers) *layers = std::move(lyr);
+  return pts;
+}
+
+LeeResult LeeSearch::search(const Connection& c, const RouterConfig& cfg) {
+  const GridSpec& spec = stack_.spec();
+  ++epoch_;
+  const std::size_t n =
+      static_cast<std::size_t>(spec.nx_vias()) * spec.ny_vias();
+  marks_[0].resize(n);
+  marks_[1].resize(n);
+
+  using Queue = std::priority_queue<QEntry, std::vector<QEntry>, QGreater>;
+  Queue q[2];
+  const Point src[2] = {c.a, c.b};
+  const Point tgt[2] = {c.b, c.a};
+  std::uint64_t seq = 0;
+
+  set_mark(0, c.a, c.a, 0, 0);
+  set_mark(1, c.b, c.b, 0, 0);
+  q[0].push({0, seq++, c.a});
+  q[1].push({0, seq++, c.b});
+
+  // Most-progress record per wavefront (Sec 8.3's rip-up point).
+  Coord best_d[2] = {manhattan(c.a, c.b), manhattan(c.a, c.b)};
+  Point best_p[2] = {c.a, c.b};
+
+  LeeResult res;
+  bool meet = false;
+  bool meet_src = false;  // p connects directly to the opposite source
+  Point meet_p{}, meet_v{};
+  LayerId meet_layer = 0;
+  int meet_side = 0;
+
+  int side = 0;
+  while (!meet) {
+    if (!cfg.bidirectional) side = 0;
+    if (q[side].empty()) {
+      res.rip_center = best_p[side];
+      return res;  // blocked: this wavefront is exhausted
+    }
+    const QEntry e = q[side].top();
+    q[side].pop();
+    if (++res.expansions > cfg.max_lee_expansions) {
+      res.budget_exceeded = true;
+      res.rip_center = (best_d[0] <= best_d[1]) ? best_p[0] : best_p[1];
+      return res;
+    }
+    const Point p = e.p;
+    const std::uint16_t p_hops = mark_of(side, p).hops;
+    const Point pg = spec.grid_of_via(p);
+    const Point og = spec.grid_of_via(src[1 - side]);
+
+    for (int li = 0; li < stack_.num_layers() && !meet; ++li) {
+      const Layer& layer = stack_.layer(static_cast<LayerId>(li));
+      Rect box = strip_box(spec, layer.orientation(), p, cfg.radius);
+      FreeSpaceStats st = reachable_vias(
+          layer, stack_.pool(), spec.period(), pg, box,
+          [&](Point g) {
+            if (meet) return;
+            Point v = spec.via_of_grid(g);
+            if (v == p) return;
+            if (!stack_.via_free(v)) return;  // not drillable here
+            if (marked(1 - side, v)) {
+              meet = true;
+              meet_p = p;
+              meet_v = v;
+              meet_layer = static_cast<LayerId>(li);
+              meet_side = side;
+              return;
+            }
+            if (marked(side, v)) return;
+            set_mark(side, v, p, static_cast<LayerId>(li),
+                     static_cast<std::uint16_t>(p_hops + 1));
+            ++res.marks;
+            Coord d = manhattan(v, tgt[side]);
+            q[side].push({cost_of(cfg.cost_fn, d, p_hops + 1), seq++, v});
+            if (d < best_d[side]) {
+              best_d[side] = d;
+              best_p[side] = v;
+            }
+          },
+          cfg.max_trace_nodes, &og);
+      if (!meet && st.touched) {
+        // The free space around p touches the opposite source itself: a
+        // direct trace p -> opposite source exists on this layer.
+        meet = true;
+        meet_src = true;
+        meet_p = p;
+        meet_layer = static_cast<LayerId>(li);
+        meet_side = side;
+      }
+    }
+    side = cfg.bidirectional ? 1 - side : 0;
+  }
+
+  // Assemble the via sequence: source_s .. meet_p, [meet_v .. source_o].
+  std::vector<LayerId> layers_s;
+  res.via_seq = chain(meet_side, meet_p, &layers_s);
+  res.hop_layers = std::move(layers_s);
+  res.hop_layers.push_back(meet_layer);
+  if (meet_src) {
+    res.via_seq.push_back(src[1 - meet_side]);
+  } else {
+    std::vector<LayerId> layers_o;
+    std::vector<Point> chain_o = chain(1 - meet_side, meet_v, &layers_o);
+    // chain_o is [source_o .. meet_v]; append it reversed.
+    for (auto it = chain_o.rbegin(); it != chain_o.rend(); ++it) {
+      res.via_seq.push_back(*it);
+    }
+    for (auto it = layers_o.rbegin(); it != layers_o.rend(); ++it) {
+      res.hop_layers.push_back(*it);
+    }
+  }
+  if (meet_side == 1) {
+    // Normalize to a -> b order.
+    std::reverse(res.via_seq.begin(), res.via_seq.end());
+    std::reverse(res.hop_layers.begin(), res.hop_layers.end());
+  }
+  res.found = true;
+  return res;
+}
+
+}  // namespace grr

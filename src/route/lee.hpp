@@ -1,0 +1,68 @@
+// The generalized Lee's algorithm (paper Sec 8.2) with its three
+// modifications:
+//
+//   Mod 1 — the neighbors of a via are the via sites directly connectable to
+//           it by a one-layer trace (found with Vias per layer, within the
+//           radius strip: the cross of Fig 11);
+//   Mod 2 — wavefronts spread from both ends simultaneously; an exhausted
+//           wavefront signals a blocked connection and identifies the
+//           congested end;
+//   Mod 3 — wavefront lists are kept in increasing cost order, with
+//           cost(n) = distance(n, target) * hops(n, source) by default.
+//
+// The search is read-only: it returns the via sequence and per-hop layers;
+// the router realizes them with Trace and records them in the RouteDB.
+#pragma once
+
+#include <vector>
+
+#include "layer/layer_stack.hpp"
+#include "route/config.hpp"
+#include "route/connection.hpp"
+
+namespace grr {
+
+struct LeeResult {
+  bool found = false;
+  /// On success: the via sequence a..b inclusive and the layer of each hop.
+  std::vector<Point> via_seq;       // via coordinates
+  std::vector<LayerId> hop_layers;  // size via_seq.size()-1
+
+  /// On failure: where to rip up — the point of the exhausted wavefront
+  /// that made the most progress towards its target (Sec 8.3).
+  Point rip_center;
+  bool budget_exceeded = false;
+
+  std::size_t expansions = 0;  // wavefront points expanded
+  std::size_t marks = 0;       // via sites marked
+};
+
+class LeeSearch {
+ public:
+  explicit LeeSearch(const LayerStack& stack);
+
+  LeeResult search(const Connection& c, const RouterConfig& cfg);
+
+ private:
+  struct Mark {
+    std::uint32_t epoch = 0;
+    Point parent;
+    LayerId layer = 0;
+    std::uint16_t hops = 0;
+  };
+
+  std::size_t via_index(Point v) const;
+  bool marked(int side, Point v) const;
+  const Mark& mark_of(int side, Point v) const;
+  void set_mark(int side, Point v, Point parent, LayerId layer,
+                std::uint16_t hops);
+  /// Chain from `from` back to the side's source, returned source-first.
+  std::vector<Point> chain(int side, Point from,
+                           std::vector<LayerId>* layers) const;
+
+  const LayerStack& stack_;
+  std::vector<Mark> marks_[2];
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace grr

@@ -1,0 +1,32 @@
+#include "route/mixed.hpp"
+
+namespace grr {
+
+MixedRouteResult route_mixed(LayerStack& stack, const TileMap& tiles,
+                             const ConnectionList& conns,
+                             const RouterConfig& cfg) {
+  MixedRouteResult result;
+  for (const Connection& c : conns) {
+    (c.klass == SignalClass::kECL ? result.ecl_conns : result.ttl_conns)
+        .push_back(c);
+  }
+
+  result.ok = true;
+  // ECL first: fill TTL tiles, route, unfill (Sec 10.2's order).
+  result.ecl = std::make_unique<Router>(stack, cfg);
+  if (!result.ecl_conns.empty()) {
+    auto filler = tiles.fill_foreign(stack, SignalClass::kECL);
+    result.ok = result.ecl->route_all(result.ecl_conns) && result.ok;
+    TileMap::unfill(stack, filler);
+  }
+
+  result.ttl = std::make_unique<Router>(stack, cfg);
+  if (!result.ttl_conns.empty()) {
+    auto filler = tiles.fill_foreign(stack, SignalClass::kTTL);
+    result.ok = result.ttl->route_all(result.ttl_conns) && result.ok;
+    TileMap::unfill(stack, filler);
+  }
+  return result;
+}
+
+}  // namespace grr

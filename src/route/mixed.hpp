@@ -1,0 +1,35 @@
+// Two-pass routing of mixed ECL/TTL boards (paper Sec 10.2).
+//
+// The board is treated as two separate but superimposed routing problems.
+// Before the ECL pass, all empty space in TTL tiles is filled, making it
+// unavailable for traces or vias; after the pass the filler is removed,
+// and the procedure repeats with the roles swapped.
+#pragma once
+
+#include <memory>
+
+#include "board/tile_map.hpp"
+#include "route/router.hpp"
+
+namespace grr {
+
+struct MixedRouteResult {
+  bool ok = false;
+  /// Per-class routers (and their route databases); index by SignalClass.
+  std::unique_ptr<Router> ecl;
+  std::unique_ptr<Router> ttl;
+  ConnectionList ecl_conns;
+  ConnectionList ttl_conns;
+
+  const Router& router_for(SignalClass k) const {
+    return k == SignalClass::kECL ? *ecl : *ttl;
+  }
+};
+
+/// Split `conns` by signal class and route each class with the other
+/// class's tiles filled. The ECL pass runs first, as in the paper.
+MixedRouteResult route_mixed(LayerStack& stack, const TileMap& tiles,
+                             const ConnectionList& conns,
+                             const RouterConfig& cfg = {});
+
+}  // namespace grr

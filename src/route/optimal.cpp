@@ -1,0 +1,152 @@
+// Optimal connection strategies (paper Sec 8.1): zero-via and one-via
+// solutions under the radius constraint. About 90% of the connections of a
+// completable problem should route here.
+#include <algorithm>
+#include <unordered_set>
+
+#include "route/boxes.hpp"
+#include "route/router.hpp"
+
+namespace grr {
+
+bool Router::place_direct(ConnId id, Point a_via, Point b_via) {
+  const GridSpec& spec = stack_.spec();
+  const Coord dx = std::abs(a_via.x - b_via.x);
+  const Coord dy = std::abs(a_via.y - b_via.y);
+  const Orientation preferred =
+      dx >= dy ? Orientation::kHorizontal : Orientation::kVertical;
+
+  const Point ag = spec.grid_of_via(a_via);
+  const Point bg = spec.grid_of_via(b_via);
+  const Rect box = zero_via_box(spec, a_via, b_via, cfg_.radius);
+
+  // Layers whose orientation matches the dominant direction first.
+  for (int round = 0; round < 2; ++round) {
+    for (int li = 0; li < stack_.num_layers(); ++li) {
+      const Layer& layer = stack_.layer(static_cast<LayerId>(li));
+      const bool is_preferred = layer.orientation() == preferred;
+      if ((round == 0) != is_preferred) continue;
+      // Radius constraint: orthogonal movement on this layer is bounded.
+      const Coord orth =
+          layer.orientation() == Orientation::kHorizontal ? dy : dx;
+      if (orth > cfg_.radius) continue;
+      auto spans = trace_path(layer, stack_.pool(), ag, bg, box,
+                              cfg_.max_trace_nodes, nullptr,
+                              cfg_.via_avoidance ? spec.period() : 0);
+      if (spans) {
+        db_->add_hop(stack_, id, static_cast<LayerId>(li),
+                     std::move(*spans));
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool Router::try_zero_via(const Connection& c) {
+  if (!place_direct(c.id, c.a, c.b)) return false;
+  db_->commit(c.id, RouteStrategy::kZeroVia);
+  return true;
+}
+
+bool Router::one_via_between(ConnId id, Point a, Point b) {
+  const GridSpec& spec = stack_.spec();
+  const int r = cfg_.radius;
+
+  // Candidate intermediate vias live in the (2r+1)^2 squares at the two
+  // diagonally opposite corners of the bounding rectangle (Fig 10),
+  // enumerated best-to-worst: square centers block the fewest channels.
+  struct Cand {
+    int ring;     // Chebyshev distance from its square's center
+    long detour;  // total Manhattan length a->v->b
+    Point v;
+  };
+  std::vector<Cand> cands;
+  const Point corners[2] = {{b.x, a.y}, {a.x, b.y}};
+  for (const Point& corner : corners) {
+    for (Coord dx2 = -r; dx2 <= r; ++dx2) {
+      for (Coord dy2 = -r; dy2 <= r; ++dy2) {
+        Point v{corner.x + dx2, corner.y + dy2};
+        if (!spec.via_in_board(v)) continue;
+        if (v == a || v == b) continue;
+        if (!stack_.via_free(v)) continue;
+        cands.push_back({static_cast<int>(chebyshev(v, corner)),
+                         static_cast<long>(manhattan(a, v)) + manhattan(v, b),
+                         v});
+      }
+    }
+  }
+  std::sort(cands.begin(), cands.end(), [](const Cand& x, const Cand& y) {
+    return std::tie(x.ring, x.detour, x.v.x, x.v.y) <
+           std::tie(y.ring, y.detour, y.v.x, y.v.y);
+  });
+
+  std::unordered_set<Point> tried;  // the two squares can overlap
+  for (const Cand& cand : cands) {
+    if (!tried.insert(cand.v).second) continue;
+    db_->add_via(stack_, id, cand.v);
+    if (place_direct(id, a, cand.v) && place_direct(id, cand.v, b)) {
+      return true;
+    }
+    db_->abort(stack_, id);
+  }
+  return false;
+}
+
+bool Router::try_one_via(const Connection& c) {
+  if (!one_via_between(c.id, c.a, c.b)) return false;
+  db_->commit(c.id, RouteStrategy::kOneVia);
+  return true;
+}
+
+bool Router::try_two_via(const Connection& c) {
+  // Sec 8.1: "When a one-via solution can't be found, one might choose an
+  // intermediate via and attempt a zero-via connection to one of the pins
+  // and a one-via connection to the other... Unfortunately there are
+  // usually too many possibilities to examine exhaustively. The problem is
+  // that the large number of candidate vias is tried in a pre-determined
+  // order without concern for local congestion."
+  const GridSpec& spec = stack_.spec();
+  const int r = cfg_.radius;
+  Rect box = Rect::bounding(c.a, c.b).inflated(r);
+
+  struct Cand {
+    long detour;
+    Point v;
+  };
+  std::vector<Cand> cands;
+  for (Coord vy = std::max<Coord>(box.y.lo, 0);
+       vy <= std::min(box.y.hi, spec.ny_vias() - 1); ++vy) {
+    for (Coord vx = std::max<Coord>(box.x.lo, 0);
+         vx <= std::min(box.x.hi, spec.nx_vias() - 1); ++vx) {
+      Point v{vx, vy};
+      if (v == c.a || v == c.b) continue;
+      if (!stack_.via_free(v)) continue;
+      cands.push_back(
+          {static_cast<long>(manhattan(c.a, v)) + manhattan(v, c.b), v});
+    }
+  }
+  // Pre-determined order: by detour length only — no congestion knowledge.
+  std::sort(cands.begin(), cands.end(), [](const Cand& x, const Cand& y) {
+    return std::tie(x.detour, x.v.x, x.v.y) <
+           std::tie(y.detour, y.v.x, y.v.y);
+  });
+
+  int budget = cfg_.two_via_max_candidates;
+  for (const Cand& cand : cands) {
+    if (budget-- <= 0) break;
+    // Zero-via from pin a to the candidate, one-via from it to pin b
+    // (built in a-to-b order so the realized chain stays canonical).
+    ++stats_.two_via_candidates;
+    db_->add_via(stack_, c.id, cand.v);
+    if (place_direct(c.id, c.a, cand.v) &&
+        one_via_between(c.id, cand.v, c.b)) {
+      db_->commit(c.id, RouteStrategy::kTwoVia);
+      return true;
+    }
+    db_->abort(stack_, c.id);
+  }
+  return false;
+}
+
+}  // namespace grr

@@ -1,0 +1,51 @@
+// Rip-up and put-back (paper Sec 8.3). When both optimal strategies and
+// Lee's algorithm fail, the connections immediately obstructing the point
+// that made the most progress are ripped up; after the blocked connection
+// routes, the victims are re-inserted exactly where they were, and the few
+// that no longer fit are marked for re-routing in a later pass.
+#include <chrono>
+#include <unordered_set>
+
+#include "route/router.hpp"
+
+namespace grr {
+
+int Router::rip_up(const Connection& c, Point center_via) {
+  const GridSpec& spec = stack_.spec();
+  const Point g = spec.grid_of_via(center_via);
+  const Coord rb = cfg_.rip_box_vias * spec.period();
+  const Rect box =
+      Rect{{g.x - rb, g.x + rb}, {g.y - rb, g.y + rb}}.intersect(
+          spec.extent());
+
+  std::unordered_set<ConnId> victims;
+  for (int li = 0; li < stack_.num_layers(); ++li) {
+    obstructions(stack_.layer(static_cast<LayerId>(li)), stack_.pool(), g,
+                 box, [&](ConnId id) {
+                   if (is_rippable(id) && id != c.id && db_->routed(id)) {
+                     victims.insert(id);
+                   }
+                 });
+  }
+  for (ConnId id : victims) {
+    db_->rip(stack_, id);
+    ripped_.push_back(id);
+    ++stats_.rip_ups;
+  }
+  return static_cast<int>(victims.size());
+}
+
+void Router::put_back() {
+  auto start = std::chrono::steady_clock::now();
+  for (ConnId id : ripped_) {
+    // Most victims re-insert verbatim; the rest stay unrouted and are
+    // re-routed by a later pass.
+    db_->try_putback(stack_, id);
+  }
+  ripped_.clear();
+  stats_.sec_putback += std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+}
+
+}  // namespace grr

@@ -1,0 +1,126 @@
+#include "route/route_db.hpp"
+
+#include <cassert>
+
+namespace grr {
+
+void RouteDB::link_tail(LayerStack& stack, RouteRecord& r, SegId s) {
+  if (!r.segs.empty()) stack.pool()[r.segs.back()].trace_next = s;
+  r.segs.push_back(s);
+}
+
+void RouteDB::begin(ConnId id) {
+  RouteRecord& r = mut(id);
+  assert(r.segs.empty());
+  r.geom = RouteGeom{};
+  r.strategy = RouteStrategy::kNone;
+  r.status = RouteStatus::kUnrouted;
+}
+
+void RouteDB::add_via(LayerStack& stack, ConnId id, Point via) {
+  RouteRecord& r = mut(id);
+  for (SegId s : stack.drill_via(via, id)) link_tail(stack, r, s);
+  r.geom.vias.push_back(via);
+}
+
+void RouteDB::add_hop(LayerStack& stack, ConnId id, LayerId layer,
+                      std::vector<ChannelSpan> spans) {
+  RouteRecord& r = mut(id);
+  for (const ChannelSpan& cs : spans) {
+    link_tail(stack, r,
+              stack.insert_span({layer, cs.channel, cs.span}, id));
+  }
+  r.geom.hops.push_back({layer, std::move(spans)});
+}
+
+void RouteDB::commit(ConnId id, RouteStrategy strategy) {
+  RouteRecord& r = mut(id);
+  r.status = RouteStatus::kRouted;
+  r.strategy = strategy;
+}
+
+void RouteDB::abort(LayerStack& stack, ConnId id) {
+  RouteRecord& r = mut(id);
+  for (SegId s : r.segs) stack.erase_segment(s);
+  r.segs.clear();
+  r.geom = RouteGeom{};
+  r.status = RouteStatus::kUnrouted;
+  r.strategy = RouteStrategy::kNone;
+}
+
+void RouteDB::rip(LayerStack& stack, ConnId id) {
+  RouteRecord& r = mut(id);
+  assert(r.status == RouteStatus::kRouted);
+  for (SegId s : r.segs) stack.erase_segment(s);
+  r.segs.clear();
+  r.status = RouteStatus::kUnrouted;
+  ++r.rip_count;
+  // r.geom is kept for try_putback.
+}
+
+void RouteDB::install_geom(LayerStack& stack, ConnId id) {
+  RouteRecord& r = mut(id);
+  for (Point v : r.geom.vias) {
+    for (SegId s : stack.drill_via(v, id)) link_tail(stack, r, s);
+  }
+  for (const RouteHop& hop : r.geom.hops) {
+    for (const ChannelSpan& cs : hop.spans) {
+      link_tail(stack, r,
+                stack.insert_span({hop.layer, cs.channel, cs.span}, id));
+    }
+  }
+}
+
+bool RouteDB::try_putback(LayerStack& stack, ConnId id) {
+  RouteRecord& r = mut(id);
+  if (r.status == RouteStatus::kRouted) return true;
+  if (r.strategy == RouteStrategy::kNone) return false;  // never routed
+  for (Point v : r.geom.vias) {
+    if (!stack.via_free(v)) return false;
+  }
+  for (const RouteHop& hop : r.geom.hops) {
+    for (const ChannelSpan& cs : hop.spans) {
+      if (!stack.span_free({hop.layer, cs.channel, cs.span})) return false;
+    }
+  }
+  install_geom(stack, id);
+  r.status = RouteStatus::kRouted;
+  return true;
+}
+
+void RouteDB::adopt_geometry(ConnId id, RouteGeom geom,
+                             RouteStrategy strategy) {
+  RouteRecord& r = mut(id);
+  assert(r.status == RouteStatus::kUnrouted && r.segs.empty());
+  r.geom = std::move(geom);
+  r.strategy = strategy;
+}
+
+long RouteDB::total_vias() const {
+  long n = 0;
+  for (const RouteRecord& r : recs_) {
+    if (r.status == RouteStatus::kRouted) {
+      n += static_cast<long>(r.geom.vias.size());
+    }
+  }
+  return n;
+}
+
+long RouteDB::length_mils(const GridSpec& spec, const LayerStack& stack,
+                          ConnId id) const {
+  const RouteRecord& r = rec(id);
+  long mils = 0;
+  for (const RouteHop& hop : r.geom.hops) {
+    (void)stack;
+    for (std::size_t i = 0; i < hop.spans.size(); ++i) {
+      const ChannelSpan& cs = hop.spans[i];
+      mils += spec.mils_between(cs.span.lo, cs.span.hi);
+      if (i + 1 < hop.spans.size()) {
+        mils += spec.mils_between(cs.channel, hop.spans[i + 1].channel);
+      }
+    }
+  }
+  return mils;
+}
+
+}  // namespace grr

@@ -1,0 +1,101 @@
+// The route database: per-connection realization state.
+//
+// A realized connection is a chain of traces joined by vias (paper Sec 8).
+// The database records both the live segments (for rip-up) and the abstract
+// geometry (so ripped connections can be re-inserted exactly where they
+// were, at very low cost — Sec 8.3). Segments of one connection are chained
+// through their trace_next links, the paper's "link through each segment
+// [that] connects the segments of a single trace".
+#pragma once
+
+#include <vector>
+
+#include "layer/free_space.hpp"
+#include "layer/layer_stack.hpp"
+#include "route/connection.hpp"
+
+namespace grr {
+
+enum class RouteStatus : std::uint8_t { kUnrouted, kRouted };
+
+enum class RouteStrategy : std::uint8_t {
+  kNone,
+  kTrivial,  // zero-length connection
+  kZeroVia,
+  kOneVia,
+  kLee,
+  kTuned,   // rebuilt by the length tuner (Sec 10.1)
+  kTwoVia,  // the rejected divide-and-conquer extension (Sec 8.1 ablation)
+};
+inline constexpr int kNumRouteStrategies = 7;
+
+/// One trace of a chain: contiguous spans on a single layer.
+struct RouteHop {
+  LayerId layer = 0;
+  std::vector<ChannelSpan> spans;
+};
+
+struct RouteGeom {
+  std::vector<Point> vias;     // intermediate drilled vias (via coordinates)
+  std::vector<RouteHop> hops;  // traces in a-to-b order
+};
+
+struct RouteRecord {
+  RouteStatus status = RouteStatus::kUnrouted;
+  RouteStrategy strategy = RouteStrategy::kNone;
+  RouteGeom geom;
+  std::vector<SegId> segs;  // all live segments (via units + trace spans)
+  int rip_count = 0;        // times this connection has been ripped up
+};
+
+class RouteDB {
+ public:
+  explicit RouteDB(std::size_t num_connections) : recs_(num_connections) {}
+
+  std::size_t size() const { return recs_.size(); }
+  const RouteRecord& rec(ConnId id) const {
+    return recs_[static_cast<std::size_t>(id)];
+  }
+  RouteStatus status(ConnId id) const { return rec(id).status; }
+  bool routed(ConnId id) const {
+    return rec(id).status == RouteStatus::kRouted;
+  }
+
+  /// Start (re)constructing a connection: clear any stale geometry left
+  /// from an earlier rip. The connection must have no live segments.
+  void begin(ConnId id);
+  /// Drill an intermediate via for a connection under construction.
+  void add_via(LayerStack& stack, ConnId id, Point via);
+  /// Place one trace (hop) for a connection under construction.
+  void add_hop(LayerStack& stack, ConnId id, LayerId layer,
+               std::vector<ChannelSpan> spans);
+  /// Finish a successful construction.
+  void commit(ConnId id, RouteStrategy strategy);
+  /// Remove everything placed so far for an uncommitted construction.
+  void abort(LayerStack& stack, ConnId id);
+
+  /// Rip up a routed connection: erase its metal but remember its geometry.
+  void rip(LayerStack& stack, ConnId id);
+  /// Try to re-insert a ripped connection exactly where it was.
+  bool try_putback(LayerStack& stack, ConnId id);
+
+  /// Replace an unrouted connection's remembered geometry (used by the
+  /// length tuner to restore a snapshot before try_putback).
+  void adopt_geometry(ConnId id, RouteGeom geom, RouteStrategy strategy);
+
+  /// Total intermediate vias over all routed connections.
+  long total_vias() const;
+  /// Physical trace length of a routed connection in mils (spans plus the
+  /// orthogonal crossing steps between adjacent channels within each hop).
+  long length_mils(const GridSpec& spec, const LayerStack& stack,
+                   ConnId id) const;
+
+ private:
+  RouteRecord& mut(ConnId id) { return recs_[static_cast<std::size_t>(id)]; }
+  void link_tail(LayerStack& stack, RouteRecord& r, SegId s);
+  void install_geom(LayerStack& stack, ConnId id);
+
+  std::vector<RouteRecord> recs_;
+};
+
+}  // namespace grr

@@ -1,0 +1,168 @@
+#include "route/router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "route/boxes.hpp"
+
+namespace grr {
+namespace {
+
+/// Accumulates wall time into a RouterStats field while in scope.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    sink_ += std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - start_)
+                 .count();
+  }
+
+ private:
+  double& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+Router::Router(LayerStack& stack, RouterConfig cfg)
+    : stack_(stack), cfg_(cfg), lee_(stack) {}
+
+bool Router::try_lee(const Connection& c, Point* rip_center) {
+  ++stats_.lee_searches;
+  LeeResult res = lee_.search(c, cfg_);
+  stats_.lee_expansions += static_cast<long>(res.expansions);
+  if (!res.found) {
+    *rip_center = res.rip_center;
+    return false;
+  }
+
+  // Realize the tentative path: drill the intermediate vias, then construct
+  // each hop with Trace (the links "may all be on different layers").
+  const GridSpec& spec = stack_.spec();
+  for (std::size_t i = 1; i + 1 < res.via_seq.size(); ++i) {
+    db_->add_via(stack_, c.id, res.via_seq[i]);
+  }
+  for (std::size_t j = 0; j + 1 < res.via_seq.size(); ++j) {
+    const Point u = res.via_seq[j];
+    const Point w = res.via_seq[j + 1];
+    const Layer& layer = stack_.layer(res.hop_layers[j]);
+    Rect box =
+        hull_strip_box(spec, layer.orientation(), u, w, cfg_.radius);
+    auto spans =
+        trace_path(layer, stack_.pool(), spec.grid_of_via(u),
+                   spec.grid_of_via(w), box, cfg_.max_trace_nodes, nullptr,
+                   cfg_.via_avoidance ? spec.period() : 0);
+    if (!spans) {
+      // Rare self-interference between hops of this very path: abandon the
+      // attempt; the caller falls through to rip-up around the hop start.
+      db_->abort(stack_, c.id);
+      *rip_center = u;
+      return false;
+    }
+    db_->add_hop(stack_, c.id, res.hop_layers[j], std::move(*spans));
+  }
+  db_->commit(c.id, RouteStrategy::kLee);
+  return true;
+}
+
+bool Router::route_connection(const Connection& c) {
+  assert(db_.has_value());
+  if (db_->routed(c.id)) return true;  // alreadyrouted (Sec 8.4)
+
+  if (c.a == c.b) {
+    db_->begin(c.id);
+    db_->commit(c.id, RouteStrategy::kTrivial);
+    return true;
+  }
+
+  int rounds = 0;
+  while (true) {
+    db_->begin(c.id);
+    {
+      ScopedTimer t(stats_.sec_zero_via);
+      if (cfg_.enable_zero_via && try_zero_via(c)) return true;
+    }
+    {
+      ScopedTimer t(stats_.sec_one_via);
+      if (cfg_.enable_one_via && try_one_via(c)) return true;
+      if (cfg_.enable_two_via && try_two_via(c)) return true;
+    }
+    if (!cfg_.enable_lee) return false;
+    Point rip_center{};
+    {
+      ScopedTimer t(stats_.sec_lee);
+      if (try_lee(c, &rip_center)) return true;
+    }
+    if (!cfg_.enable_ripup || rounds >= cfg_.max_rip_rounds) return false;
+    ScopedTimer t(stats_.sec_ripup);
+    if (rip_up(c, rip_center) == 0) return false;  // nothing left to remove
+    ++rounds;
+    // Restart the attempt from the beginning (Sec 8.3).
+  }
+}
+
+void Router::unroute(ConnId id) {
+  if (db_->routed(id)) db_->rip(stack_, id);
+  db_->begin(id);
+}
+
+bool Router::route_all(const ConnectionList& conns) {
+  conns_ = conns;
+  if (cfg_.sort_connections) sort_connections(conns_);
+
+  ConnId max_id = -1;
+  for (const Connection& c : conns_) max_id = std::max(max_id, c.id);
+  db_.emplace(static_cast<std::size_t>(max_id + 1));
+  stats_ = RouterStats{};
+  stats_.total = static_cast<int>(conns_.size());
+  ripped_.clear();
+
+  auto count_unrouted = [&] {
+    std::size_t n = 0;
+    for (const Connection& c : conns_) {
+      if (!db_->routed(c.id)) ++n;
+    }
+    return n;
+  };
+
+  // One pass suffices in the absence of rip-ups; otherwise further passes
+  // re-do the ripped connections. `progress` is true only while each pass
+  // leaves fewer unrouted connections — this stops infinite looping on
+  // impossible problems (Sec 8.4).
+  std::size_t prev_unrouted = conns_.size() + 1;
+  for (int pass = 0; pass < cfg_.max_passes; ++pass) {
+    const std::size_t unrouted = count_unrouted();
+    if (unrouted == 0 || unrouted >= prev_unrouted) break;
+    prev_unrouted = unrouted;
+    ++stats_.passes;
+    for (const Connection& c : conns_) {
+      if (db_->routed(c.id)) continue;
+      route_connection(c);
+      put_back();
+    }
+  }
+
+  recompute_final_stats();
+  return stats_.failed == 0;
+}
+
+void Router::recompute_final_stats() {
+  stats_.routed = 0;
+  stats_.failed = 0;
+  for (int i = 0; i < kNumRouteStrategies; ++i) stats_.by_strategy[i] = 0;
+  for (const Connection& c : conns_) {
+    const RouteRecord& r = db_->rec(c.id);
+    if (r.status == RouteStatus::kRouted) {
+      ++stats_.routed;
+      ++stats_.by_strategy[static_cast<int>(r.strategy)];
+    } else {
+      ++stats_.failed;
+    }
+  }
+  stats_.vias_added = db_->total_vias();
+}
+
+}  // namespace grr

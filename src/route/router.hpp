@@ -1,0 +1,128 @@
+// The complete router (paper Secs 5-8): connection sorting, optimal zero-
+// and one-via strategies, the generalized Lee's algorithm, and rip-up with
+// put-back, applied as "a collection of strategies of increasing
+// desperation" under a multi-pass loop with the progress rule of Sec 8.4.
+#pragma once
+
+#include <optional>
+
+#include "layer/layer_stack.hpp"
+#include "route/config.hpp"
+#include "route/connection.hpp"
+#include "route/lee.hpp"
+#include "route/route_db.hpp"
+#include "route/sorting.hpp"
+
+namespace grr {
+
+struct RouterStats {
+  int total = 0;
+  int routed = 0;
+  int failed = 0;
+  int by_strategy[kNumRouteStrategies] = {};  // indexed by RouteStrategy
+  long rip_ups = 0;         // connections ripped up (rip events)
+  long vias_added = 0;      // intermediate vias in the final routing
+  long lee_searches = 0;
+  long lee_expansions = 0;
+  long two_via_candidates = 0;  // intermediate vias tried by the ablation
+  int passes = 0;
+
+  /// Per-strategy wall time — the paper's tuning methodology leaned on
+  /// "profiles of the CPU usage of each procedure" (Sec 12); on difficult
+  /// boards Lee's algorithm should dominate ("well over 90% of CPU time").
+  double sec_zero_via = 0;
+  double sec_one_via = 0;
+  double sec_lee = 0;
+  double sec_ripup = 0;
+  double sec_putback = 0;
+
+  /// Percentage of routed connections completed by Lee's algorithm.
+  double pct_lee() const {
+    return routed ? 100.0 *
+                        by_strategy[static_cast<int>(RouteStrategy::kLee)] /
+                        routed
+                  : 0.0;
+  }
+  double vias_per_conn() const {
+    return routed ? static_cast<double>(vias_added) / routed : 0.0;
+  }
+  /// Percentage routed by the optimal (zero-/one-via) strategies; the paper
+  /// wants this around 90% for completable problems.
+  double pct_optimal() const {
+    int opt = by_strategy[static_cast<int>(RouteStrategy::kZeroVia)] +
+              by_strategy[static_cast<int>(RouteStrategy::kOneVia)] +
+              by_strategy[static_cast<int>(RouteStrategy::kTrivial)];
+    return routed ? 100.0 * opt / routed : 0.0;
+  }
+};
+
+class Router {
+ public:
+  explicit Router(LayerStack& stack, RouterConfig cfg = {});
+
+  /// Route a whole problem: sorts the connections, then runs passes until
+  /// everything is routed or a pass makes no progress. Returns true iff all
+  /// connections routed.
+  bool route_all(const ConnectionList& conns);
+
+  /// Route (or re-route) a single connection with the full strategy ladder.
+  /// Rip-up victims are left for put_back(); route_all calls it after every
+  /// connection, external callers (e.g. the length tuner) should too.
+  bool route_connection(const Connection& c);
+
+  /// Re-insert as many ripped-up connections as possible (Sec 8.3).
+  void put_back();
+
+  RouteDB& db() { return *db_; }
+  const RouteDB& db() const { return *db_; }
+  LayerStack& stack() { return stack_; }
+  const RouterConfig& config() const { return cfg_; }
+  /// Swap the active configuration (used by the improvement pass to
+  /// disable rip-up temporarily).
+  void set_config(const RouterConfig& cfg) { cfg_ = cfg; }
+  RouterStats& stats() { return stats_; }
+  const RouterStats& stats() const { return stats_; }
+  const ConnectionList& connections() const { return conns_; }
+
+  /// Remove a routed connection's metal entirely (used by the length tuner
+  /// to rebuild hops). Geometry memory is cleared.
+  void unroute(ConnId id);
+
+ private:
+  friend class LengthTuner;
+  friend class CostFnTuner;
+
+  /// Zero-via attempt (Sec 8.1): on each layer whose orientation satisfies
+  /// the radius constraint, try a direct Trace. Places and commits.
+  bool try_zero_via(const Connection& c);
+  /// Place a direct trace between two via points for connection `id`
+  /// without committing (building block of one-via and tuning).
+  bool place_direct(ConnId id, Point a_via, Point b_via);
+  /// One-via attempt (Sec 8.1): enumerate candidate intermediate vias in
+  /// the two corner squares, best-to-worst. Places and commits.
+  bool try_one_via(const Connection& c);
+  /// One-via placement between arbitrary end points without committing
+  /// (building block of try_one_via and the two-via ablation).
+  bool one_via_between(ConnId id, Point a_via, Point b_via);
+  /// The rejected two-via divide-and-conquer extension (Sec 8.1): pick an
+  /// intermediate via, try zero-via to one pin and one-via to the other,
+  /// over a pre-determined candidate order. Kept for bench_two_via.
+  bool try_two_via(const Connection& c);
+  /// Lee attempt: search then realize (drill + Trace per hop).
+  bool try_lee(const Connection& c, Point* rip_center);
+  /// Rip up the rippable connections near a point (Sec 8.3); returns the
+  /// number of victims.
+  int rip_up(const Connection& c, Point center_via);
+
+  void recompute_final_stats();
+
+  LayerStack& stack_;
+  RouterConfig cfg_;
+  std::optional<RouteDB> db_;
+  LeeSearch lee_;
+  ConnectionList conns_;
+  std::vector<ConnId> ripped_;  // pending put-back
+  RouterStats stats_;
+};
+
+}  // namespace grr

@@ -1,0 +1,30 @@
+#include "route/sorting.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace grr {
+
+void sort_connections(ConnectionList& conns) {
+  std::sort(conns.begin(), conns.end(),
+            [](const Connection& x, const Connection& y) {
+              return sort_key(x) < sort_key(y);
+            });
+}
+
+long long minimal_path_count(Coord dx, Coord dy) {
+  // C(dx+dy, dx) with saturation.
+  const long long kMax = std::numeric_limits<long long>::max();
+  long long r = 1;
+  Coord k = std::min(dx, dy);
+  Coord n = dx + dy;
+  for (Coord i = 1; i <= k; ++i) {
+    // r = r * (n - k + i) / i, guarding overflow.
+    long long factor = n - k + i;
+    if (r > kMax / factor) return kMax;
+    r = r * factor / i;
+  }
+  return r;
+}
+
+}  // namespace grr

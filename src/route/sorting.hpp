@@ -1,0 +1,35 @@
+// Connection sorting (paper Sec 6).
+//
+// The easiest connection is the one with the fewest minimal Manhattan paths
+// between its end points — C(dx+dy, dx) of them. An approximation of that
+// ordering sorts by min(dx,dy) first (straightness) and max(dx,dy) second
+// (length within straightness): the shortest straight connections first,
+// the longest diagonal connections last.
+#pragma once
+
+#include "route/connection.hpp"
+
+namespace grr {
+
+struct ConnectionSortKey {
+  Coord straightness;  // min(dx, dy)
+  Coord length;        // max(dx, dy)
+  ConnId id;           // deterministic tiebreak
+
+  friend auto operator<=>(const ConnectionSortKey&,
+                          const ConnectionSortKey&) = default;
+};
+
+inline ConnectionSortKey sort_key(const Connection& c) {
+  Coord dx = c.dx(), dy = c.dy();
+  return {std::min(dx, dy), std::max(dx, dy), c.id};
+}
+
+/// Sort easiest-first.
+void sort_connections(ConnectionList& conns);
+
+/// Exact number of minimal Manhattan paths C(dx+dy, dx), saturating at
+/// INT64_MAX (used by tests to validate the approximation).
+long long minimal_path_count(Coord dx, Coord dy);
+
+}  // namespace grr

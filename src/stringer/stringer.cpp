@@ -1,0 +1,222 @@
+#include "stringer/stringer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace grr {
+namespace {
+
+struct Chain {
+  std::vector<Point> points;  // via coordinates, in chain order
+  int terminator = -1;        // index into board.terminators(), or -1
+  long length = 0;
+};
+
+long chain_length(const std::vector<Point>& pts) {
+  long len = 0;
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    len += manhattan(pts[i], pts[i + 1]);
+  }
+  return len;
+}
+
+/// Greedy nearest-neighbor chain from a fixed starting pin. `eligible`
+/// enforces the all-outputs-before-inputs rule for ECL nets.
+Chain greedy_chain(const Board& board, const Net& net, std::size_t start,
+                   const std::vector<char>& term_used) {
+  const std::size_t n = net.pins.size();
+  std::vector<char> visited(n, 0);
+  std::vector<Point> vias(n);
+  std::size_t outputs_left = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    vias[i] = board.pin_via(net.pins[i]);
+    if (net.pins[i].role == PinRole::kOutput) ++outputs_left;
+  }
+
+  Chain chain;
+  chain.points.push_back(vias[start]);
+  visited[start] = 1;
+  if (net.pins[start].role == PinRole::kOutput) --outputs_left;
+
+  for (std::size_t step = 1; step < n; ++step) {
+    Point cur = chain.points.back();
+    long best = std::numeric_limits<long>::max();
+    std::size_t best_i = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (visited[i]) continue;
+      // While unvisited outputs remain, only outputs may be appended.
+      if (outputs_left > 0 && net.pins[i].role != PinRole::kOutput) continue;
+      long d = manhattan(cur, vias[i]);
+      if (d < best) {
+        best = d;
+        best_i = i;
+      }
+    }
+    visited[best_i] = 1;
+    if (net.pins[best_i].role == PinRole::kOutput) --outputs_left;
+    chain.points.push_back(vias[best_i]);
+  }
+
+  if (net.needs_terminator && !board.terminators().empty()) {
+    Point tail = chain.points.back();
+    long best = std::numeric_limits<long>::max();
+    for (std::size_t t = 0; t < board.terminators().size(); ++t) {
+      if (term_used[t]) continue;
+      long d = manhattan(tail, board.pin_via(board.terminators()[t]));
+      if (d < best) {
+        best = d;
+        chain.terminator = static_cast<int>(t);
+      }
+    }
+    if (chain.terminator >= 0) {
+      chain.points.push_back(
+          board.pin_via(board.terminators()[static_cast<std::size_t>(
+              chain.terminator)]));
+    }
+  }
+  chain.length = chain_length(chain.points);
+  return chain;
+}
+
+Chain random_chain(const Board& board, const Net& net,
+                   const std::vector<char>& term_used, std::mt19937& rng) {
+  std::vector<std::size_t> outs, ins;
+  for (std::size_t i = 0; i < net.pins.size(); ++i) {
+    (net.pins[i].role == PinRole::kOutput ? outs : ins).push_back(i);
+  }
+  std::shuffle(outs.begin(), outs.end(), rng);
+  std::shuffle(ins.begin(), ins.end(), rng);
+
+  Chain chain;
+  for (std::size_t i : outs) chain.points.push_back(board.pin_via(net.pins[i]));
+  for (std::size_t i : ins) chain.points.push_back(board.pin_via(net.pins[i]));
+
+  if (net.needs_terminator && !board.terminators().empty()) {
+    std::vector<std::size_t> free_terms;
+    for (std::size_t t = 0; t < board.terminators().size(); ++t) {
+      if (!term_used[t]) free_terms.push_back(t);
+    }
+    if (!free_terms.empty()) {
+      std::uniform_int_distribution<std::size_t> pick(0,
+                                                      free_terms.size() - 1);
+      chain.terminator = static_cast<int>(free_terms[pick(rng)]);
+      chain.points.push_back(
+          board.pin_via(board.terminators()[static_cast<std::size_t>(
+              chain.terminator)]));
+    }
+  }
+  chain.length = chain_length(chain.points);
+  return chain;
+}
+
+/// Prim's minimum spanning tree over the net's pins; the edges become the
+/// pin-to-pin connections. Strictly no longer than any chain through the
+/// same pins.
+std::vector<std::pair<Point, Point>> spanning_tree_edges(
+    const std::vector<Point>& pts) {
+  std::vector<std::pair<Point, Point>> edges;
+  if (pts.size() < 2) return edges;
+  std::vector<char> in_tree(pts.size(), 0);
+  std::vector<long> best(pts.size(), std::numeric_limits<long>::max());
+  std::vector<std::size_t> parent(pts.size(), 0);
+  in_tree[0] = 1;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    best[i] = manhattan(pts[0], pts[i]);
+  }
+  for (std::size_t added = 1; added < pts.size(); ++added) {
+    std::size_t pick = 0;
+    long pick_d = std::numeric_limits<long>::max();
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (!in_tree[i] && best[i] < pick_d) {
+        pick = i;
+        pick_d = best[i];
+      }
+    }
+    in_tree[pick] = 1;
+    edges.emplace_back(pts[parent[pick]], pts[pick]);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (in_tree[i]) continue;
+      long d = manhattan(pts[pick], pts[i]);
+      if (d < best[i]) {
+        best[i] = d;
+        parent[i] = pick;
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+StringingResult string_nets(const Board& board, StringingMethod method,
+                            std::uint32_t seed) {
+  const Netlist& nl = board.netlist();
+  StringingResult result;
+  result.terminators.assign(nl.nets.size(), NetPin{-1, 0, PinRole::kInput});
+  std::vector<char> term_used(board.terminators().size(), 0);
+  std::mt19937 rng(seed);
+  ConnId next_id = 0;
+
+  for (std::size_t ni = 0; ni < nl.nets.size(); ++ni) {
+    const Net& net = nl.nets[ni];
+    if (net.pins.empty()) continue;
+
+    // Tree stringing applies only where pin order is unimportant; ECL
+    // transmission lines must stay chains.
+    if (method == StringingMethod::kSpanningTree &&
+        net.klass == SignalClass::kTTL) {
+      std::vector<Point> pts;
+      pts.reserve(net.pins.size());
+      for (const NetPin& np : net.pins) pts.push_back(board.pin_via(np));
+      for (const auto& [a, b] : spanning_tree_edges(pts)) {
+        Connection c;
+        c.id = next_id++;
+        c.a = a;
+        c.b = b;
+        c.net = static_cast<NetId>(ni);
+        c.klass = net.klass;
+        result.connections.push_back(c);
+        result.total_manhattan += manhattan(a, b);
+      }
+      continue;
+    }
+
+    Chain best;
+    if (method == StringingMethod::kRandom) {
+      best = random_chain(board, net, term_used, rng);
+    } else {
+      // Legal starts: any output pin; any pin if the net has no outputs
+      // (TTL nets where pin order is unimportant).
+      bool has_output = std::any_of(
+          net.pins.begin(), net.pins.end(),
+          [](const NetPin& p) { return p.role == PinRole::kOutput; });
+      best.length = std::numeric_limits<long>::max();
+      for (std::size_t s = 0; s < net.pins.size(); ++s) {
+        if (has_output && net.pins[s].role != PinRole::kOutput) continue;
+        Chain c = greedy_chain(board, net, s, term_used);
+        if (c.length < best.length) best = std::move(c);
+      }
+    }
+
+    if (best.terminator >= 0) {
+      term_used[static_cast<std::size_t>(best.terminator)] = 1;
+      result.terminators[ni] =
+          board.terminators()[static_cast<std::size_t>(best.terminator)];
+    }
+    result.total_manhattan += best.length;
+
+    for (std::size_t i = 0; i + 1 < best.points.size(); ++i) {
+      Connection c;
+      c.id = next_id++;
+      c.a = best.points[i];
+      c.b = best.points[i + 1];
+      c.net = static_cast<NetId>(ni);
+      c.klass = net.klass;
+      result.connections.push_back(c);
+    }
+  }
+  return result;
+}
+
+}  // namespace grr

@@ -1,0 +1,213 @@
+#include "timing/timing.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace grr {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+std::uint64_t pin_key(PartId part, int pin) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(part))
+          << 32) |
+         static_cast<std::uint32_t>(pin);
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> net_pin_delays(
+    const Board& board, const StringingResult& strung, const RouteDB* db,
+    const DelayModel& model) {
+  const GridSpec& spec = board.spec();
+  const Netlist& nl = board.netlist();
+
+  // Connections per net, in stringer order.
+  std::vector<std::vector<const Connection*>> by_net(nl.nets.size());
+  for (const Connection& c : strung.connections) {
+    if (c.net >= 0 && static_cast<std::size_t>(c.net) < by_net.size()) {
+      by_net[static_cast<std::size_t>(c.net)].push_back(&c);
+    }
+  }
+
+  auto conn_delay = [&](const Connection& c) {
+    if (db != nullptr && db->routed(c.id) &&
+        !db->rec(c.id).geom.hops.empty()) {
+      return model.route_delay_ns(spec, db->rec(c.id).geom);
+    }
+    // Pre-routing estimate: Manhattan length at inner-layer speed.
+    return manhattan(c.a, c.b) * spec.via_pitch_mils() /
+           model.inner_mils_per_ns;
+  };
+
+  std::vector<std::vector<double>> delays(nl.nets.size());
+  for (std::size_t ni = 0; ni < nl.nets.size(); ++ni) {
+    const Net& net = nl.nets[ni];
+    delays[ni].assign(net.pins.size(), 0.0);
+    if (by_net[ni].empty() || net.pins.empty()) continue;
+
+    // Accumulate delay from the chain/tree start by relaxation over the
+    // net's connection graph (handles chain and spanning-tree stringing).
+    std::unordered_map<Point, double> at;
+    at[by_net[ni].front()->a] = 0.0;
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const Connection* c : by_net[ni]) {
+        auto ia = at.find(c->a);
+        auto ib = at.find(c->b);
+        double d = conn_delay(*c);
+        if (ia != at.end() && ib == at.end()) {
+          at[c->b] = ia->second + d;
+          grew = true;
+        } else if (ib != at.end() && ia == at.end()) {
+          at[c->a] = ib->second + d;
+          grew = true;
+        }
+      }
+    }
+    for (std::size_t pi = 0; pi < net.pins.size(); ++pi) {
+      auto it = at.find(board.pin_via(net.pins[pi]));
+      delays[ni][pi] = it != at.end() ? it->second : 0.0;
+    }
+  }
+  return delays;
+}
+
+TimingReport verify_timing(const Board& board, const StringingResult& strung,
+                           const RouteDB* db, const DelayModel& model,
+                           const TimingSpec& spec) {
+  TimingReport report;
+  const Netlist& nl = board.netlist();
+
+  // Node table: every (part, pin) seen in arcs, nets or spec pins.
+  std::unordered_map<std::uint64_t, int> node_of;
+  std::vector<NetPin> pin_of_node;
+  auto node = [&](PartId part, int pin) {
+    auto [it, fresh] =
+        node_of.try_emplace(pin_key(part, pin),
+                            static_cast<int>(pin_of_node.size()));
+    if (fresh) pin_of_node.push_back({part, pin, PinRole::kInput});
+    return it->second;
+  };
+
+  // Register the spec's end points first so the graph and the topological
+  // order cover them even when they touch no arc or net.
+  for (const NetPin& p : spec.launch_pins) node(p.part, p.pin);
+  for (const NetPin& p : spec.capture_pins) node(p.part, p.pin);
+
+  struct Edge {
+    int to;
+    double delay;
+    bool net;
+  };
+  std::vector<std::vector<Edge>> out;
+  auto add_edge = [&](int from, int to, double delay, bool is_net) {
+    out.resize(pin_of_node.size());
+    out[static_cast<std::size_t>(from)].push_back({to, delay, is_net});
+  };
+
+  for (const TimingArc& arc : spec.arcs) {
+    add_edge(node(arc.part, arc.from_pin), node(arc.part, arc.to_pin),
+             arc.delay_ns, false);
+  }
+
+  std::vector<std::vector<double>> ndel =
+      net_pin_delays(board, strung, db, model);
+  for (std::size_t ni = 0; ni < nl.nets.size(); ++ni) {
+    const Net& net = nl.nets[ni];
+    if (net.pins.size() < 2) continue;
+    // The driver is the first output pin (the stringer's chain start).
+    std::size_t drv = 0;
+    for (std::size_t pi = 0; pi < net.pins.size(); ++pi) {
+      if (net.pins[pi].role == PinRole::kOutput) {
+        drv = pi;
+        break;
+      }
+    }
+    int from = node(net.pins[drv].part, net.pins[drv].pin);
+    for (std::size_t pi = 0; pi < net.pins.size(); ++pi) {
+      if (pi == drv) continue;
+      add_edge(from, node(net.pins[pi].part, net.pins[pi].pin),
+               ndel[ni][pi] - ndel[ni][drv], true);
+    }
+  }
+
+  const std::size_t n = pin_of_node.size();
+  out.resize(n);
+
+  // Kahn topological order; a cycle means combinational feedback.
+  std::vector<int> indeg(n, 0);
+  for (const auto& edges : out) {
+    for (const Edge& e : edges) ++indeg[static_cast<std::size_t>(e.to)];
+  }
+  std::deque<int> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) ready.push_back(static_cast<int>(i));
+  }
+  std::vector<int> topo;
+  while (!ready.empty()) {
+    int v = ready.front();
+    ready.pop_front();
+    topo.push_back(v);
+    for (const Edge& e : out[static_cast<std::size_t>(v)]) {
+      if (--indeg[static_cast<std::size_t>(e.to)] == 0) {
+        ready.push_back(e.to);
+      }
+    }
+  }
+  if (topo.size() != n) {
+    report.error = "combinational cycle in the timing graph";
+    return report;
+  }
+
+  // Longest arrival from the launch pins.
+  std::vector<double> arrival(n, kNegInf);
+  std::vector<int> parent(n, -1);
+  std::vector<char> via_net(n, 0);
+  for (const NetPin& lp : spec.launch_pins) {
+    arrival[static_cast<std::size_t>(node(lp.part, lp.pin))] = 0.0;
+  }
+
+  for (int v : topo) {
+    if (arrival[static_cast<std::size_t>(v)] == kNegInf) continue;
+    for (const Edge& e : out[static_cast<std::size_t>(v)]) {
+      double t = arrival[static_cast<std::size_t>(v)] + e.delay;
+      if (t > arrival[static_cast<std::size_t>(e.to)]) {
+        arrival[static_cast<std::size_t>(e.to)] = t;
+        parent[static_cast<std::size_t>(e.to)] = v;
+        via_net[static_cast<std::size_t>(e.to)] = e.net;
+      }
+    }
+  }
+
+  int worst_node = -1;
+  for (const NetPin& cp : spec.capture_pins) {
+    int v = node(cp.part, cp.pin);
+    double t = arrival[static_cast<std::size_t>(v)];
+    if (t != kNegInf && (worst_node < 0 || t > report.worst_ns)) {
+      report.worst_ns = t;
+      worst_node = v;
+    }
+  }
+  if (worst_node < 0) {
+    report.error = "no capture pin is reachable from a launch pin";
+    return report;
+  }
+
+  for (int v = worst_node; v >= 0; v = parent[static_cast<std::size_t>(v)]) {
+    report.critical_path.push_back(
+        {pin_of_node[static_cast<std::size_t>(v)].part,
+         pin_of_node[static_cast<std::size_t>(v)].pin,
+         arrival[static_cast<std::size_t>(v)],
+         static_cast<bool>(via_net[static_cast<std::size_t>(v)])});
+  }
+  std::reverse(report.critical_path.begin(), report.critical_path.end());
+  report.worst_slack_ns =
+      spec.clock_period_ns > 0 ? spec.clock_period_ns - report.worst_ns : 0;
+  report.ok = true;
+  return report;
+}
+
+}  // namespace grr

@@ -1,0 +1,68 @@
+// Static timing verification.
+//
+// The Titan placement effort was "devoted to shortening the critical
+// timing paths found by the timing verifier" (paper Sec 13), and length
+// tuning exists because trace delay is delay (Sec 10.1). This module is
+// that verifier: combinational delays propagate through part arcs
+// (pin-to-pin, from a component library) and through nets (trace delay of
+// the realized routing, via the DelayModel; Manhattan estimates before
+// routing). Longest arrival times are computed over the timing graph and
+// reported against a clock period as slack, with the critical path
+// retraced pin by pin.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "board/board.hpp"
+#include "route/route_db.hpp"
+#include "stringer/stringer.hpp"
+#include "tune/delay_model.hpp"
+
+namespace grr {
+
+/// A combinational delay arc through a part (input pin -> output pin).
+struct TimingArc {
+  PartId part = -1;
+  int from_pin = 0;
+  int to_pin = 0;
+  double delay_ns = 0;
+};
+
+struct TimingSpec {
+  std::vector<TimingArc> arcs;
+  /// Path start points (register outputs / primary inputs): (part, pin).
+  std::vector<NetPin> launch_pins;
+  /// Path end points (register inputs / primary outputs).
+  std::vector<NetPin> capture_pins;
+  double clock_period_ns = 0;  // 0 = report delays only, no slack check
+};
+
+struct TimingPathStep {
+  PartId part = -1;
+  int pin = 0;
+  double arrival_ns = 0;
+  bool through_net = false;  // reached over a net (vs a part arc)
+};
+
+struct TimingReport {
+  bool ok = false;       // graph acyclic and spec resolvable
+  std::string error;
+  double worst_ns = 0;   // latest arrival at any capture pin
+  double worst_slack_ns = 0;  // clock period minus worst arrival
+  std::vector<TimingPathStep> critical_path;  // launch -> capture
+};
+
+/// Delay of every net pin relative to the net's chain start, derived from
+/// the stringer's chain order and the realized routing (`db` may be null:
+/// Manhattan estimates are used for unrouted connections).
+std::vector<std::vector<double>> net_pin_delays(
+    const Board& board, const StringingResult& strung, const RouteDB* db,
+    const DelayModel& model);
+
+TimingReport verify_timing(const Board& board, const StringingResult& strung,
+                           const RouteDB* db, const DelayModel& model,
+                           const TimingSpec& spec);
+
+}  // namespace grr

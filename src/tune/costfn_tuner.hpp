@@ -1,0 +1,44 @@
+// The first, rejected implementation of length tuning (paper Sec 10.1):
+// a modified Lee cost function selecting points whose total path delay from
+// the source plus estimated delay to the destination is close to the target
+// delay.
+//
+// The paper reports that the estimate is unreliable — a path may be built on
+// fast layers, slow layers or a mixture, and need not be close to Manhattan
+// length — so the search is overwhelmed with plausible but unacceptable
+// solutions and runs unacceptably slowly. This implementation is kept so
+// bench_tuning can reproduce that comparison against the detour method.
+#pragma once
+
+#include "route/router.hpp"
+#include "tune/delay_model.hpp"
+
+namespace grr {
+
+struct CostFnTuneResult {
+  bool success = false;
+  double achieved_ns = 0.0;
+  double target_ns = 0.0;
+  std::size_t expansions = 0;
+  int false_solutions = 0;  // candidate paths whose realized delay missed
+};
+
+class CostFnTuner {
+ public:
+  CostFnTuner(Router& router, DelayModel model, double tolerance_ns = 0.02)
+      : router_(router), model_(model), tol_(tolerance_ns) {}
+
+  /// Tune one (currently unrouted) connection by delay-targeted search.
+  CostFnTuneResult tune(const Connection& c,
+                        std::size_t max_expansions = 20000,
+                        int max_candidates = 64);
+
+ private:
+  bool realize(const Connection& c, const std::vector<Point>& seq);
+
+  Router& router_;
+  DelayModel model_;
+  double tol_;
+};
+
+}  // namespace grr

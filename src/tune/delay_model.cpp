@@ -1,0 +1,36 @@
+#include "tune/delay_model.hpp"
+
+namespace grr {
+
+double DelayModel::hop_delay_ns(const GridSpec& spec,
+                                const RouteHop& hop) const {
+  long mils = 0;
+  for (std::size_t i = 0; i < hop.spans.size(); ++i) {
+    const ChannelSpan& cs = hop.spans[i];
+    mils += spec.mils_between(cs.span.lo, cs.span.hi);
+    if (i + 1 < hop.spans.size()) {
+      mils += spec.mils_between(cs.channel, hop.spans[i + 1].channel);
+    }
+  }
+  return mils / mils_per_ns(hop.layer);
+}
+
+double DelayModel::route_delay_ns(const GridSpec& spec,
+                                  const RouteGeom& geom) const {
+  double ns = 0;
+  for (const RouteHop& hop : geom.hops) ns += hop_delay_ns(spec, hop);
+  return ns;
+}
+
+double DelayModel::min_delay_ns(const GridSpec& spec, Point a_via,
+                                Point b_via) const {
+  double fastest = inner_mils_per_ns;
+  for (int l = 0; l < num_layers; ++l) {
+    fastest = std::max(fastest, mils_per_ns(static_cast<LayerId>(l)));
+  }
+  long mils =
+      static_cast<long>(manhattan(a_via, b_via)) * spec.via_pitch_mils();
+  return mils / fastest;
+}
+
+}  // namespace grr

@@ -1,0 +1,38 @@
+// Signal propagation delay model (paper Sec 10.1).
+//
+// In epoxy/glass boards signals propagate at about six inches per
+// nanosecond; the two outer layers are about 10% faster than inner layers,
+// which is precisely what made the cost-function approach to length tuning
+// unreliable.
+#pragma once
+
+#include "grid/grid_spec.hpp"
+#include "route/route_db.hpp"
+
+namespace grr {
+
+struct DelayModel {
+  double inner_mils_per_ns = 6000.0;  // six inches per nanosecond
+  double outer_speedup = 1.10;        // outer layers are ~10% faster
+  int num_layers = 2;
+
+  bool is_outer(LayerId l) const {
+    return l == 0 || static_cast<int>(l) == num_layers - 1;
+  }
+  double mils_per_ns(LayerId l) const {
+    return is_outer(l) ? inner_mils_per_ns * outer_speedup
+                       : inner_mils_per_ns;
+  }
+
+  /// Delay of one hop: trace length on its layer at that layer's speed.
+  double hop_delay_ns(const GridSpec& spec, const RouteHop& hop) const;
+
+  /// Delay of a whole realized connection.
+  double route_delay_ns(const GridSpec& spec, const RouteGeom& geom) const;
+
+  /// Lower bound: the Manhattan path on the fastest layer. Target delays
+  /// below this are unachievable.
+  double min_delay_ns(const GridSpec& spec, Point a_via, Point b_via) const;
+};
+
+}  // namespace grr

@@ -1,0 +1,137 @@
+#include "tune/length_tuner.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace grr {
+
+bool LengthTuner::place_via_path(const Connection& c,
+                                 const std::vector<Point>& seq) {
+  RouteDB& db = router_.db();
+  LayerStack& stack = router_.stack();
+  db.begin(c.id);
+  for (std::size_t i = 1; i + 1 < seq.size(); ++i) {
+    if (!stack.via_free(seq[i])) {
+      db.abort(stack, c.id);
+      return false;
+    }
+    db.add_via(stack, c.id, seq[i]);
+  }
+  for (std::size_t j = 0; j + 1 < seq.size(); ++j) {
+    if (!router_.place_direct(c.id, seq[j], seq[j + 1])) {
+      db.abort(stack, c.id);
+      return false;
+    }
+  }
+  db.commit(c.id, RouteStrategy::kTuned);
+  return true;
+}
+
+TuneResult LengthTuner::tune(const Connection& c, int max_iterations) {
+  RouteDB& db = router_.db();
+  LayerStack& stack = router_.stack();
+  const GridSpec& spec = stack.spec();
+  const int r = router_.config().radius;
+
+  TuneResult res;
+  res.target_ns = c.target_delay_ns;
+  if (!db.routed(c.id)) {
+    if (!router_.route_connection(c)) return res;
+    router_.put_back();
+  }
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    res.iterations = iter + 1;
+    const RouteGeom snapshot = db.rec(c.id).geom;
+    const RouteStrategy snap_strategy = db.rec(c.id).strategy;
+    const double cur = model_.route_delay_ns(spec, snapshot);
+    res.achieved_ns = cur;
+    if (cur >= res.target_ns - tol_) {
+      res.success = cur <= res.target_ns + tol_;
+      return res;  // tuned, or already too slow to fix by stretching
+    }
+
+    // Between every pair of adjacent pins/vias in the shorter path, attempt
+    // a two-via detour jogging `d` via units orthogonally to the hop.
+    std::vector<Point> seq;
+    seq.push_back(c.a);
+    seq.insert(seq.end(), snapshot.vias.begin(), snapshot.vias.end());
+    seq.push_back(c.b);
+
+    bool improved = false;
+    for (std::size_t j = 0; !improved && j < snapshot.hops.size(); ++j) {
+      const Orientation o =
+          stack.layer(snapshot.hops[j].layer).orientation();
+      for (int d = 1; !improved && d <= r; ++d) {
+        for (int sign : {+1, -1}) {
+          Point off = (o == Orientation::kHorizontal)
+                          ? Point{0, sign * d}
+                          : Point{sign * d, 0};
+          Point v1{seq[j].x + off.x, seq[j].y + off.y};
+          Point v2{seq[j + 1].x + off.x, seq[j + 1].y + off.y};
+          if (!spec.via_in_board(v1) || !spec.via_in_board(v2)) continue;
+          if (v1 == v2) continue;
+          if (!stack.via_free(v1) || !stack.via_free(v2)) continue;
+
+          std::vector<Point> trial = seq;
+          trial.insert(trial.begin() + static_cast<std::ptrdiff_t>(j + 1),
+                       {v1, v2});
+
+          router_.unroute(c.id);
+          bool placed = place_via_path(c, trial);
+          if (placed) {
+            double nd = model_.route_delay_ns(spec, db.rec(c.id).geom);
+            if (nd > cur + 1e-9 && nd <= res.target_ns + tol_) {
+              ++res.detours_added;
+              improved = true;
+              break;
+            }
+            router_.unroute(c.id);  // overshoot or no gain: roll back
+          }
+          db.adopt_geometry(c.id, snapshot, snap_strategy);
+          bool restored = db.try_putback(stack, c.id);
+          assert(restored);
+          (void)restored;
+        }
+      }
+    }
+    if (!improved) return res;  // no acceptable detour exists
+  }
+  return res;
+}
+
+int LengthTuner::tune_all(const ConnectionList& tuned, int max_iterations) {
+  int ok = 0;
+  for (const Connection& c : tuned) {
+    if (tune(c, max_iterations).success) ++ok;
+  }
+  return ok;
+}
+
+int equalize_delays(Router& router, ConnectionList& conns,
+                    const DelayModel& model, double tolerance_ns,
+                    int max_iterations) {
+  const GridSpec& spec = router.stack().spec();
+  RouteDB& db = router.db();
+  for (const Connection& c : conns) {
+    if (!db.routed(c.id)) {
+      router.route_connection(c);
+      router.put_back();
+    }
+  }
+  double slowest = 0;
+  for (const Connection& c : conns) {
+    if (!db.routed(c.id)) continue;
+    slowest =
+        std::max(slowest, model.route_delay_ns(spec, db.rec(c.id).geom));
+  }
+  LengthTuner tuner(router, model, tolerance_ns);
+  int ok = 0;
+  for (Connection& c : conns) {
+    c.target_delay_ns = slowest + tolerance_ns;
+    if (tuner.tune(c, max_iterations).success) ++ok;
+  }
+  return ok;
+}
+
+}  // namespace grr

@@ -1,0 +1,57 @@
+// Length tuning by detour (paper Sec 10.1, Fig 17) — the second and shipped
+// implementation.
+//
+// Starting from a path created by the standard router, the tuner stretches
+// it by adding two-via detours between pairs of adjacent pins/vias in the
+// path. If a detour lengthens the path but not enough, the process repeats
+// using the newly added vias. Only a small class of detours is searched
+// (offsets of at most `radius` via units), which is what makes tuning run in
+// acceptable time for a few tens of tuned wires per board.
+#pragma once
+
+#include "route/router.hpp"
+#include "tune/delay_model.hpp"
+
+namespace grr {
+
+struct TuneResult {
+  bool success = false;
+  double achieved_ns = 0.0;
+  double target_ns = 0.0;
+  int detours_added = 0;
+  int iterations = 0;
+};
+
+class LengthTuner {
+ public:
+  LengthTuner(Router& router, DelayModel model, double tolerance_ns = 0.02)
+      : router_(router), model_(model), tol_(tolerance_ns) {}
+
+  /// Tune one connection to c.target_delay_ns. Routes it first if needed.
+  TuneResult tune(const Connection& c, int max_iterations = 64);
+
+  /// Tune a batch; returns the number tuned successfully.
+  int tune_all(const ConnectionList& tuned, int max_iterations = 64);
+
+  const DelayModel& model() const { return model_; }
+
+ private:
+  /// Realize a connection as an explicit via chain, one direct trace per
+  /// hop. Commits kTuned on success; aborts on failure.
+  bool place_via_path(const Connection& c, const std::vector<Point>& seq);
+
+  Router& router_;
+  DelayModel model_;
+  double tol_;
+};
+
+/// Equalize a group of connections to its slowest member (clock-tree skew
+/// matching, Fig 16: "the delays from the root of the tree to each leaf
+/// must be the same"). Members are routed if needed, the worst delay plus
+/// `tolerance_ns` becomes every member's target, and each is stretched to
+/// it. Returns the number of members within tolerance afterwards.
+int equalize_delays(Router& router, ConnectionList& conns,
+                    const DelayModel& model, double tolerance_ns = 0.02,
+                    int max_iterations = 64);
+
+}  // namespace grr

@@ -1,0 +1,221 @@
+#include "workload/board_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace grr {
+
+double percent_channel_demand(const Board& board,
+                              const ConnectionList& conns) {
+  const GridSpec& spec = board.spec();
+  long demand = 0;
+  for (const Connection& c : conns) {
+    demand += manhattan(spec.grid_of_via(c.a), spec.grid_of_via(c.b));
+  }
+  double supply = 0;
+  for (int li = 0; li < board.stack().num_layers(); ++li) {
+    const Layer& l = board.stack().layer(static_cast<LayerId>(li));
+    supply += static_cast<double>(l.across_extent().length()) *
+              l.along_extent().length();
+  }
+  return supply > 0 ? 100.0 * demand / supply : 0.0;
+}
+
+GeneratedBoard generate_board(const BoardGenParams& p) {
+  GeneratedBoard out;
+  out.params = p;
+
+  const Coord nx = static_cast<Coord>(std::lround(p.width_in * 10)) + 1;
+  const Coord ny = static_cast<Coord>(std::lround(p.height_in * 10)) + 1;
+  GridSpec spec(nx, ny);
+  out.board = std::make_unique<Board>(spec, p.layers);
+  Board& board = *out.board;
+
+  const int fp_dip = board.add_footprint(Footprint::dip(24, 3));
+  const int fp_sip = board.add_footprint(Footprint::sip(12));
+
+  std::mt19937 rng(p.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  // Mounting holes in the corners (for the power-plane artwork).
+  for (Point m : {Point{1, 1}, Point{nx - 2, 1}, Point{1, ny - 2},
+                  Point{nx - 2, ny - 2}}) {
+    board.add_obstacle(m);
+  }
+
+  // A grid of part cells: DIP-24 flanked by a SIP-12 resistor pack, as on
+  // the Titan coprocessor (Sec 13).
+  constexpr Coord kMargin = 3;
+  constexpr Coord kCellW = 7;
+  constexpr Coord kCellH = 13;
+  const Coord cells_x = (nx - 2 * kMargin) / kCellW;
+  const Coord cells_y = (ny - 2 * kMargin) / kCellH;
+
+  struct PinRef {
+    PartId part;
+    int pin;
+    Point via;
+  };
+  std::vector<PinRef> pool;
+  std::vector<std::vector<std::size_t>> by_part;  // pool indices per DIP
+  std::vector<Point> part_center;
+  int part_no = 0;
+  for (Coord cy = 0; cy < cells_y; ++cy) {
+    for (Coord cx = 0; cx < cells_x; ++cx) {
+      if (coin(rng) > p.fill) continue;
+      Point origin{kMargin + cx * kCellW, kMargin + cy * kCellH};
+      PartId dip = board.add_part("U" + std::to_string(part_no), fp_dip,
+                                  origin);
+      PartId sip = board.add_part("R" + std::to_string(part_no), fp_sip,
+                                  {origin.x + 5, origin.y});
+      ++part_no;
+      by_part.emplace_back();
+      part_center.push_back({origin.x + 1, origin.y + 6});
+      for (int pin = 0; pin < 24; ++pin) {
+        // Corner pins are power/ground, served by the power planes.
+        if (pin == 0 || pin == 23) {
+          board.assign_power_pin(pin == 0 ? "VEE" : "VCC", dip, pin);
+          continue;
+        }
+        if (pin == 11 || pin == 12) {
+          board.assign_power_pin("GND", dip, pin);
+          continue;
+        }
+        by_part.back().push_back(pool.size());
+        pool.push_back({dip, pin, board.pin_via(dip, pin)});
+      }
+      for (int pin = 0; pin < 12; ++pin) board.add_terminator(sip, pin);
+    }
+  }
+  if (by_part.size() < 2) {
+    out.strung = string_nets(board, StringingMethod::kGreedy, p.seed);
+    out.pct_chan = percent_channel_demand(board, out.strung.connections);
+    return out;
+  }
+
+  std::vector<char> used(pool.size(), 0);
+  const Coord base_window = static_cast<Coord>(
+      std::max(4.0, p.locality * (nx + ny) / 2.0));
+
+  auto take_unused = [&](std::size_t part, int want,
+                         std::vector<std::size_t>* outv) {
+    for (std::size_t idx : by_part[part]) {
+      if (static_cast<int>(outv->size()) >= want) break;
+      if (!used[idx]) outv->push_back(idx);
+    }
+  };
+
+  std::uniform_int_distribution<std::size_t> pick_part(0,
+                                                       by_part.size() - 1);
+  std::uniform_int_distribution<int> pick_bus_w(4, 8);
+  std::uniform_int_distribution<int> pick_fanin(p.net_pins_min - 1,
+                                                p.net_pins_max - 1);
+
+  long expected_conns = 0;
+  int dry_spells = 0;
+  while (expected_conns < p.target_connections && dry_spells < 200) {
+    const bool ecl = coin(rng) < p.ecl_fraction;
+    if (coin(rng) < p.bus_fraction) {
+      // A bus: bit-parallel two-pin nets between a nearby part pair.
+      std::size_t pa = pick_part(rng);
+      std::size_t pb = by_part.size();
+      Coord window = base_window;
+      for (int widen = 0; widen < 3 && pb == by_part.size();
+           ++widen, window *= 2) {
+        std::size_t start = pick_part(rng);
+        for (std::size_t k = 0; k < by_part.size(); ++k) {
+          std::size_t cand = (start + k) % by_part.size();
+          if (cand == pa) continue;
+          if (manhattan(part_center[cand], part_center[pa]) <= window) {
+            pb = cand;
+            break;
+          }
+        }
+      }
+      if (pb == by_part.size()) {
+        ++dry_spells;
+        continue;
+      }
+      std::vector<std::size_t> apins, bpins;
+      const int w = pick_bus_w(rng);
+      take_unused(pa, w, &apins);
+      take_unused(pb, w, &bpins);
+      const std::size_t bits = std::min(apins.size(), bpins.size());
+      if (bits == 0) {
+        ++dry_spells;
+        continue;
+      }
+      dry_spells = 0;
+      for (std::size_t i = 0; i < bits; ++i) {
+        used[apins[i]] = used[bpins[i]] = 1;
+        Net net;
+        net.name = "N" + std::to_string(board.netlist().nets.size());
+        net.klass = ecl ? SignalClass::kECL : SignalClass::kTTL;
+        net.needs_terminator = ecl;
+        net.pins.push_back(
+            {pool[apins[i]].part, pool[apins[i]].pin, PinRole::kOutput});
+        net.pins.push_back(
+            {pool[bpins[i]].part, pool[bpins[i]].pin, PinRole::kInput});
+        expected_conns += 1 + (ecl ? 1 : 0);
+        board.netlist().add(std::move(net));
+      }
+    } else {
+      // A fanout net: one output, a few locality-biased inputs.
+      std::size_t out_idx = pool.size();
+      for (std::size_t tries = 0; tries < pool.size(); ++tries) {
+        std::size_t i = std::uniform_int_distribution<std::size_t>(
+            0, pool.size() - 1)(rng);
+        if (!used[i]) {
+          out_idx = i;
+          break;
+        }
+      }
+      if (out_idx == pool.size()) {
+        ++dry_spells;
+        continue;
+      }
+      used[out_idx] = 1;
+      const int want_inputs = pick_fanin(rng);
+      std::vector<std::size_t> inputs;
+      Coord window = base_window;
+      for (int widen = 0;
+           widen < 4 && static_cast<int>(inputs.size()) < want_inputs;
+           ++widen, window *= 2) {
+        for (std::size_t i = 0;
+             i < pool.size() &&
+             static_cast<int>(inputs.size()) < want_inputs;
+             ++i) {
+          if (used[i]) continue;
+          if (manhattan(pool[i].via, pool[out_idx].via) <= window) {
+            used[i] = 1;
+            inputs.push_back(i);
+          }
+        }
+      }
+      if (inputs.empty()) {
+        ++dry_spells;
+        continue;
+      }
+      dry_spells = 0;
+      Net net;
+      net.name = "N" + std::to_string(board.netlist().nets.size());
+      net.klass = ecl ? SignalClass::kECL : SignalClass::kTTL;
+      net.needs_terminator = ecl;
+      net.pins.push_back(
+          {pool[out_idx].part, pool[out_idx].pin, PinRole::kOutput});
+      for (std::size_t i : inputs) {
+        net.pins.push_back({pool[i].part, pool[i].pin, PinRole::kInput});
+      }
+      expected_conns += static_cast<long>(net.pins.size()) - 1 +
+                        (net.needs_terminator ? 1 : 0);
+      board.netlist().add(std::move(net));
+    }
+  }
+
+  out.strung = string_nets(board, StringingMethod::kGreedy, p.seed);
+  out.pct_chan = percent_channel_demand(board, out.strung.connections);
+  return out;
+}
+
+}  // namespace grr

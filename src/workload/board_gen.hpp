@@ -1,0 +1,54 @@
+// Synthetic board generator.
+//
+// The paper's netlists (Titan boards, kdj11, nmc) are not available, so we
+// generate boards with the same character: a grid of DIP-24 ECL parts, each
+// flanked by a SIP-12 termination-resistor pack (Sec 13), power pins that
+// occupy via sites but are served by power planes, and locality-biased
+// multi-pin nets strung into pin-to-pin connections. The knobs let the
+// Table 1 suite match each paper row's board size, layer count, connection
+// count and channel demand (%chan).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "board/board.hpp"
+#include "stringer/stringer.hpp"
+
+namespace grr {
+
+struct BoardGenParams {
+  std::string name = "board";
+  double width_in = 10.0;
+  double height_in = 8.0;
+  int layers = 4;
+  int target_connections = 1000;
+  /// Fraction of part cells actually populated (controls pins/in^2).
+  double fill = 1.0;
+  /// Net spread as a fraction of the board diagonal (controls %chan).
+  double locality = 0.18;
+  int net_pins_min = 2;  // output + inputs
+  int net_pins_max = 5;
+  double ecl_fraction = 1.0;  // remainder are TTL nets (no terminator)
+  /// Fraction of connections generated as buses: groups of bit-parallel
+  /// two-pin nets between a part pair, like the datapath and cache boards'
+  /// real wiring. The rest are random fanout nets.
+  double bus_fraction = 0.6;
+  std::uint32_t seed = 1;
+};
+
+struct GeneratedBoard {
+  BoardGenParams params;
+  std::unique_ptr<Board> board;
+  StringingResult strung;
+  /// Channel demand / channel supply (the %chan estimate of Table 1).
+  double pct_chan = 0.0;
+};
+
+/// %chan: total Manhattan length of all connections divided by the total
+/// available channel space on all layers (both in routing-grid units).
+double percent_channel_demand(const Board& board, const ConnectionList& conns);
+
+GeneratedBoard generate_board(const BoardGenParams& params);
+
+}  // namespace grr

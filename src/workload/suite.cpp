@@ -1,0 +1,57 @@
+#include "workload/suite.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace grr {
+
+std::vector<BoardGenParams> table1_suite(double scale) {
+  // name, w_in, h_in, layers, conns, fill, locality (calibrated so the
+  // generated suite lands near the paper's pins/in^2 and %chan columns).
+  struct Row {
+    const char* name;
+    double w, h;
+    int layers, conns;
+    double fill, locality;
+  };
+  // The kdj11 and nmc rows are the same physical problem routed with a
+  // different layer count, exactly as in the paper.
+  static constexpr Row kRows[] = {
+      {"kdj11-2L", 10, 8, 2, 1184, 0.95, 0.80},
+      {"nmc-4L", 12, 10, 4, 2253, 0.95, 0.40},
+      {"dpath-6L", 16, 22, 6, 5533, 1.00, 0.28},
+      {"coproc-6L", 16, 22, 6, 5937, 1.00, 0.25},
+      {"kdj11-4L", 10, 8, 4, 1184, 0.95, 0.80},
+      {"icache-6L", 16, 22, 6, 5795, 1.00, 0.22},
+      {"nmc-6L", 12, 10, 6, 2253, 0.95, 0.40},
+      {"dcache-6L", 16, 22, 6, 5738, 1.00, 0.19},
+      {"tna-6L", 11, 16, 6, 2789, 1.00, 0.35},
+  };
+
+  std::vector<BoardGenParams> suite;
+  for (const Row& r : kRows) {
+    BoardGenParams p;
+    p.name = r.name;
+    p.width_in = r.w * scale;
+    p.height_in = r.h * scale;
+    p.layers = r.layers;
+    p.target_connections =
+        static_cast<int>(std::lround(r.conns * scale * scale));
+    p.fill = r.fill;
+    p.locality = r.locality;
+    p.seed = 1987;
+    suite.push_back(p);
+  }
+  return suite;
+}
+
+BoardGenParams table1_board(const std::string& name, double scale) {
+  for (const BoardGenParams& p : table1_suite(scale)) {
+    if (p.name == name) return p;
+  }
+  std::fprintf(stderr, "unknown table1 board: %s\n", name.c_str());
+  std::abort();
+}
+
+}  // namespace grr

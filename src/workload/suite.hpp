@@ -1,0 +1,20 @@
+// The Table 1 board suite: nine synthetic boards shaped like the paper's
+// (board dimensions, layer count, connection count, pin density and channel
+// demand), in the paper's order of decreasing difficulty.
+#pragma once
+
+#include <vector>
+
+#include "workload/board_gen.hpp"
+
+namespace grr {
+
+/// The nine rows of Table 1. `scale` shrinks the boards linearly (and the
+/// connection counts quadratically) for fast test runs while preserving
+/// density; 1.0 is full size.
+std::vector<BoardGenParams> table1_suite(double scale = 1.0);
+
+/// Look up one row by name (e.g. "coproc-6L"); aborts on unknown name.
+BoardGenParams table1_board(const std::string& name, double scale = 1.0);
+
+}  // namespace grr

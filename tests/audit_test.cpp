@@ -1,0 +1,153 @@
+// Tests for the auditor itself: deliberately corrupted boards and route
+// records must be detected (a checker that can't fail is no checker).
+#include "route/audit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace grr {
+namespace {
+
+class AuditTest : public ::testing::Test {
+ protected:
+  AuditTest() : spec_(13, 13), stack_(spec_, 2), db_(4) {}
+
+  Connection make_conn(ConnId id, Point a, Point b) {
+    if (stack_.via_free(a)) stack_.drill_via(a, kPinConn);
+    if (stack_.via_free(b)) stack_.drill_via(b, kPinConn);
+    Connection c;
+    c.id = id;
+    c.a = a;
+    c.b = b;
+    return c;
+  }
+
+  GridSpec spec_;
+  LayerStack stack_;
+  RouteDB db_;
+};
+
+TEST_F(AuditTest, CleanBoardPasses) {
+  make_conn(0, {2, 2}, {8, 2});
+  EXPECT_TRUE(audit_stack(stack_).ok());
+}
+
+TEST_F(AuditTest, DetectsStaleViaMap) {
+  // Insert metal over a via row while the incremental map is off, then
+  // turn it back on: the map now under-counts.
+  stack_.set_use_via_map(false);
+  stack_.insert_span({0, 6, {5, 8}}, 1);  // channel y=6 is a via row
+  stack_.set_use_via_map(true);
+  AuditReport rep = audit_stack(stack_);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.errors.front().find("via map stale"), std::string::npos);
+}
+
+TEST_F(AuditTest, DetectsChannelBookkeepingCorruption) {
+  SegId s = stack_.insert_span({0, 6, {5, 8}}, 1);
+  stack_.pool()[s].channel = 7;  // lie about the channel
+  AuditReport rep = audit_stack(stack_);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.errors.front().find("bookkeeping"), std::string::npos);
+}
+
+TEST_F(AuditTest, DetectsBrokenTraceLinks) {
+  Connection c = make_conn(0, {2, 2}, {8, 2});
+  db_.begin(0);
+  db_.add_hop(stack_, 0, 0, {{7, {7, 10}}, {8, {10, 14}}});
+  db_.commit(0, RouteStrategy::kZeroVia);
+  // Sever the trace_next chain.
+  stack_.pool()[db_.rec(0).segs.front()].trace_next = kNoSeg;
+  AuditReport rep = audit_routes(stack_, db_, {c});
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.errors.front().find("trace link"), std::string::npos);
+}
+
+TEST_F(AuditTest, DetectsForeignSegmentOwnership) {
+  Connection c = make_conn(0, {2, 2}, {8, 2});
+  db_.begin(0);
+  db_.add_hop(stack_, 0, 0, {{7, {7, 10}}});
+  db_.commit(0, RouteStrategy::kZeroVia);
+  stack_.pool()[db_.rec(0).segs.front()].conn = 3;  // stolen segment
+  AuditReport rep = audit_routes(stack_, db_, {c});
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.errors.front().find("owned by someone else"),
+            std::string::npos);
+}
+
+TEST_F(AuditTest, DetectsHopViaMismatch) {
+  Connection c = make_conn(0, {2, 2}, {8, 2});
+  db_.begin(0);
+  db_.add_via(stack_, 0, {5, 5});  // a via with no hops chaining it
+  db_.commit(0, RouteStrategy::kOneVia);
+  AuditReport rep = audit_routes(stack_, db_, {c});
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.errors.front().find("does not chain"), std::string::npos);
+}
+
+TEST_F(AuditTest, DetectsDetachedHopEnds) {
+  Connection c = make_conn(0, {2, 2}, {8, 2});
+  db_.begin(0);
+  // A span nowhere near either end point. a=(2,2)->grid (6,6).
+  db_.add_hop(stack_, 0, 0, {{20, {20, 26}}});
+  db_.commit(0, RouteStrategy::kZeroVia);
+  AuditReport rep = audit_routes(stack_, db_, {c});
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.errors.front().find("does not touch its via"),
+            std::string::npos);
+}
+
+TEST_F(AuditTest, DetectsDiscontinuousHop) {
+  Connection c = make_conn(0, {2, 2}, {2, 4});
+  // a = grid (6,6), b = grid (6,12): spans touching both ends but with a
+  // gap in the middle chain (channels 7 and 11 are not adjacent).
+  db_.begin(0);
+  db_.add_hop(stack_, 0, 0, {{7, {5, 7}}, {11, {5, 7}}});
+  db_.commit(0, RouteStrategy::kZeroVia);
+  AuditReport rep = audit_routes(stack_, db_, {c});
+  ASSERT_FALSE(rep.ok());
+  bool found = false;
+  for (const std::string& e : rep.errors) {
+    if (e.find("discontinuous") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AuditTest, DetectsMissingViaCoverage) {
+  Connection c = make_conn(0, {2, 2}, {8, 2});
+  db_.begin(0);
+  db_.add_via(stack_, 0, {5, 5});
+  db_.add_hop(stack_, 0, 0, {{7, {7, 14}}});
+  db_.add_hop(stack_, 0, 1, {{15, {7, 14}}});
+  db_.commit(0, RouteStrategy::kOneVia);
+  // Erase the via's unit segment on layer 1 behind the database's back.
+  const RouteRecord& r = db_.rec(0);
+  for (SegId s : r.segs) {
+    if (stack_.pool()[s].is_via && stack_.pool()[s].layer == 1) {
+      stack_.layer(1).erase(stack_.pool(), s);
+      break;
+    }
+  }
+  AuditReport rep = audit_routes(stack_, db_, {c});
+  ASSERT_FALSE(rep.ok());
+  bool found = false;
+  for (const std::string& e : rep.errors) {
+    if (e.find("not covering layer") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AuditTest, DetectsTileTrespass) {
+  TileMap tiles(SignalClass::kECL);
+  tiles.add_tile(0, {{0, 36}, {0, 36}}, SignalClass::kTTL);
+  Connection c = make_conn(0, {2, 2}, {8, 2});
+  c.klass = SignalClass::kECL;
+  db_.begin(0);
+  db_.add_hop(stack_, 0, 0, {{7, {7, 10}}});  // inside the TTL tile
+  db_.commit(0, RouteStrategy::kZeroVia);
+  AuditReport rep = audit_tiles(stack_, db_, {c}, tiles);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.errors.front().find("trespasses"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grr

@@ -1,0 +1,175 @@
+// Tests for the classic Lee/Moore unit-step baseline (paper Sec 8.2's
+// starting point, before the three modifications).
+#include "baseline/lee_grid_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/line_search_router.hpp"
+#include "route/lee.hpp"
+
+namespace grr {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  BaselineTest() : spec_(13, 13), stack_(spec_, 2) {}
+
+  Connection make_conn(ConnId id, Point a, Point b) {
+    if (stack_.via_free(a)) stack_.drill_via(a, kPinConn);
+    if (stack_.via_free(b)) stack_.drill_via(b, kPinConn);
+    Connection c;
+    c.id = id;
+    c.a = a;
+    c.b = b;
+    return c;
+  }
+
+  GridSpec spec_;
+  LayerStack stack_;
+};
+
+TEST_F(BaselineTest, FindsStraightPath) {
+  Connection c = make_conn(0, {1, 5}, {10, 5});
+  LeeGridRouter lee(stack_);
+  LeeGridResult r = lee.search(c.a, c.b);
+  ASSERT_TRUE(r.found);
+  // Minimum path: 27 grid steps minus the two endpoint pads.
+  EXPECT_GE(r.path_grid_steps, manhattan(spec_.grid_of_via(c.a),
+                                         spec_.grid_of_via(c.b)) -
+                                   2);
+}
+
+TEST_F(BaselineTest, DetoursAroundWall) {
+  Connection c = make_conn(0, {1, 5}, {10, 5});
+  for (Coord y = 3; y <= 36; ++y) {
+    stack_.insert_span({0, y, {18, 18}}, kObstacleConn);
+    stack_.insert_span({1, 18, {y, y}}, kObstacleConn);
+  }
+  LeeGridRouter lee(stack_);
+  LeeGridResult r = lee.search(c.a, c.b);
+  ASSERT_TRUE(r.found);
+  EXPECT_GT(r.path_grid_steps, 27);  // forced around the wall
+}
+
+TEST_F(BaselineTest, ReportsUnreachable) {
+  Connection c = make_conn(0, {1, 5}, {10, 5});
+  // Full-height double wall on both layers, and no free via column.
+  for (Coord y = 0; y <= 36; ++y) {
+    stack_.insert_span({0, y, {18, 18}}, kObstacleConn);
+  }
+  for (Coord x = 0; x <= 36; ++x) {
+    if (!stack_.occupied(1, {18, x})) {
+      // Vertical layer: channel = x = 18.
+      stack_.insert_span({1, 18, {x, x}}, kObstacleConn);
+    }
+  }
+  LeeGridRouter lee(stack_);
+  LeeGridResult r = lee.search(c.a, c.b);
+  EXPECT_FALSE(r.found);
+}
+
+TEST_F(BaselineTest, UsesViasToChangeLayers) {
+  // Layer 0 is walled at x=18 and layer 1 at x=24: no single layer crosses
+  // both walls, so the path must change layers through a free via site in
+  // between.
+  Connection c = make_conn(0, {1, 5}, {10, 5});
+  for (Coord y = 0; y <= 36; ++y) {
+    stack_.insert_span({0, y, {18, 18}}, kObstacleConn);
+  }
+  for (Coord x = 0; x <= 36; ++x) {
+    stack_.insert_span({1, 24, {x, x}}, kObstacleConn);
+  }
+  LeeGridRouter lee(stack_);
+  LeeGridResult r = lee.search(c.a, c.b);
+  ASSERT_TRUE(r.found);
+  EXPECT_GE(r.vias_used, 1);
+}
+
+TEST_F(BaselineTest, ExpandsFarMoreCellsThanGeneralizedLee) {
+  // Mod 1's whole point: unit-step neighbors scan many grid points to
+  // advance a small distance (Sec 8.2).
+  Connection c = make_conn(0, {1, 5}, {11, 7});
+  LeeGridRouter base(stack_);
+  LeeGridResult rb = base.search(c.a, c.b);
+  LeeSearch gen(stack_);
+  RouterConfig cfg;
+  LeeResult rg = gen.search(c, cfg);
+  ASSERT_TRUE(rb.found);
+  ASSERT_TRUE(rg.found);
+  EXPECT_GT(rb.expansions, 10 * (rg.expansions + rg.marks));
+}
+
+TEST_F(BaselineTest, ExpansionBudget) {
+  Connection c = make_conn(0, {1, 5}, {10, 5});
+  LeeGridRouter lee(stack_);
+  LeeGridResult r = lee.search(c.a, c.b, /*max_expansions=*/3);
+  EXPECT_FALSE(r.found);
+  EXPECT_LE(r.expansions, 3u);
+}
+
+TEST_F(BaselineTest, LineSearchFindsStraightConnection) {
+  Connection c = make_conn(0, {1, 5}, {10, 5});
+  LineSearchRouter ls(stack_);
+  LineSearchResult r = ls.search(c.a, c.b);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.depth, 0);  // one shared escape line, no via needed
+}
+
+TEST_F(BaselineTest, LineSearchCrossesLayersThroughVias) {
+  // Diagonal connection: needs at least one perpendicular escape.
+  Connection c = make_conn(0, {2, 2}, {10, 9});
+  LineSearchRouter ls(stack_);
+  LineSearchResult r = ls.search(c.a, c.b);
+  EXPECT_TRUE(r.found);
+  EXPECT_GE(r.depth, 0);
+  EXPECT_GT(r.lines, 2u);
+}
+
+TEST_F(BaselineTest, LineSearchReportsUnreachable) {
+  Connection c = make_conn(0, {1, 5}, {10, 5});
+  for (Coord y = 0; y <= 36; ++y) {
+    stack_.insert_span({0, y, {18, 18}}, kObstacleConn);
+  }
+  for (Coord x = 0; x <= 36; ++x) {
+    if (!stack_.occupied(1, {18, x})) {
+      stack_.insert_span({1, 18, {x, x}}, kObstacleConn);
+    }
+  }
+  LineSearchRouter ls(stack_);
+  LineSearchResult r = ls.search(c.a, c.b);
+  EXPECT_FALSE(r.found);
+}
+
+TEST_F(BaselineTest, LineSearchBudget) {
+  Connection c = make_conn(0, {1, 5}, {10, 5});
+  LineSearchRouter ls(stack_);
+  LineSearchResult r = ls.search(c.a, c.b, /*max_lines=*/1);
+  EXPECT_LE(r.lines, 1u);
+}
+
+TEST_F(BaselineTest, LineSearchScansFewerNodesThanUnitLee) {
+  // The whole point of line search: lines jump obstacles' extents instead
+  // of crawling cell by cell.
+  Connection c = make_conn(0, {1, 5}, {11, 7});
+  LeeGridRouter unit(stack_);
+  LineSearchRouter ls(stack_);
+  LeeGridResult ru = unit.search(c.a, c.b);
+  LineSearchResult rl = ls.search(c.a, c.b);
+  ASSERT_TRUE(ru.found);
+  ASSERT_TRUE(rl.found);
+  EXPECT_LT(rl.lines + rl.sites_scanned, ru.expansions / 5);
+}
+
+TEST_F(BaselineTest, SnapshotIgnoresLaterEdits) {
+  Connection c = make_conn(0, {1, 5}, {10, 5});
+  LeeGridRouter lee(stack_);
+  // Wall built AFTER the snapshot is invisible to the router.
+  for (Coord y = 0; y <= 36; ++y) {
+    stack_.insert_span({0, y, {18, 18}}, kObstacleConn);
+    stack_.insert_span({1, 18, {y, y}}, kObstacleConn);
+  }
+  EXPECT_TRUE(lee.search(c.a, c.b).found);
+}
+
+}  // namespace
+}  // namespace grr

@@ -1,0 +1,101 @@
+#include "board/board.hpp"
+
+#include <gtest/gtest.h>
+
+#include "board/footprint.hpp"
+
+namespace grr {
+namespace {
+
+TEST(FootprintTest, DipPinNumbering) {
+  Footprint dip = Footprint::dip(16, 3);
+  EXPECT_EQ(dip.pin_count(), 16);
+  // Down the left column...
+  EXPECT_EQ(dip.pin_offsets[0], (Point{0, 0}));
+  EXPECT_EQ(dip.pin_offsets[7], (Point{0, 7}));
+  // ...and up the right column.
+  EXPECT_EQ(dip.pin_offsets[8], (Point{3, 7}));
+  EXPECT_EQ(dip.pin_offsets[15], (Point{3, 0}));
+}
+
+TEST(FootprintTest, SipAndConnector) {
+  Footprint sip = Footprint::sip(12);
+  EXPECT_EQ(sip.pin_count(), 12);
+  EXPECT_EQ(sip.pin_offsets[11], (Point{0, 11}));
+  Footprint conn = Footprint::connector(3, 4);
+  EXPECT_EQ(conn.pin_count(), 12);
+  EXPECT_EQ(conn.pin_offsets.back(), (Point{2, 3}));
+}
+
+class BoardTest : public ::testing::Test {
+ protected:
+  BoardTest() : spec_(21, 17), board_(spec_, 4) {}
+  GridSpec spec_;
+  Board board_;
+};
+
+TEST_F(BoardTest, AddPartDrillsAllPins) {
+  int fp = board_.add_footprint(Footprint::dip(16, 3));
+  PartId u1 = board_.add_part("U1", fp, {4, 4});
+  EXPECT_EQ(board_.total_pins(), 16);
+  EXPECT_EQ(board_.pin_via(u1, 0), (Point{4, 4}));
+  EXPECT_EQ(board_.pin_via(u1, 15), (Point{7, 4}));
+  // Every pin's via site is used on all layers.
+  for (int pin = 0; pin < 16; ++pin) {
+    Point v = board_.pin_via(u1, pin);
+    EXPECT_FALSE(board_.stack().via_free(v));
+    EXPECT_EQ(board_.stack().via_use_count(v), 4);
+    Point g = spec_.grid_of_via(v);
+    EXPECT_EQ(board_.stack().conn_at(0, g), kPinConn);
+  }
+}
+
+TEST_F(BoardTest, PinDensity) {
+  int fp = board_.add_footprint(Footprint::dip(16, 3));
+  board_.add_part("U1", fp, {4, 4});
+  board_.add_part("U2", fp, {12, 4});
+  // Board is 2.0 x 1.6 inches.
+  EXPECT_NEAR(board_.pins_per_sq_inch(), 32.0 / (2.0 * 1.6), 1e-9);
+}
+
+TEST_F(BoardTest, Obstacles) {
+  board_.add_obstacle({1, 1});
+  EXPECT_FALSE(board_.stack().via_free({1, 1}));
+  EXPECT_EQ(board_.stack().conn_at(0, spec_.grid_of_via({1, 1})),
+            kObstacleConn);
+  EXPECT_EQ(board_.obstacles().size(), 1u);
+}
+
+TEST_F(BoardTest, Terminators) {
+  int fp = board_.add_footprint(Footprint::sip(8));
+  PartId r1 = board_.add_part("R1", fp, {18, 2});
+  for (int pin = 0; pin < 8; ++pin) board_.add_terminator(r1, pin);
+  EXPECT_EQ(board_.terminators().size(), 8u);
+  EXPECT_EQ(board_.pin_via(board_.terminators()[3]), (Point{18, 5}));
+}
+
+TEST_F(BoardTest, PowerAssignments) {
+  int fp = board_.add_footprint(Footprint::dip(16, 3));
+  PartId u1 = board_.add_part("U1", fp, {4, 4});
+  board_.assign_power_pin("GND", u1, 0);
+  board_.assign_power_pin("GND", u1, 8);
+  board_.assign_power_pin("VCC", u1, 15);
+  auto gnd = board_.power_pin_vias("GND");
+  ASSERT_EQ(gnd.size(), 2u);
+  EXPECT_EQ(gnd[0], board_.pin_via(u1, 0));
+  EXPECT_EQ(board_.power_pin_vias("VCC").size(), 1u);
+  EXPECT_TRUE(board_.power_pin_vias("VDD").empty());
+}
+
+TEST_F(BoardTest, NetlistRoundTrip) {
+  Net net;
+  net.name = "CLK";
+  net.klass = SignalClass::kECL;
+  net.pins.push_back({0, 1, PinRole::kOutput});
+  NetId id = board_.netlist().add(std::move(net));
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(board_.netlist().nets[0].name, "CLK");
+}
+
+}  // namespace
+}  // namespace grr

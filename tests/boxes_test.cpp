@@ -1,0 +1,67 @@
+// Tests for the radius-derived search boxes (paper Sec 8.1, Figs 9-11).
+#include "route/boxes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace grr {
+namespace {
+
+TEST(BoxesTest, ZeroViaBoxInflatesTheBoundingRect) {
+  GridSpec spec(21, 17);
+  Rect box = zero_via_box(spec, {4, 4}, {10, 5}, /*radius=*/2);
+  // Grid hull: x [12,30], y [12,15]; inflated by 2*3=6 each side.
+  EXPECT_EQ(box.x, (Interval{6, 36}));
+  EXPECT_EQ(box.y, (Interval{6, 21}));
+}
+
+TEST(BoxesTest, ZeroViaBoxClampsToBoard) {
+  GridSpec spec(21, 17);
+  Rect box = zero_via_box(spec, {0, 0}, {1, 1}, 2);
+  EXPECT_EQ(box.x.lo, 0);
+  EXPECT_EQ(box.y.lo, 0);
+  Rect far = zero_via_box(spec, {19, 15}, {20, 16}, 2);
+  EXPECT_EQ(far.x.hi, spec.extent().x.hi);
+  EXPECT_EQ(far.y.hi, spec.extent().y.hi);
+}
+
+TEST(BoxesTest, StripBoxIsOneArmOfTheCross) {
+  GridSpec spec(21, 17);
+  // Horizontal layer: the strip limits y, x runs the whole board.
+  Rect h = strip_box(spec, Orientation::kHorizontal, {10, 8}, 1);
+  EXPECT_EQ(h.x, spec.extent().x);
+  EXPECT_EQ(h.y, (Interval{24 - 3, 24 + 3}));
+  // Vertical layer: the strip limits x.
+  Rect v = strip_box(spec, Orientation::kVertical, {10, 8}, 1);
+  EXPECT_EQ(v.y, spec.extent().y);
+  EXPECT_EQ(v.x, (Interval{30 - 3, 30 + 3}));
+}
+
+TEST(BoxesTest, StripBoxRadiusScalesInViaUnits) {
+  GridSpec spec(21, 17);
+  Rect r1 = strip_box(spec, Orientation::kHorizontal, {10, 8}, 1);
+  Rect r2 = strip_box(spec, Orientation::kHorizontal, {10, 8}, 2);
+  EXPECT_EQ(r2.y.length() - r1.y.length(), 2 * spec.period());
+}
+
+TEST(BoxesTest, HullStripCoversBothEnds) {
+  GridSpec spec(21, 17);
+  Rect box =
+      hull_strip_box(spec, Orientation::kHorizontal, {3, 2}, {15, 9}, 1);
+  EXPECT_EQ(box.x, spec.extent().x);
+  EXPECT_TRUE(box.y.contains(6));   // around via y=2 (grid 6)
+  EXPECT_TRUE(box.y.contains(27));  // around via y=9 (grid 27)
+  // It contains the individual strips of both end points.
+  Rect sa = strip_box(spec, Orientation::kHorizontal, {3, 2}, 1);
+  Rect sb = strip_box(spec, Orientation::kHorizontal, {15, 9}, 1);
+  EXPECT_TRUE(box.y.contains(sa.y));
+  EXPECT_TRUE(box.y.contains(sb.y));
+}
+
+TEST(BoxesTest, ZeroRadiusDegeneratesToTheLine) {
+  GridSpec spec(21, 17);
+  Rect strip = strip_box(spec, Orientation::kHorizontal, {10, 8}, 0);
+  EXPECT_EQ(strip.y, (Interval{24, 24}));
+}
+
+}  // namespace
+}  // namespace grr

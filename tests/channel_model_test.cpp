@@ -1,0 +1,126 @@
+// Model-based testing: the channel implementations are checked against a
+// brute-force bitmap reference through long random insert/erase/query
+// sequences. Any divergence in occupancy, gap geometry or enumeration
+// order is a bug in the clever structure.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <vector>
+
+#include "layer/channel.hpp"
+#include "layer/tree_channel.hpp"
+
+namespace grr {
+namespace {
+
+constexpr Coord kExtentHi = 199;
+constexpr Interval kExtent{0, kExtentHi};
+
+/// The dumb reference: one bool per coordinate.
+struct BitmapModel {
+  std::array<bool, kExtentHi + 1> used{};
+
+  bool can_insert(Interval s) const {
+    for (Coord v = s.lo; v <= s.hi; ++v) {
+      if (used[static_cast<std::size_t>(v)]) return false;
+    }
+    return true;
+  }
+  void insert(Interval s) {
+    for (Coord v = s.lo; v <= s.hi; ++v) {
+      used[static_cast<std::size_t>(v)] = true;
+    }
+  }
+  void erase(Interval s) {
+    for (Coord v = s.lo; v <= s.hi; ++v) {
+      used[static_cast<std::size_t>(v)] = false;
+    }
+  }
+  Interval gap_at(Coord v) const {
+    if (used[static_cast<std::size_t>(v)]) return {};
+    Coord lo = v, hi = v;
+    while (lo > 0 && !used[static_cast<std::size_t>(lo - 1)]) --lo;
+    while (hi < kExtentHi && !used[static_cast<std::size_t>(hi + 1)]) ++hi;
+    return {lo, hi};
+  }
+  std::vector<Interval> gaps_overlapping(Interval range) const {
+    std::vector<Interval> out;
+    Coord v = 0;
+    while (v <= kExtentHi) {
+      if (used[static_cast<std::size_t>(v)]) {
+        ++v;
+        continue;
+      }
+      Interval g = gap_at(v);
+      if (g.overlaps(range)) out.push_back(g);
+      v = g.hi + 1;
+    }
+    return out;
+  }
+};
+
+template <typename ChannelT>
+class ChannelModelTest : public ::testing::Test {};
+
+using ChannelTypes = ::testing::Types<Channel, TreeChannel>;
+TYPED_TEST_SUITE(ChannelModelTest, ChannelTypes);
+
+TYPED_TEST(ChannelModelTest, AgreesWithBitmapUnderRandomOps) {
+  for (std::uint32_t seed = 1; seed <= 6; ++seed) {
+    SegmentPool pool;
+    TypeParam ch;
+    BitmapModel model;
+    std::map<Coord, SegId> live;  // span.lo -> id, mirrors the channel
+    std::mt19937 rng(seed);
+    auto rnd = [&](Coord lo, Coord hi) {
+      return std::uniform_int_distribution<Coord>(lo, hi)(rng);
+    };
+
+    for (int op = 0; op < 2000; ++op) {
+      int kind = static_cast<int>(rng() % 10);
+      if (kind < 4) {  // insert attempt
+        Coord lo = rnd(0, kExtentHi - 4);
+        Interval span{lo, std::min<Coord>(lo + rnd(0, 9), kExtentHi)};
+        if (model.can_insert(span)) {
+          Segment s;
+          s.span = span;
+          s.conn = 1;
+          live[span.lo] = ch.insert(pool, s);
+          model.insert(span);
+        }
+      } else if (kind < 6 && !live.empty()) {  // erase a random live seg
+        auto it = live.begin();
+        std::advance(it, static_cast<long>(rng() % live.size()));
+        model.erase(pool[it->second].span);
+        ch.erase(pool, it->second);
+        live.erase(it);
+      } else if (kind < 8) {  // point queries
+        Coord v = rnd(0, kExtentHi);
+        ASSERT_EQ(ch.occupied(pool, v),
+                  model.used[static_cast<std::size_t>(v)])
+            << "seed " << seed << " op " << op << " at " << v;
+        ASSERT_EQ(ch.free_gap_at(pool, kExtent, v), model.gap_at(v))
+            << "seed " << seed << " op " << op << " at " << v;
+      } else {  // gap enumeration over a random window
+        Coord lo = rnd(0, kExtentHi - 1);
+        Interval range{lo, std::min<Coord>(lo + rnd(1, 60), kExtentHi)};
+        std::vector<Interval> got;
+        ch.for_gaps_overlapping(pool, kExtent, range,
+                                [&](Interval g) { got.push_back(g); });
+        ASSERT_EQ(got, model.gaps_overlapping(range))
+            << "seed " << seed << " op " << op << " range [" << range.lo
+            << "," << range.hi << "]";
+      }
+    }
+    // Final sweep: full agreement at every coordinate.
+    for (Coord v = 0; v <= kExtentHi; ++v) {
+      ASSERT_EQ(ch.occupied(pool, v),
+                model.used[static_cast<std::size_t>(v)]);
+    }
+    EXPECT_EQ(ch.count(), live.size());
+  }
+}
+
+}  // namespace
+}  // namespace grr

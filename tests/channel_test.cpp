@@ -1,0 +1,211 @@
+// Typed tests run against both channel implementations: the linked list
+// with moving cursor (the shipped one) and the binary tree (the Sec 12
+// ablation variant). Both must expose identical semantics.
+#include "layer/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "layer/tree_channel.hpp"
+
+namespace grr {
+namespace {
+
+template <typename ChannelT>
+class ChannelTest : public ::testing::Test {
+ protected:
+  SegId insert(Coord lo, Coord hi, ConnId conn = 7) {
+    Segment seg;
+    seg.span = {lo, hi};
+    seg.conn = conn;
+    return ch_.insert(pool_, seg);
+  }
+
+  std::vector<Interval> gaps(Interval extent, Interval range) {
+    std::vector<Interval> out;
+    ch_.for_gaps_overlapping(pool_, extent, range,
+                             [&](Interval g) { out.push_back(g); });
+    return out;
+  }
+
+  std::vector<Interval> segs(Interval range) {
+    std::vector<Interval> out;
+    ch_.for_segs_overlapping(pool_, range,
+                             [&](SegId s) { out.push_back(pool_[s].span); });
+    return out;
+  }
+
+  SegmentPool pool_;
+  ChannelT ch_;
+};
+
+using ChannelTypes = ::testing::Types<Channel, TreeChannel>;
+TYPED_TEST_SUITE(ChannelTest, ChannelTypes);
+
+TYPED_TEST(ChannelTest, EmptyChannel) {
+  EXPECT_TRUE(this->ch_.empty());
+  EXPECT_EQ(this->ch_.head(), kNoSeg);
+  EXPECT_EQ(this->ch_.seek(this->pool_, 5), kNoSeg);
+  EXPECT_FALSE(this->ch_.occupied(this->pool_, 5));
+  EXPECT_EQ(this->ch_.free_gap_at(this->pool_, {0, 99}, 5),
+            (Interval{0, 99}));
+}
+
+TYPED_TEST(ChannelTest, InsertAndFind) {
+  this->insert(10, 20);
+  this->insert(30, 35);
+  this->insert(0, 4);
+  EXPECT_EQ(this->ch_.count(), 3u);
+  EXPECT_TRUE(this->ch_.occupied(this->pool_, 0));
+  EXPECT_TRUE(this->ch_.occupied(this->pool_, 15));
+  EXPECT_TRUE(this->ch_.occupied(this->pool_, 35));
+  EXPECT_FALSE(this->ch_.occupied(this->pool_, 5));
+  EXPECT_FALSE(this->ch_.occupied(this->pool_, 25));
+  EXPECT_FALSE(this->ch_.occupied(this->pool_, 36));
+}
+
+TYPED_TEST(ChannelTest, SeekSemantics) {
+  SegId a = this->insert(10, 20);
+  SegId b = this->insert(30, 35);
+  EXPECT_EQ(this->ch_.seek(this->pool_, 5), kNoSeg);
+  EXPECT_EQ(this->ch_.seek(this->pool_, 10), a);
+  EXPECT_EQ(this->ch_.seek(this->pool_, 25), a);
+  EXPECT_EQ(this->ch_.seek(this->pool_, 30), b);
+  EXPECT_EQ(this->ch_.seek(this->pool_, 99), b);
+  // Alternating far/near probes exercise the cursor walk in both
+  // directions.
+  EXPECT_EQ(this->ch_.seek(this->pool_, 11), a);
+  EXPECT_EQ(this->ch_.seek(this->pool_, 95), b);
+  EXPECT_EQ(this->ch_.seek(this->pool_, 3), kNoSeg);
+}
+
+TYPED_TEST(ChannelTest, FreeGaps) {
+  this->insert(10, 20);
+  this->insert(30, 35);
+  Interval extent{0, 99};
+  EXPECT_EQ(this->ch_.free_gap_at(this->pool_, extent, 5),
+            (Interval{0, 9}));
+  EXPECT_EQ(this->ch_.free_gap_at(this->pool_, extent, 25),
+            (Interval{21, 29}));
+  EXPECT_EQ(this->ch_.free_gap_at(this->pool_, extent, 50),
+            (Interval{36, 99}));
+  EXPECT_TRUE(this->ch_.free_gap_at(this->pool_, extent, 15).empty());
+  // Outside the extent.
+  EXPECT_TRUE(this->ch_.free_gap_at(this->pool_, extent, 120).empty());
+}
+
+TYPED_TEST(ChannelTest, GapsAreReportedInFull) {
+  this->insert(10, 20);
+  this->insert(30, 35);
+  // Gaps overlapping [15, 32] are reported in their full extent, not
+  // clipped to the probe range: a gap has one canonical identity.
+  auto gaps = this->gaps({0, 99}, {15, 32});
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], (Interval{21, 29}));
+
+  gaps = this->gaps({0, 99}, {0, 99});
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0], (Interval{0, 9}));
+  EXPECT_EQ(gaps[1], (Interval{21, 29}));
+  EXPECT_EQ(gaps[2], (Interval{36, 99}));
+}
+
+TYPED_TEST(ChannelTest, GapEnumerationEdges) {
+  this->insert(0, 5);   // flush against the low extent edge
+  this->insert(95, 99); // flush against the high extent edge
+  auto gaps = this->gaps({0, 99}, {0, 99});
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], (Interval{6, 94}));
+  // A fully occupied probe range yields nothing.
+  EXPECT_TRUE(this->gaps({0, 99}, {1, 4}).empty());
+}
+
+TYPED_TEST(ChannelTest, SegOverlapEnumeration) {
+  this->insert(10, 20);
+  this->insert(30, 35);
+  this->insert(50, 60);
+  auto segs = this->segs({18, 52});
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0], (Interval{10, 20}));
+  EXPECT_EQ(segs[2], (Interval{50, 60}));
+  EXPECT_TRUE(this->segs({21, 29}).empty());
+  EXPECT_EQ(this->segs({35, 35}).size(), 1u);
+}
+
+TYPED_TEST(ChannelTest, EraseRelinksAndFreesGap) {
+  SegId a = this->insert(10, 20);
+  SegId b = this->insert(30, 35);
+  SegId c = this->insert(50, 60);
+  this->ch_.erase(this->pool_, b);
+  EXPECT_EQ(this->ch_.count(), 2u);
+  EXPECT_EQ(this->ch_.free_gap_at(this->pool_, {0, 99}, 30),
+            (Interval{21, 49}));
+  EXPECT_EQ(this->pool_[a].next, c);
+  EXPECT_EQ(this->pool_[c].prev, a);
+  this->ch_.erase(this->pool_, a);
+  this->ch_.erase(this->pool_, c);
+  EXPECT_TRUE(this->ch_.empty());
+  EXPECT_EQ(this->pool_.size(), 0u);
+}
+
+TYPED_TEST(ChannelTest, EraseHeadAndCursorSurvives) {
+  SegId a = this->insert(10, 20);
+  this->insert(30, 35);
+  ASSERT_EQ(this->ch_.seek(this->pool_, 12), a);  // cursor on a
+  this->ch_.erase(this->pool_, a);
+  // The cursor must not dangle: further probes still work.
+  EXPECT_TRUE(this->ch_.occupied(this->pool_, 32));
+  EXPECT_FALSE(this->ch_.occupied(this->pool_, 10));
+}
+
+TYPED_TEST(ChannelTest, AbuttingSegmentsStayDistinct) {
+  this->insert(10, 20, 1);
+  this->insert(21, 30, 2);  // abuts, different connection
+  EXPECT_EQ(this->ch_.count(), 2u);
+  SegId at20 = this->ch_.find_at(this->pool_, 20);
+  SegId at21 = this->ch_.find_at(this->pool_, 21);
+  EXPECT_NE(at20, at21);
+  EXPECT_EQ(this->pool_[at20].conn, 1);
+  EXPECT_EQ(this->pool_[at21].conn, 2);
+  EXPECT_TRUE(this->ch_.free_gap_at(this->pool_, {0, 99}, 15).empty());
+}
+
+TYPED_TEST(ChannelTest, UnitSegments) {
+  this->insert(5, 5);
+  EXPECT_TRUE(this->ch_.occupied(this->pool_, 5));
+  EXPECT_EQ(this->ch_.free_gap_at(this->pool_, {0, 9}, 4),
+            (Interval{0, 4}));
+  EXPECT_EQ(this->ch_.free_gap_at(this->pool_, {0, 9}, 6),
+            (Interval{6, 9}));
+}
+
+TYPED_TEST(ChannelTest, ManyInterleavedInsertsStaySorted) {
+  // Insert in shuffled order; the list must come out sorted.
+  for (Coord base : {40, 0, 80, 20, 60}) {
+    this->insert(base, base + 5);
+  }
+  auto segs = this->segs({0, 99});
+  ASSERT_EQ(segs.size(), 5u);
+  for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
+    EXPECT_LT(segs[i].hi, segs[i + 1].lo);
+  }
+}
+
+TEST(SegmentPoolTest, ReusesFreedSlots) {
+  SegmentPool pool;
+  Segment s;
+  s.span = {0, 1};
+  SegId a = pool.allocate(s);
+  SegId b = pool.allocate(s);
+  EXPECT_EQ(pool.size(), 2u);
+  pool.release(a);
+  EXPECT_EQ(pool.size(), 1u);
+  SegId c = pool.allocate(s);
+  EXPECT_EQ(c, a);  // slot reused
+  EXPECT_EQ(pool.size(), 2u);
+  (void)b;
+}
+
+}  // namespace
+}  // namespace grr

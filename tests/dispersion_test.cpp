@@ -1,0 +1,161 @@
+// Tests for surface-mount dispersion patterns (paper Sec 11).
+#include "board/dispersion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "route/audit.hpp"
+#include "route/router.hpp"
+
+namespace grr {
+namespace {
+
+class DispersionTest : public ::testing::Test {
+ protected:
+  DispersionTest() : spec_(21, 17), stack_(spec_, 4) {}
+  GridSpec spec_;
+  LayerStack stack_;
+};
+
+TEST_F(DispersionTest, PadsFanOutToVias) {
+  // Off-via-grid pads, as fine-pitch SMD packages have.
+  std::vector<Point> pads = {{13, 10}, {13, 13}, {13, 16}};
+  DispersionResult r = build_dispersion(stack_, pads);
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.pins.size(), 3u);
+  for (const DispersedPin& pin : r.pins) {
+    // The via end point is drilled through all layers and usable by the
+    // router.
+    EXPECT_EQ(stack_.via_use_count(pin.via), stack_.num_layers());
+    // The pad exists only on the surface layer.
+    EXPECT_TRUE(stack_.occupied(0, pin.pad_grid));
+    for (int l = 1; l < stack_.num_layers(); ++l) {
+      EXPECT_FALSE(stack_.occupied(static_cast<LayerId>(l), pin.pad_grid));
+    }
+    // All fan-out metal is on the surface layer.
+    for (SegId s : pin.segs) {
+      if (!stack_.pool()[s].is_via) {
+        EXPECT_EQ(stack_.pool()[s].layer, 0);
+      }
+    }
+  }
+  // Distinct pads use distinct vias.
+  EXPECT_FALSE(r.pins[0].via == r.pins[1].via);
+  EXPECT_FALSE(r.pins[1].via == r.pins[2].via);
+  EXPECT_TRUE(audit_stack(stack_).ok());
+}
+
+TEST_F(DispersionTest, RouterUsesDispersedEndpoints) {
+  std::vector<Point> pads = {{13, 10}, {40, 28}};
+  DispersionResult r = build_dispersion(stack_, pads);
+  ASSERT_TRUE(r.ok()) << r.error;
+  Connection c;
+  c.id = 0;
+  c.a = r.pins[0].via;
+  c.b = r.pins[1].via;
+  Router router(stack_);
+  ASSERT_TRUE(router.route_all({c}));
+  AuditReport audit = audit_all(stack_, router.db(), {c});
+  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+}
+
+TEST_F(DispersionTest, RemoveRestoresEmptyBoard) {
+  std::vector<Point> pads = {{13, 10}, {13, 13}};
+  DispersionResult r = build_dispersion(stack_, pads);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(stack_.segment_count(), 0u);
+  remove_dispersion(stack_, r.pins);
+  EXPECT_EQ(stack_.segment_count(), 0u);
+  EXPECT_TRUE(audit_stack(stack_).ok());
+}
+
+TEST_F(DispersionTest, FailsAtomicallyWhenNoViaFree) {
+  // Occupy every via site near the pad so no fan-out target exists.
+  Point pad{13, 10};
+  Point center = spec_.nearest_via(pad);
+  for (Coord dx = -2; dx <= 2; ++dx) {
+    for (Coord dy = -2; dy <= 2; ++dy) {
+      Point v{center.x + dx, center.y + dy};
+      if (spec_.via_in_board(v) && stack_.via_free(v)) {
+        stack_.drill_via(v, kObstacleConn);
+      }
+    }
+  }
+  std::size_t before = stack_.segment_count();
+  DispersionResult r = build_dispersion(stack_, {pad});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(stack_.segment_count(), before);  // nothing leaked
+}
+
+TEST_F(DispersionTest, FailureRollsBackEarlierPins) {
+  // First pad disperses fine; second pad is hopeless. The whole batch must
+  // roll back.
+  Point bad{40, 28};
+  Point center = spec_.nearest_via(bad);
+  for (Coord dx = -2; dx <= 2; ++dx) {
+    for (Coord dy = -2; dy <= 2; ++dy) {
+      Point v{center.x + dx, center.y + dy};
+      if (spec_.via_in_board(v) && stack_.via_free(v)) {
+        stack_.drill_via(v, kObstacleConn);
+      }
+    }
+  }
+  std::size_t before = stack_.segment_count();
+  DispersionResult r = build_dispersion(stack_, {{13, 10}, bad});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(stack_.segment_count(), before);
+}
+
+TEST_F(DispersionTest, ThroughHoleOffGridPins) {
+  // Sec 11's off-grid through-hole pins: the hole occupies every layer and
+  // the fan-out trace may use any layer.
+  std::vector<Point> pins = {{13, 10}, {16, 14}};
+  DispersionResult r = build_dispersion(stack_, pins, /*surface=*/0,
+                                        /*search_radius=*/2,
+                                        /*through_hole=*/true);
+  ASSERT_TRUE(r.ok()) << r.error;
+  for (const DispersedPin& pin : r.pins) {
+    for (int l = 0; l < stack_.num_layers(); ++l) {
+      EXPECT_TRUE(stack_.occupied(static_cast<LayerId>(l), pin.pad_grid));
+    }
+    EXPECT_EQ(stack_.via_use_count(pin.via), stack_.num_layers());
+  }
+  EXPECT_TRUE(audit_stack(stack_).ok());
+  remove_dispersion(stack_, r.pins);
+  EXPECT_EQ(stack_.segment_count(), 0u);
+}
+
+TEST_F(DispersionTest, ThroughHoleUsesAnotherLayerWhenSurfaceBlocked) {
+  // Wall the surface layer around the pin so the surface fan-out fails;
+  // a through-hole pin can still fan out on a deeper layer.
+  Point pin{13, 10};
+  for (Coord x = 7; x <= 19; ++x) {
+    for (Coord y = 7; y <= 13; ++y) {
+      if (Point{x, y} == pin) continue;
+      if (!stack_.occupied(0, {x, y})) {
+        stack_.insert_span({0, y, {x, x}}, kObstacleConn);
+      }
+    }
+  }
+  DispersionResult smd = build_dispersion(stack_, {pin}, 0, 2, false);
+  EXPECT_FALSE(smd.ok());
+  DispersionResult th = build_dispersion(stack_, {pin}, 0, 2, true);
+  ASSERT_TRUE(th.ok()) << th.error;
+  // The fan-out trace sits on a non-surface layer.
+  bool deep_metal = false;
+  for (SegId s : th.pins[0].segs) {
+    if (!stack_.pool()[s].is_via && stack_.pool()[s].layer != 0) {
+      deep_metal = true;
+    }
+  }
+  EXPECT_TRUE(deep_metal);
+}
+
+TEST_F(DispersionTest, RejectsOccupiedPad) {
+  stack_.insert_span({0, 10, {13, 13}}, kObstacleConn);
+  DispersionResult r = build_dispersion(stack_, {{13, 10}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("occupied"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grr

@@ -1,0 +1,267 @@
+// Tests for the three single-layer algorithms (paper Sec 7): Trace, Vias,
+// Obstructions.
+#include "layer/free_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "layer/layer_stack.hpp"
+
+namespace grr {
+namespace {
+
+class FreeSpaceTest : public ::testing::Test {
+ protected:
+  FreeSpaceTest() : spec_(11, 9), stack_(spec_, 2) {}
+
+  Point drill(Coord vx, Coord vy, ConnId conn = kPinConn) {
+    stack_.drill_via({vx, vy}, conn);
+    return spec_.grid_of_via({vx, vy});
+  }
+
+  /// Validate the paper's trimming invariants on a returned span list and
+  /// its end points.
+  void check_spans(const Layer& layer, const std::vector<ChannelSpan>& spans,
+                   Point a, Point b) {
+    ASSERT_FALSE(spans.empty());
+    auto touches = [&](const ChannelSpan& cs, Point p) {
+      Coord pc = layer.across_of(p), pv = layer.along_of(p);
+      if (cs.channel == pc) {
+        return cs.span.hi == pv - 1 || cs.span.lo == pv + 1;
+      }
+      return std::abs(cs.channel - pc) == 1 && cs.span.contains(pv);
+    };
+    EXPECT_TRUE(touches(spans.front(), a));
+    EXPECT_TRUE(touches(spans.back(), b));
+    for (std::size_t i = 0; i + 1 < spans.size(); ++i) {
+      EXPECT_EQ(std::abs(spans[i].channel - spans[i + 1].channel), 1);
+      EXPECT_TRUE(spans[i].span.overlaps(spans[i + 1].span));
+    }
+  }
+
+  GridSpec spec_;
+  LayerStack stack_;
+};
+
+TEST_F(FreeSpaceTest, StraightTraceOnEmptyLayer) {
+  Point a = drill(1, 1), b = drill(8, 1);
+  const Layer& h = stack_.layer(0);
+  auto spans = trace_path(h, stack_.pool(), a, b, spec_.extent());
+  ASSERT_TRUE(spans.has_value());
+  check_spans(h, *spans, a, b);
+}
+
+TEST_F(FreeSpaceTest, StraightTraceAvoidsViaRow) {
+  // Between two vias in the same via row, the trace should prefer an
+  // adjacent non-via channel so intermediate via sites stay drillable.
+  Point a = drill(1, 2), b = drill(9, 2);
+  const Layer& h = stack_.layer(0);
+  auto spans =
+      trace_path(h, stack_.pool(), a, b, spec_.extent(),
+                 kDefaultMaxFreeNodes, nullptr, spec_.period());
+  ASSERT_TRUE(spans.has_value());
+  check_spans(h, *spans, a, b);
+  long via_row_len = 0, total_len = 0;
+  for (const ChannelSpan& cs : *spans) {
+    total_len += cs.span.length();
+    if (cs.channel % spec_.period() == 0) via_row_len += cs.span.length();
+  }
+  EXPECT_LT(via_row_len, total_len / 2)
+      << "most of the trace should run off the via row";
+}
+
+TEST_F(FreeSpaceTest, TraceDetoursAroundWall) {
+  // A vertical wall of used space between a and b, with a hole at the top.
+  Point a = drill(1, 4), b = drill(8, 4);
+  const Layer& h = stack_.layer(0);
+  // Wall at x=15 spanning y=3..24 on layer 0 (channels are y).
+  std::vector<SegId> wall;
+  for (Coord y = 3; y <= 24; ++y) {
+    wall.push_back(stack_.insert_span({0, y, {15, 15}}, 99));
+  }
+  auto spans = trace_path(h, stack_.pool(), a, b, spec_.extent());
+  ASSERT_TRUE(spans.has_value());
+  check_spans(h, *spans, a, b);
+  // The trace must pass above the wall (y <= 2).
+  bool passes_gap = false;
+  for (const ChannelSpan& cs : *spans) {
+    if (cs.channel <= 2 && cs.span.contains(15)) passes_gap = true;
+  }
+  EXPECT_TRUE(passes_gap);
+}
+
+TEST_F(FreeSpaceTest, TraceFailsWhenWalledIn) {
+  Point a = drill(2, 2), b = drill(8, 2);
+  // Seal a (grid (6,6)) in a ring of used space on layer 0.
+  for (Coord y = 5; y <= 7; ++y) {
+    stack_.insert_span({0, y, {5, 5}}, 99);  // left wall (x=5)
+    stack_.insert_span({0, y, {7, 7}}, 99);  // right wall (x=7)
+  }
+  stack_.insert_span({0, 4, {5, 7}}, 99);  // below
+  stack_.insert_span({0, 8, {5, 7}}, 99);  // above
+  auto spans =
+      trace_path(stack_.layer(0), stack_.pool(), a, b, spec_.extent());
+  EXPECT_FALSE(spans.has_value());
+}
+
+TEST_F(FreeSpaceTest, TraceRespectsBox) {
+  Point a = drill(1, 4), b = drill(8, 4);
+  // Wall with the only hole far above the box.
+  for (Coord y = 3; y <= 24; ++y) {
+    stack_.insert_span({0, y, {15, 15}}, 99);
+  }
+  Rect tight{{0, 30}, {6, 18}};  // excludes the y<=2 gap
+  auto spans = trace_path(stack_.layer(0), stack_.pool(), a, b, tight);
+  EXPECT_FALSE(spans.has_value());
+}
+
+TEST_F(FreeSpaceTest, AdjacentEndpointsNeedNoMetal) {
+  GridSpec dense(5, 5, /*tracks_between_vias=*/0);
+  LayerStack st(dense, 2);
+  st.drill_via({1, 1}, kPinConn);
+  st.drill_via({2, 1}, kPinConn);
+  auto spans = trace_path(st.layer(0), st.pool(), dense.grid_of_via({1, 1}),
+                          dense.grid_of_via({2, 1}), dense.extent());
+  ASSERT_TRUE(spans.has_value());
+  EXPECT_TRUE(spans->empty());
+}
+
+TEST_F(FreeSpaceTest, VerticalLayerTrace) {
+  Point a = drill(3, 1), b = drill(3, 7);
+  const Layer& v = stack_.layer(1);
+  auto spans = trace_path(v, stack_.pool(), a, b, spec_.extent());
+  ASSERT_TRUE(spans.has_value());
+  check_spans(v, *spans, a, b);
+}
+
+TEST_F(FreeSpaceTest, ReachableViasOnEmptyBoard) {
+  Point a = drill(5, 4);
+  std::set<std::pair<Coord, Coord>> seen;
+  reachable_vias(stack_.layer(0), stack_.pool(), spec_.period(), a,
+                 spec_.extent(), [&](Point g) {
+                   Point v = spec_.via_of_grid(g);
+                   seen.insert({v.x, v.y});
+                 });
+  // On an empty layer every via site except a's own is reachable.
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(11 * 9 - 1));
+  EXPECT_FALSE(seen.contains({5, 4}));
+}
+
+TEST_F(FreeSpaceTest, ReachableViasRespectsStripBox) {
+  Point a = drill(5, 4);
+  // Horizontal strip of one via row: y in [9-3, 9+3] grid.
+  Rect strip{{0, 30}, {9, 15}};
+  std::set<std::pair<Coord, Coord>> seen;
+  reachable_vias(stack_.layer(0), stack_.pool(), spec_.period(), a, strip,
+                 [&](Point g) {
+                   Point v = spec_.via_of_grid(g);
+                   seen.insert({v.x, v.y});
+                 });
+  for (auto& [vx, vy] : seen) {
+    EXPECT_GE(vy * 3, 9);
+    EXPECT_LE(vy * 3, 15);
+    (void)vx;
+  }
+  EXPECT_FALSE(seen.empty());
+}
+
+TEST_F(FreeSpaceTest, ReachableViasExcludesWalledRegion) {
+  Point a = drill(2, 4);
+  // Full-height wall at x=15 (no holes) on layer 0.
+  for (Coord y = 0; y <= 24; ++y) {
+    stack_.insert_span({0, y, {15, 15}}, 99);
+  }
+  std::set<Coord> xs;
+  reachable_vias(stack_.layer(0), stack_.pool(), spec_.period(), a,
+                 spec_.extent(),
+                 [&](Point g) { xs.insert(spec_.via_of_grid(g).x); });
+  for (Coord x : xs) EXPECT_LT(x * 3, 15);
+  EXPECT_FALSE(xs.empty());
+}
+
+TEST_F(FreeSpaceTest, TouchDetectsOppositeEndpoint) {
+  Point a = drill(1, 4);
+  Point b = drill(8, 4);
+  FreeSpaceStats st = reachable_vias(
+      stack_.layer(0), stack_.pool(), spec_.period(), a, spec_.extent(),
+      [](Point) {}, kDefaultMaxFreeNodes, &b);
+  EXPECT_TRUE(st.touched);
+  // Wall b off completely on this layer.
+  Point bg = b;
+  for (Coord y = bg.y - 1; y <= bg.y + 1; ++y) {
+    for (Coord x = bg.x - 1; x <= bg.x + 1; ++x) {
+      if (Point{x, y} == b) continue;
+      if (!stack_.occupied(0, {x, y})) {
+        stack_.insert_span({0, y, {x, x}}, 99);
+      }
+    }
+  }
+  FreeSpaceStats st2 = reachable_vias(
+      stack_.layer(0), stack_.pool(), spec_.period(), a, spec_.extent(),
+      [](Point) {}, kDefaultMaxFreeNodes, &b);
+  EXPECT_FALSE(st2.touched);
+}
+
+TEST_F(FreeSpaceTest, ObstructionsFindsNeighbors) {
+  Point a = drill(5, 4);
+  Point g = a;
+  stack_.insert_span({0, g.y, {g.x + 2, g.x + 4}}, 7);
+  stack_.insert_span({0, g.y + 1, {g.x - 3, g.x + 3}}, 8);
+  std::set<ConnId> found;
+  obstructions(stack_.layer(0), stack_.pool(), g,
+               Rect{{g.x - 6, g.x + 6}, {g.y - 6, g.y + 6}},
+               [&](ConnId c) { found.insert(c); });
+  EXPECT_TRUE(found.contains(7));
+  EXPECT_TRUE(found.contains(8));
+}
+
+TEST_F(FreeSpaceTest, ObstructionsSeesWallsWhenFullyEnclosed) {
+  Point a = drill(5, 4);
+  Point g = a;
+  // Seal all four neighbors of a.
+  stack_.insert_span({0, g.y, {g.x - 1, g.x - 1}}, 11);
+  stack_.insert_span({0, g.y, {g.x + 1, g.x + 1}}, 12);
+  stack_.insert_span({0, g.y - 1, {g.x, g.x}}, 13);
+  stack_.insert_span({0, g.y + 1, {g.x, g.x}}, 14);
+  std::set<ConnId> found;
+  obstructions(stack_.layer(0), stack_.pool(), g,
+               Rect{{g.x - 3, g.x + 3}, {g.y - 3, g.y + 3}},
+               [&](ConnId c) { found.insert(c); });
+  EXPECT_TRUE(found.contains(11));
+  EXPECT_TRUE(found.contains(12));
+  EXPECT_TRUE(found.contains(13));
+  EXPECT_TRUE(found.contains(14));
+}
+
+TEST_F(FreeSpaceTest, TreeLayerTraceParity) {
+  // The binary-tree channel must support identical searches.
+  GridSpec spec(11, 9);
+  SegmentPool pool;
+  TreeLayer tl(0, Orientation::kHorizontal, spec.extent());
+  // Drill endpoints by hand.
+  auto drill_tl = [&](Point v) {
+    Point g = spec.grid_of_via(v);
+    Segment s;
+    s.span = {g.x, g.x};
+    s.conn = kPinConn;
+    tl.channel(g.y).insert(pool, s);
+    return g;
+  };
+  Point a = drill_tl({1, 1});
+  Point b = drill_tl({8, 5});
+  auto spans = trace_path(tl, pool, a, b, spec.extent());
+  ASSERT_TRUE(spans.has_value());
+  EXPECT_FALSE(spans->empty());
+}
+
+TEST_F(FreeSpaceTest, NodeBudgetAborts) {
+  Point a = drill(1, 1), b = drill(9, 7);
+  auto spans = trace_path(stack_.layer(0), stack_.pool(), a, b,
+                          spec_.extent(), /*max_nodes=*/1);
+  EXPECT_FALSE(spans.has_value());
+}
+
+}  // namespace
+}  // namespace grr

@@ -1,0 +1,128 @@
+// Robustness fuzzing: the parsers and the router must survive garbage and
+// adversarial inputs without crashing or corrupting state.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "io/problem_io.hpp"
+#include "io/route_io.hpp"
+#include "route/audit.hpp"
+#include "route/router.hpp"
+
+namespace grr {
+namespace {
+
+std::string random_text(std::mt19937& rng, std::size_t len) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnop 0123456789:;,.-#\n\t%xXyY";
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    s.push_back(kAlphabet[rng() % (sizeof(kAlphabet) - 1)]);
+  }
+  return s;
+}
+
+TEST(FuzzTest, ProblemParserSurvivesGarbage) {
+  std::mt19937 rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text = random_text(rng, 200 + rng() % 400);
+    ProblemReadResult r = read_problem_string(text);
+    // Garbage essentially never parses; if it does, the board is usable.
+    if (r.ok()) {
+      EXPECT_GE(r.board->spec().nx_vias(), 2);
+    } else {
+      EXPECT_FALSE(r.error.empty());
+    }
+  }
+}
+
+TEST(FuzzTest, ProblemParserSurvivesMutatedValidInput) {
+  const std::string valid =
+      "board 41 31 4 2 100\n"
+      "footprint dip DIP16 16 3\n"
+      "footprint sip SIP8 8\n"
+      "part U1 DIP16 5 8\n"
+      "part U2 DIP16 20 12\n"
+      "part R1 SIP8 30 8\n"
+      "terminator R1 0\n"
+      "power GND U1 0\n"
+      "net NET0 ecl term U1:2:out U2:3:in\n";
+  std::mt19937 rng(77);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text = valid;
+    // Flip a few characters.
+    for (int k = 0; k < 3; ++k) {
+      std::size_t pos = rng() % text.size();
+      text[pos] = static_cast<char>('0' + rng() % 75);
+    }
+    ProblemReadResult r = read_problem_string(text);  // must not crash
+    if (!r.ok()) {
+      EXPECT_FALSE(r.error.empty());
+    }
+  }
+}
+
+TEST(FuzzTest, RouteParserSurvivesGarbage) {
+  std::mt19937 rng(4321);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text =
+        "route " + random_text(rng, 100 + rng() % 200) + "\n";
+    RoutesReadResult r = read_routes_string(text);  // must not crash
+    if (!r.ok()) {
+      EXPECT_FALSE(r.error.empty());
+    }
+  }
+}
+
+TEST(FuzzTest, InstallerRejectsHostileGeometry) {
+  // Saved routes with out-of-range layers/channels/spans must be refused
+  // (or cleanly skipped), never corrupt the stack.
+  GridSpec spec(11, 9);
+  LayerStack stack(spec, 2);
+  RouteDB db(4);
+  std::vector<SavedRoute> hostile;
+  {
+    SavedRoute sr;
+    sr.id = 0;
+    sr.strategy = RouteStrategy::kZeroVia;
+    sr.geom.vias.push_back({500, 500});  // far off board
+    hostile.push_back(sr);
+  }
+  {
+    SavedRoute sr;
+    sr.id = 1;
+    sr.strategy = RouteStrategy::kZeroVia;
+    sr.geom.hops.push_back({0, {{9999, {0, 5}}}});  // bad channel
+    hostile.push_back(sr);
+  }
+  {
+    SavedRoute sr;
+    sr.id = 2;
+    sr.strategy = RouteStrategy::kZeroVia;
+    sr.geom.hops.push_back({0, {{5, {-50, 9999}}}});  // bad span
+    hostile.push_back(sr);
+  }
+  {
+    SavedRoute sr;
+    sr.id = 99;  // out-of-range connection id
+    sr.strategy = RouteStrategy::kZeroVia;
+    hostile.push_back(sr);
+  }
+  {
+    SavedRoute sr;
+    sr.id = 3;
+    sr.strategy = RouteStrategy::kZeroVia;
+    // Self-overlapping spans: must be rejected before any insert.
+    sr.geom.hops.push_back({0, {{5, {2, 8}}, {5, {6, 12}}}});
+    hostile.push_back(sr);
+  }
+  int installed = install_routes(stack, db, hostile);
+  EXPECT_EQ(installed, 0);
+  EXPECT_EQ(stack.segment_count(), 0u);
+  EXPECT_TRUE(audit_stack(stack).ok());
+}
+
+}  // namespace
+}  // namespace grr

@@ -1,0 +1,95 @@
+#include "geom/geom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace grr {
+namespace {
+
+TEST(PointTest, ManhattanAndChebyshev) {
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({-2, 5}, {1, 1}), 7);
+  EXPECT_EQ(manhattan({2, 2}, {2, 2}), 0);
+  EXPECT_EQ(chebyshev({0, 0}, {3, 4}), 4);
+  EXPECT_EQ(chebyshev({-2, 5}, {1, 1}), 4);
+}
+
+TEST(IntervalTest, EmptyAndLength) {
+  Interval def;
+  EXPECT_TRUE(def.empty());
+  EXPECT_EQ(def.length(), 0);
+  Interval unit{5, 5};
+  EXPECT_FALSE(unit.empty());
+  EXPECT_EQ(unit.length(), 1);
+  EXPECT_EQ((Interval{2, 7}.length()), 6);
+}
+
+TEST(IntervalTest, ContainsAndOverlaps) {
+  Interval iv{3, 8};
+  EXPECT_TRUE(iv.contains(3));
+  EXPECT_TRUE(iv.contains(8));
+  EXPECT_FALSE(iv.contains(2));
+  EXPECT_TRUE(iv.contains(Interval{4, 6}));
+  EXPECT_FALSE(iv.contains(Interval{4, 9}));
+  EXPECT_TRUE(iv.overlaps({8, 12}));
+  EXPECT_TRUE(iv.overlaps({0, 3}));
+  EXPECT_FALSE(iv.overlaps({9, 12}));
+  EXPECT_FALSE(iv.overlaps({0, 2}));
+}
+
+TEST(IntervalTest, IntersectHullClamp) {
+  Interval a{2, 9}, b{5, 14};
+  EXPECT_EQ(a.intersect(b), (Interval{5, 9}));
+  EXPECT_TRUE(a.intersect(Interval{10, 12}).empty());
+  EXPECT_EQ(a.hull(b), (Interval{2, 14}));
+  EXPECT_EQ(a.clamp(0), 2);
+  EXPECT_EQ(a.clamp(20), 9);
+  EXPECT_EQ(a.clamp(5), 5);
+}
+
+TEST(RectTest, BoundingContainsOverlap) {
+  Rect r = Rect::bounding({5, 1}, {2, 7});
+  EXPECT_EQ(r.x, (Interval{2, 5}));
+  EXPECT_EQ(r.y, (Interval{1, 7}));
+  EXPECT_TRUE(r.contains(Point{3, 4}));
+  EXPECT_FALSE(r.contains(Point{6, 4}));
+  EXPECT_TRUE(r.overlaps(Rect{{5, 9}, {7, 9}}));
+  EXPECT_FALSE(r.overlaps(Rect{{6, 9}, {0, 9}}));
+}
+
+TEST(RectTest, InflatedAndArea) {
+  Rect r{{2, 4}, {3, 5}};
+  Rect big = r.inflated(2);
+  EXPECT_EQ(big.x, (Interval{0, 6}));
+  EXPECT_EQ(big.y, (Interval{1, 7}));
+  EXPECT_EQ(r.area(), 9);
+  EXPECT_EQ(r.width(), 3);
+  EXPECT_EQ(r.height(), 3);
+}
+
+TEST(OrientationTest, ChannelSpaceMapping) {
+  Point p{7, 11};
+  EXPECT_EQ(along(Orientation::kHorizontal, p), 7);
+  EXPECT_EQ(across(Orientation::kHorizontal, p), 11);
+  EXPECT_EQ(along(Orientation::kVertical, p), 11);
+  EXPECT_EQ(across(Orientation::kVertical, p), 7);
+  EXPECT_EQ(from_channel(Orientation::kHorizontal, 11, 7), p);
+  EXPECT_EQ(from_channel(Orientation::kVertical, 7, 11), p);
+  EXPECT_EQ(other(Orientation::kHorizontal), Orientation::kVertical);
+}
+
+TEST(GeomTest, Streaming) {
+  std::ostringstream os;
+  os << Point{1, 2} << ' ' << Interval{3, 4} << ' ' << Rect{{0, 1}, {2, 3}};
+  EXPECT_EQ(os.str(), "(1,2) [3,4] [0,1]x[2,3]");
+}
+
+TEST(PointTest, HashDistinguishesCoords) {
+  std::hash<Point> h;
+  EXPECT_NE(h({1, 2}), h({2, 1}));
+  EXPECT_EQ(h({3, 4}), h({3, 4}));
+}
+
+}  // namespace
+}  // namespace grr

@@ -1,0 +1,86 @@
+// Tests for RS-274X Gerber output.
+#include "report/gerber.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/board_gen.hpp"
+
+namespace grr {
+namespace {
+
+GeneratedBoard tiny_board() {
+  BoardGenParams p;
+  p.name = "gerber";
+  p.width_in = 3;
+  p.height_in = 3;
+  p.layers = 2;
+  p.target_connections = 30;
+  p.seed = 12;
+  return generate_board(p);
+}
+
+TEST(GerberTest, SignalLayerStructure) {
+  GeneratedBoard gb = tiny_board();
+  Router router(gb.board->stack());
+  ASSERT_TRUE(router.route_all(gb.strung.connections));
+  std::string g =
+      gerber_signal_layer(*gb.board, router.db(), gb.strung.connections, 0);
+
+  // Mandatory RS-274X framing.
+  EXPECT_EQ(g.find("G04"), 0u);
+  EXPECT_NE(g.find("%FSLAX24Y24*%"), std::string::npos);
+  EXPECT_NE(g.find("%MOIN*%"), std::string::npos);
+  EXPECT_NE(g.find("%ADD10C,0.008*%"), std::string::npos);  // 8 mil trace
+  EXPECT_NE(g.find("%ADD11C,0.06*%"), std::string::npos);   // 60 mil pad
+  EXPECT_NE(g.find("D03*"), std::string::npos);             // pad flashes
+  EXPECT_NE(g.find("D01*"), std::string::npos);             // trace draws
+  EXPECT_NE(g.find("D02*"), std::string::npos);             // moves
+  // Exactly one end-of-file marker, at the end.
+  EXPECT_EQ(g.rfind("M02*\n"), g.size() - 5);
+
+  // Every draw is preceded somewhere by a move (crude but catches a layer
+  // emitted with no D02 at all).
+  EXPECT_LT(g.find("D02*"), g.find("D01*"));
+}
+
+TEST(GerberTest, CoordinatesAreTenthMils) {
+  GeneratedBoard gb = tiny_board();
+  Router router(gb.board->stack());
+  ASSERT_TRUE(router.route_all(gb.strung.connections));
+  std::string g =
+      gerber_signal_layer(*gb.board, router.db(), gb.strung.connections, 0);
+  // A pad at via (1,1) = (100 mil, 100 mil) = 1000 units.
+  EXPECT_NE(g.find("X1000Y1000D03*"), std::string::npos);
+}
+
+TEST(GerberTest, PowerPlanePolarity) {
+  GeneratedBoard gb = tiny_board();
+  PowerPlaneArt art = generate_power_plane(*gb.board, "GND");
+  std::string g = gerber_power_plane(*gb.board, art);
+  // Region fill for the copper, then clear-polarity clearances, then the
+  // two-polarity thermal reliefs.
+  std::size_t region = g.find("G36*");
+  std::size_t clear = g.find("%LPC*%");
+  std::size_t dark_again = g.rfind("%LPD*%");
+  ASSERT_NE(region, std::string::npos);
+  ASSERT_NE(clear, std::string::npos);
+  ASSERT_NE(dark_again, std::string::npos);
+  EXPECT_LT(region, clear);
+  EXPECT_LT(clear, dark_again);
+  EXPECT_EQ(g.rfind("M02*\n"), g.size() - 5);
+  // The generator assigned GND pins, so thermal flashes exist.
+  EXPECT_NE(g.find("D21*"), std::string::npos);
+  EXPECT_NE(g.find("D22*"), std::string::npos);
+}
+
+TEST(GerberTest, EmptyBoardStillWellFormed) {
+  GridSpec spec(5, 5);
+  Board board(spec, 2);
+  RouteDB db(0);
+  std::string g = gerber_signal_layer(board, db, {}, 0);
+  EXPECT_NE(g.find("%MOIN*%"), std::string::npos);
+  EXPECT_EQ(g.rfind("M02*\n"), g.size() - 5);
+}
+
+}  // namespace
+}  // namespace grr

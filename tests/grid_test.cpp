@@ -1,0 +1,91 @@
+#include "grid/grid_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace grr {
+namespace {
+
+TEST(GridSpecTest, PaperEmbedding) {
+  // Fig 3: 100-mil via pitch, two routing tracks between via points.
+  GridSpec spec(11, 9);
+  EXPECT_EQ(spec.period(), 3);
+  EXPECT_EQ(spec.extent(), (Rect{{0, 30}, {0, 24}}));
+  EXPECT_EQ(spec.via_extent(), (Rect{{0, 10}, {0, 8}}));
+}
+
+TEST(GridSpecTest, ViaGridConversions) {
+  GridSpec spec(11, 9);
+  EXPECT_EQ(spec.grid_of_via(Point{2, 3}), (Point{6, 9}));
+  EXPECT_EQ(spec.via_of_grid(Point{6, 9}), (Point{2, 3}));
+  EXPECT_TRUE(spec.is_via_site({6, 9}));
+  EXPECT_FALSE(spec.is_via_site({7, 9}));
+  EXPECT_FALSE(spec.is_via_site({6, 8}));
+}
+
+TEST(GridSpecTest, FloorCeilNearest) {
+  GridSpec spec(11, 9);
+  EXPECT_EQ(spec.via_floor(7), 2);
+  EXPECT_EQ(spec.via_ceil(7), 3);
+  EXPECT_EQ(spec.via_floor(6), 2);
+  EXPECT_EQ(spec.via_ceil(6), 2);
+  // Grid 7 is one step (42 mils) above via 2 and two steps below via 3.
+  EXPECT_EQ(spec.nearest_via({7, 8}), (Point{2, 3}));
+  // Clamped to the board.
+  EXPECT_EQ(spec.nearest_via({30, 24}), (Point{10, 8}));
+}
+
+TEST(GridSpecTest, IrregularMilSpacing) {
+  // Fig 1/3: via point, 42 mils, routing point, 16 mils, routing point,
+  // 42 mils, next via point.
+  GridSpec spec(11, 9);
+  EXPECT_EQ(spec.mils_of_grid(0), 0);
+  EXPECT_EQ(spec.mils_of_grid(1), 42);
+  EXPECT_EQ(spec.mils_of_grid(2), 58);
+  EXPECT_EQ(spec.mils_of_grid(3), 100);
+  EXPECT_EQ(spec.mils_of_grid(4), 142);
+  EXPECT_EQ(spec.mils_between(1, 2), 16);
+  EXPECT_EQ(spec.mils_between(0, 3), 100);
+}
+
+TEST(GridSpecTest, UniformSpacingForOtherPeriods) {
+  GridSpec spec(5, 5, /*tracks_between_vias=*/1, /*via_pitch_mils=*/50);
+  EXPECT_EQ(spec.period(), 2);
+  EXPECT_EQ(spec.mils_of_grid(0), 0);
+  EXPECT_EQ(spec.mils_of_grid(1), 25);
+  EXPECT_EQ(spec.mils_of_grid(2), 50);
+}
+
+TEST(GridSpecTest, BoardInches) {
+  GridSpec spec(161, 221);  // 16 x 22 inch, like the Titan coproc
+  EXPECT_DOUBLE_EQ(spec.board_width_inches(), 16.0);
+  EXPECT_DOUBLE_EQ(spec.board_height_inches(), 22.0);
+}
+
+TEST(GridSpecTest, InBoard) {
+  GridSpec spec(11, 9);
+  EXPECT_TRUE(spec.in_board({0, 0}));
+  EXPECT_TRUE(spec.in_board({30, 24}));
+  EXPECT_FALSE(spec.in_board({31, 0}));
+  EXPECT_TRUE(spec.via_in_board({10, 8}));
+  EXPECT_FALSE(spec.via_in_board({11, 8}));
+}
+
+TEST(GridSpecTest, FloorCeilOnNegativeCoordinates) {
+  // Boxes inflated past the board edge produce negative grid coordinates;
+  // the quotients must still floor/ceil correctly.
+  GridSpec spec(11, 9);
+  EXPECT_EQ(spec.via_floor(-1), -1);
+  EXPECT_EQ(spec.via_ceil(-1), 0);
+  EXPECT_EQ(spec.via_floor(-3), -1);
+  EXPECT_EQ(spec.via_ceil(-3), -1);
+  EXPECT_EQ(spec.via_floor(-4), -2);
+}
+
+TEST(GridSpecTest, DegenerateTracksBetweenVias) {
+  GridSpec spec(5, 5, /*tracks_between_vias=*/0);
+  EXPECT_EQ(spec.period(), 1);
+  EXPECT_TRUE(spec.is_via_site({3, 2}));  // every grid point is a via site
+}
+
+}  // namespace
+}  // namespace grr

@@ -1,0 +1,94 @@
+// Tests for the post-route improvement pass.
+#include "route/improve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "route/audit.hpp"
+#include "workload/board_gen.hpp"
+
+namespace grr {
+namespace {
+
+TEST(ImproveTest, NeverMakesThingsWorse) {
+  BoardGenParams p;
+  p.width_in = 5;
+  p.height_in = 4;
+  p.layers = 4;
+  p.target_connections = 400;
+  p.locality = 0.5;
+  p.seed = 21;
+  GeneratedBoard gb = generate_board(p);
+  Router router(gb.board->stack());
+  ASSERT_TRUE(router.route_all(gb.strung.connections));
+
+  ImproveStats st = improve_routes(router, gb.strung.connections, 2);
+  EXPECT_GT(st.examined, 0);
+  EXPECT_LE(st.vias_after, st.vias_before);
+  // Every connection is still routed and the board is still consistent.
+  for (const Connection& c : gb.strung.connections) {
+    EXPECT_TRUE(router.db().routed(c.id));
+  }
+  AuditReport audit =
+      audit_all(gb.board->stack(), router.db(), gb.strung.connections);
+  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+}
+
+TEST(ImproveTest, RemovesRipupScars) {
+  // Force a detour: a and b share a row but the corridor is blocked while
+  // the first route is made, then unblocked before the improvement pass.
+  GridSpec spec(21, 17);
+  LayerStack stack(spec, 2);
+  stack.drill_via({2, 8}, kPinConn);
+  stack.drill_via({18, 8}, kPinConn);
+  Connection c;
+  c.id = 0;
+  c.a = {2, 8};
+  c.b = {18, 8};
+
+  // Temporary wall so the first route needs vias to climb around it.
+  std::vector<SegId> wall;
+  for (Coord y = 15; y <= 48; ++y) {
+    wall.push_back(stack.insert_span({0, y, {28, 32}}, kObstacleConn));
+    // And the vertical layer in the same window.
+    for (Coord x = 28; x <= 32; ++x) {
+      if (!stack.occupied(1, {x, y})) {
+        wall.push_back(stack.insert_span({1, x, {y, y}}, kObstacleConn));
+      }
+    }
+  }
+  Router router(stack);
+  ASSERT_TRUE(router.route_all({c}));
+  const std::size_t vias_before = router.db().rec(0).geom.vias.size();
+  ASSERT_GT(vias_before, 0u) << "the wall should have forced vias";
+
+  for (SegId s : wall) stack.erase_segment(s);
+  ImproveStats st = improve_routes(router, {c});
+  EXPECT_EQ(st.improved, 1);
+  EXPECT_EQ(router.db().rec(0).geom.vias.size(), 0u);
+  EXPECT_LT(st.vias_after, st.vias_before);
+  AuditReport audit = audit_all(stack, router.db(), {c});
+  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+}
+
+TEST(ImproveTest, RestoresWhenRerouteIsWorse) {
+  // Nothing to gain on an open board: the pass must leave the (already
+  // optimal) route in place.
+  GridSpec spec(21, 17);
+  LayerStack stack(spec, 2);
+  stack.drill_via({2, 8}, kPinConn);
+  stack.drill_via({18, 8}, kPinConn);
+  Connection c;
+  c.id = 0;
+  c.a = {2, 8};
+  c.b = {18, 8};
+  Router router(stack);
+  ASSERT_TRUE(router.route_all({c}));
+  long mils = router.db().length_mils(spec, stack, 0);
+  ImproveStats st = improve_routes(router, {c}, 3);
+  EXPECT_TRUE(router.db().routed(0));
+  EXPECT_EQ(router.db().length_mils(spec, stack, 0), mils);
+  EXPECT_EQ(st.vias_after, st.vias_before);
+}
+
+}  // namespace
+}  // namespace grr

@@ -1,0 +1,191 @@
+// Tests for problem/route file I/O.
+#include <gtest/gtest.h>
+
+#include "io/problem_io.hpp"
+#include "io/route_io.hpp"
+#include "route/audit.hpp"
+#include "route/router.hpp"
+#include "stringer/stringer.hpp"
+#include "workload/board_gen.hpp"
+
+namespace grr {
+namespace {
+
+constexpr const char* kProblem = R"(# sample
+board 41 31 4 2 100
+footprint dip DIP16 16 3
+footprint sip SIP8 8
+part U1 DIP16 5 8
+part U2 DIP16 20 12
+part R1 SIP8 30 8
+terminator R1 0
+terminator R1 1
+obstacle 1 1
+power GND U1 0
+net NET0 ecl term U1:2:out U2:3:in
+net NET1 ttl noterm U1:3:out U2:4:in U2:12:in
+)";
+
+TEST(ProblemIoTest, ParsesSample) {
+  ProblemReadResult r = read_problem_string(kProblem);
+  ASSERT_TRUE(r.ok()) << r.error;
+  Board& b = *r.board;
+  EXPECT_EQ(b.spec().nx_vias(), 41);
+  EXPECT_EQ(b.stack().num_layers(), 4);
+  EXPECT_EQ(b.parts().size(), 3u);
+  EXPECT_EQ(b.total_pins(), 40);
+  EXPECT_EQ(b.terminators().size(), 2u);
+  EXPECT_EQ(b.obstacles().size(), 1u);
+  ASSERT_EQ(b.netlist().nets.size(), 2u);
+  EXPECT_EQ(b.netlist().nets[0].klass, SignalClass::kECL);
+  EXPECT_TRUE(b.netlist().nets[0].needs_terminator);
+  EXPECT_EQ(b.netlist().nets[1].pins.size(), 3u);
+  // Pins really are drilled.
+  EXPECT_FALSE(b.stack().via_free({5, 8}));
+}
+
+TEST(ProblemIoTest, RoundTrip) {
+  ProblemReadResult first = read_problem_string(kProblem);
+  ASSERT_TRUE(first.ok());
+  std::string text = write_problem_string(*first.board);
+  ProblemReadResult second = read_problem_string(text);
+  ASSERT_TRUE(second.ok()) << second.error;
+  // The rebuilt board is structurally identical.
+  EXPECT_EQ(write_problem_string(*second.board), text);
+  EXPECT_EQ(second.board->total_pins(), first.board->total_pins());
+  EXPECT_EQ(second.board->netlist().nets.size(),
+            first.board->netlist().nets.size());
+  // And routes the same way.
+  auto s1 = string_nets(*first.board);
+  auto s2 = string_nets(*second.board);
+  ASSERT_EQ(s1.connections.size(), s2.connections.size());
+  for (std::size_t i = 0; i < s1.connections.size(); ++i) {
+    EXPECT_EQ(s1.connections[i].a, s2.connections[i].a);
+    EXPECT_EQ(s1.connections[i].b, s2.connections[i].b);
+  }
+}
+
+TEST(ProblemIoTest, GeneratedBoardRoundTrips) {
+  BoardGenParams p;
+  p.width_in = 4;
+  p.height_in = 3;
+  p.layers = 4;
+  p.target_connections = 120;
+  p.seed = 6;
+  GeneratedBoard gb = generate_board(p);
+  std::string text = write_problem_string(*gb.board);
+  ProblemReadResult r = read_problem_string(text);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.board->total_pins(), gb.board->total_pins());
+  EXPECT_EQ(write_problem_string(*r.board), text);
+}
+
+TEST(ProblemIoTest, ErrorsCarryLineNumbers) {
+  EXPECT_NE(read_problem_string("part U1 X 1 1\n").error.find("line 1"),
+            std::string::npos);
+  EXPECT_NE(read_problem_string("board 41 31 4\nfrobnicate\n")
+                .error.find("line 2"),
+            std::string::npos);
+  EXPECT_FALSE(read_problem_string("").ok());
+  // Colliding parts are rejected, not asserted.
+  ProblemReadResult r = read_problem_string(
+      "board 41 31 2\nfootprint sip S 4\npart A S 5 5\npart B S 5 5\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("collides"), std::string::npos);
+  // Off-board part.
+  r = read_problem_string(
+      "board 10 10 2\nfootprint sip S 4\npart A S 9 9\n");
+  EXPECT_FALSE(r.ok());
+  // Unknown pin.
+  r = read_problem_string(
+      "board 41 31 2\nfootprint sip S 4\npart A S 5 5\n"
+      "net N ecl noterm A:9:out\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ProblemIoTest, TilesRoundTrip) {
+  constexpr const char* kTiled = R"(board 41 31 2
+footprint sip S 2
+part A S 5 8
+part B S 30 8
+tile 0 0 0 59 90 ecl
+tile 0 60 0 120 90 ttl
+tile 1 0 0 120 90 ecl
+net N1 ecl noterm A:0:out A:1:in
+net N2 ttl noterm B:0:out B:1:in
+)";
+  ProblemReadResult r = read_problem_string(kTiled);
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.tiles.tiles().size(), 3u);
+  EXPECT_EQ(r.tiles.class_at(0, {10, 10}), SignalClass::kECL);
+  EXPECT_EQ(r.tiles.class_at(0, {80, 10}), SignalClass::kTTL);
+  // Round trip preserves the tesselation.
+  std::string text = write_problem_string(*r.board, &r.tiles);
+  ProblemReadResult again = read_problem_string(text);
+  ASSERT_TRUE(again.ok()) << again.error;
+  EXPECT_EQ(again.tiles.tiles().size(), 3u);
+  EXPECT_EQ(write_problem_string(*again.board, &again.tiles), text);
+}
+
+TEST(ProblemIoTest, RejectsBadTiles) {
+  EXPECT_FALSE(read_problem_string("board 41 31 2\n"
+                                   "tile 5 0 0 10 10 ecl\n")
+                   .ok());  // no such layer
+  EXPECT_FALSE(read_problem_string("board 41 31 2\n"
+                                   "tile 0 0 0 500 10 ecl\n")
+                   .ok());  // off board
+  EXPECT_FALSE(read_problem_string("board 41 31 2\n"
+                                   "tile 0 0 0 10 10 cmos\n")
+                   .ok());  // unknown class
+}
+
+TEST(RouteIoTest, RoundTripAndInstall) {
+  ProblemReadResult pr = read_problem_string(kProblem);
+  ASSERT_TRUE(pr.ok());
+  auto strung = string_nets(*pr.board);
+  Router router(pr.board->stack());
+  ASSERT_TRUE(router.route_all(strung.connections));
+  std::string text = write_routes_string(router.db(), strung.connections);
+
+  RoutesReadResult rr = read_routes_string(text);
+  ASSERT_TRUE(rr.ok()) << rr.error;
+  EXPECT_EQ(rr.routes.size(), strung.connections.size());
+
+  // Install into a freshly parsed board: identical metal, audit clean.
+  ProblemReadResult fresh = read_problem_string(kProblem);
+  ASSERT_TRUE(fresh.ok());
+  RouteDB db(strung.connections.size());
+  int installed = install_routes(fresh.board->stack(), db, rr.routes);
+  EXPECT_EQ(installed, static_cast<int>(rr.routes.size()));
+  EXPECT_EQ(fresh.board->stack().segment_count(),
+            pr.board->stack().segment_count());
+  AuditReport audit =
+      audit_all(fresh.board->stack(), db, strung.connections);
+  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  // Round-trip fixpoint.
+  EXPECT_EQ(write_routes_string(db, strung.connections), text);
+}
+
+TEST(RouteIoTest, InstallSkipsCollisions) {
+  ProblemReadResult pr = read_problem_string(kProblem);
+  ASSERT_TRUE(pr.ok());
+  auto strung = string_nets(*pr.board);
+  Router router(pr.board->stack());
+  ASSERT_TRUE(router.route_all(strung.connections));
+  RoutesReadResult rr = read_routes_string(
+      write_routes_string(router.db(), strung.connections));
+
+  // Installing on the SAME board (metal already present) restores nothing.
+  RouteDB db(strung.connections.size());
+  EXPECT_EQ(install_routes(pr.board->stack(), db, rr.routes), 0);
+}
+
+TEST(RouteIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(read_routes_string("route x\n").ok());
+  EXPECT_FALSE(read_routes_string("route 1 bogus vias hops\n").ok());
+  EXPECT_FALSE(read_routes_string("banana\n").ok());
+  EXPECT_TRUE(read_routes_string("# just a comment\n").ok());
+}
+
+}  // namespace
+}  // namespace grr

@@ -1,0 +1,126 @@
+#include "layer/layer_stack.hpp"
+
+#include <gtest/gtest.h>
+
+namespace grr {
+namespace {
+
+class LayerStackTest : public ::testing::Test {
+ protected:
+  LayerStackTest() : spec_(11, 9), stack_(spec_, 4) {}
+  GridSpec spec_;
+  LayerStack stack_;
+};
+
+TEST_F(LayerStackTest, DefaultOrientationsAlternate) {
+  EXPECT_EQ(stack_.num_layers(), 4);
+  EXPECT_EQ(stack_.layer(0).orientation(), Orientation::kHorizontal);
+  EXPECT_EQ(stack_.layer(1).orientation(), Orientation::kVertical);
+  EXPECT_EQ(stack_.layer(2).orientation(), Orientation::kHorizontal);
+  EXPECT_EQ(stack_.layer(3).orientation(), Orientation::kVertical);
+}
+
+TEST_F(LayerStackTest, ChannelGeometryPerOrientation) {
+  // Horizontal layer: channels indexed by y, running in x.
+  const Layer& h = stack_.layer(0);
+  EXPECT_EQ(h.along_extent(), (Interval{0, 30}));
+  EXPECT_EQ(h.across_extent(), (Interval{0, 24}));
+  EXPECT_EQ(h.along_of({7, 3}), 7);
+  EXPECT_EQ(h.across_of({7, 3}), 3);
+  // Vertical layer: channels indexed by x, running in y.
+  const Layer& v = stack_.layer(1);
+  EXPECT_EQ(v.along_extent(), (Interval{0, 24}));
+  EXPECT_EQ(v.across_extent(), (Interval{0, 30}));
+  EXPECT_EQ(v.along_of({7, 3}), 3);
+  EXPECT_EQ(v.across_of({7, 3}), 7);
+}
+
+TEST_F(LayerStackTest, DrillViaCoversAllLayers) {
+  Point via{2, 3};
+  EXPECT_TRUE(stack_.via_free(via));
+  auto segs = stack_.drill_via(via, 42);
+  EXPECT_EQ(segs.size(), 4u);
+  EXPECT_FALSE(stack_.via_free(via));
+  EXPECT_EQ(stack_.via_use_count(via), 4);
+  Point g = spec_.grid_of_via(via);
+  for (int l = 0; l < 4; ++l) {
+    EXPECT_TRUE(stack_.occupied(static_cast<LayerId>(l), g));
+    EXPECT_EQ(stack_.conn_at(static_cast<LayerId>(l), g), 42);
+  }
+  for (SegId s : segs) stack_.erase_segment(s);
+  EXPECT_TRUE(stack_.via_free(via));
+  EXPECT_EQ(stack_.segment_count(), 0u);
+}
+
+TEST_F(LayerStackTest, TraceOverViaSiteBlocksDrilling) {
+  // A horizontal trace through via (2,3)'s grid point on one layer blocks
+  // the hole (the drill would hit it), even though other layers are clear.
+  Point via{2, 3};
+  Point g = spec_.grid_of_via(via);  // (6, 9)
+  SegId s = stack_.insert_span({0, /*channel=*/g.y, {g.x - 2, g.x + 2}}, 7);
+  EXPECT_FALSE(stack_.via_free(via));
+  EXPECT_EQ(stack_.via_use_count(via), 1);
+  stack_.erase_segment(s);
+  EXPECT_TRUE(stack_.via_free(via));
+}
+
+TEST_F(LayerStackTest, TraceBetweenViaRowsDoesNotBlock) {
+  // Channel y=10 is not a via row (period 3): no via site is covered.
+  SegId s = stack_.insert_span({0, 10, {0, 30}}, 7);
+  for (Coord vx = 0; vx < spec_.nx_vias(); ++vx) {
+    for (Coord vy = 0; vy < spec_.ny_vias(); ++vy) {
+      EXPECT_TRUE(stack_.via_free({vx, vy}));
+    }
+  }
+  stack_.erase_segment(s);
+}
+
+TEST_F(LayerStackTest, ViaMapCountsMultipleCoverings) {
+  Point via{2, 3};
+  Point g = spec_.grid_of_via(via);
+  SegId s0 = stack_.insert_span({0, g.y, {g.x, g.x + 3}}, 1);
+  SegId s1 = stack_.insert_span({1, g.x, {g.y - 1, g.y + 1}}, 2);
+  EXPECT_EQ(stack_.via_use_count(via), 2);
+  stack_.erase_segment(s0);
+  EXPECT_EQ(stack_.via_use_count(via), 1);
+  stack_.erase_segment(s1);
+  EXPECT_EQ(stack_.via_use_count(via), 0);
+}
+
+TEST_F(LayerStackTest, DisabledViaMapFallsBackToProbing) {
+  stack_.set_use_via_map(false);
+  Point via{4, 4};
+  EXPECT_TRUE(stack_.via_free(via));
+  Point g = spec_.grid_of_via(via);
+  SegId s = stack_.insert_span({2, g.y, {g.x, g.x}}, 9);
+  EXPECT_FALSE(stack_.via_free(via));
+  EXPECT_EQ(stack_.via_use_count(via), 1);
+  stack_.erase_segment(s);
+  EXPECT_TRUE(stack_.via_free(via));
+}
+
+TEST_F(LayerStackTest, SpanFree) {
+  stack_.insert_span({0, 5, {10, 20}}, 3);
+  EXPECT_FALSE(stack_.span_free({0, 5, {15, 25}}));
+  EXPECT_FALSE(stack_.span_free({0, 5, {20, 20}}));
+  EXPECT_TRUE(stack_.span_free({0, 5, {21, 30}}));
+  EXPECT_TRUE(stack_.span_free({1, 5, {10, 20}}));  // other layer clear
+}
+
+TEST_F(LayerStackTest, PlacedSpanRoundTrip) {
+  PlacedSpan ps{1, 6, {3, 12}};
+  SegId s = stack_.insert_span(ps, 5);
+  EXPECT_EQ(stack_.placed_span(s), ps);
+}
+
+TEST_F(LayerStackTest, CustomOrientations) {
+  LayerStack s(spec_, 3,
+               {Orientation::kVertical, Orientation::kVertical,
+                Orientation::kHorizontal});
+  EXPECT_EQ(s.layer(0).orientation(), Orientation::kVertical);
+  EXPECT_EQ(s.layer(1).orientation(), Orientation::kVertical);
+  EXPECT_EQ(s.layer(2).orientation(), Orientation::kHorizontal);
+}
+
+}  // namespace
+}  // namespace grr

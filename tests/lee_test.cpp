@@ -1,0 +1,191 @@
+// Tests for the generalized Lee's algorithm (paper Sec 8.2) and its three
+// modifications.
+#include "route/lee.hpp"
+
+#include <gtest/gtest.h>
+
+#include "route/audit.hpp"
+#include "route/router.hpp"
+
+namespace grr {
+namespace {
+
+class LeeTest : public ::testing::Test {
+ protected:
+  LeeTest() : spec_(13, 13), stack_(spec_, 2) {}
+
+  Connection make_conn(ConnId id, Point a, Point b) {
+    if (stack_.via_free(a)) stack_.drill_via(a, kPinConn);
+    if (stack_.via_free(b)) stack_.drill_via(b, kPinConn);
+    Connection c;
+    c.id = id;
+    c.a = a;
+    c.b = b;
+    return c;
+  }
+
+  /// Seal a via point inside a ring of obstacle metal on every layer.
+  void wall_in(Point via) {
+    Point g = spec_.grid_of_via(via);
+    for (int li = 0; li < stack_.num_layers(); ++li) {
+      const Layer& layer = stack_.layer(static_cast<LayerId>(li));
+      Coord c = layer.across_of(g), v = layer.along_of(g);
+      for (Coord dc : {Coord{-1}, Coord{1}}) {
+        if (!stack_.occupied(static_cast<LayerId>(li),
+                             layer.point_of(c + dc, v))) {
+          stack_.insert_span({static_cast<LayerId>(li), c + dc, {v, v}},
+                             kObstacleConn);
+        }
+      }
+      for (Coord dv : {Coord{-1}, Coord{1}}) {
+        if (!stack_.occupied(static_cast<LayerId>(li),
+                             layer.point_of(c, v + dv))) {
+          stack_.insert_span({static_cast<LayerId>(li), c, {v + dv, v + dv}},
+                             kObstacleConn);
+        }
+      }
+    }
+  }
+
+  GridSpec spec_;
+  LayerStack stack_;
+};
+
+TEST_F(LeeTest, FindsDirectNeighborPath) {
+  Connection c = make_conn(0, {1, 5}, {10, 5});
+  LeeSearch lee(stack_);
+  RouterConfig cfg;
+  LeeResult res = lee.search(c, cfg);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.via_seq.front(), c.a);
+  EXPECT_EQ(res.via_seq.back(), c.b);
+  EXPECT_EQ(res.hop_layers.size(), res.via_seq.size() - 1);
+  // Same row: reachable in one hop, no intermediate vias.
+  EXPECT_EQ(res.via_seq.size(), 2u);
+}
+
+TEST_F(LeeTest, MultiHopPathUsesFreeVias) {
+  // Diagonal connection: needs at least one intermediate via.
+  Connection c = make_conn(0, {2, 2}, {10, 9});
+  LeeSearch lee(stack_);
+  RouterConfig cfg;
+  cfg.radius = 1;
+  LeeResult res = lee.search(c, cfg);
+  ASSERT_TRUE(res.found);
+  ASSERT_GE(res.via_seq.size(), 3u);
+  for (std::size_t i = 1; i + 1 < res.via_seq.size(); ++i) {
+    EXPECT_TRUE(stack_.via_free(res.via_seq[i]));
+  }
+  // Consecutive hops respect the radius constraint on their layer.
+  for (std::size_t j = 0; j + 1 < res.via_seq.size(); ++j) {
+    const Layer& layer = stack_.layer(res.hop_layers[j]);
+    Coord orth = layer.orientation() == Orientation::kHorizontal
+                     ? std::abs(res.via_seq[j].y - res.via_seq[j + 1].y)
+                     : std::abs(res.via_seq[j].x - res.via_seq[j + 1].x);
+    EXPECT_LE(orth, cfg.radius);
+  }
+}
+
+TEST_F(LeeTest, BlockedAtCongestedEndReportsThatEnd) {
+  Connection c = make_conn(0, {2, 6}, {10, 6});
+  wall_in(c.a);
+  LeeSearch lee(stack_);
+  RouterConfig cfg;
+  LeeResult res = lee.search(c, cfg);
+  ASSERT_FALSE(res.found);
+  // Mod 2: the exhausted wavefront is a's; the rip-up point is the point
+  // that made the most progress — here the walled source itself.
+  EXPECT_EQ(res.rip_center, c.a);
+}
+
+TEST_F(LeeTest, BidirectionalDetectsBlockageCheaply) {
+  // The free end would flood the whole board before noticing; the dual
+  // wavefront stops as soon as the walled end is exhausted (Mod 2).
+  Connection c = make_conn(0, {2, 6}, {10, 6});
+  wall_in(c.b);
+  RouterConfig bidir;
+  RouterConfig unidir;
+  unidir.bidirectional = false;
+  LeeSearch lee(stack_);
+  LeeResult rb = lee.search(c, bidir);
+  LeeResult ru = lee.search(c, unidir);
+  EXPECT_FALSE(rb.found);
+  EXPECT_FALSE(ru.found);
+  EXPECT_LT(rb.expansions + rb.marks, ru.expansions + ru.marks);
+}
+
+TEST_F(LeeTest, UnidirectionalStillFindsPaths) {
+  Connection c = make_conn(0, {2, 2}, {10, 9});
+  RouterConfig cfg;
+  cfg.bidirectional = false;
+  LeeSearch lee(stack_);
+  LeeResult res = lee.search(c, cfg);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.via_seq.front(), c.a);
+  EXPECT_EQ(res.via_seq.back(), c.b);
+}
+
+TEST_F(LeeTest, CostFunctionTradesViasForSearchTime) {
+  // cost = hops (original Lee) guarantees the minimum via count but
+  // explores more; cost = dist*hops explores less (Mod 3).
+  Connection c = make_conn(0, {2, 2}, {10, 10});
+  RouterConfig unit;
+  unit.cost_fn = CostFn::kUnitHops;
+  RouterConfig dh;
+  dh.cost_fn = CostFn::kDistTimesHops;
+  LeeSearch lee(stack_);
+  LeeResult r_unit = lee.search(c, unit);
+  LeeResult r_dh = lee.search(c, dh);
+  ASSERT_TRUE(r_unit.found);
+  ASSERT_TRUE(r_dh.found);
+  EXPECT_LE(r_unit.via_seq.size(), r_dh.via_seq.size());
+  EXPECT_LE(r_dh.expansions, r_unit.expansions);
+}
+
+TEST_F(LeeTest, BudgetExceededReportsBestProgress) {
+  Connection c = make_conn(0, {1, 1}, {11, 11});
+  RouterConfig cfg;
+  cfg.max_lee_expansions = 1;
+  LeeSearch lee(stack_);
+  LeeResult res = lee.search(c, cfg);
+  EXPECT_FALSE(res.found);
+  EXPECT_TRUE(res.budget_exceeded);
+}
+
+TEST_F(LeeTest, SearchIsReadOnly) {
+  Connection c = make_conn(0, {2, 2}, {10, 9});
+  std::size_t before = stack_.segment_count();
+  LeeSearch lee(stack_);
+  RouterConfig cfg;
+  lee.search(c, cfg);
+  EXPECT_EQ(stack_.segment_count(), before);
+}
+
+TEST_F(LeeTest, RouterRealizesLeePath) {
+  // Force Lee (disable optimal strategies) and check the realized metal.
+  Connection c = make_conn(0, {2, 2}, {10, 9});
+  RouterConfig cfg;
+  cfg.enable_zero_via = false;
+  cfg.enable_one_via = false;
+  Router router(stack_, cfg);
+  ASSERT_TRUE(router.route_all({c}));
+  const RouteRecord& r = router.db().rec(0);
+  EXPECT_EQ(r.strategy, RouteStrategy::kLee);
+  EXPECT_EQ(r.geom.hops.size(), r.geom.vias.size() + 1);
+  AuditReport audit = audit_all(stack_, router.db(), {c});
+  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+}
+
+TEST_F(LeeTest, ReusedSearcherIsEpochSafe) {
+  // Run many searches through one LeeSearch: stale marks must never leak.
+  LeeSearch lee(stack_);
+  RouterConfig cfg;
+  Connection c1 = make_conn(0, {1, 1}, {5, 5});
+  Connection c2 = make_conn(1, {11, 11}, {6, 6});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(lee.search(i % 2 ? c1 : c2, cfg).found);
+  }
+}
+
+}  // namespace
+}  // namespace grr

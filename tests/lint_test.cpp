@@ -1,0 +1,133 @@
+// Tests for the netlist lint.
+#include "board/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/board_gen.hpp"
+
+namespace grr {
+namespace {
+
+class LintTest : public ::testing::Test {
+ protected:
+  LintTest() : spec_(41, 31), board_(spec_, 2) {
+    dip_ = board_.add_footprint(Footprint::dip(16, 3));
+    u1_ = board_.add_part("U1", dip_, {4, 4});
+    u2_ = board_.add_part("U2", dip_, {20, 4});
+  }
+
+  Net two_pin(int out_pin, int in_pin) {
+    Net net;
+    net.name = "N";
+    net.klass = SignalClass::kTTL;
+    net.pins.push_back({u1_, out_pin, PinRole::kOutput});
+    net.pins.push_back({u2_, in_pin, PinRole::kInput});
+    return net;
+  }
+
+  GridSpec spec_;
+  Board board_;
+  int dip_;
+  PartId u1_, u2_;
+};
+
+TEST_F(LintTest, CleanNetlistPasses) {
+  board_.netlist().add(two_pin(1, 2));
+  board_.netlist().add(two_pin(3, 4));
+  LintReport rep = lint_netlist(board_);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_TRUE(rep.warnings.empty());
+}
+
+TEST_F(LintTest, DetectsBadPartAndPin) {
+  Net net = two_pin(1, 2);
+  net.pins.push_back({99, 0, PinRole::kInput});
+  board_.netlist().add(std::move(net));
+  Net net2 = two_pin(3, 4);
+  net2.pins.push_back({u1_, 40, PinRole::kInput});
+  board_.netlist().add(std::move(net2));
+  LintReport rep = lint_netlist(board_);
+  ASSERT_EQ(rep.errors.size(), 2u);
+  EXPECT_NE(rep.errors[0].find("nonexistent part"), std::string::npos);
+  EXPECT_NE(rep.errors[1].find("only 16 pins"), std::string::npos);
+}
+
+TEST_F(LintTest, DetectsSharedAndDuplicatePins) {
+  Net net = two_pin(1, 2);
+  net.pins.push_back({u2_, 2, PinRole::kInput});  // duplicate within net
+  board_.netlist().add(std::move(net));
+  board_.netlist().add(two_pin(1, 3));  // U1:1 shared with first net
+  LintReport rep = lint_netlist(board_);
+  ASSERT_GE(rep.errors.size(), 2u);
+  EXPECT_NE(rep.errors[0].find("twice"), std::string::npos);
+  bool shared = false;
+  for (const auto& e : rep.errors) {
+    if (e.find("shares") != std::string::npos) shared = true;
+  }
+  EXPECT_TRUE(shared);
+}
+
+TEST_F(LintTest, DetectsOutputAfterInput) {
+  Net net;
+  net.name = "BAD";
+  net.klass = SignalClass::kECL;
+  net.pins.push_back({u1_, 1, PinRole::kInput});
+  net.pins.push_back({u1_, 2, PinRole::kOutput});
+  board_.netlist().add(std::move(net));
+  LintReport rep = lint_netlist(board_);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.errors[0].find("precede"), std::string::npos);
+}
+
+TEST_F(LintTest, DetectsPowerPinAbuse) {
+  board_.assign_power_pin("GND", u1_, 0);
+  board_.netlist().add(two_pin(0, 2));  // drives from the ground pin
+  LintReport rep = lint_netlist(board_);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.errors[0].find("power pin"), std::string::npos);
+}
+
+TEST_F(LintTest, DetectsTerminatorShortage) {
+  Net net = two_pin(1, 2);
+  net.klass = SignalClass::kECL;
+  net.needs_terminator = true;
+  board_.netlist().add(std::move(net));
+  LintReport rep = lint_netlist(board_);  // no terminators registered
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.errors[0].find("terminating resistors"),
+            std::string::npos);
+}
+
+TEST_F(LintTest, WarnsAboutDegenerateNets) {
+  board_.netlist().add(Net{});
+  Net single;
+  single.name = "S";
+  single.pins.push_back({u1_, 5, PinRole::kInput});
+  board_.netlist().add(std::move(single));
+  Net ecl_no_out;
+  ecl_no_out.name = "E";
+  ecl_no_out.klass = SignalClass::kECL;
+  ecl_no_out.pins.push_back({u1_, 6, PinRole::kInput});
+  ecl_no_out.pins.push_back({u2_, 6, PinRole::kInput});
+  board_.netlist().add(std::move(ecl_no_out));
+  LintReport rep = lint_netlist(board_);
+  EXPECT_TRUE(rep.ok());
+  // no-pins, single-pin, and two ECL-without-output warnings ("S" defaults
+  // to ECL).
+  EXPECT_EQ(rep.warnings.size(), 4u);
+}
+
+TEST_F(LintTest, GeneratedWorkloadsAreClean) {
+  BoardGenParams p;
+  p.width_in = 4;
+  p.height_in = 3;
+  p.layers = 4;
+  p.target_connections = 200;
+  p.seed = 4;
+  GeneratedBoard gb = generate_board(p);
+  LintReport rep = lint_netlist(*gb.board);
+  EXPECT_TRUE(rep.ok()) << rep.errors.front();
+}
+
+}  // namespace
+}  // namespace grr

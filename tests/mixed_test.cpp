@@ -1,0 +1,160 @@
+// Tests for the two-pass mixed ECL/TTL driver (paper Sec 10.2) and the
+// rejected two-via strategy (Sec 8.1 ablation).
+#include "route/mixed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "route/audit.hpp"
+
+namespace grr {
+namespace {
+
+class MixedTest : public ::testing::Test {
+ protected:
+  MixedTest() : spec_(41, 31), stack_(spec_, 4) {
+    // Left half ECL, right half TTL on every layer.
+    const Coord split = spec_.grid_of_via(20);
+    for (int l = 0; l < 4; ++l) {
+      tiles_.add_tile(static_cast<LayerId>(l),
+                      {{0, split - 1}, {0, spec_.extent().y.hi}},
+                      SignalClass::kECL);
+      tiles_.add_tile(static_cast<LayerId>(l),
+                      {{split, spec_.extent().x.hi}, {0, spec_.extent().y.hi}},
+                      SignalClass::kTTL);
+    }
+  }
+
+  Connection make_conn(ConnId id, Point a, Point b, SignalClass k) {
+    if (stack_.via_free(a)) stack_.drill_via(a, kPinConn);
+    if (stack_.via_free(b)) stack_.drill_via(b, kPinConn);
+    Connection c;
+    c.id = id;
+    c.a = a;
+    c.b = b;
+    c.klass = k;
+    return c;
+  }
+
+  GridSpec spec_;
+  LayerStack stack_;
+  TileMap tiles_;
+};
+
+TEST_F(MixedTest, RoutesBothClassesInTheirTiles) {
+  ConnectionList conns;
+  conns.push_back(make_conn(0, {2, 5}, {15, 20}, SignalClass::kECL));
+  conns.push_back(make_conn(1, {3, 8}, {12, 3}, SignalClass::kECL));
+  conns.push_back(make_conn(2, {25, 5}, {38, 20}, SignalClass::kTTL));
+  conns.push_back(make_conn(3, {26, 8}, {35, 3}, SignalClass::kTTL));
+
+  MixedRouteResult r = route_mixed(stack_, tiles_, conns);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.ecl_conns.size(), 2u);
+  EXPECT_EQ(r.ttl_conns.size(), 2u);
+  EXPECT_EQ(r.ecl->stats().routed, 2);
+  EXPECT_EQ(r.ttl->stats().routed, 2);
+  // No filler is left behind.
+  AuditReport a1 = audit_all(stack_, r.ecl->db(), r.ecl_conns, &tiles_);
+  AuditReport a2 = audit_all(stack_, r.ttl->db(), r.ttl_conns, &tiles_);
+  EXPECT_TRUE(a1.ok()) << a1.errors.front();
+  EXPECT_TRUE(a2.ok()) << a2.errors.front();
+}
+
+TEST_F(MixedTest, CrossTileConnectionFailsItsPass) {
+  // An ECL connection whose far pin sits deep in TTL territory cannot be
+  // routed without trespassing; the pass reports failure rather than
+  // violating the tesselation.
+  ConnectionList conns;
+  conns.push_back(make_conn(0, {2, 5}, {38, 20}, SignalClass::kECL));
+  MixedRouteResult r = route_mixed(stack_, tiles_, conns);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.ecl->stats().failed, 1);
+  AuditReport audit = audit_all(stack_, r.ecl->db(), r.ecl_conns, &tiles_);
+  EXPECT_TRUE(audit.ok());
+}
+
+TEST_F(MixedTest, EmptyClassIsFine) {
+  ConnectionList conns;
+  conns.push_back(make_conn(0, {2, 5}, {15, 20}, SignalClass::kECL));
+  MixedRouteResult r = route_mixed(stack_, tiles_, conns);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.ttl_conns.empty());
+}
+
+class TwoViaTest : public ::testing::Test {
+ protected:
+  TwoViaTest() : spec_(21, 17), stack_(spec_, 2) {}
+
+  Connection make_conn(ConnId id, Point a, Point b) {
+    if (stack_.via_free(a)) stack_.drill_via(a, kPinConn);
+    if (stack_.via_free(b)) stack_.drill_via(b, kPinConn);
+    Connection c;
+    c.id = id;
+    c.a = a;
+    c.b = b;
+    return c;
+  }
+
+  GridSpec spec_;
+  LayerStack stack_;
+};
+
+TEST_F(TwoViaTest, RoutesWhatOneViaCannot) {
+  // A staircase connection needing two jogs with radius 1; block the
+  // one-via corner squares so only a two-via (or Lee) solution exists.
+  Connection c = make_conn(0, {2, 2}, {14, 12});
+  for (Coord dx = -1; dx <= 1; ++dx) {
+    for (Coord dy = -1; dy <= 1; ++dy) {
+      for (Point corner : {Point{14, 2}, Point{2, 12}}) {
+        Point v{corner.x + dx, corner.y + dy};
+        if (spec_.via_in_board(v) && stack_.via_free(v)) {
+          stack_.drill_via(v, kObstacleConn);
+        }
+      }
+    }
+  }
+  RouterConfig cfg;
+  cfg.radius = 1;
+  cfg.enable_two_via = true;
+  cfg.enable_lee = false;
+  cfg.enable_ripup = false;
+  Router router(stack_, cfg);
+  ASSERT_TRUE(router.route_all({c}));
+  const RouteRecord& r = router.db().rec(0);
+  EXPECT_EQ(r.strategy, RouteStrategy::kTwoVia);
+  EXPECT_EQ(r.geom.vias.size(), 2u);
+  EXPECT_GT(router.stats().two_via_candidates, 0);
+  AuditReport audit = audit_all(stack_, router.db(), {c});
+  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+}
+
+TEST_F(TwoViaTest, DisabledByDefault) {
+  Connection c = make_conn(0, {2, 2}, {14, 12});
+  Router router(stack_);
+  ASSERT_TRUE(router.route_all({c}));
+  EXPECT_EQ(router.stats().two_via_candidates, 0);
+}
+
+TEST_F(TwoViaTest, CandidateBudgetIsHonored) {
+  Connection c = make_conn(0, {2, 2}, {14, 12});
+  RouterConfig cfg;
+  cfg.radius = 1;
+  cfg.enable_zero_via = false;
+  cfg.enable_one_via = false;
+  cfg.enable_two_via = true;
+  cfg.enable_lee = false;
+  cfg.enable_ripup = false;
+  cfg.two_via_max_candidates = 3;
+  // Block enough space that the first three candidates fail.
+  for (Coord vx = 1; vx <= 15; ++vx) {
+    for (Coord vy = 5; vy <= 9; ++vy) {
+      if (stack_.via_free({vx, vy})) stack_.drill_via({vx, vy}, kObstacleConn);
+    }
+  }
+  Router router(stack_, cfg);
+  router.route_all({c});
+  EXPECT_LE(router.stats().two_via_candidates, 3);
+}
+
+}  // namespace
+}  // namespace grr

@@ -1,0 +1,163 @@
+// Tests for the optimal zero-via and one-via strategies (paper Sec 8.1).
+#include <gtest/gtest.h>
+
+#include "route/audit.hpp"
+#include "route/router.hpp"
+
+namespace grr {
+namespace {
+
+class OptimalTest : public ::testing::Test {
+ protected:
+  OptimalTest() : spec_(13, 13), stack_(spec_, 2) {}
+
+  Connection make_conn(ConnId id, Point a, Point b) {
+    if (stack_.via_free(a)) stack_.drill_via(a, kPinConn);
+    if (stack_.via_free(b)) stack_.drill_via(b, kPinConn);
+    Connection c;
+    c.id = id;
+    c.a = a;
+    c.b = b;
+    return c;
+  }
+
+  GridSpec spec_;
+  LayerStack stack_;
+};
+
+TEST_F(OptimalTest, SameRowRoutesZeroVia) {
+  Connection c = make_conn(0, {1, 5}, {10, 5});
+  Router router(stack_);
+  ASSERT_TRUE(router.route_all({c}));
+  const RouteRecord& r = router.db().rec(0);
+  EXPECT_EQ(r.strategy, RouteStrategy::kZeroVia);
+  EXPECT_TRUE(r.geom.vias.empty());
+  ASSERT_EQ(r.geom.hops.size(), 1u);
+  // The direct trace lands on the horizontal layer.
+  EXPECT_EQ(stack_.layer(r.geom.hops[0].layer).orientation(),
+            Orientation::kHorizontal);
+  EXPECT_TRUE(audit_all(stack_, router.db(), {c}).ok());
+}
+
+TEST_F(OptimalTest, SameColumnRoutesZeroViaVertically) {
+  Connection c = make_conn(0, {5, 1}, {5, 10});
+  Router router(stack_);
+  ASSERT_TRUE(router.route_all({c}));
+  const RouteRecord& r = router.db().rec(0);
+  EXPECT_EQ(r.strategy, RouteStrategy::kZeroVia);
+  EXPECT_EQ(stack_.layer(r.geom.hops[0].layer).orientation(),
+            Orientation::kVertical);
+}
+
+TEST_F(OptimalTest, WithinRadiusJogRoutesZeroVia) {
+  // dy = 1 <= radius: still a zero-via solution on a horizontal layer.
+  Connection c = make_conn(0, {1, 5}, {10, 6});
+  RouterConfig cfg;
+  cfg.radius = 1;
+  Router router(stack_, cfg);
+  ASSERT_TRUE(router.route_all({c}));
+  EXPECT_EQ(router.db().rec(0).strategy, RouteStrategy::kZeroVia);
+}
+
+TEST_F(OptimalTest, DiagonalRoutesOneVia) {
+  // dx and dy both exceed the radius: no single-layer solution; the
+  // optimal one-via solution drills near a corner of the bounding box.
+  Connection c = make_conn(0, {2, 2}, {10, 9});
+  RouterConfig cfg;
+  cfg.radius = 1;
+  Router router(stack_, cfg);
+  ASSERT_TRUE(router.route_all({c}));
+  const RouteRecord& r = router.db().rec(0);
+  EXPECT_EQ(r.strategy, RouteStrategy::kOneVia);
+  ASSERT_EQ(r.geom.vias.size(), 1u);
+  ASSERT_EQ(r.geom.hops.size(), 2u);
+  // The via sits within radius of one of the two corners (Fig 10).
+  Point v = r.geom.vias[0];
+  bool near_c1 = chebyshev(v, {10, 2}) <= 1;
+  bool near_c2 = chebyshev(v, {2, 9}) <= 1;
+  EXPECT_TRUE(near_c1 || near_c2) << "via at (" << v.x << "," << v.y << ")";
+  EXPECT_TRUE(audit_all(stack_, router.db(), {c}).ok());
+}
+
+TEST_F(OptimalTest, CenterCandidateIsPreferred) {
+  // On an empty board the best (first) candidate is a square center —
+  // exactly a corner of the bounding rectangle.
+  Connection c = make_conn(0, {2, 2}, {10, 9});
+  Router router(stack_);
+  ASSERT_TRUE(router.route_all({c}));
+  Point v = router.db().rec(0).geom.vias[0];
+  const bool at_corner = v == Point{10, 2} || v == Point{2, 9};
+  EXPECT_TRUE(at_corner);
+}
+
+TEST_F(OptimalTest, OccupiedCornerShiftsCandidate) {
+  // Both square centers are taken: the next ring must be used.
+  stack_.drill_via({10, 2}, kObstacleConn);
+  stack_.drill_via({2, 9}, kObstacleConn);
+  Connection c = make_conn(0, {2, 2}, {10, 9});
+  Router router(stack_);
+  ASSERT_TRUE(router.route_all({c}));
+  const RouteRecord& r = router.db().rec(0);
+  EXPECT_EQ(r.strategy, RouteStrategy::kOneVia);
+  Point v = r.geom.vias[0];
+  EXPECT_NE(v, (Point{10, 2}));
+  EXPECT_NE(v, (Point{2, 9}));
+  EXPECT_TRUE(chebyshev(v, {10, 2}) <= 2 || chebyshev(v, {2, 9}) <= 2);
+}
+
+TEST_F(OptimalTest, ZeroViaDetoursAroundObstacle) {
+  // An obstacle in the direct corridor, but the radius allows a jog.
+  Connection c = make_conn(0, {1, 5}, {10, 5});
+  // Wall the straight band y in [15-2, 15+2] at x=15..17, all within the
+  // zero-via box; a radius-2 jog still fits.
+  for (Coord y = 13; y <= 17; ++y) {
+    stack_.insert_span({0, y, {15, 17}}, kObstacleConn);
+  }
+  RouterConfig cfg;
+  cfg.radius = 2;
+  Router router(stack_, cfg);
+  ASSERT_TRUE(router.route_all({c}));
+  EXPECT_EQ(router.db().rec(0).strategy, RouteStrategy::kZeroVia);
+  EXPECT_TRUE(audit_all(stack_, router.db(), {c}).ok());
+}
+
+TEST_F(OptimalTest, StrategiesCanBeDisabled) {
+  Connection c = make_conn(0, {1, 5}, {10, 5});
+  RouterConfig cfg;
+  cfg.enable_zero_via = false;
+  cfg.enable_one_via = false;
+  cfg.enable_lee = false;
+  Router router(stack_, cfg);
+  EXPECT_FALSE(router.route_all({c}));
+  EXPECT_EQ(router.stats().failed, 1);
+}
+
+TEST_F(OptimalTest, LeePicksUpWhenOptimalDisabled) {
+  Connection c = make_conn(0, {1, 5}, {10, 5});
+  RouterConfig cfg;
+  cfg.enable_zero_via = false;
+  cfg.enable_one_via = false;
+  Router router(stack_, cfg);
+  ASSERT_TRUE(router.route_all({c}));
+  EXPECT_EQ(router.db().rec(0).strategy, RouteStrategy::kLee);
+  EXPECT_TRUE(audit_all(stack_, router.db(), {c}).ok());
+}
+
+TEST_F(OptimalTest, TrivialConnection) {
+  Connection c = make_conn(0, {4, 4}, {4, 4});
+  Router router(stack_);
+  ASSERT_TRUE(router.route_all({c}));
+  EXPECT_EQ(router.db().rec(0).strategy, RouteStrategy::kTrivial);
+}
+
+TEST_F(OptimalTest, AlreadyRoutedIsIdempotent) {
+  Connection c = make_conn(0, {1, 5}, {10, 5});
+  Router router(stack_);
+  ASSERT_TRUE(router.route_all({c}));
+  std::size_t live = stack_.segment_count();
+  EXPECT_TRUE(router.route_connection(c));  // "alreadyrouted"
+  EXPECT_EQ(stack_.segment_count(), live);
+}
+
+}  // namespace
+}  // namespace grr

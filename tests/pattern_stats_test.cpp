@@ -1,0 +1,86 @@
+// Tests for routing-pattern statistics (paper Sec 12's methodology).
+#include "report/pattern_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/board_gen.hpp"
+
+namespace grr {
+namespace {
+
+TEST(PatternStatsTest, EmptyBoard) {
+  GridSpec spec(11, 9);
+  LayerStack stack(spec, 2);
+  RouteDB db(0);
+  PatternStats s = analyze_patterns(stack, db, {});
+  ASSERT_EQ(s.layers.size(), 2u);
+  EXPECT_EQ(s.layers[0].used_track, 0);
+  EXPECT_EQ(s.layers[0].capacity, 31 * 25);
+  EXPECT_EQ(s.routed, 0);
+  EXPECT_DOUBLE_EQ(s.layers[0].utilization(), 0.0);
+}
+
+TEST(PatternStatsTest, SingleStraightRoute) {
+  GridSpec spec(21, 17);
+  LayerStack stack(spec, 2);
+  stack.drill_via({2, 5}, kPinConn);
+  stack.drill_via({15, 5}, kPinConn);
+  Connection c;
+  c.id = 0;
+  c.a = {2, 5};
+  c.b = {15, 5};
+  Router router(stack);
+  ASSERT_TRUE(router.route_all({c}));
+
+  PatternStats s = analyze_patterns(stack, router.db(), {c});
+  EXPECT_EQ(s.routed, 1);
+  EXPECT_EQ(s.via_histogram[0], 1);  // zero-via route
+  EXPECT_EQ(s.max_vias_on_conn, 0);
+  // A same-row route is near-minimal; allow for the off-via-row jog.
+  EXPECT_GE(s.avg_detour_ratio, 0.95);
+  EXPECT_LT(s.avg_detour_ratio, 1.3);
+  // Some track is used on exactly one layer, plus the two pins everywhere.
+  long track = 0;
+  for (const LayerUtilization& u : s.layers) {
+    track += u.used_track;
+    EXPECT_EQ(u.via_cells, 2);  // two pin pads per layer
+  }
+  EXPECT_GT(track, 0);
+}
+
+TEST(PatternStatsTest, GeneratedBoardSummary) {
+  BoardGenParams p;
+  p.width_in = 4;
+  p.height_in = 3;
+  p.layers = 4;
+  p.target_connections = 200;
+  p.seed = 8;
+  GeneratedBoard gb = generate_board(p);
+  Router router(gb.board->stack());
+  ASSERT_TRUE(router.route_all(gb.strung.connections));
+  PatternStats s =
+      analyze_patterns(gb.board->stack(), router.db(), gb.strung.connections);
+  EXPECT_EQ(s.routed, router.stats().routed);
+  // Histogram sums to the routed count.
+  int sum = 0;
+  for (int n : s.via_histogram) sum += n;
+  EXPECT_EQ(sum, s.routed);
+  // Routed length always meets the Manhattan lower bound.
+  // Trace metal stops at the pad edges (~42 mils per end), so the ratio
+  // can dip slightly below the center-to-center Manhattan bound.
+  EXPECT_GE(s.avg_detour_ratio, 0.85);
+  EXPECT_GT(s.total_trace_mils, 0);
+  for (const LayerUtilization& u : s.layers) {
+    EXPECT_LE(u.used_track + u.via_cells, u.capacity);
+  }
+
+  std::ostringstream os;
+  print_pattern_stats(os, s);
+  EXPECT_NE(os.str().find("pattern statistics"), std::string::npos);
+  EXPECT_NE(os.str().find("histogram"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grr

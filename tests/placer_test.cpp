@@ -1,0 +1,121 @@
+// Tests for the simulated-annealing placer.
+#include "place/placer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace grr {
+namespace {
+
+TEST(PlacerTest, EmptyAndSingleCell) {
+  PlacementProblem p;
+  p.sites_x = 4;
+  p.sites_y = 4;
+  p.num_cells = 0;
+  PlacementResult r = place_anneal(p);
+  EXPECT_TRUE(r.site_of_cell.empty());
+
+  p.num_cells = 1;
+  r = place_anneal(p);
+  ASSERT_EQ(r.site_of_cell.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.final_hpwl, 0.0);
+}
+
+TEST(PlacerTest, HpwlIsTheBoundingHalfPerimeter) {
+  PlacementProblem p;
+  p.nets.push_back({{0, 1, 2}, 1.0});
+  std::vector<Point> pos = {{0, 0}, {4, 0}, {4, 3}};
+  EXPECT_DOUBLE_EQ(placement_hpwl(p, pos), 7.0);
+  p.nets[0].weight = 2.5;
+  EXPECT_DOUBLE_EQ(placement_hpwl(p, pos), 17.5);
+}
+
+TEST(PlacerTest, PullsConnectedCellsTogether) {
+  // A chain of 10 cells on a 10x10 grid with pathological initial order:
+  // the annealer must find a placement far shorter than the start.
+  PlacementProblem p;
+  p.sites_x = 10;
+  p.sites_y = 10;
+  p.num_cells = 10;
+  // Connect cell i to cell i+1 — but the initial layout (index order along
+  // a row) is permuted badly by wiring i to (i*7)%10.
+  for (int i = 0; i + 1 < 10; ++i) {
+    p.nets.push_back({{(i * 7) % 10, ((i + 1) * 7) % 10}, 1.0});
+  }
+  PlacementResult r = place_anneal(p);
+  EXPECT_LT(r.final_hpwl, r.initial_hpwl);
+  // The optimum is a path of adjacent cells: HPWL 9.
+  EXPECT_LE(r.final_hpwl, 15.0);
+  EXPECT_GT(r.moves_accepted, 0);
+}
+
+TEST(PlacerTest, DeterministicForSeed) {
+  PlacementProblem p;
+  p.sites_x = 8;
+  p.sites_y = 8;
+  p.num_cells = 20;
+  std::mt19937 rng(3);
+  for (int n = 0; n < 25; ++n) {
+    PlaceNet net;
+    for (int k = 0; k < 3; ++k) {
+      net.cells.push_back(static_cast<int>(rng() % 20));
+    }
+    p.nets.push_back(net);
+  }
+  PlacementResult a = place_anneal(p);
+  PlacementResult b = place_anneal(p);
+  EXPECT_EQ(a.site_of_cell, b.site_of_cell);
+  EXPECT_DOUBLE_EQ(a.final_hpwl, b.final_hpwl);
+  PlacementParams other;
+  other.seed = 99;
+  PlacementResult c = place_anneal(p, other);
+  EXPECT_TRUE(c.site_of_cell != a.site_of_cell ||
+              c.final_hpwl != a.final_hpwl);
+}
+
+TEST(PlacerTest, ResultIsAValidAssignment) {
+  PlacementProblem p;
+  p.sites_x = 5;
+  p.sites_y = 4;
+  p.num_cells = 17;
+  for (int i = 0; i + 1 < 17; i += 2) p.nets.push_back({{i, i + 1}, 1.0});
+  PlacementResult r = place_anneal(p);
+  ASSERT_EQ(r.site_of_cell.size(), 17u);
+  std::set<std::pair<Coord, Coord>> used;
+  for (Point s : r.site_of_cell) {
+    EXPECT_GE(s.x, 0);
+    EXPECT_LT(s.x, 5);
+    EXPECT_GE(s.y, 0);
+    EXPECT_LT(s.y, 4);
+    EXPECT_TRUE(used.insert({s.x, s.y}).second) << "two cells on one site";
+  }
+  // Internal accounting matches a recomputation.
+  EXPECT_NEAR(r.final_hpwl, placement_hpwl(p, r.site_of_cell), 1e-6);
+}
+
+TEST(PlacerTest, CriticalNetWeightingShortensThatNet) {
+  // Two competing nets share cells; weighting one heavily must make it the
+  // short one.
+  PlacementProblem p;
+  p.sites_x = 9;
+  p.sites_y = 1;
+  p.num_cells = 3;
+  // Net A: 0-1, net B: 1-2; on a 1-row board one of them must be long
+  // when 0 and 2 sit on opposite sides of 1... weight decides the layout
+  // indirectly. Use a sharper construction: cells 0,1 heavily connected,
+  // 1,2 lightly.
+  p.nets.push_back({{0, 1}, 10.0});
+  p.nets.push_back({{1, 2}, 1.0});
+  PlacementParams params;
+  params.moves_per_cell = 2000;
+  PlacementResult r = place_anneal(p, params);
+  long d01 = manhattan(r.site_of_cell[0], r.site_of_cell[1]);
+  long d12 = manhattan(r.site_of_cell[1], r.site_of_cell[2]);
+  EXPECT_LE(d01, d12);
+  EXPECT_EQ(d01, 1);  // the heavy net ends up adjacent
+}
+
+}  // namespace
+}  // namespace grr

@@ -1,0 +1,71 @@
+// Tests for power-plane etch generation (paper Sec 2 + Appendix, Fig 22).
+#include "board/power_plane.hpp"
+
+#include <gtest/gtest.h>
+
+namespace grr {
+namespace {
+
+TEST(PowerPlaneTest, ClassifiesHoles) {
+  GridSpec spec(11, 9);
+  Board board(spec, 2);
+  int sip = board.add_footprint(Footprint::sip(2));
+  PartId p = board.add_part("U1", sip, {3, 3});  // pins at (3,3) and (3,4)
+  board.add_obstacle({1, 1});                    // mounting screw
+  board.stack().drill_via({7, 7}, 5);            // a signal via
+
+  // Pin (3,3) belongs to the VEE plane; pin (3,4) does not.
+  PowerPlaneArt art =
+      generate_power_plane(board, "VEE", {board.pin_via(p, 0)});
+
+  EXPECT_EQ(art.net_name, "VEE");
+  EXPECT_EQ(art.width_mils, 1000);
+  EXPECT_EQ(art.height_mils, 800);
+  ASSERT_EQ(art.disks.size(), 4u);  // 2 pins + 1 via + 1 mount
+
+  auto find = [&](Point mils) -> const PlaneDisk* {
+    for (const PlaneDisk& d : art.disks) {
+      if (d.center_mils == mils) return &d;
+    }
+    return nullptr;
+  };
+  const PlaneDisk* member = find({300, 300});
+  ASSERT_NE(member, nullptr);
+  EXPECT_EQ(member->feature, PlaneFeature::kThermalRelief);
+
+  const PlaneDisk* other_pin = find({300, 400});
+  ASSERT_NE(other_pin, nullptr);
+  EXPECT_EQ(other_pin->feature, PlaneFeature::kClearance);
+
+  const PlaneDisk* via = find({700, 700});
+  ASSERT_NE(via, nullptr);
+  EXPECT_EQ(via->feature, PlaneFeature::kClearance);
+
+  const PlaneDisk* mount = find({100, 100});
+  ASSERT_NE(mount, nullptr);
+  EXPECT_EQ(mount->feature, PlaneFeature::kMountClearance);
+  // Mounting clearance is the largest disk.
+  EXPECT_GT(mount->radius_mils, member->radius_mils);
+  EXPECT_GT(member->radius_mils, via->radius_mils);
+}
+
+TEST(PowerPlaneTest, TracesAreNotHoles) {
+  GridSpec spec(11, 9);
+  Board board(spec, 2);
+  // A trace covering a via site on ONE layer is not a drill hole and gets
+  // no clearance disk.
+  Point g = spec.grid_of_via({4, 4});
+  board.stack().insert_span({0, g.y, {g.x - 1, g.x + 1}}, 7);
+  PowerPlaneArt art = generate_power_plane(board, "GND", {});
+  EXPECT_TRUE(art.disks.empty());
+}
+
+TEST(PowerPlaneTest, EmptyBoard) {
+  GridSpec spec(5, 5);
+  Board board(spec, 2);
+  PowerPlaneArt art = generate_power_plane(board, "VCC", {});
+  EXPECT_TRUE(art.disks.empty());
+}
+
+}  // namespace
+}  // namespace grr

@@ -1,0 +1,126 @@
+// Tests for Table 1 formatting and SVG rendering.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "report/html_report.hpp"
+#include "report/svg.hpp"
+#include "report/table.hpp"
+#include "route/router.hpp"
+#include "workload/board_gen.hpp"
+
+namespace grr {
+namespace {
+
+GeneratedBoard tiny_board() {
+  BoardGenParams p;
+  p.name = "svg";
+  p.width_in = 3;
+  p.height_in = 3;
+  p.layers = 2;
+  p.target_connections = 40;
+  p.locality = 0.3;
+  p.seed = 9;
+  return generate_board(p);
+}
+
+TEST(TableTest, FormatsRowsAndFailureMarker) {
+  Table1Row ok;
+  ok.board = "coproc-6L";
+  ok.layers = 6;
+  ok.conn = 5937;
+  ok.pct_routed = 100.0;
+  Table1Row bad;
+  bad.board = "kdj11-2L";
+  bad.layers = 2;
+  bad.conn = 1184;
+  bad.pct_routed = 79.9;
+  std::ostringstream os;
+  print_table1(os, {bad, ok});
+  std::string out = os.str();
+  EXPECT_NE(out.find("kdj11-2L"), std::string::npos);
+  EXPECT_NE(out.find("FAIL"), std::string::npos);
+  EXPECT_NE(out.find("coproc-6L"), std::string::npos);
+  EXPECT_NE(out.find("%chan"), std::string::npos);
+}
+
+TEST(TableTest, FromRunFillsColumns) {
+  GeneratedBoard gb = tiny_board();
+  Router router(gb.board->stack(), RouterConfig{});
+  router.route_all(gb.strung.connections);
+  Table1Row row = Table1Row::from_run(gb, router.stats(), 1.5);
+  EXPECT_EQ(row.board, "svg");
+  EXPECT_EQ(row.layers, 2);
+  EXPECT_EQ(row.conn, static_cast<int>(gb.strung.connections.size()));
+  EXPECT_DOUBLE_EQ(row.cpu_sec, 1.5);
+  EXPECT_GT(row.pins_in2, 0.0);
+}
+
+TEST(SvgTest, RendersAllViews) {
+  GeneratedBoard gb = tiny_board();
+  Router router(gb.board->stack(), RouterConfig{});
+  router.route_all(gb.strung.connections);
+
+  std::string placement = svg_placement(*gb.board);
+  EXPECT_NE(placement.find("<svg"), std::string::npos);
+  EXPECT_NE(placement.find("<circle"), std::string::npos);  // pins
+
+  std::string art = svg_string_art(*gb.board, gb.strung.connections);
+  EXPECT_NE(art.find("<line"), std::string::npos);
+
+  std::string layer =
+      svg_signal_layer(*gb.board, router.db(), gb.strung.connections, 0);
+  EXPECT_NE(layer.find("<polyline"), std::string::npos);
+
+  PowerPlaneArt pp = generate_power_plane(*gb.board, "GND", {});
+  std::string plane = svg_power_plane(pp);
+  EXPECT_NE(plane.find("<svg"), std::string::npos);
+}
+
+TEST(SvgTest, MiteredLayerDiffersFromRectilinear) {
+  GeneratedBoard gb = tiny_board();
+  Router router(gb.board->stack(), RouterConfig{});
+  router.route_all(gb.strung.connections);
+  std::string rect = svg_signal_layer(*gb.board, router.db(),
+                                      gb.strung.connections, 0, false);
+  std::string mitered = svg_signal_layer(*gb.board, router.db(),
+                                         gb.strung.connections, 0, true);
+  EXPECT_NE(rect, mitered);
+}
+
+TEST(HtmlReportTest, SelfContainedDocument) {
+  GeneratedBoard gb = tiny_board();
+  Router router(gb.board->stack(), RouterConfig{});
+  router.route_all(gb.strung.connections);
+  std::string html = html_board_report(*gb.board, router,
+                                       gb.strung.connections, "t <& test>");
+  EXPECT_EQ(html.find("<!DOCTYPE html>"), 0u);
+  // The title is escaped.
+  EXPECT_NE(html.find("t &lt;&amp; test&gt;"), std::string::npos);
+  EXPECT_EQ(html.find("<& test>"), std::string::npos);
+  // One problem SVG plus one per layer, all inline.
+  EXPECT_NE(html.find("Routing problem"), std::string::npos);
+  EXPECT_NE(html.find("Signal layer 1"), std::string::npos);
+  std::size_t svgs = 0;
+  for (std::size_t at = html.find("<svg"); at != std::string::npos;
+       at = html.find("<svg", at + 1)) {
+    ++svgs;
+  }
+  EXPECT_EQ(svgs, 1u + static_cast<std::size_t>(
+                           gb.board->stack().num_layers()));
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+TEST(SvgTest, WriteFile) {
+  std::string path = testing::TempDir() + "/grr_svg_test.svg";
+  EXPECT_TRUE(write_file(path, "<svg/>"));
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_FALSE(write_file("/nonexistent-dir/x.svg", "y"));
+}
+
+}  // namespace
+}  // namespace grr

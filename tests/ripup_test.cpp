@@ -1,0 +1,133 @@
+// Tests for rip-up and put-back (paper Sec 8.3).
+#include <gtest/gtest.h>
+
+#include "route/audit.hpp"
+#include "route/router.hpp"
+#include "workload/board_gen.hpp"
+
+namespace grr {
+namespace {
+
+class RipupTest : public ::testing::Test {
+ protected:
+  RipupTest() : spec_(13, 13), stack_(spec_, 1) {}  // one H layer only
+
+  Connection make_conn(ConnId id, Point a, Point b) {
+    if (stack_.via_free(a)) stack_.drill_via(a, kPinConn);
+    if (stack_.via_free(b)) stack_.drill_via(b, kPinConn);
+    Connection c;
+    c.id = id;
+    c.a = a;
+    c.b = b;
+    return c;
+  }
+
+  /// Leave only a narrow horizontal corridor of `tracks` grid rows around
+  /// grid row `y0` open between x=xlo and x=xhi on layer 0.
+  void corridor(Coord y0, int tracks, Coord xlo, Coord xhi) {
+    for (Coord y = 0; y <= spec_.extent().y.hi; ++y) {
+      if (y >= y0 && y < y0 + tracks) continue;
+      // Leave the pin columns outside [xlo, xhi] open.
+      std::vector<Interval> gaps;
+      stack_.layer(0).channel(y).for_gaps_overlapping(
+          stack_.pool(), stack_.layer(0).along_extent(), {xlo, xhi},
+          [&](Interval g) { gaps.push_back(g.intersect({xlo, xhi})); });
+      for (Interval g : gaps) {
+        if (!g.empty()) stack_.insert_span({0, y, g}, kObstacleConn);
+      }
+    }
+  }
+
+  GridSpec spec_;
+  LayerStack stack_;
+};
+
+TEST_F(RipupTest, BlockedConnectionRipsTheObstructor) {
+  // A single one-track corridor: whoever holds it blocks the other.
+  Connection first = make_conn(0, {1, 6}, {11, 6});
+  Connection second = make_conn(1, {1, 4}, {11, 8});
+  corridor(19, 1, 9, 27);  // one free row at grid y=19 between the pins
+
+  Router router(stack_);
+  router.route_all({first, second});
+  // The corridor can only carry one of them; a rip-up must have happened
+  // while the router tried to make room.
+  EXPECT_GE(router.stats().rip_ups, 1);
+  EXPECT_EQ(router.stats().routed, 1);
+  EXPECT_EQ(router.stats().failed, 1);
+  // No corrupted state despite the fight over the corridor.
+  AuditReport audit =
+      audit_all(stack_, router.db(), {first, second});
+  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+}
+
+TEST_F(RipupTest, PutbackRestoresUntouchedVictims) {
+  // Two-track corridor: after ripping, both fit — the victim is put back
+  // or re-routed, and everything completes.
+  Connection first = make_conn(0, {1, 6}, {11, 6});
+  Connection second = make_conn(1, {1, 4}, {11, 8});
+  corridor(19, 2, 9, 27);
+  Router router(stack_);
+  bool ok = router.route_all({first, second});
+  EXPECT_TRUE(ok) << router.stats().failed << " failed";
+  AuditReport audit =
+      audit_all(stack_, router.db(), {first, second});
+  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+}
+
+TEST_F(RipupTest, RipupDisabledFailsFast) {
+  Connection first = make_conn(0, {1, 6}, {11, 6});
+  Connection second = make_conn(1, {1, 4}, {11, 8});
+  corridor(19, 1, 9, 27);
+  RouterConfig cfg;
+  cfg.enable_ripup = false;
+  Router router(stack_, cfg);
+  router.route_all({first, second});
+  EXPECT_EQ(router.stats().rip_ups, 0);
+  EXPECT_EQ(router.stats().failed, 1);
+}
+
+TEST_F(RipupTest, PinsAreNeverRipped) {
+  // A connection that cannot be routed because pins and obstacles seal it:
+  // rip-up finds no victims and the router gives up cleanly.
+  Connection c = make_conn(0, {2, 6}, {10, 6});
+  Point g = spec_.grid_of_via(c.a);
+  for (Coord d : {-1, 1}) {
+    stack_.insert_span({0, static_cast<Coord>(g.y + d), {g.x, g.x}},
+                       kObstacleConn);
+    stack_.insert_span({0, g.y, {g.x + d, g.x + d}}, kObstacleConn);
+  }
+  Router router(stack_);
+  EXPECT_FALSE(router.route_all({c}));
+  EXPECT_EQ(router.stats().rip_ups, 0);
+  // The pin vias are intact.
+  EXPECT_EQ(stack_.conn_at(0, g), kPinConn);
+}
+
+TEST(RipupIntegrationTest, CongestedBoardCompletesWithRipups) {
+  BoardGenParams p;
+  p.name = "dense";
+  p.width_in = 7;
+  p.height_in = 6;
+  p.layers = 4;
+  p.target_connections = 800;
+  p.locality = 0.6;
+  p.seed = 11;
+  GeneratedBoard gb = generate_board(p);
+  Router router(gb.board->stack(), RouterConfig{});
+  bool ok = router.route_all(gb.strung.connections);
+  EXPECT_TRUE(ok) << router.stats().failed << " failed";
+  EXPECT_GT(router.stats().rip_ups, 0) << "board not congested enough";
+  // rip_count bookkeeping matches the stats.
+  long rip_events = 0;
+  for (const Connection& c : gb.strung.connections) {
+    rip_events += router.db().rec(c.id).rip_count;
+  }
+  EXPECT_EQ(rip_events, router.stats().rip_ups);
+  AuditReport audit =
+      audit_all(gb.board->stack(), router.db(), gb.strung.connections);
+  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+}
+
+}  // namespace
+}  // namespace grr

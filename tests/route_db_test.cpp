@@ -1,0 +1,128 @@
+// Tests for the route database: construction, abort, rip-up and put-back
+// (paper Secs 4 and 8.3).
+#include "route/route_db.hpp"
+
+#include <gtest/gtest.h>
+
+namespace grr {
+namespace {
+
+class RouteDBTest : public ::testing::Test {
+ protected:
+  RouteDBTest() : spec_(11, 9), stack_(spec_, 2), db_(4) {}
+
+  GridSpec spec_;
+  LayerStack stack_;
+  RouteDB db_;
+};
+
+TEST_F(RouteDBTest, BuildCommitAndTraceLinks) {
+  db_.begin(0);
+  db_.add_via(stack_, 0, {5, 4});
+  db_.add_hop(stack_, 0, 0, {{12, {3, 14}}});
+  db_.add_hop(stack_, 0, 1, {{15, {13, 20}}});
+  db_.commit(0, RouteStrategy::kOneVia);
+
+  const RouteRecord& r = db_.rec(0);
+  EXPECT_EQ(r.status, RouteStatus::kRouted);
+  EXPECT_EQ(r.strategy, RouteStrategy::kOneVia);
+  EXPECT_EQ(r.geom.vias.size(), 1u);
+  EXPECT_EQ(r.geom.hops.size(), 2u);
+  // 2 via unit segments + 2 trace segments.
+  EXPECT_EQ(r.segs.size(), 4u);
+  // The trace_next chain mirrors the list.
+  for (std::size_t i = 0; i < r.segs.size(); ++i) {
+    SegId want = i + 1 < r.segs.size() ? r.segs[i + 1] : kNoSeg;
+    EXPECT_EQ(stack_.pool()[r.segs[i]].trace_next, want);
+  }
+  EXPECT_EQ(db_.total_vias(), 1);
+}
+
+TEST_F(RouteDBTest, AbortRemovesEverything) {
+  db_.begin(1);
+  db_.add_via(stack_, 1, {5, 4});
+  db_.add_hop(stack_, 1, 0, {{12, {3, 14}}});
+  db_.abort(stack_, 1);
+  EXPECT_EQ(stack_.segment_count(), 0u);
+  EXPECT_TRUE(stack_.via_free({5, 4}));
+  EXPECT_EQ(db_.rec(1).status, RouteStatus::kUnrouted);
+  EXPECT_TRUE(db_.rec(1).geom.vias.empty());
+}
+
+TEST_F(RouteDBTest, RipKeepsGeometryAndPutbackRestores) {
+  db_.begin(0);
+  db_.add_via(stack_, 0, {5, 4});
+  db_.add_hop(stack_, 0, 0, {{12, {3, 14}}});
+  db_.commit(0, RouteStrategy::kOneVia);
+  const std::size_t live = stack_.segment_count();
+
+  db_.rip(stack_, 0);
+  EXPECT_EQ(stack_.segment_count(), 0u);
+  EXPECT_TRUE(stack_.via_free({5, 4}));
+  EXPECT_EQ(db_.rec(0).status, RouteStatus::kUnrouted);
+  EXPECT_EQ(db_.rec(0).rip_count, 1);
+  EXPECT_EQ(db_.rec(0).geom.vias.size(), 1u);  // geometry remembered
+
+  EXPECT_TRUE(db_.try_putback(stack_, 0));
+  EXPECT_EQ(db_.rec(0).status, RouteStatus::kRouted);
+  EXPECT_EQ(stack_.segment_count(), live);
+  EXPECT_FALSE(stack_.via_free({5, 4}));
+}
+
+TEST_F(RouteDBTest, PutbackFailsWhenSpaceTaken) {
+  db_.begin(0);
+  db_.add_hop(stack_, 0, 0, {{12, {3, 14}}});
+  db_.commit(0, RouteStrategy::kZeroVia);
+  db_.rip(stack_, 0);
+  // Another connection takes part of the corridor.
+  SegId blocker = stack_.insert_span({0, 12, {10, 10}}, 3);
+  EXPECT_FALSE(db_.try_putback(stack_, 0));
+  EXPECT_EQ(db_.rec(0).status, RouteStatus::kUnrouted);
+  stack_.erase_segment(blocker);
+  EXPECT_TRUE(db_.try_putback(stack_, 0));
+}
+
+TEST_F(RouteDBTest, PutbackFailsWhenViaSiteTaken) {
+  db_.begin(0);
+  db_.add_via(stack_, 0, {5, 4});
+  db_.commit(0, RouteStrategy::kOneVia);
+  db_.rip(stack_, 0);
+  auto other = stack_.drill_via({5, 4}, 2);
+  EXPECT_FALSE(db_.try_putback(stack_, 0));
+  for (SegId s : other) stack_.erase_segment(s);
+  EXPECT_TRUE(db_.try_putback(stack_, 0));
+}
+
+TEST_F(RouteDBTest, PutbackOnNeverRoutedFails) {
+  EXPECT_FALSE(db_.try_putback(stack_, 2));
+}
+
+TEST_F(RouteDBTest, PutbackOnRoutedIsNoop) {
+  db_.begin(0);
+  db_.commit(0, RouteStrategy::kTrivial);
+  EXPECT_TRUE(db_.try_putback(stack_, 0));
+}
+
+TEST_F(RouteDBTest, AdoptGeometryThenPutback) {
+  RouteGeom geom;
+  geom.vias.push_back({5, 4});
+  geom.hops.push_back({0, {{12, {3, 14}}}});
+  db_.adopt_geometry(2, geom, RouteStrategy::kTuned);
+  EXPECT_TRUE(db_.try_putback(stack_, 2));
+  EXPECT_EQ(db_.rec(2).strategy, RouteStrategy::kTuned);
+  EXPECT_FALSE(stack_.via_free({5, 4}));
+}
+
+TEST_F(RouteDBTest, LengthMilsCountsSpansAndCrossings) {
+  db_.begin(0);
+  // Two spans in adjacent channels joined at grid 10: along lengths plus
+  // one crossing step.
+  db_.add_hop(stack_, 0, 0, {{12, {4, 10}}, {13, {10, 16}}});
+  db_.commit(0, RouteStrategy::kZeroVia);
+  long want = spec_.mils_between(4, 10) + spec_.mils_between(12, 13) +
+              spec_.mils_between(10, 16);
+  EXPECT_EQ(db_.length_mils(spec_, stack_, 0), want);
+}
+
+}  // namespace
+}  // namespace grr

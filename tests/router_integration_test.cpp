@@ -1,0 +1,153 @@
+// Whole-board integration tests: generate boards, route them, audit every
+// invariant, and check the paper's qualitative claims (Secs 8.4 and 9).
+#include <gtest/gtest.h>
+
+#include "route/audit.hpp"
+#include "route/router.hpp"
+#include "workload/suite.hpp"
+
+namespace grr {
+namespace {
+
+GeneratedBoard small_board(int layers, double locality, int conns,
+                           std::uint32_t seed = 5) {
+  BoardGenParams p;
+  p.name = "it";
+  p.width_in = 6;
+  p.height_in = 5;
+  p.layers = layers;
+  p.target_connections = conns;
+  p.locality = locality;
+  p.seed = seed;
+  return generate_board(p);
+}
+
+TEST(RouterIntegrationTest, RoutesModerateBoardCompletely) {
+  GeneratedBoard gb = small_board(4, 0.3, 500);
+  Router router(gb.board->stack(), RouterConfig{});
+  ASSERT_TRUE(router.route_all(gb.strung.connections))
+      << router.stats().failed << " of " << router.stats().total
+      << " failed";
+  AuditReport audit =
+      audit_all(gb.board->stack(), router.db(), gb.strung.connections);
+  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  EXPECT_GT(audit.connections_checked, 0u);
+}
+
+TEST(RouterIntegrationTest, StatsAreConsistent) {
+  GeneratedBoard gb = small_board(4, 0.3, 500);
+  Router router(gb.board->stack(), RouterConfig{});
+  router.route_all(gb.strung.connections);
+  const RouterStats& st = router.stats();
+  EXPECT_EQ(st.total, static_cast<int>(gb.strung.connections.size()));
+  EXPECT_EQ(st.routed + st.failed, st.total);
+  int by_strat = 0;
+  for (int i = 0; i < kNumRouteStrategies; ++i) by_strat += st.by_strategy[i];
+  EXPECT_EQ(by_strat, st.routed);
+  EXPECT_EQ(st.vias_added, router.db().total_vias());
+  EXPECT_GE(st.passes, 1);
+}
+
+TEST(RouterIntegrationTest, MostConnectionsRouteOptimally) {
+  // Sec 8.1: "it is essential that about 90% of the connections be routed
+  // with these optimal strategies" — at moderate density ours are.
+  GeneratedBoard gb = small_board(4, 0.25, 400);
+  Router router(gb.board->stack(), RouterConfig{});
+  ASSERT_TRUE(router.route_all(gb.strung.connections));
+  EXPECT_GE(router.stats().pct_optimal(), 80.0);
+}
+
+TEST(RouterIntegrationTest, ViasPerConnectionBelowOne) {
+  // Table 1: the vias column is below 1 for all completed boards.
+  GeneratedBoard gb = small_board(4, 0.25, 400);
+  Router router(gb.board->stack(), RouterConfig{});
+  ASSERT_TRUE(router.route_all(gb.strung.connections));
+  EXPECT_LT(router.stats().vias_per_conn(), 1.0);
+}
+
+TEST(RouterIntegrationTest, TooFewLayersFailsGracefully) {
+  // The same problem on 2 layers fails (Table 1's first row) but leaves a
+  // consistent board behind.
+  GeneratedBoard gb = small_board(2, 0.6, 600);
+  Router router(gb.board->stack(), RouterConfig{});
+  bool ok = router.route_all(gb.strung.connections);
+  EXPECT_FALSE(ok);
+  EXPECT_GT(router.stats().failed, 0);
+  EXPECT_LE(router.stats().passes, router.config().max_passes);
+  AuditReport audit =
+      audit_all(gb.board->stack(), router.db(), gb.strung.connections);
+  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+}
+
+TEST(RouterIntegrationTest, MoreLayersSolveTheSameProblem) {
+  GeneratedBoard hard = small_board(2, 0.6, 600);
+  Router r2(hard.board->stack(), RouterConfig{});
+  bool ok2 = r2.route_all(hard.strung.connections);
+
+  GeneratedBoard easy = small_board(4, 0.6, 600);
+  Router r4(easy.board->stack(), RouterConfig{});
+  bool ok4 = r4.route_all(easy.strung.connections);
+
+  EXPECT_FALSE(ok2);
+  EXPECT_TRUE(ok4) << r4.stats().failed << " failed";
+}
+
+TEST(RouterIntegrationTest, DeterministicAcrossRuns) {
+  GeneratedBoard a = small_board(4, 0.3, 300);
+  GeneratedBoard b = small_board(4, 0.3, 300);
+  Router ra(a.board->stack(), RouterConfig{});
+  Router rb(b.board->stack(), RouterConfig{});
+  ra.route_all(a.strung.connections);
+  rb.route_all(b.strung.connections);
+  EXPECT_EQ(ra.stats().routed, rb.stats().routed);
+  EXPECT_EQ(ra.stats().rip_ups, rb.stats().rip_ups);
+  EXPECT_EQ(ra.stats().vias_added, rb.stats().vias_added);
+  EXPECT_EQ(ra.stats().lee_expansions, rb.stats().lee_expansions);
+}
+
+TEST(RouterIntegrationTest, DenserBoardsUseMoreLee) {
+  // Sec 9: "in denser boards with lower free space ratios, the percentage
+  // is higher, since congestion prevents optimal solutions".
+  GeneratedBoard sparse = small_board(4, 0.15, 250);
+  GeneratedBoard dense = small_board(4, 0.5, 550);
+  Router rs(sparse.board->stack(), RouterConfig{});
+  Router rd(dense.board->stack(), RouterConfig{});
+  rs.route_all(sparse.strung.connections);
+  rd.route_all(dense.strung.connections);
+  EXPECT_LT(rs.stats().pct_lee(), rd.stats().pct_lee());
+}
+
+TEST(RouterIntegrationTest, UnsortedOrderStillRoutesAndAudits) {
+  GeneratedBoard gb = small_board(4, 0.3, 400);
+  RouterConfig cfg;
+  cfg.sort_connections = false;
+  Router router(gb.board->stack(), cfg);
+  // The list arrives in stringer order; Sec 6's sort is an optimization,
+  // not a correctness requirement.
+  ASSERT_TRUE(router.route_all(gb.strung.connections));
+  AuditReport audit =
+      audit_all(gb.board->stack(), router.db(), gb.strung.connections);
+  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+}
+
+TEST(RouterIntegrationTest, MaxPassesBoundsTheLoop) {
+  GeneratedBoard gb = small_board(2, 0.6, 600);  // over capacity
+  RouterConfig cfg;
+  cfg.max_passes = 1;
+  Router router(gb.board->stack(), cfg);
+  router.route_all(gb.strung.connections);
+  EXPECT_EQ(router.stats().passes, 1);
+}
+
+TEST(RouterIntegrationTest, ScaledTable1RowRoutes) {
+  // A quarter-scale coproc board routes completely and audits clean.
+  GeneratedBoard gb = generate_board(table1_board("coproc-6L", 0.5));
+  Router router(gb.board->stack(), RouterConfig{});
+  ASSERT_TRUE(router.route_all(gb.strung.connections));
+  AuditReport audit =
+      audit_all(gb.board->stack(), router.db(), gb.strung.connections);
+  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+}
+
+}  // namespace
+}  // namespace grr

@@ -1,0 +1,83 @@
+// Tests for connection sorting (paper Sec 6): sort by straightness
+// min(dx,dy), then by length max(dx,dy) — an approximation of ordering by
+// the number of minimal Manhattan paths C(dx+dy, dx).
+#include "route/sorting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace grr {
+namespace {
+
+Connection conn(ConnId id, Coord dx, Coord dy) {
+  Connection c;
+  c.id = id;
+  c.a = {10, 10};
+  c.b = {10 + dx, 10 + dy};
+  return c;
+}
+
+TEST(SortingTest, StraightBeforeDiagonal) {
+  ConnectionList l = {conn(0, 5, 5), conn(1, 20, 0), conn(2, 3, 1)};
+  sort_connections(l);
+  // Straight 20-long first key is min=0; then min=1; then min=5.
+  EXPECT_EQ(l[0].id, 1);
+  EXPECT_EQ(l[1].id, 2);
+  EXPECT_EQ(l[2].id, 0);
+}
+
+TEST(SortingTest, LengthBreaksTiesWithinStraightness) {
+  ConnectionList l = {conn(0, 12, 0), conn(1, 4, 0), conn(2, 0, 8)};
+  sort_connections(l);
+  EXPECT_EQ(l[0].id, 1);
+  EXPECT_EQ(l[1].id, 2);
+  EXPECT_EQ(l[2].id, 0);
+}
+
+TEST(SortingTest, DeterministicTiebreakById) {
+  ConnectionList l = {conn(5, 3, 7), conn(2, 7, 3), conn(9, 3, 7)};
+  sort_connections(l);
+  EXPECT_EQ(l[0].id, 2);
+  EXPECT_EQ(l[1].id, 5);
+  EXPECT_EQ(l[2].id, 9);
+}
+
+TEST(SortingTest, MinimalPathCountExact) {
+  EXPECT_EQ(minimal_path_count(0, 10), 1);   // straight: one path
+  EXPECT_EQ(minimal_path_count(1, 1), 2);
+  EXPECT_EQ(minimal_path_count(2, 2), 6);    // C(4,2)
+  EXPECT_EQ(minimal_path_count(3, 4), 35);   // C(7,3)
+  EXPECT_EQ(minimal_path_count(10, 10), 184756);
+}
+
+TEST(SortingTest, MinimalPathCountSaturates) {
+  EXPECT_EQ(minimal_path_count(200, 200),
+            std::numeric_limits<long long>::max());
+}
+
+// Property: the key ordering never ranks a connection with strictly more
+// minimal paths (and no shorter extent) ahead of one with fewer — i.e. the
+// approximation agrees with the exact count whenever the exact counts
+// differ in the same direction as both keys.
+TEST(SortingTest, KeyApproximatesPathCountOrdering) {
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<Coord> d(0, 20);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Coord dx1 = d(rng), dy1 = d(rng), dx2 = d(rng), dy2 = d(rng);
+    Connection c1 = conn(1, dx1, dy1), c2 = conn(2, dx2, dy2);
+    if (sort_key(c1) < sort_key(c2)) {
+      long long p1 = minimal_path_count(dx1, dy1);
+      long long p2 = minimal_path_count(dx2, dy2);
+      // The earlier connection never has MORE minimal paths unless it is
+      // also longer overall (the known approximation error case).
+      if (dx1 + dy1 <= dx2 + dy2) {
+        EXPECT_LE(p1, p2) << dx1 << ',' << dy1 << " vs " << dx2 << ','
+                          << dy2;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grr

@@ -1,0 +1,230 @@
+// Tests for the stringer (paper Sec 3).
+#include "stringer/stringer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace grr {
+namespace {
+
+class StringerTest : public ::testing::Test {
+ protected:
+  StringerTest() : spec_(41, 31), board_(spec_, 2) {
+    fp_sip_ = board_.add_footprint(Footprint::sip(4));
+  }
+
+  /// A 1-pin "part" at a via site, so tests can place pins anywhere.
+  NetPin pin_at(Coord vx, Coord vy) {
+    PartId p = board_.add_part("P", fp_sip_, {vx, vy});
+    return {p, 0, PinRole::kInput};
+  }
+
+  GridSpec spec_;
+  Board board_;
+  int fp_sip_;
+};
+
+TEST_F(StringerTest, GreedyChainsNearestFirst) {
+  // Output at x=2; inputs at x=10, x=5, x=20 (same row). The greedy chain
+  // must visit them in nearness order: 2 -> 5 -> 10 -> 20.
+  Net net;
+  net.klass = SignalClass::kTTL;
+  NetPin out = pin_at(2, 2);
+  out.role = PinRole::kOutput;
+  net.pins.push_back(out);
+  net.pins.push_back(pin_at(10, 2));
+  net.pins.push_back(pin_at(5, 2));
+  net.pins.push_back(pin_at(20, 2));
+  board_.netlist().add(std::move(net));
+
+  StringingResult r = string_nets(board_);
+  ASSERT_EQ(r.connections.size(), 3u);
+  EXPECT_EQ(r.connections[0].a, (Point{2, 2}));
+  EXPECT_EQ(r.connections[0].b, (Point{5, 2}));
+  EXPECT_EQ(r.connections[1].b, (Point{10, 2}));
+  EXPECT_EQ(r.connections[2].b, (Point{20, 2}));
+  EXPECT_EQ(r.total_manhattan, 18);
+}
+
+TEST_F(StringerTest, EclNetGetsNearestFreeTerminator) {
+  PartId r1 = board_.add_part("R1", fp_sip_, {30, 2});
+  PartId r2 = board_.add_part("R2", fp_sip_, {30, 20});
+  for (int i = 0; i < 4; ++i) {
+    board_.add_terminator(r1, i);
+    board_.add_terminator(r2, i);
+  }
+  Net net;
+  net.klass = SignalClass::kECL;
+  net.needs_terminator = true;
+  NetPin out = pin_at(2, 2);
+  out.role = PinRole::kOutput;
+  net.pins.push_back(out);
+  net.pins.push_back(pin_at(10, 2));
+  board_.netlist().add(std::move(net));
+
+  StringingResult r = string_nets(board_);
+  ASSERT_EQ(r.connections.size(), 2u);
+  // The chain tail (10,2) is nearest to R1's pin 0 at (30,2).
+  EXPECT_EQ(r.connections[1].b, (Point{30, 2}));
+  EXPECT_EQ(r.terminators[0].part, r1);
+}
+
+TEST_F(StringerTest, TerminatorsAreNotReused) {
+  PartId r1 = board_.add_part("R1", fp_sip_, {30, 2});
+  board_.add_terminator(r1, 0);
+  board_.add_terminator(r1, 1);
+  for (int n = 0; n < 2; ++n) {
+    Net net;
+    net.klass = SignalClass::kECL;
+    net.needs_terminator = true;
+    NetPin out = pin_at(2, 2 + 10 * n);
+    out.role = PinRole::kOutput;
+    net.pins.push_back(out);
+    board_.netlist().add(std::move(net));
+  }
+  StringingResult r = string_nets(board_);
+  ASSERT_EQ(r.connections.size(), 2u);
+  EXPECT_NE(r.connections[0].b, r.connections[1].b);
+}
+
+TEST_F(StringerTest, OutputsPrecedeInputs) {
+  // Two outputs and two inputs; outputs must come first in the chain even
+  // when an input is nearer.
+  Net net;
+  net.klass = SignalClass::kECL;
+  NetPin o1 = pin_at(2, 2);
+  o1.role = PinRole::kOutput;
+  NetPin o2 = pin_at(20, 2);
+  o2.role = PinRole::kOutput;
+  net.pins.push_back(o1);
+  net.pins.push_back(o2);
+  net.pins.push_back(pin_at(4, 2));   // input very near o1
+  net.pins.push_back(pin_at(24, 2));  // input near o2
+  board_.netlist().add(std::move(net));
+
+  StringingResult r = string_nets(board_);
+  ASSERT_EQ(r.connections.size(), 3u);
+  // First hop must be output -> output, whichever output starts. (Starting
+  // at o2 gives the shorter chain: 20 -> 2 -> 4 -> 24.)
+  EXPECT_EQ(r.connections[0].a, (Point{20, 2}));
+  EXPECT_EQ(r.connections[0].b, (Point{2, 2}));
+  EXPECT_EQ(r.connections[1].b, (Point{4, 2}));
+}
+
+TEST_F(StringerTest, BestStartingPinWins) {
+  // TTL net, no outputs: every pin is a legal start; the shortest chain
+  // starts from an end of the row, not the middle.
+  Net net;
+  net.klass = SignalClass::kTTL;
+  net.pins.push_back(pin_at(10, 2));
+  net.pins.push_back(pin_at(2, 2));
+  net.pins.push_back(pin_at(20, 2));
+  board_.netlist().add(std::move(net));
+  StringingResult r = string_nets(board_);
+  EXPECT_EQ(r.total_manhattan, 18);  // 2 -> 10 -> 20
+}
+
+TEST_F(StringerTest, RandomStringingIsLongerOnAverage) {
+  // Build a handful of spread-out multi-pin nets; the paper reports a 25x
+  // run-time difference from stringing quality, driven by chain length.
+  int idx = 0;
+  for (int n = 0; n < 10; ++n) {
+    Net net;
+    net.klass = SignalClass::kTTL;
+    for (int p = 0; p < 5; ++p, ++idx) {
+      NetPin np = pin_at(1 + (idx % 20) * 2,
+                         1 + (idx / 20) * 8 + ((idx * 7) % 3));
+      np.role = p == 0 ? PinRole::kOutput : PinRole::kInput;
+      net.pins.push_back(np);
+    }
+    board_.netlist().add(std::move(net));
+  }
+  long greedy =
+      string_nets(board_, StringingMethod::kGreedy).total_manhattan;
+  long random =
+      string_nets(board_, StringingMethod::kRandom, 3).total_manhattan;
+  EXPECT_LT(greedy, random);
+}
+
+TEST_F(StringerTest, SpanningTreeBeatsChainOnStarNets) {
+  // A star: center pin plus satellites. A chain must zig-zag through the
+  // satellites; the tree connects each directly to the center.
+  Net net;
+  net.klass = SignalClass::kTTL;
+  net.pins.push_back(pin_at(20, 15));  // center
+  net.pins.push_back(pin_at(20, 5));
+  net.pins.push_back(pin_at(20, 25));
+  net.pins.push_back(pin_at(10, 15));
+  net.pins.push_back(pin_at(30, 15));
+  board_.netlist().add(std::move(net));
+
+  long chain =
+      string_nets(board_, StringingMethod::kGreedy).total_manhattan;
+  StringingResult tree =
+      string_nets(board_, StringingMethod::kSpanningTree);
+  EXPECT_LT(tree.total_manhattan, chain);
+  EXPECT_EQ(tree.total_manhattan, 40);  // four direct spokes
+  EXPECT_EQ(tree.connections.size(), 4u);
+}
+
+TEST_F(StringerTest, SpanningTreeNeverLongerThanChain) {
+  int idx = 0;
+  for (int n = 0; n < 8; ++n) {
+    Net net;
+    net.klass = SignalClass::kTTL;
+    for (int p = 0; p < 4 + n % 3; ++p, ++idx) {
+      net.pins.push_back(pin_at(1 + (idx % 19) * 2,
+                                1 + (idx / 19) * 9 + ((idx * 5) % 4)));
+    }
+    board_.netlist().add(std::move(net));
+  }
+  long chain =
+      string_nets(board_, StringingMethod::kGreedy).total_manhattan;
+  long tree =
+      string_nets(board_, StringingMethod::kSpanningTree).total_manhattan;
+  EXPECT_LE(tree, chain);
+}
+
+TEST_F(StringerTest, SpanningTreeKeepsEclAsChains) {
+  PartId r1 = board_.add_part("R1", fp_sip_, {38, 2});
+  board_.add_terminator(r1, 0);
+  Net net;
+  net.klass = SignalClass::kECL;
+  net.needs_terminator = true;
+  NetPin out = pin_at(2, 2);
+  out.role = PinRole::kOutput;
+  net.pins.push_back(out);
+  net.pins.push_back(pin_at(10, 2));
+  board_.netlist().add(std::move(net));
+  StringingResult r = string_nets(board_, StringingMethod::kSpanningTree);
+  // Chain of 2 pins + terminator = 2 connections ending at the resistor.
+  ASSERT_EQ(r.connections.size(), 2u);
+  EXPECT_EQ(r.connections[1].b, (Point{38, 2}));
+}
+
+TEST_F(StringerTest, ConnectionMetadata) {
+  Net net;
+  net.klass = SignalClass::kTTL;
+  NetPin out = pin_at(2, 2);
+  out.role = PinRole::kOutput;
+  net.pins.push_back(out);
+  net.pins.push_back(pin_at(6, 2));
+  board_.netlist().add(std::move(net));
+  StringingResult r = string_nets(board_);
+  ASSERT_EQ(r.connections.size(), 1u);
+  EXPECT_EQ(r.connections[0].id, 0);
+  EXPECT_EQ(r.connections[0].net, 0);
+  EXPECT_EQ(r.connections[0].klass, SignalClass::kTTL);
+}
+
+TEST_F(StringerTest, EmptyAndSinglePinNets) {
+  board_.netlist().add(Net{});  // empty net: no connections
+  Net one;
+  one.klass = SignalClass::kTTL;
+  one.pins.push_back(pin_at(5, 5));
+  board_.netlist().add(std::move(one));
+  StringingResult r = string_nets(board_);
+  EXPECT_TRUE(r.connections.empty());
+}
+
+}  // namespace
+}  // namespace grr

@@ -1,0 +1,69 @@
+// Regression net over the Table 1 suite at reduced scale: every board
+// generates, routes and audits; the relative difficulty ordering that the
+// full-scale bench reproduces must already be visible.
+#include <gtest/gtest.h>
+
+#include "route/audit.hpp"
+#include "route/router.hpp"
+#include "workload/suite.hpp"
+
+namespace grr {
+namespace {
+
+class SuiteRegression
+    : public ::testing::TestWithParam<BoardGenParams> {};
+
+TEST_P(SuiteRegression, GeneratesRoutesAndAudits) {
+  GeneratedBoard gb = generate_board(GetParam());
+  ASSERT_NE(gb.board, nullptr);
+  EXPECT_GT(gb.strung.connections.size(), 10u);
+
+  Router router(gb.board->stack(), RouterConfig{});
+  bool ok = router.route_all(gb.strung.connections);
+  // At scale 0.4 the demand shrinks linearly: every board completes —
+  // except the over-capacity 2-layer kdj11, which stays marginal at any
+  // scale (that is Table 1's point).
+  if (GetParam().layers == 2) {
+    EXPECT_GE(router.stats().routed, router.stats().total * 95 / 100);
+  } else {
+    EXPECT_TRUE(ok) << GetParam().name << ": " << router.stats().failed
+                    << " failed";
+  }
+  AuditReport audit =
+      audit_all(gb.board->stack(), router.db(), gb.strung.connections);
+  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  // Table 1's vias-per-connection stays below 1 on completed boards.
+  if (ok) EXPECT_LT(router.stats().vias_per_conn(), 1.0);
+}
+
+std::string row_name(
+    const ::testing::TestParamInfo<BoardGenParams>& info) {
+  std::string n = info.param.name;
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, SuiteRegression,
+                         ::testing::ValuesIn(table1_suite(0.4)), row_name);
+
+TEST(SuiteRegressionTest, FullScaleHardestRowFailsSoftly) {
+  // The paper's first row: kdj11 on two layers is beyond capacity. At
+  // full scale our reproduction gives up, as the paper's router did, with
+  // the board left consistent and most of the work done.
+  GeneratedBoard gb = generate_board(table1_board("kdj11-2L", 1.0));
+  Router router(gb.board->stack(), RouterConfig{});
+  bool ok = router.route_all(gb.strung.connections);
+  EXPECT_FALSE(ok);
+  double routed_frac =
+      static_cast<double>(router.stats().routed) / router.stats().total;
+  EXPECT_GT(routed_frac, 0.6);  // the paper reports ~80%
+  EXPECT_LT(routed_frac, 1.0);
+  AuditReport audit =
+      audit_all(gb.board->stack(), router.db(), gb.strung.connections);
+  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+}
+
+}  // namespace
+}  // namespace grr

@@ -1,0 +1,78 @@
+// Tests for ECL/TTL tesselation (paper Sec 10.2, Fig 18).
+#include "board/tile_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace grr {
+namespace {
+
+class TileMapTest : public ::testing::Test {
+ protected:
+  TileMapTest() : spec_(11, 9), stack_(spec_, 2) {}
+  GridSpec spec_;
+  LayerStack stack_;
+};
+
+TEST_F(TileMapTest, ClassAtLastTileWins) {
+  TileMap tiles(SignalClass::kECL);
+  tiles.add_tile(0, {{0, 30}, {0, 24}}, SignalClass::kECL);
+  tiles.add_tile(0, {{0, 15}, {0, 24}}, SignalClass::kTTL);
+  EXPECT_EQ(tiles.class_at(0, {5, 5}), SignalClass::kTTL);
+  EXPECT_EQ(tiles.class_at(0, {20, 5}), SignalClass::kECL);
+  EXPECT_EQ(tiles.class_at(1, {5, 5}), SignalClass::kECL);  // default
+}
+
+TEST_F(TileMapTest, FillForeignBlocksTracesAndVias) {
+  TileMap tiles(SignalClass::kECL);
+  // Left half of layer 0 (and only layer 0) is TTL.
+  tiles.add_tile(0, {{0, 14}, {0, 24}}, SignalClass::kTTL);
+  tiles.add_tile(0, {{15, 30}, {0, 24}}, SignalClass::kECL);
+  tiles.add_tile(1, {{0, 30}, {0, 24}}, SignalClass::kECL);
+
+  auto filler = tiles.fill_foreign(stack_, SignalClass::kECL);
+  EXPECT_FALSE(filler.empty());
+  // Everything in the TTL region of layer 0 is occupied...
+  EXPECT_TRUE(stack_.occupied(0, {5, 5}));
+  EXPECT_TRUE(stack_.occupied(0, {14, 20}));
+  // ...but the ECL region and the other layer stay free.
+  EXPECT_FALSE(stack_.occupied(0, {20, 5}));
+  EXPECT_FALSE(stack_.occupied(1, {5, 5}));
+  // Via sites under the filled tile are not drillable (the filler covers
+  // the hole location on layer 0).
+  EXPECT_FALSE(stack_.via_free({2, 2}));
+  EXPECT_TRUE(stack_.via_free({7, 2}));
+
+  TileMap::unfill(stack_, filler);
+  EXPECT_FALSE(stack_.occupied(0, {5, 5}));
+  EXPECT_TRUE(stack_.via_free({2, 2}));
+  EXPECT_EQ(stack_.segment_count(), 0u);
+}
+
+TEST_F(TileMapTest, FillSkipsUsedSpace) {
+  TileMap tiles(SignalClass::kECL);
+  tiles.add_tile(0, {{0, 30}, {0, 24}}, SignalClass::kTTL);
+  SegId pre = stack_.insert_span({0, 5, {10, 20}}, 3);
+  auto filler = tiles.fill_foreign(stack_, SignalClass::kECL);
+  // The pre-existing segment is untouched and everything else filled.
+  EXPECT_EQ(stack_.conn_at(0, {15, 5}), 3);
+  EXPECT_EQ(stack_.conn_at(0, {9, 5}), kFillerConn);
+  EXPECT_EQ(stack_.conn_at(0, {21, 5}), kFillerConn);
+  TileMap::unfill(stack_, filler);
+  stack_.erase_segment(pre);
+  EXPECT_EQ(stack_.segment_count(), 0u);
+}
+
+TEST_F(TileMapTest, DefaultClassAppliesToUntiledSpace) {
+  TileMap tiles(SignalClass::kECL);  // no tiles at all
+  auto filler = tiles.fill_foreign(stack_, SignalClass::kTTL);
+  // Everything is (default) ECL, so a TTL pass fills the whole board.
+  EXPECT_TRUE(stack_.occupied(0, {5, 5}));
+  EXPECT_TRUE(stack_.occupied(1, {20, 20}));
+  auto none = tiles.fill_foreign(stack_, SignalClass::kECL);
+  EXPECT_TRUE(none.empty());  // ECL pass: nothing foreign... and no space
+  TileMap::unfill(stack_, filler);
+  EXPECT_EQ(stack_.segment_count(), 0u);
+}
+
+}  // namespace
+}  // namespace grr

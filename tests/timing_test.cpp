@@ -1,0 +1,187 @@
+// Tests for the static timing verifier.
+#include "timing/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "route/router.hpp"
+
+namespace grr {
+namespace {
+
+class TimingTest : public ::testing::Test {
+ protected:
+  TimingTest() : spec_(61, 41), board_(spec_, 4) {
+    sip2_ = board_.add_footprint(Footprint::sip(2));
+    model_.num_layers = 4;
+  }
+
+  PartId part(Coord vx, Coord vy) {
+    return board_.add_part("P" + std::to_string(board_.parts().size()),
+                           sip2_, {vx, vy});
+  }
+
+  /// A two-pin net from (pa, out_pin=1) to (pb, in_pin=0).
+  NetId wire(PartId pa, PartId pb) {
+    Net net;
+    net.klass = SignalClass::kTTL;
+    net.pins.push_back({pa, 1, PinRole::kOutput});
+    net.pins.push_back({pb, 0, PinRole::kInput});
+    return board_.netlist().add(std::move(net));
+  }
+
+  GridSpec spec_;
+  Board board_;
+  int sip2_;
+  DelayModel model_;
+};
+
+TEST_F(TimingTest, NetDelaysFollowChainOrder) {
+  PartId a = part(2, 2), b = part(12, 2), c = part(32, 2);
+  Net net;
+  net.klass = SignalClass::kTTL;
+  net.pins.push_back({a, 1, PinRole::kOutput});
+  net.pins.push_back({b, 0, PinRole::kInput});
+  net.pins.push_back({c, 0, PinRole::kInput});
+  board_.netlist().add(std::move(net));
+  StringingResult strung = string_nets(board_);
+
+  auto delays = net_pin_delays(board_, strung, nullptr, model_);
+  ASSERT_EQ(delays.size(), 1u);
+  ASSERT_EQ(delays[0].size(), 3u);
+  EXPECT_DOUBLE_EQ(delays[0][0], 0.0);
+  // Manhattan estimates: a->b is 11 pitches (10 across, 1 down from the
+  // output pin), then b->c adds 20 more.
+  EXPECT_NEAR(delays[0][1], 1100.0 / 6000.0, 1e-9);
+  EXPECT_NEAR(delays[0][2], 3100.0 / 6000.0, 1e-9);
+}
+
+TEST_F(TimingTest, TreeStrungNetsGetBranchDelays) {
+  // A star net strung as a spanning tree: each sink's delay is its own
+  // branch, not a chain prefix through the other sinks.
+  PartId hub = part(30, 20), s1 = part(30, 10), s2 = part(20, 20),
+         s3 = part(44, 20);
+  Net net;
+  net.klass = SignalClass::kTTL;
+  net.pins.push_back({hub, 1, PinRole::kOutput});
+  net.pins.push_back({s1, 0, PinRole::kInput});
+  net.pins.push_back({s2, 0, PinRole::kInput});
+  net.pins.push_back({s3, 0, PinRole::kInput});
+  board_.netlist().add(std::move(net));
+  StringingResult strung =
+      string_nets(board_, StringingMethod::kSpanningTree);
+
+  auto delays = net_pin_delays(board_, strung, nullptr, model_);
+  ASSERT_EQ(delays[0].size(), 4u);
+  EXPECT_DOUBLE_EQ(delays[0][0], 0.0);
+  // Every sink's estimated delay equals its direct Manhattan distance from
+  // the hub (spokes, not a chain).
+  for (std::size_t i = 1; i < 4; ++i) {
+    long d = manhattan(board_.pin_via(board_.netlist().nets[0].pins[0]),
+                       board_.pin_via(board_.netlist().nets[0].pins[i]));
+    EXPECT_NEAR(delays[0][i], d * 100.0 / 6000.0, 1e-9) << "sink " << i;
+  }
+}
+
+TEST_F(TimingTest, RoutedDelaysComeFromTheRealizedMetal) {
+  PartId a = part(2, 2), b = part(22, 2);
+  wire(a, b);
+  StringingResult strung = string_nets(board_);
+  Router router(board_.stack());
+  ASSERT_TRUE(router.route_all(strung.connections));
+
+  auto est = net_pin_delays(board_, strung, nullptr, model_);
+  auto real = net_pin_delays(board_, strung, &router.db(), model_);
+  // Routed delay is in the same ballpark as the estimate but not equal
+  // (irregular grid spacing, pad-edge anchors, layer speed).
+  EXPECT_GT(real[0][1], 0.0);
+  EXPECT_NEAR(real[0][1], est[0][1], est[0][1] * 0.3);
+  EXPECT_NE(real[0][1], est[0][1]);
+}
+
+TEST_F(TimingTest, PipelineCriticalPath) {
+  // REG1 -(net)-> U1 -(arc 1ns)-> U1.out -(net)-> REG2.
+  PartId reg1 = part(2, 2), u1 = part(20, 2), reg2 = part(40, 2);
+  wire(reg1, u1);
+  wire(u1, reg2);
+  StringingResult strung = string_nets(board_);
+
+  TimingSpec ts;
+  ts.arcs.push_back({u1, 0, 1, 1.0});
+  ts.launch_pins.push_back({reg1, 1, PinRole::kOutput});
+  ts.capture_pins.push_back({reg2, 0, PinRole::kInput});
+  ts.clock_period_ns = 2.0;
+
+  TimingReport rep =
+      verify_timing(board_, strung, nullptr, model_, ts);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  // The two net estimates plus the 1 ns part arc.
+  double net1 = manhattan(board_.pin_via(reg1, 1), board_.pin_via(u1, 0)) *
+                100.0 / 6000.0;
+  double net2 = manhattan(board_.pin_via(u1, 1), board_.pin_via(reg2, 0)) *
+                100.0 / 6000.0;
+  EXPECT_NEAR(rep.worst_ns, 1.0 + net1 + net2, 1e-6);
+  EXPECT_NEAR(rep.worst_slack_ns, 2.0 - rep.worst_ns, 1e-9);
+  // The path runs launch -> u1.in -> u1.out -> capture.
+  ASSERT_EQ(rep.critical_path.size(), 4u);
+  EXPECT_EQ(rep.critical_path.front().part, reg1);
+  EXPECT_EQ(rep.critical_path.back().part, reg2);
+  EXPECT_TRUE(rep.critical_path[1].through_net);
+  EXPECT_FALSE(rep.critical_path[2].through_net);
+}
+
+TEST_F(TimingTest, PicksTheSlowerOfTwoPaths) {
+  PartId reg1 = part(2, 2), fast = part(8, 2), slow = part(8, 10),
+         reg2 = part(30, 6);
+  wire(reg1, fast);
+  wire(reg1, slow);  // second net from the same launch part
+  wire(fast, reg2);
+  wire(slow, reg2);
+
+  StringingResult strung = string_nets(board_);
+  TimingSpec ts;
+  ts.arcs.push_back({fast, 0, 1, 0.5});
+  ts.arcs.push_back({slow, 0, 1, 3.0});
+  ts.launch_pins.push_back({reg1, 1, PinRole::kOutput});
+  ts.capture_pins.push_back({reg2, 0, PinRole::kInput});
+  TimingReport rep =
+      verify_timing(board_, strung, nullptr, model_, ts);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_GT(rep.worst_ns, 3.0);
+  bool through_slow = false;
+  for (const TimingPathStep& s : rep.critical_path) {
+    if (s.part == slow) through_slow = true;
+  }
+  EXPECT_TRUE(through_slow);
+}
+
+TEST_F(TimingTest, DetectsCombinationalCycle) {
+  PartId u1 = part(2, 2), u2 = part(12, 2);
+  wire(u1, u2);
+  wire(u2, u1);
+  StringingResult strung = string_nets(board_);
+  TimingSpec ts;
+  ts.arcs.push_back({u1, 0, 1, 1.0});
+  ts.arcs.push_back({u2, 0, 1, 1.0});
+  ts.launch_pins.push_back({u1, 1, PinRole::kOutput});
+  ts.capture_pins.push_back({u2, 0, PinRole::kInput});
+  TimingReport rep =
+      verify_timing(board_, strung, nullptr, model_, ts);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("cycle"), std::string::npos);
+}
+
+TEST_F(TimingTest, UnreachableCaptureIsAnError) {
+  PartId a = part(2, 2), b = part(12, 2), lonely = part(30, 10);
+  wire(a, b);
+  StringingResult strung = string_nets(board_);
+  TimingSpec ts;
+  ts.launch_pins.push_back({a, 1, PinRole::kOutput});
+  ts.capture_pins.push_back({lonely, 0, PinRole::kInput});
+  TimingReport rep =
+      verify_timing(board_, strung, nullptr, model_, ts);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("reachable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grr

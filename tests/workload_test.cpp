@@ -1,0 +1,148 @@
+// Tests for the synthetic board generator and the Table 1 suite.
+#include "workload/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace grr {
+namespace {
+
+BoardGenParams small_params() {
+  BoardGenParams p;
+  p.name = "t";
+  p.width_in = 6;
+  p.height_in = 5;
+  p.layers = 4;
+  p.target_connections = 300;
+  p.locality = 0.3;
+  p.seed = 3;
+  return p;
+}
+
+TEST(BoardGenTest, ProducesRequestedShape) {
+  GeneratedBoard gb = generate_board(small_params());
+  const GridSpec& spec = gb.board->spec();
+  EXPECT_EQ(spec.nx_vias(), 61);
+  EXPECT_EQ(spec.ny_vias(), 51);
+  EXPECT_EQ(gb.board->stack().num_layers(), 4);
+  // Connection count lands near the target (nets are quantized).
+  EXPECT_GE(gb.strung.connections.size(), 300u);
+  EXPECT_LE(gb.strung.connections.size(), 340u);
+  EXPECT_GT(gb.pct_chan, 0.0);
+  EXPECT_GT(gb.board->pins_per_sq_inch(), 10.0);
+}
+
+TEST(BoardGenTest, DeterministicForSeed) {
+  GeneratedBoard a = generate_board(small_params());
+  GeneratedBoard b = generate_board(small_params());
+  ASSERT_EQ(a.strung.connections.size(), b.strung.connections.size());
+  for (std::size_t i = 0; i < a.strung.connections.size(); ++i) {
+    EXPECT_EQ(a.strung.connections[i].a, b.strung.connections[i].a);
+    EXPECT_EQ(a.strung.connections[i].b, b.strung.connections[i].b);
+  }
+  BoardGenParams p2 = small_params();
+  p2.seed = 4;
+  GeneratedBoard c = generate_board(p2);
+  bool differs = c.strung.connections.size() != a.strung.connections.size();
+  for (std::size_t i = 0;
+       !differs && i < std::min(a.strung.connections.size(),
+                                c.strung.connections.size());
+       ++i) {
+    differs = !(a.strung.connections[i].a == c.strung.connections[i].a) ||
+              !(a.strung.connections[i].b == c.strung.connections[i].b);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(BoardGenTest, PinsAreNeverSharedBetweenNets) {
+  GeneratedBoard gb = generate_board(small_params());
+  std::set<std::pair<PartId, int>> seen;
+  for (const Net& net : gb.board->netlist().nets) {
+    for (const NetPin& np : net.pins) {
+      EXPECT_TRUE(seen.insert({np.part, np.pin}).second)
+          << "pin shared between nets";
+    }
+  }
+}
+
+TEST(BoardGenTest, EclNetsAreTerminated) {
+  GeneratedBoard gb = generate_board(small_params());
+  const Netlist& nl = gb.board->netlist();
+  int checked = 0;
+  for (std::size_t ni = 0; ni < nl.nets.size(); ++ni) {
+    if (nl.nets[ni].klass != SignalClass::kECL) continue;
+    EXPECT_GE(gb.strung.terminators[ni].part, 0)
+        << "ECL net without terminator";
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(BoardGenTest, LocalityBoundsNetLength) {
+  BoardGenParams tight = small_params();
+  tight.locality = 0.08;
+  BoardGenParams loose = small_params();
+  loose.locality = 0.8;
+  GeneratedBoard a = generate_board(tight);
+  GeneratedBoard b = generate_board(loose);
+  EXPECT_LT(a.pct_chan, b.pct_chan);
+}
+
+TEST(BoardGenTest, BusFractionShapesNets) {
+  BoardGenParams buses = small_params();
+  buses.bus_fraction = 1.0;
+  GeneratedBoard gb = generate_board(buses);
+  // All nets are two-pin bus bits.
+  for (const Net& net : gb.board->netlist().nets) {
+    EXPECT_EQ(net.pins.size(), 2u);
+  }
+  BoardGenParams fan = small_params();
+  fan.bus_fraction = 0.0;
+  fan.net_pins_min = 3;
+  GeneratedBoard gf = generate_board(fan);
+  for (const Net& net : gf.board->netlist().nets) {
+    EXPECT_GE(net.pins.size(), 2u);  // >= 1 output + >= 1 input
+  }
+}
+
+TEST(Table1SuiteTest, HasAllNineRows) {
+  auto suite = table1_suite();
+  ASSERT_EQ(suite.size(), 9u);
+  EXPECT_EQ(suite[0].name, "kdj11-2L");
+  EXPECT_EQ(suite[0].layers, 2);
+  EXPECT_EQ(suite[8].name, "tna-6L");
+  // kdj11 pair: same problem, different layer count.
+  BoardGenParams k2 = table1_board("kdj11-2L");
+  BoardGenParams k4 = table1_board("kdj11-4L");
+  EXPECT_EQ(k2.width_in, k4.width_in);
+  EXPECT_EQ(k2.locality, k4.locality);
+  EXPECT_EQ(k2.seed, k4.seed);
+  EXPECT_NE(k2.layers, k4.layers);
+}
+
+TEST(Table1SuiteTest, ScaleShrinksQuadratically) {
+  BoardGenParams full = table1_board("coproc-6L", 1.0);
+  BoardGenParams half = table1_board("coproc-6L", 0.5);
+  EXPECT_DOUBLE_EQ(half.width_in, full.width_in / 2);
+  EXPECT_NEAR(half.target_connections, full.target_connections / 4.0, 1.0);
+}
+
+TEST(Table1SuiteTest, ChanOrderingMatchesPaper) {
+  // The suite is listed in decreasing order of difficulty; the generated
+  // %chan (normalized per layer count) must be highest for the first row.
+  auto suite = table1_suite(0.5);
+  double first = 0, last = 0;
+  {
+    GeneratedBoard gb = generate_board(suite.front());
+    first = gb.pct_chan;
+  }
+  {
+    GeneratedBoard gb = generate_board(suite.back());
+    last = gb.pct_chan;
+  }
+  EXPECT_GT(first, last);
+}
+
+}  // namespace
+}  // namespace grr

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bidir.dir/bench_bidir.cpp.o"
+  "CMakeFiles/bench_bidir.dir/bench_bidir.cpp.o.d"
+  "bench_bidir"
+  "bench_bidir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bidir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_costfn.dir/bench_costfn.cpp.o"
+  "CMakeFiles/bench_costfn.dir/bench_costfn.cpp.o.d"
+  "bench_costfn"
+  "bench_costfn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_costfn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_improve.dir/bench_improve.cpp.o"
+  "CMakeFiles/bench_improve.dir/bench_improve.cpp.o.d"
+  "bench_improve"
+  "bench_improve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_improve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lee_neighbors.dir/bench_lee_neighbors.cpp.o"
+  "CMakeFiles/bench_lee_neighbors.dir/bench_lee_neighbors.cpp.o.d"
+  "bench_lee_neighbors"
+  "bench_lee_neighbors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lee_neighbors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

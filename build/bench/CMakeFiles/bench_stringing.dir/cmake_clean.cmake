@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stringing.dir/bench_stringing.cpp.o"
+  "CMakeFiles/bench_stringing.dir/bench_stringing.cpp.o.d"
+  "bench_stringing"
+  "bench_stringing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stringing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_two_via.dir/bench_two_via.cpp.o"
+  "CMakeFiles/bench_two_via.dir/bench_two_via.cpp.o.d"
+  "bench_two_via"
+  "bench_two_via.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_two_via.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_via_avoidance.dir/bench_via_avoidance.cpp.o"
+  "CMakeFiles/bench_via_avoidance.dir/bench_via_avoidance.cpp.o.d"
+  "bench_via_avoidance"
+  "bench_via_avoidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_via_avoidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_viamap.dir/bench_viamap.cpp.o"
+  "CMakeFiles/bench_viamap.dir/bench_viamap.cpp.o.d"
+  "bench_viamap"
+  "bench_viamap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_viamap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_place.dir/auto_place.cpp.o"
+  "CMakeFiles/auto_place.dir/auto_place.cpp.o.d"
+  "auto_place"
+  "auto_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

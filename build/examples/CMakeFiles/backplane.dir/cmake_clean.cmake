@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backplane.dir/backplane.cpp.o"
+  "CMakeFiles/backplane.dir/backplane.cpp.o.d"
+  "backplane"
+  "backplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

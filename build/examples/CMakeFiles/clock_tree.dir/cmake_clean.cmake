@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_tree.dir/clock_tree.cpp.o"
+  "CMakeFiles/clock_tree.dir/clock_tree.cpp.o.d"
+  "clock_tree"
+  "clock_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco.dir/eco.cpp.o"
+  "CMakeFiles/eco.dir/eco.cpp.o.d"
+  "eco"
+  "eco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

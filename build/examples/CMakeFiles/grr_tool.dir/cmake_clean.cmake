@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grr_tool.dir/grr_tool.cpp.o"
+  "CMakeFiles/grr_tool.dir/grr_tool.cpp.o.d"
+  "grr_tool"
+  "grr_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grr_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

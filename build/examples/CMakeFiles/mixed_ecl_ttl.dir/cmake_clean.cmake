@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_ecl_ttl.dir/mixed_ecl_ttl.cpp.o"
+  "CMakeFiles/mixed_ecl_ttl.dir/mixed_ecl_ttl.cpp.o.d"
+  "mixed_ecl_ttl"
+  "mixed_ecl_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_ecl_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surface_mount.dir/surface_mount.cpp.o"
+  "CMakeFiles/surface_mount.dir/surface_mount.cpp.o.d"
+  "surface_mount"
+  "surface_mount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surface_mount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

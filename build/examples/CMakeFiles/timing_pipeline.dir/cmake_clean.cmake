@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_pipeline.dir/timing_pipeline.cpp.o"
+  "CMakeFiles/timing_pipeline.dir/timing_pipeline.cpp.o.d"
+  "timing_pipeline"
+  "timing_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

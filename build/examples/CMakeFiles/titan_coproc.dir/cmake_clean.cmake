@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/titan_coproc.dir/titan_coproc.cpp.o"
+  "CMakeFiles/titan_coproc.dir/titan_coproc.cpp.o.d"
+  "titan_coproc"
+  "titan_coproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/titan_coproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

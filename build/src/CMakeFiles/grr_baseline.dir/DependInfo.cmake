@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/lee_grid_router.cpp" "src/CMakeFiles/grr_baseline.dir/baseline/lee_grid_router.cpp.o" "gcc" "src/CMakeFiles/grr_baseline.dir/baseline/lee_grid_router.cpp.o.d"
+  "/root/repo/src/baseline/line_search_router.cpp" "src/CMakeFiles/grr_baseline.dir/baseline/line_search_router.cpp.o" "gcc" "src/CMakeFiles/grr_baseline.dir/baseline/line_search_router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/grr_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_layer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grr_baseline.dir/baseline/lee_grid_router.cpp.o"
+  "CMakeFiles/grr_baseline.dir/baseline/lee_grid_router.cpp.o.d"
+  "CMakeFiles/grr_baseline.dir/baseline/line_search_router.cpp.o"
+  "CMakeFiles/grr_baseline.dir/baseline/line_search_router.cpp.o.d"
+  "libgrr_baseline.a"
+  "libgrr_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grr_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

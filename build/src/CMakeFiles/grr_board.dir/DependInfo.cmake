@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/board/board.cpp" "src/CMakeFiles/grr_board.dir/board/board.cpp.o" "gcc" "src/CMakeFiles/grr_board.dir/board/board.cpp.o.d"
+  "/root/repo/src/board/design_rules.cpp" "src/CMakeFiles/grr_board.dir/board/design_rules.cpp.o" "gcc" "src/CMakeFiles/grr_board.dir/board/design_rules.cpp.o.d"
+  "/root/repo/src/board/dispersion.cpp" "src/CMakeFiles/grr_board.dir/board/dispersion.cpp.o" "gcc" "src/CMakeFiles/grr_board.dir/board/dispersion.cpp.o.d"
+  "/root/repo/src/board/footprint.cpp" "src/CMakeFiles/grr_board.dir/board/footprint.cpp.o" "gcc" "src/CMakeFiles/grr_board.dir/board/footprint.cpp.o.d"
+  "/root/repo/src/board/lint.cpp" "src/CMakeFiles/grr_board.dir/board/lint.cpp.o" "gcc" "src/CMakeFiles/grr_board.dir/board/lint.cpp.o.d"
+  "/root/repo/src/board/netlist.cpp" "src/CMakeFiles/grr_board.dir/board/netlist.cpp.o" "gcc" "src/CMakeFiles/grr_board.dir/board/netlist.cpp.o.d"
+  "/root/repo/src/board/power_plane.cpp" "src/CMakeFiles/grr_board.dir/board/power_plane.cpp.o" "gcc" "src/CMakeFiles/grr_board.dir/board/power_plane.cpp.o.d"
+  "/root/repo/src/board/tile_map.cpp" "src/CMakeFiles/grr_board.dir/board/tile_map.cpp.o" "gcc" "src/CMakeFiles/grr_board.dir/board/tile_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/grr_layer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/CMakeFiles/grr_board.dir/board/design_rules.cpp.o: \
+ /root/repo/src/board/design_rules.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/board/design_rules.hpp

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grr_board.dir/board/board.cpp.o"
+  "CMakeFiles/grr_board.dir/board/board.cpp.o.d"
+  "CMakeFiles/grr_board.dir/board/design_rules.cpp.o"
+  "CMakeFiles/grr_board.dir/board/design_rules.cpp.o.d"
+  "CMakeFiles/grr_board.dir/board/dispersion.cpp.o"
+  "CMakeFiles/grr_board.dir/board/dispersion.cpp.o.d"
+  "CMakeFiles/grr_board.dir/board/footprint.cpp.o"
+  "CMakeFiles/grr_board.dir/board/footprint.cpp.o.d"
+  "CMakeFiles/grr_board.dir/board/lint.cpp.o"
+  "CMakeFiles/grr_board.dir/board/lint.cpp.o.d"
+  "CMakeFiles/grr_board.dir/board/netlist.cpp.o"
+  "CMakeFiles/grr_board.dir/board/netlist.cpp.o.d"
+  "CMakeFiles/grr_board.dir/board/power_plane.cpp.o"
+  "CMakeFiles/grr_board.dir/board/power_plane.cpp.o.d"
+  "CMakeFiles/grr_board.dir/board/tile_map.cpp.o"
+  "CMakeFiles/grr_board.dir/board/tile_map.cpp.o.d"
+  "libgrr_board.a"
+  "libgrr_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grr_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grr_geom.dir/geom/geom.cpp.o"
+  "CMakeFiles/grr_geom.dir/geom/geom.cpp.o.d"
+  "libgrr_geom.a"
+  "libgrr_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grr_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

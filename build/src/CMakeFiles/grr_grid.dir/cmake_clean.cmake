@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grr_grid.dir/grid/grid_spec.cpp.o"
+  "CMakeFiles/grr_grid.dir/grid/grid_spec.cpp.o.d"
+  "libgrr_grid.a"
+  "libgrr_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grr_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

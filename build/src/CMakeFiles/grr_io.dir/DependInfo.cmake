@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/problem_io.cpp" "src/CMakeFiles/grr_io.dir/io/problem_io.cpp.o" "gcc" "src/CMakeFiles/grr_io.dir/io/problem_io.cpp.o.d"
+  "/root/repo/src/io/route_io.cpp" "src/CMakeFiles/grr_io.dir/io/route_io.cpp.o" "gcc" "src/CMakeFiles/grr_io.dir/io/route_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/grr_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_layer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

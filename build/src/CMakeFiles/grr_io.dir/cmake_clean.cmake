@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grr_io.dir/io/problem_io.cpp.o"
+  "CMakeFiles/grr_io.dir/io/problem_io.cpp.o.d"
+  "CMakeFiles/grr_io.dir/io/route_io.cpp.o"
+  "CMakeFiles/grr_io.dir/io/route_io.cpp.o.d"
+  "libgrr_io.a"
+  "libgrr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layer/channel.cpp" "src/CMakeFiles/grr_layer.dir/layer/channel.cpp.o" "gcc" "src/CMakeFiles/grr_layer.dir/layer/channel.cpp.o.d"
+  "/root/repo/src/layer/free_space.cpp" "src/CMakeFiles/grr_layer.dir/layer/free_space.cpp.o" "gcc" "src/CMakeFiles/grr_layer.dir/layer/free_space.cpp.o.d"
+  "/root/repo/src/layer/layer.cpp" "src/CMakeFiles/grr_layer.dir/layer/layer.cpp.o" "gcc" "src/CMakeFiles/grr_layer.dir/layer/layer.cpp.o.d"
+  "/root/repo/src/layer/layer_stack.cpp" "src/CMakeFiles/grr_layer.dir/layer/layer_stack.cpp.o" "gcc" "src/CMakeFiles/grr_layer.dir/layer/layer_stack.cpp.o.d"
+  "/root/repo/src/layer/segment_pool.cpp" "src/CMakeFiles/grr_layer.dir/layer/segment_pool.cpp.o" "gcc" "src/CMakeFiles/grr_layer.dir/layer/segment_pool.cpp.o.d"
+  "/root/repo/src/layer/tree_channel.cpp" "src/CMakeFiles/grr_layer.dir/layer/tree_channel.cpp.o" "gcc" "src/CMakeFiles/grr_layer.dir/layer/tree_channel.cpp.o.d"
+  "/root/repo/src/layer/via_map.cpp" "src/CMakeFiles/grr_layer.dir/layer/via_map.cpp.o" "gcc" "src/CMakeFiles/grr_layer.dir/layer/via_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/grr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

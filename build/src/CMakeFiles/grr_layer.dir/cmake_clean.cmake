@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grr_layer.dir/layer/channel.cpp.o"
+  "CMakeFiles/grr_layer.dir/layer/channel.cpp.o.d"
+  "CMakeFiles/grr_layer.dir/layer/free_space.cpp.o"
+  "CMakeFiles/grr_layer.dir/layer/free_space.cpp.o.d"
+  "CMakeFiles/grr_layer.dir/layer/layer.cpp.o"
+  "CMakeFiles/grr_layer.dir/layer/layer.cpp.o.d"
+  "CMakeFiles/grr_layer.dir/layer/layer_stack.cpp.o"
+  "CMakeFiles/grr_layer.dir/layer/layer_stack.cpp.o.d"
+  "CMakeFiles/grr_layer.dir/layer/segment_pool.cpp.o"
+  "CMakeFiles/grr_layer.dir/layer/segment_pool.cpp.o.d"
+  "CMakeFiles/grr_layer.dir/layer/tree_channel.cpp.o"
+  "CMakeFiles/grr_layer.dir/layer/tree_channel.cpp.o.d"
+  "CMakeFiles/grr_layer.dir/layer/via_map.cpp.o"
+  "CMakeFiles/grr_layer.dir/layer/via_map.cpp.o.d"
+  "libgrr_layer.a"
+  "libgrr_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grr_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

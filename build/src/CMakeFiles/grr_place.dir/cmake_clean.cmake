@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grr_place.dir/place/placer.cpp.o"
+  "CMakeFiles/grr_place.dir/place/placer.cpp.o.d"
+  "libgrr_place.a"
+  "libgrr_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grr_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grr_postprocess.dir/postprocess/miter.cpp.o"
+  "CMakeFiles/grr_postprocess.dir/postprocess/miter.cpp.o.d"
+  "libgrr_postprocess.a"
+  "libgrr_postprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grr_postprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

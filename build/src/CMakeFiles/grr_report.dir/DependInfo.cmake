@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/gerber.cpp" "src/CMakeFiles/grr_report.dir/report/gerber.cpp.o" "gcc" "src/CMakeFiles/grr_report.dir/report/gerber.cpp.o.d"
+  "/root/repo/src/report/html_report.cpp" "src/CMakeFiles/grr_report.dir/report/html_report.cpp.o" "gcc" "src/CMakeFiles/grr_report.dir/report/html_report.cpp.o.d"
+  "/root/repo/src/report/pattern_stats.cpp" "src/CMakeFiles/grr_report.dir/report/pattern_stats.cpp.o" "gcc" "src/CMakeFiles/grr_report.dir/report/pattern_stats.cpp.o.d"
+  "/root/repo/src/report/svg.cpp" "src/CMakeFiles/grr_report.dir/report/svg.cpp.o" "gcc" "src/CMakeFiles/grr_report.dir/report/svg.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/CMakeFiles/grr_report.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/grr_report.dir/report/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/grr_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_postprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_layer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

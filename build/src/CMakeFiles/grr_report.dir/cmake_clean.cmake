@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grr_report.dir/report/gerber.cpp.o"
+  "CMakeFiles/grr_report.dir/report/gerber.cpp.o.d"
+  "CMakeFiles/grr_report.dir/report/html_report.cpp.o"
+  "CMakeFiles/grr_report.dir/report/html_report.cpp.o.d"
+  "CMakeFiles/grr_report.dir/report/pattern_stats.cpp.o"
+  "CMakeFiles/grr_report.dir/report/pattern_stats.cpp.o.d"
+  "CMakeFiles/grr_report.dir/report/svg.cpp.o"
+  "CMakeFiles/grr_report.dir/report/svg.cpp.o.d"
+  "CMakeFiles/grr_report.dir/report/table.cpp.o"
+  "CMakeFiles/grr_report.dir/report/table.cpp.o.d"
+  "libgrr_report.a"
+  "libgrr_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grr_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/audit.cpp" "src/CMakeFiles/grr_route.dir/route/audit.cpp.o" "gcc" "src/CMakeFiles/grr_route.dir/route/audit.cpp.o.d"
+  "/root/repo/src/route/connection.cpp" "src/CMakeFiles/grr_route.dir/route/connection.cpp.o" "gcc" "src/CMakeFiles/grr_route.dir/route/connection.cpp.o.d"
+  "/root/repo/src/route/improve.cpp" "src/CMakeFiles/grr_route.dir/route/improve.cpp.o" "gcc" "src/CMakeFiles/grr_route.dir/route/improve.cpp.o.d"
+  "/root/repo/src/route/lee.cpp" "src/CMakeFiles/grr_route.dir/route/lee.cpp.o" "gcc" "src/CMakeFiles/grr_route.dir/route/lee.cpp.o.d"
+  "/root/repo/src/route/mixed.cpp" "src/CMakeFiles/grr_route.dir/route/mixed.cpp.o" "gcc" "src/CMakeFiles/grr_route.dir/route/mixed.cpp.o.d"
+  "/root/repo/src/route/optimal.cpp" "src/CMakeFiles/grr_route.dir/route/optimal.cpp.o" "gcc" "src/CMakeFiles/grr_route.dir/route/optimal.cpp.o.d"
+  "/root/repo/src/route/ripup.cpp" "src/CMakeFiles/grr_route.dir/route/ripup.cpp.o" "gcc" "src/CMakeFiles/grr_route.dir/route/ripup.cpp.o.d"
+  "/root/repo/src/route/route_db.cpp" "src/CMakeFiles/grr_route.dir/route/route_db.cpp.o" "gcc" "src/CMakeFiles/grr_route.dir/route/route_db.cpp.o.d"
+  "/root/repo/src/route/router.cpp" "src/CMakeFiles/grr_route.dir/route/router.cpp.o" "gcc" "src/CMakeFiles/grr_route.dir/route/router.cpp.o.d"
+  "/root/repo/src/route/sorting.cpp" "src/CMakeFiles/grr_route.dir/route/sorting.cpp.o" "gcc" "src/CMakeFiles/grr_route.dir/route/sorting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/grr_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_layer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grr_route.dir/route/audit.cpp.o"
+  "CMakeFiles/grr_route.dir/route/audit.cpp.o.d"
+  "CMakeFiles/grr_route.dir/route/connection.cpp.o"
+  "CMakeFiles/grr_route.dir/route/connection.cpp.o.d"
+  "CMakeFiles/grr_route.dir/route/improve.cpp.o"
+  "CMakeFiles/grr_route.dir/route/improve.cpp.o.d"
+  "CMakeFiles/grr_route.dir/route/lee.cpp.o"
+  "CMakeFiles/grr_route.dir/route/lee.cpp.o.d"
+  "CMakeFiles/grr_route.dir/route/mixed.cpp.o"
+  "CMakeFiles/grr_route.dir/route/mixed.cpp.o.d"
+  "CMakeFiles/grr_route.dir/route/optimal.cpp.o"
+  "CMakeFiles/grr_route.dir/route/optimal.cpp.o.d"
+  "CMakeFiles/grr_route.dir/route/ripup.cpp.o"
+  "CMakeFiles/grr_route.dir/route/ripup.cpp.o.d"
+  "CMakeFiles/grr_route.dir/route/route_db.cpp.o"
+  "CMakeFiles/grr_route.dir/route/route_db.cpp.o.d"
+  "CMakeFiles/grr_route.dir/route/router.cpp.o"
+  "CMakeFiles/grr_route.dir/route/router.cpp.o.d"
+  "CMakeFiles/grr_route.dir/route/sorting.cpp.o"
+  "CMakeFiles/grr_route.dir/route/sorting.cpp.o.d"
+  "libgrr_route.a"
+  "libgrr_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grr_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

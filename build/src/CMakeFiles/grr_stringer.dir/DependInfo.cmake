@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stringer/stringer.cpp" "src/CMakeFiles/grr_stringer.dir/stringer/stringer.cpp.o" "gcc" "src/CMakeFiles/grr_stringer.dir/stringer/stringer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/grr_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_layer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

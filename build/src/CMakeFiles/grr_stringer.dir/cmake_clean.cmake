@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grr_stringer.dir/stringer/stringer.cpp.o"
+  "CMakeFiles/grr_stringer.dir/stringer/stringer.cpp.o.d"
+  "libgrr_stringer.a"
+  "libgrr_stringer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grr_stringer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for grr_stringer.
+# This may be replaced when dependencies are built.

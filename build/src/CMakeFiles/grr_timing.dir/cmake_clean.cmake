@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grr_timing.dir/timing/timing.cpp.o"
+  "CMakeFiles/grr_timing.dir/timing/timing.cpp.o.d"
+  "libgrr_timing.a"
+  "libgrr_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grr_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

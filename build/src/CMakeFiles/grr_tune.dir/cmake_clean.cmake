@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grr_tune.dir/tune/costfn_tuner.cpp.o"
+  "CMakeFiles/grr_tune.dir/tune/costfn_tuner.cpp.o.d"
+  "CMakeFiles/grr_tune.dir/tune/delay_model.cpp.o"
+  "CMakeFiles/grr_tune.dir/tune/delay_model.cpp.o.d"
+  "CMakeFiles/grr_tune.dir/tune/length_tuner.cpp.o"
+  "CMakeFiles/grr_tune.dir/tune/length_tuner.cpp.o.d"
+  "libgrr_tune.a"
+  "libgrr_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grr_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

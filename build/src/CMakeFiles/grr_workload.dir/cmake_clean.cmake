@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grr_workload.dir/workload/board_gen.cpp.o"
+  "CMakeFiles/grr_workload.dir/workload/board_gen.cpp.o.d"
+  "CMakeFiles/grr_workload.dir/workload/suite.cpp.o"
+  "CMakeFiles/grr_workload.dir/workload/suite.cpp.o.d"
+  "libgrr_workload.a"
+  "libgrr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/board_test.dir/board_test.cpp.o"
+  "CMakeFiles/board_test.dir/board_test.cpp.o.d"
+  "board_test"
+  "board_test.pdb"
+  "board_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/board_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

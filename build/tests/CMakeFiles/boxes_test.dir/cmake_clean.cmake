@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boxes_test.dir/boxes_test.cpp.o"
+  "CMakeFiles/boxes_test.dir/boxes_test.cpp.o.d"
+  "boxes_test"
+  "boxes_test.pdb"
+  "boxes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boxes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

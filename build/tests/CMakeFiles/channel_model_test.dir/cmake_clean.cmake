@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_model_test.dir/channel_model_test.cpp.o"
+  "CMakeFiles/channel_model_test.dir/channel_model_test.cpp.o.d"
+  "channel_model_test"
+  "channel_model_test.pdb"
+  "channel_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

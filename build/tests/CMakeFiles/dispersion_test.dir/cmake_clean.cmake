@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dispersion_test.dir/dispersion_test.cpp.o"
+  "CMakeFiles/dispersion_test.dir/dispersion_test.cpp.o.d"
+  "dispersion_test"
+  "dispersion_test.pdb"
+  "dispersion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispersion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

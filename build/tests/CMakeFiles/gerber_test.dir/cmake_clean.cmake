@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerber_test.dir/gerber_test.cpp.o"
+  "CMakeFiles/gerber_test.dir/gerber_test.cpp.o.d"
+  "gerber_test"
+  "gerber_test.pdb"
+  "gerber_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerber_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

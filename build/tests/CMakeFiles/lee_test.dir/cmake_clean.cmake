@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lee_test.dir/lee_test.cpp.o"
+  "CMakeFiles/lee_test.dir/lee_test.cpp.o.d"
+  "lee_test"
+  "lee_test.pdb"
+  "lee_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lee_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_plane_test.dir/power_plane_test.cpp.o"
+  "CMakeFiles/power_plane_test.dir/power_plane_test.cpp.o.d"
+  "power_plane_test"
+  "power_plane_test.pdb"
+  "power_plane_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_plane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

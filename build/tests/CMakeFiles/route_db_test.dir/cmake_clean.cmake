@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_db_test.dir/route_db_test.cpp.o"
+  "CMakeFiles/route_db_test.dir/route_db_test.cpp.o.d"
+  "route_db_test"
+  "route_db_test.pdb"
+  "route_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_integration_test.dir/router_integration_test.cpp.o"
+  "CMakeFiles/router_integration_test.dir/router_integration_test.cpp.o.d"
+  "router_integration_test"
+  "router_integration_test.pdb"
+  "router_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

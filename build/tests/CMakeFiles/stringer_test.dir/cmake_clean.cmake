@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stringer_test.dir/stringer_test.cpp.o"
+  "CMakeFiles/stringer_test.dir/stringer_test.cpp.o.d"
+  "stringer_test"
+  "stringer_test.pdb"
+  "stringer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stringer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

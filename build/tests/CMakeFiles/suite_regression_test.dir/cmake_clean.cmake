@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_regression_test.dir/suite_regression_test.cpp.o"
+  "CMakeFiles/suite_regression_test.dir/suite_regression_test.cpp.o.d"
+  "suite_regression_test"
+  "suite_regression_test.pdb"
+  "suite_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tile_map_test.dir/tile_map_test.cpp.o"
+  "CMakeFiles/tile_map_test.dir/tile_map_test.cpp.o.d"
+  "tile_map_test"
+  "tile_map_test.pdb"
+  "tile_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tile_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

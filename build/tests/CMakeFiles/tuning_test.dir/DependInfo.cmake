@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tuning_test.cpp" "tests/CMakeFiles/tuning_test.dir/tuning_test.cpp.o" "gcc" "tests/CMakeFiles/tuning_test.dir/tuning_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/grr_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_postprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_stringer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_tune.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_layer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -32,11 +32,11 @@ int main(int argc, char** argv) {
     auto t1 = std::chrono::steady_clock::now();
     double sec = std::chrono::duration<double>(t1 - t0).count();
 
-    AuditReport audit =
+    CheckReport audit =
         audit_all(gb.board->stack(), router.db(), gb.strung.connections);
     if (!audit.ok()) {
       std::cout << "AUDIT FAILED on " << params.name << ": "
-                << audit.errors.front() << "\n";
+                << audit.first_error() << "\n";
     }
     rows.push_back(Table1Row::from_run(gb, router.stats(), sec));
     const RouterStats& st = router.stats();

@@ -96,9 +96,9 @@ RunOutcome build_and_route(const std::vector<PlaceNet>& cell_nets,
   out.total = router.stats().total;
   out.pct_lee = router.stats().pct_lee();
   out.sec = std::chrono::duration<double>(t1 - t0).count();
-  AuditReport audit =
+  CheckReport audit =
       audit_all(board.stack(), router.db(), strung.connections);
-  if (!audit.ok()) std::cout << "AUDIT: " << audit.errors.front() << "\n";
+  if (!audit.ok()) std::cout << "AUDIT: " << audit.first_error() << "\n";
   return out;
 }
 

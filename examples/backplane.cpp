@@ -72,7 +72,7 @@ int main() {
             << st.pct_optimal() << "% optimal, " << st.vias_per_conn()
             << " vias/conn)\n";
 
-  AuditReport audit =
+  CheckReport audit =
       audit_all(board.stack(), router.db(), strung.connections);
   std::cout << "audit: " << (audit.ok() ? "clean" : "VIOLATIONS") << "\n";
   print_pattern_stats(std::cout,

@@ -73,7 +73,7 @@ int main() {
             << " ps)\n\n";
   report("tuned branch delays");
 
-  AuditReport audit = audit_all(board.stack(), router.db(), conns);
+  CheckReport audit = audit_all(board.stack(), router.db(), conns);
   std::cout << "\naudit: " << (audit.ok() ? "clean" : "VIOLATIONS") << "\n";
   return tuned == 4 && audit.ok() ? 0 : 1;
 }

@@ -82,7 +82,7 @@ int main() {
     auto t0 = std::chrono::steady_clock::now();
     bool ok = router.route_all(strung.connections);
     auto t1 = std::chrono::steady_clock::now();
-    AuditReport audit =
+    CheckReport audit =
         audit_all(rev.board->stack(), router.db(), strung.connections);
     std::cout << "full re-route: " << router.stats().routed << "/"
               << router.stats().total << (ok ? "" : " INCOMPLETE") << " in "
@@ -116,9 +116,9 @@ int main() {
     ConnectionList shipped_conns(strung.connections.begin(),
                                  strung.connections.begin() +
                                      static_cast<long>(shipped));
-    AuditReport a1 =
+    CheckReport a1 =
         audit_all(rev.board->stack(), shipped_db, shipped_conns);
-    AuditReport a2 = audit_all(rev.board->stack(), eco.db(), fresh);
+    CheckReport a2 = audit_all(rev.board->stack(), eco.db(), fresh);
     std::cout << "incremental  : kept " << installed
               << " shipped routes untouched, routed " << fresh.size()
               << " new in "

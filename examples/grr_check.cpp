@@ -1,0 +1,149 @@
+// grr_check — the static-analysis front end: run the whole checker
+// battery (netlist lint, router-state audits, geometric DRC) over a
+// problem file and, optionally, a routes file, without executing the
+// router.
+//
+//   grr_check <problem.grr> [routes.grr] [options]
+//       --only NAME[,NAME...]   run only the named checkers (see --list)
+//       --strict                warnings also fail the run
+//       --max-findings N        cap the number of reported findings
+//       --list                  list registered checkers and exit
+//
+// Findings are printed one per line in a machine-readable form:
+//
+//   <file>:<rule>:<severity>:<location>: <message>
+//
+// Exit status: 0 = clean, 1 = findings (errors, or any finding with
+// --strict), 2 = usage or I/O error.
+//
+// With a routes file, the DRC engine checks the *claimed* geometry before
+// anything is installed — exactly what one wants to know about a file one
+// is about to trust — and the audits then re-check the stack after a fresh
+// install of the same file.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/registry.hpp"
+#include "io/problem_io.hpp"
+#include "io/route_io.hpp"
+#include "stringer/stringer.hpp"
+
+using namespace grr;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: grr_check <problem.grr> [routes.grr] "
+               "[--only NAME[,NAME...]] [--strict] [--max-findings N] "
+               "[--list]\n";
+  return 2;
+}
+
+std::vector<std::string> split_names(const char* arg) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = arg;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+      if (*p == '\0') break;
+    } else {
+      cur.push_back(*p);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* problem_path = nullptr;
+  const char* routes_path = nullptr;
+  std::vector<std::string> only;
+  bool strict = false;
+  bool list = false;
+  DrcOptions drc;
+
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--only") && i + 1 < argc) {
+      only = split_names(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--strict")) {
+      strict = true;
+    } else if (!std::strcmp(argv[i], "--max-findings") && i + 1 < argc) {
+      drc.max_findings = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--list")) {
+      list = true;
+    } else if (argv[i][0] == '-') {
+      std::cerr << "unknown option " << argv[i] << "\n";
+      return usage();
+    } else if (problem_path == nullptr) {
+      problem_path = argv[i];
+    } else if (routes_path == nullptr) {
+      routes_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+
+  CheckSuite suite = CheckSuite::standard();
+  if (list) {
+    for (const Checker& c : suite.checkers()) {
+      std::cout << c.name << "\t" << c.description << "\n";
+    }
+    return 0;
+  }
+  if (problem_path == nullptr) return usage();
+
+  ProblemReadResult pr = read_problem(problem_path);
+  if (!pr.ok()) {
+    std::cerr << "grr_check: " << problem_path << ": " << pr.error << "\n";
+    return 2;
+  }
+  StringingResult strung = string_nets(*pr.board);
+
+  CheckContext ctx;
+  ctx.board = pr.board.get();
+  ctx.conns = &strung.connections;
+  ctx.drc = drc;
+  if (!pr.tiles.tiles().empty()) ctx.tiles = &pr.tiles;
+
+  RoutesReadResult rr;
+  RouteDB db(0);
+  if (routes_path != nullptr) {
+    rr = read_routes(routes_path);
+    if (!rr.ok()) {
+      std::cerr << "grr_check: " << routes_path << ": " << rr.error << "\n";
+      return 2;
+    }
+    ctx.routes = &rr.routes;
+    // Re-install the claims on the fresh board so the audit checkers can
+    // re-derive every structural invariant from the stack itself.
+    std::size_t db_size = strung.connections.size();
+    for (const SavedRoute& sr : rr.routes) {
+      db_size = std::max(db_size, static_cast<std::size_t>(sr.id) + 1);
+    }
+    db = RouteDB(db_size);
+    install_routes(pr.board->stack(), db, rr.routes);
+    ctx.db = &db;
+  }
+
+  CheckReport rep = suite.run(ctx, only);
+
+  for (const Finding& f : rep.findings) {
+    const bool about_problem =
+        f.rule.rfind("LINT-", 0) == 0 || routes_path == nullptr;
+    std::cout << (about_problem ? problem_path : routes_path) << ":"
+              << format_finding(f) << "\n";
+  }
+  std::cerr << "grr_check: " << rep.error_count() << " errors, "
+            << rep.warning_count() << " warnings (" << rep.segments_checked
+            << " segments, " << rep.connections_checked
+            << " connections checked)\n";
+
+  if (rep.error_count() > 0) return 1;
+  if (strict && !rep.findings.empty()) return 1;
+  return 0;
+}

@@ -123,12 +123,12 @@ int cmd_route(int argc, char** argv) {
   }
 
   Board& board = *pr.board;
-  LintReport lint = lint_netlist(board);
-  for (const std::string& w : lint.warnings) {
+  CheckReport lint = lint_netlist(board);
+  for (const std::string& w : lint.warnings()) {
     std::cerr << "lint warning: " << w << "\n";
   }
   if (!lint.ok()) {
-    for (const std::string& e : lint.errors) {
+    for (const std::string& e : lint.errors()) {
       std::cerr << "lint error: " << e << "\n";
     }
     return 1;
@@ -144,9 +144,9 @@ int cmd_route(int argc, char** argv) {
               << mixed.ttl->stats().routed << "/"
               << mixed.ttl->stats().total
               << (mixed.ok ? "" : " INCOMPLETE") << "\n";
-    AuditReport am1 = audit_all(board.stack(), mixed.ecl->db(),
+    CheckReport am1 = audit_all(board.stack(), mixed.ecl->db(),
                                 mixed.ecl_conns, &pr.tiles);
-    AuditReport am2 = audit_all(board.stack(), mixed.ttl->db(),
+    CheckReport am2 = audit_all(board.stack(), mixed.ttl->db(),
                                 mixed.ttl_conns, &pr.tiles);
     std::cout << "audit: "
               << (am1.ok() && am2.ok() ? "clean" : "VIOLATIONS") << "\n";
@@ -166,10 +166,10 @@ int cmd_route(int argc, char** argv) {
             << "% optimal, " << st.pct_lee() << "% lee, " << st.rip_ups
             << " rip-ups, " << st.vias_per_conn() << " vias/conn)\n";
 
-  AuditReport audit =
+  CheckReport audit =
       audit_all(board.stack(), router.db(), strung.connections);
   if (!audit.ok()) {
-    std::cerr << "AUDIT FAILED: " << audit.errors.front() << "\n";
+    std::cerr << "AUDIT FAILED: " << audit.first_error() << "\n";
     return 1;
   }
   if (report) {
@@ -249,10 +249,10 @@ int cmd_check(int argc, char** argv) {
   int installed = install_routes(pr.board->stack(), db, rr.routes);
   std::cout << "installed " << installed << "/" << rr.routes.size()
             << " routes\n";
-  AuditReport audit =
+  CheckReport audit =
       audit_all(pr.board->stack(), db, strung.connections);
   std::cout << "audit: " << (audit.ok() ? "clean" : "VIOLATIONS") << "\n";
-  for (const std::string& e : audit.errors) std::cout << "  " << e << "\n";
+  for (const std::string& e : audit.errors()) std::cout << "  " << e << "\n";
   return installed == static_cast<int>(rr.routes.size()) && audit.ok() ? 0
                                                                        : 1;
 }

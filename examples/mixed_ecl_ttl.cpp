@@ -78,13 +78,13 @@ int main() {
             << "\n";
 
   // Audit both route databases and the tesselation conformance.
-  AuditReport a1 =
+  CheckReport a1 =
       audit_all(board.stack(), mixed.ecl->db(), mixed.ecl_conns, &tiles);
-  AuditReport a2 =
+  CheckReport a2 =
       audit_all(board.stack(), mixed.ttl->db(), mixed.ttl_conns, &tiles);
   std::cout << "audit: " << (a1.ok() && a2.ok() ? "clean" : "VIOLATIONS")
             << " (ECL and TTL routes confined to their tiles)\n";
-  for (const auto& e : a1.errors) std::cout << "  " << e << "\n";
-  for (const auto& e : a2.errors) std::cout << "  " << e << "\n";
+  for (const auto& e : a1.errors()) std::cout << "  " << e << "\n";
+  for (const auto& e : a2.errors()) std::cout << "  " << e << "\n";
   return mixed.ok && a1.ok() && a2.ok() ? 0 : 1;
 }

@@ -57,11 +57,11 @@ int main() {
             << ", rip-ups: " << st.rip_ups
             << ", vias/conn: " << st.vias_per_conn() << "\n";
 
-  AuditReport audit =
+  CheckReport audit =
       audit_all(board.stack(), router.db(), strung.connections);
   std::cout << "audit: " << (audit.ok() ? "clean" : "VIOLATIONS") << " ("
             << audit.segments_checked << " segments checked)\n";
-  for (const std::string& e : audit.errors) std::cout << "  " << e << "\n";
+  for (const std::string& e : audit.errors()) std::cout << "  " << e << "\n";
 
   write_file("quickstart_layer0.svg",
              svg_signal_layer(board, router.db(), strung.connections, 0));

@@ -53,7 +53,7 @@ int main() {
             << " pad-to-pad connections ("
             << router.stats().vias_per_conn() << " vias/conn)\n";
 
-  AuditReport audit = audit_all(board.stack(), router.db(), conns);
+  CheckReport audit = audit_all(board.stack(), router.db(), conns);
   std::cout << "audit: " << (audit.ok() ? "clean" : "VIOLATIONS") << "\n";
   return ok && audit.ok() ? 0 : 1;
 }

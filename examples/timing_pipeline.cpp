@@ -76,7 +76,7 @@ int main() {
 
   Router router(board.stack());
   bool ok = router.route_all(strung.connections);
-  AuditReport audit =
+  CheckReport audit =
       audit_all(board.stack(), router.db(), strung.connections);
   std::cout << "\nrouted " << router.stats().routed << "/"
             << router.stats().total << ", audit "

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
             << router.stats().rip_ups << " rip-ups, "
             << router.stats().vias_per_conn() << " vias/conn)\n";
 
-  AuditReport audit =
+  CheckReport audit =
       audit_all(board.stack(), router.db(), gb.strung.connections);
   std::cout << "audit: " << (audit.ok() ? "clean" : "VIOLATIONS") << "\n";
 

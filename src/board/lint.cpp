@@ -4,8 +4,8 @@
 
 namespace grr {
 
-LintReport lint_netlist(const Board& board) {
-  LintReport rep;
+CheckReport lint_netlist(const Board& board) {
+  CheckReport rep;
   const Netlist& nl = board.netlist();
 
   std::set<std::pair<PartId, int>> power_pins;
@@ -17,16 +17,21 @@ LintReport lint_netlist(const Board& board) {
   int terminators_needed = 0;
   for (std::size_t ni = 0; ni < nl.nets.size(); ++ni) {
     const Net& net = nl.nets[ni];
-    auto fail = [&](const std::string& msg) {
-      rep.errors.push_back("net '" + net.name + "': " + msg);
+    const std::string loc = "net '" + net.name + "'";
+    auto fail = [&](const char* rule, const std::string& msg) {
+      rep.add(rule, CheckSeverity::kError, loc,
+              "net '" + net.name + "': " + msg);
+    };
+    auto warn = [&](const char* rule, const std::string& msg) {
+      rep.add(rule, CheckSeverity::kWarning, loc, msg);
     };
 
     if (net.pins.empty()) {
-      rep.warnings.push_back("net '" + net.name + "' has no pins");
+      warn("LINT-NET-EMPTY", "net '" + net.name + "' has no pins");
       continue;
     }
     if (net.pins.size() == 1 && !net.needs_terminator) {
-      rep.warnings.push_back("net '" + net.name + "' has a single pin");
+      warn("LINT-NET-SINGLE", "net '" + net.name + "' has a single pin");
     }
 
     std::set<std::pair<PartId, int>> in_net;
@@ -35,33 +40,37 @@ LintReport lint_netlist(const Board& board) {
     for (const NetPin& np : net.pins) {
       if (np.part < 0 ||
           static_cast<std::size_t>(np.part) >= board.parts().size()) {
-        fail("references a nonexistent part");
+        fail("LINT-PIN-PART", "references a nonexistent part");
         continue;
       }
       const Footprint& fp =
           board.footprint(board.part(np.part).footprint);
       if (np.pin < 0 || np.pin >= fp.pin_count()) {
-        fail("references pin " + std::to_string(np.pin) + " of " +
-             board.part(np.part).name + " (only " +
-             std::to_string(fp.pin_count()) + " pins)");
+        fail("LINT-PIN-INDEX", "references pin " + std::to_string(np.pin) +
+                                   " of " + board.part(np.part).name +
+                                   " (only " +
+                                   std::to_string(fp.pin_count()) + " pins)");
         continue;
       }
       if (!in_net.insert({np.part, np.pin}).second) {
-        fail("lists " + board.part(np.part).name + ":" +
-             std::to_string(np.pin) + " twice");
+        fail("LINT-PIN-DUP", "lists " + board.part(np.part).name + ":" +
+                                 std::to_string(np.pin) + " twice");
       }
       if (!seen_anywhere.insert({np.part, np.pin}).second) {
-        fail("shares " + board.part(np.part).name + ":" +
-             std::to_string(np.pin) + " with another net");
+        fail("LINT-PIN-SHARED", "shares " + board.part(np.part).name + ":" +
+                                    std::to_string(np.pin) +
+                                    " with another net");
       }
       if (power_pins.contains({np.part, np.pin})) {
-        fail("uses power pin " + board.part(np.part).name + ":" +
-             std::to_string(np.pin) + " as a signal");
+        fail("LINT-PIN-POWER", "uses power pin " + board.part(np.part).name +
+                                   ":" + std::to_string(np.pin) +
+                                   " as a signal");
       }
       if (np.role == PinRole::kOutput) {
         ++outputs;
         if (saw_input) {
-          fail("output listed after an input (Sec 3: all outputs must "
+          fail("LINT-ECL-ORDER",
+               "output listed after an input (Sec 3: all outputs must "
                "precede the inputs)");
         }
       } else {
@@ -69,18 +78,19 @@ LintReport lint_netlist(const Board& board) {
       }
     }
     if (net.klass == SignalClass::kECL && outputs == 0) {
-      rep.warnings.push_back("ECL net '" + net.name +
-                             "' has no output pin to drive it");
+      warn("LINT-ECL-NO-OUTPUT", "ECL net '" + net.name +
+                                     "' has no output pin to drive it");
     }
     if (net.needs_terminator) ++terminators_needed;
   }
 
   if (terminators_needed >
       static_cast<int>(board.terminators().size())) {
-    rep.errors.push_back(
-        std::to_string(terminators_needed) +
-        " nets need terminating resistors but only " +
-        std::to_string(board.terminators().size()) + " are registered");
+    rep.add("LINT-TERM-SHORTAGE", CheckSeverity::kError, "board",
+            std::to_string(terminators_needed) +
+                " nets need terminating resistors but only " +
+                std::to_string(board.terminators().size()) +
+                " are registered");
   }
   return rep;
 }

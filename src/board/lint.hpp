@@ -8,22 +8,16 @@
 //   * ECL nets that need terminators can get one (enough terminator pins
 //     registered board-wide);
 //   * power-assigned pins do not appear in signal nets.
+//
+// Findings are reported through the unified CheckReport (rule IDs
+// LINT-*, documented in doc/DRC.md).
 #pragma once
 
-#include <string>
-#include <vector>
-
 #include "board/board.hpp"
+#include "check/check_report.hpp"
 
 namespace grr {
 
-struct LintReport {
-  std::vector<std::string> errors;
-  std::vector<std::string> warnings;
-
-  bool ok() const { return errors.empty(); }
-};
-
-LintReport lint_netlist(const Board& board);
+CheckReport lint_netlist(const Board& board);
 
 }  // namespace grr

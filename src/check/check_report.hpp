@@ -1,0 +1,140 @@
+// The unified static-analysis report: every checker in the repo — the
+// netlist lint, the data-structure audits and the geometric DRC engine —
+// emits findings of one shape: a stable rule ID, a severity, a location and
+// a message. One shape means one CLI (`grr_check`), one overlay renderer
+// and one CI gate instead of three ad-hoc report structs.
+//
+// Rule IDs are documented, with their paper provenance, in doc/DRC.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace grr {
+
+enum class CheckSeverity : std::uint8_t { kInfo, kWarning, kError };
+
+inline const char* to_string(CheckSeverity s) {
+  switch (s) {
+    case CheckSeverity::kInfo:
+      return "info";
+    case CheckSeverity::kWarning:
+      return "warning";
+    case CheckSeverity::kError:
+      return "error";
+  }
+  return "error";
+}
+
+struct Finding {
+  std::string rule;  // stable machine-readable rule ID, e.g. "DRC-SHORT"
+  CheckSeverity severity = CheckSeverity::kError;
+  std::string where;    // location text ("layer 2 ch 14 [5,9]"); may be empty
+  std::string message;  // human explanation
+
+  // Overlay hints for the SVG/HTML renderers: the grid-coordinate area the
+  // finding points at, and the layer it lies on (-1 = no single layer).
+  int layer = -1;
+  Rect rect{{0, -1}, {0, -1}};
+
+  bool has_overlay() const { return !rect.empty(); }
+};
+
+/// Machine-readable one-line form: `rule:severity:location: message`.
+inline std::string format_finding(const Finding& f) {
+  std::string out = f.rule;
+  out += ':';
+  out += to_string(f.severity);
+  out += ':';
+  out += f.where;
+  out += ": ";
+  out += f.message;
+  return out;
+}
+
+struct CheckReport {
+  std::vector<Finding> findings;
+  std::size_t segments_checked = 0;
+  std::size_t connections_checked = 0;
+
+  /// No error-severity findings (warnings do not fail a check).
+  bool ok() const {
+    for (const Finding& f : findings) {
+      if (f.severity == CheckSeverity::kError) return false;
+    }
+    return true;
+  }
+
+  std::size_t error_count() const {
+    std::size_t n = 0;
+    for (const Finding& f : findings) {
+      if (f.severity == CheckSeverity::kError) ++n;
+    }
+    return n;
+  }
+  std::size_t warning_count() const {
+    std::size_t n = 0;
+    for (const Finding& f : findings) {
+      if (f.severity == CheckSeverity::kWarning) ++n;
+    }
+    return n;
+  }
+
+  std::size_t count_rule(const std::string& rule) const {
+    std::size_t n = 0;
+    for (const Finding& f : findings) {
+      if (f.rule == rule) ++n;
+    }
+    return n;
+  }
+
+  /// Formatted error findings, in insertion order.
+  std::vector<std::string> errors() const {
+    std::vector<std::string> out;
+    for (const Finding& f : findings) {
+      if (f.severity == CheckSeverity::kError) {
+        out.push_back(format_finding(f));
+      }
+    }
+    return out;
+  }
+  /// Formatted warning findings, in insertion order.
+  std::vector<std::string> warnings() const {
+    std::vector<std::string> out;
+    for (const Finding& f : findings) {
+      if (f.severity == CheckSeverity::kWarning) {
+        out.push_back(format_finding(f));
+      }
+    }
+    return out;
+  }
+
+  /// First error finding, formatted ("" if clean) — the one-line diagnosis
+  /// tests and tools print on failure.
+  std::string first_error() const {
+    for (const Finding& f : findings) {
+      if (f.severity == CheckSeverity::kError) return format_finding(f);
+    }
+    return {};
+  }
+
+  Finding& add(std::string rule, CheckSeverity severity, std::string where,
+               std::string message) {
+    findings.push_back(Finding{std::move(rule), severity, std::move(where),
+                               std::move(message)});
+    return findings.back();
+  }
+
+  void merge(CheckReport other) {
+    findings.insert(findings.end(),
+                    std::make_move_iterator(other.findings.begin()),
+                    std::make_move_iterator(other.findings.end()));
+    segments_checked += other.segments_checked;
+    connections_checked += other.connections_checked;
+  }
+};
+
+}  // namespace grr

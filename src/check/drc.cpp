@@ -1,0 +1,576 @@
+#include "check/drc.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace grr {
+namespace {
+
+enum class CopperKind : std::uint8_t { kTrace, kVia, kPin, kObstacle };
+
+const char* kind_name(CopperKind k) {
+  switch (k) {
+    case CopperKind::kTrace:
+      return "trace";
+    case CopperKind::kVia:
+      return "via";
+    case CopperKind::kPin:
+      return "pin";
+    case CopperKind::kObstacle:
+      return "obstacle";
+  }
+  return "?";
+}
+
+/// One piece of copper in a layer's channel space. Drills (vias, pins,
+/// obstacles) appear as a unit span in every layer; traces in one.
+struct CopperItem {
+  Coord channel = 0;
+  Interval span;
+  ConnId conn = kNoConn;
+  NetId net = -1;
+  CopperKind kind = CopperKind::kTrace;
+  Point site;  // via-grid site (drills only)
+
+  bool is_route() const {
+    return kind == CopperKind::kTrace || kind == CopperKind::kVia;
+  }
+  bool is_drill() const { return kind != CopperKind::kTrace; }
+};
+
+/// Element of one connection's connectivity graph.
+struct ConnElem {
+  bool drill = false;
+  Point g;           // grid coords of the drill site
+  LayerId layer = 0;  // traces only
+  Coord channel = 0;
+  Interval span;
+  int degree = 0;
+  std::size_t hop = 0;  // trace provenance, for messages
+};
+
+struct UnionFind {
+  std::vector<int> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    for (std::size_t i = 0; i < n; ++i) parent[i] = static_cast<int>(i);
+  }
+  int find(int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) {
+    parent[static_cast<std::size_t>(find(a))] = find(b);
+  }
+};
+
+std::string str(Point p) {
+  std::ostringstream os;
+  os << p;
+  return os.str();
+}
+
+class DrcEngine {
+ public:
+  DrcEngine(const Board& board, const ConnectionList& conns,
+            const DrcOptions& opts)
+      : board_(board),
+        spec_(board.spec()),
+        rules_(board.rules()),
+        conns_(conns),
+        opts_(opts) {
+    for (const Connection& c : conns_) {
+      site_net_[c.a] = c.net;
+      site_net_[c.b] = c.net;
+    }
+    channels_.resize(static_cast<std::size_t>(board_.stack().num_layers()));
+    for (int l = 0; l < board_.stack().num_layers(); ++l) {
+      const Layer& layer = board_.stack().layer(static_cast<LayerId>(l));
+      channels_[static_cast<std::size_t>(l)].resize(
+          static_cast<std::size_t>(layer.across_extent().length()));
+    }
+  }
+
+  CheckReport run(const std::vector<const RouteGeom*>& claims) {
+    build(claims);
+    if (opts_.shorts) check_shorts();
+    if (opts_.clearance) check_clearance();
+    if (opts_.opens) check_connectivity(claims);
+    rep_.connections_checked = conns_.size();
+    if (truncated_) {
+      rep_.add("DRC-TRUNCATED", CheckSeverity::kInfo, "board",
+               "finding limit reached; report is incomplete");
+    }
+    return std::move(rep_);
+  }
+
+ private:
+  using ChannelItems = std::vector<CopperItem>;
+
+  const Layer& layer(LayerId l) const { return board_.stack().layer(l); }
+
+  ChannelItems& channel_items(LayerId l, Coord across) {
+    const Interval ext = layer(l).across_extent();
+    return channels_[static_cast<std::size_t>(l)]
+                    [static_cast<std::size_t>(across - ext.lo)];
+  }
+
+  bool room() {
+    if (opts_.max_findings == 0 ||
+        rep_.findings.size() < opts_.max_findings) {
+      return true;
+    }
+    truncated_ = true;
+    return false;
+  }
+
+  Finding* add(const char* rule, CheckSeverity sev, std::string where,
+               std::string message) {
+    if (!room()) return nullptr;
+    return &rep_.add(rule, sev, std::move(where), std::move(message));
+  }
+
+  /// Grid-coordinate rect of a channel-space span (for overlays).
+  Rect span_rect(LayerId l, Coord channel, Interval span) const {
+    return layer(l).orientation() == Orientation::kHorizontal
+               ? Rect{span, {channel, channel}}
+               : Rect{{channel, channel}, span};
+  }
+
+  std::string net_name(NetId net) const {
+    const auto& nets = board_.netlist().nets;
+    if (net >= 0 && static_cast<std::size_t>(net) < nets.size()) {
+      return "'" + nets[static_cast<std::size_t>(net)].name + "'";
+    }
+    return "(none)";
+  }
+
+  std::string item_desc(const CopperItem& it) const {
+    std::string d = kind_name(it.kind);
+    if (it.is_drill()) {
+      d += " at " + str(it.site);
+    }
+    if (it.kind == CopperKind::kTrace || it.kind == CopperKind::kVia) {
+      d += " of net " + net_name(it.net);
+    } else if (it.kind == CopperKind::kPin && it.net >= 0) {
+      d += " of net " + net_name(it.net);
+    }
+    return d;
+  }
+
+  void add_drill(Point site, ConnId conn, NetId net, CopperKind kind) {
+    Point g = spec_.grid_of_via(site);
+    for (int l = 0; l < board_.stack().num_layers(); ++l) {
+      const Layer& ly = layer(static_cast<LayerId>(l));
+      CopperItem it;
+      it.channel = ly.across_of(g);
+      it.span = {ly.along_of(g), ly.along_of(g)};
+      it.conn = conn;
+      it.net = net;
+      it.kind = kind;
+      it.site = site;
+      channel_items(static_cast<LayerId>(l), it.channel).push_back(it);
+      ++rep_.segments_checked;
+    }
+  }
+
+  /// Validate one claimed span against the board; report DRC-BOUNDS and
+  /// return false if it cannot be placed.
+  bool span_in_bounds(ConnId conn, LayerId l, const ChannelSpan& cs) {
+    const bool bad_layer = l >= board_.stack().num_layers();
+    const bool bad_geom =
+        bad_layer || cs.span.empty() ||
+        !layer(l).across_extent().contains(cs.channel) ||
+        !layer(l).along_extent().contains(cs.span.lo) ||
+        !layer(l).along_extent().contains(cs.span.hi);
+    if (bad_geom) {
+      add("DRC-BOUNDS", CheckSeverity::kError,
+          "conn " + std::to_string(conn),
+          "claimed span (layer " + std::to_string(int{l}) + " ch " +
+              std::to_string(cs.channel) + ") lies outside the board");
+    }
+    return !bad_geom;
+  }
+
+  bool via_in_bounds(ConnId conn, Point v) {
+    if (spec_.via_in_board(v)) return true;
+    add("DRC-BOUNDS", CheckSeverity::kError, "conn " + std::to_string(conn),
+        "claimed via " + str(v) + " lies outside the board");
+    return false;
+  }
+
+  void build(const std::vector<const RouteGeom*>& claims) {
+    // Static board copper: part pins and keep-out obstacles.
+    for (std::size_t pi = 0; pi < board_.parts().size(); ++pi) {
+      const Footprint& fp =
+          board_.footprint(board_.parts()[pi].footprint);
+      for (int pin = 0; pin < fp.pin_count(); ++pin) {
+        Point site = board_.pin_via(static_cast<PartId>(pi), pin);
+        auto it = site_net_.find(site);
+        NetId net = it == site_net_.end() ? -1 : it->second;
+        add_drill(site, kPinConn, net, CopperKind::kPin);
+      }
+    }
+    for (Point site : board_.obstacles()) {
+      add_drill(site, kObstacleConn, -1, CopperKind::kObstacle);
+    }
+
+    // Claimed route copper.
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      const Connection& c = conns_[i];
+      const RouteGeom* geom = claims[i];
+      if (geom == nullptr || c.a == c.b) continue;
+      for (Point v : geom->vias) {
+        if (via_in_bounds(c.id, v)) {
+          add_drill(v, c.id, c.net, CopperKind::kVia);
+        }
+      }
+      for (const RouteHop& hop : geom->hops) {
+        for (const ChannelSpan& cs : hop.spans) {
+          if (!span_in_bounds(c.id, hop.layer, cs)) continue;
+          CopperItem it;
+          it.channel = cs.channel;
+          it.span = cs.span;
+          it.conn = c.id;
+          it.net = c.net;
+          it.kind = CopperKind::kTrace;
+          channel_items(hop.layer, cs.channel).push_back(it);
+          ++rep_.segments_checked;
+        }
+      }
+    }
+
+    for (auto& per_layer : channels_) {
+      for (ChannelItems& items : per_layer) {
+        std::sort(items.begin(), items.end(),
+                  [](const CopperItem& a, const CopperItem& b) {
+                    return a.span.lo < b.span.lo;
+                  });
+      }
+    }
+  }
+
+  /// Two items conflict if they belong to different nets and at least one
+  /// is route copper (the board's own pin/obstacle artwork is the
+  /// placer's business, not the router's).
+  bool checkable_pair(const CopperItem& a, const CopperItem& b) const {
+    if (!a.is_route() && !b.is_route()) return false;
+    if (a.conn >= 0 && a.conn == b.conn) return false;
+    if (a.net >= 0 && a.net == b.net) return false;
+    return true;
+  }
+
+  // --- DRC-SHORT: sweep each channel's sorted segment list. -------------
+
+  void check_shorts() {
+    for (std::size_t l = 0; l < channels_.size(); ++l) {
+      for (const ChannelItems& items : channels_[l]) {
+        std::vector<const CopperItem*> active;
+        for (const CopperItem& cur : items) {
+          std::erase_if(active, [&](const CopperItem* a) {
+            return a->span.hi < cur.span.lo;
+          });
+          for (const CopperItem* a : active) {
+            if (!checkable_pair(*a, cur)) continue;
+            Finding* f = add(
+                "DRC-SHORT", CheckSeverity::kError,
+                "layer " + std::to_string(l) + " ch " +
+                    std::to_string(cur.channel) + " [" +
+                    std::to_string(std::max(a->span.lo, cur.span.lo)) + "," +
+                    std::to_string(std::min(a->span.hi, cur.span.hi)) + "]",
+                item_desc(cur) + " overlaps " + item_desc(*a));
+            if (f) {
+              f->layer = static_cast<int>(l);
+              f->rect = span_rect(static_cast<LayerId>(l), cur.channel,
+                                  cur.span.intersect(a->span));
+            }
+          }
+          active.push_back(&cur);
+        }
+      }
+    }
+  }
+
+  // --- DRC-CLEARANCE: physical air gaps in mils. ------------------------
+
+  int pad_radius() const { return rules_.via_pad_mils / 2; }
+  int half_width(const CopperItem& it) const {
+    return it.is_drill() ? pad_radius() : rules_.trace_width_mils / 2;
+  }
+  int along_ext(const CopperItem& it) const {
+    return it.is_drill() ? pad_radius() : 0;
+  }
+
+  int min_grid_step_mils() const {
+    int step = spec_.via_pitch_mils();
+    for (int g = 0; g < spec_.period(); ++g) {
+      step = std::min(step, spec_.mils_of_grid(g + 1) -
+                                spec_.mils_of_grid(g));
+    }
+    return std::max(step, 1);
+  }
+
+  void maybe_clearance(std::size_t l, const CopperItem& a,
+                       const CopperItem& b, int d_across_mils) {
+    if (!checkable_pair(a, b)) return;
+    const int req = rules_.trace_gap_mils;
+    // Grid-level overlap in the same channel is already a DRC-SHORT.
+    if (d_across_mils == 0 && a.span.overlaps(b.span)) return;
+    const int a_lo = spec_.mils_of_grid(a.span.lo) - along_ext(a);
+    const int a_hi = spec_.mils_of_grid(a.span.hi) + along_ext(a);
+    const int b_lo = spec_.mils_of_grid(b.span.lo) - along_ext(b);
+    const int b_hi = spec_.mils_of_grid(b.span.hi) + along_ext(b);
+    const int dx = std::max(b_lo - a_hi, a_lo - b_hi);  // <=0: along overlap
+    const int dy = d_across_mils - half_width(a) - half_width(b);
+    bool violation;
+    if (dx >= req || dy >= req) {
+      violation = false;
+    } else if (dx > 0 && dy > 0) {
+      violation = dx * dx + dy * dy < req * req;
+    } else {
+      violation = std::max(dx, dy) < req;
+    }
+    if (!violation) return;
+    const int gap = std::max(std::min(dx, dy), std::max(dx, dy));
+    Finding* f =
+        add("DRC-CLEARANCE", CheckSeverity::kError,
+            "layer " + std::to_string(l) + " ch " +
+                std::to_string(a.channel) + "/" + std::to_string(b.channel),
+            item_desc(a) + " to " + item_desc(b) + " gap " +
+                std::to_string(std::max(gap, 0)) + " mils < " +
+                std::to_string(req) + " mils");
+    if (f) {
+      f->layer = static_cast<int>(l);
+      f->rect = span_rect(static_cast<LayerId>(l), a.channel, a.span)
+                    .inflated(1);
+    }
+  }
+
+  /// Check every relevant pair between two channel lists at physical
+  /// across-distance `d_across_mils` (0 = same list).
+  void check_channel_pair(std::size_t l, const ChannelItems& xs,
+                          const ChannelItems& ys, int d_across_mils,
+                          Coord reach_grid) {
+    const bool same = &xs == &ys;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const CopperItem& a = xs[i];
+      while (start < ys.size() &&
+             ys[start].span.hi < a.span.lo - reach_grid) {
+        ++start;
+      }
+      for (std::size_t j = same ? std::max(start, i + 1) : start;
+           j < ys.size() && ys[j].span.lo <= a.span.hi + reach_grid; ++j) {
+        maybe_clearance(l, a, ys[j], d_across_mils);
+      }
+    }
+  }
+
+  void check_clearance() {
+    const int req = rules_.trace_gap_mils;
+    // Reach: beyond this center distance no pair can violate (pads are the
+    // widest copper).
+    const int reach_mils = req + 2 * pad_radius();
+    const Coord reach_grid =
+        static_cast<Coord>(reach_mils / min_grid_step_mils() + 1);
+    for (std::size_t l = 0; l < channels_.size(); ++l) {
+      const Layer& ly = layer(static_cast<LayerId>(l));
+      const Interval across = ly.across_extent();
+      auto& per_channel = channels_[l];
+      for (Coord c = across.lo; c <= across.hi; ++c) {
+        const ChannelItems& xs =
+            per_channel[static_cast<std::size_t>(c - across.lo)];
+        if (xs.empty()) continue;
+        check_channel_pair(l, xs, xs, 0, reach_grid);
+        for (Coord c2 = c + 1; c2 <= across.hi; ++c2) {
+          const int d =
+              spec_.mils_of_grid(c2) - spec_.mils_of_grid(c);
+          if (d >= reach_mils) break;
+          const ChannelItems& ys =
+              per_channel[static_cast<std::size_t>(c2 - across.lo)];
+          if (!ys.empty()) check_channel_pair(l, xs, ys, d, reach_grid);
+        }
+      }
+    }
+  }
+
+  // --- DRC-OPEN / DRC-STUB / DRC-VIA-ORPHAN: per-connection graphs. -----
+
+  static bool drill_touches_trace(const Layer& ly, Point g,
+                                  const ConnElem& t) {
+    const Coord pc = ly.across_of(g);
+    const Coord pv = ly.along_of(g);
+    if (t.channel == pc) {
+      return t.span.hi == pv - 1 || t.span.lo == pv + 1 ||
+             t.span.contains(pv);
+    }
+    if (t.channel == pc - 1 || t.channel == pc + 1) {
+      return t.span.contains(pv);
+    }
+    return false;
+  }
+
+  bool in_contact(const ConnElem& a, const ConnElem& b) const {
+    if (a.drill && b.drill) return manhattan(a.g, b.g) <= 1;
+    if (a.drill != b.drill) {
+      const ConnElem& d = a.drill ? a : b;
+      const ConnElem& t = a.drill ? b : a;
+      // A drill exists on every layer; contact is judged on the trace's.
+      return drill_touches_trace(layer(t.layer), d.g, t);
+    }
+    if (a.layer != b.layer) return false;
+    const Coord dc = std::abs(a.channel - b.channel);
+    if (dc == 0) {
+      return a.span.overlaps(b.span) || a.span.hi + 1 == b.span.lo ||
+             b.span.hi + 1 == a.span.lo;
+    }
+    return dc == 1 && a.span.overlaps(b.span);
+  }
+
+  void check_connectivity(const std::vector<const RouteGeom*>& claims) {
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      const Connection& c = conns_[i];
+      if (c.a == c.b) continue;
+      const std::string loc = "conn " + std::to_string(c.id) + " " +
+                              str(c.a) + "->" + str(c.b);
+      const Rect conn_rect =
+          Rect::bounding(spec_.grid_of_via(c.a), spec_.grid_of_via(c.b));
+      if (claims[i] == nullptr) {
+        Finding* f = add("DRC-OPEN", CheckSeverity::kError, loc,
+                         "net " + net_name(c.net) + " connection " +
+                             std::to_string(c.id) + " is unrouted");
+        if (f) f->rect = conn_rect;
+        continue;
+      }
+      const RouteGeom& geom = *claims[i];
+
+      std::vector<ConnElem> elems;
+      auto add_drill_elem = [&](Point site) {
+        ConnElem e;
+        e.drill = true;
+        e.g = spec_.grid_of_via(site);
+        elems.push_back(e);
+      };
+      add_drill_elem(c.a);
+      add_drill_elem(c.b);
+      std::size_t first_via = elems.size();
+      for (Point v : geom.vias) {
+        if (spec_.via_in_board(v)) add_drill_elem(v);
+      }
+      std::size_t first_trace = elems.size();
+      for (std::size_t h = 0; h < geom.hops.size(); ++h) {
+        const RouteHop& hop = geom.hops[h];
+        if (hop.layer >= board_.stack().num_layers()) continue;
+        for (const ChannelSpan& cs : hop.spans) {
+          if (cs.span.empty() ||
+              !layer(hop.layer).across_extent().contains(cs.channel) ||
+              !layer(hop.layer).along_extent().contains(cs.span.lo) ||
+              !layer(hop.layer).along_extent().contains(cs.span.hi)) {
+            continue;  // reported by DRC-BOUNDS during build
+          }
+          ConnElem e;
+          e.layer = hop.layer;
+          e.channel = cs.channel;
+          e.span = cs.span;
+          e.hop = h;
+          elems.push_back(e);
+        }
+      }
+
+      UnionFind uf(elems.size());
+      for (std::size_t x = 0; x < elems.size(); ++x) {
+        for (std::size_t y = x + 1; y < elems.size(); ++y) {
+          if (in_contact(elems[x], elems[y])) {
+            uf.unite(static_cast<int>(x), static_cast<int>(y));
+            ++elems[x].degree;
+            ++elems[y].degree;
+          }
+        }
+      }
+
+      if (uf.find(0) != uf.find(1)) {
+        Finding* f =
+            add("DRC-OPEN", CheckSeverity::kError, loc,
+                "net " + net_name(c.net) + " connection " +
+                    std::to_string(c.id) +
+                    ": claimed geometry does not connect its end points");
+        if (f) f->rect = conn_rect;
+      }
+      for (std::size_t x = first_via; x < first_trace; ++x) {
+        if (elems[x].degree == 0) {
+          Point site = spec_.via_of_grid(elems[x].g);
+          Finding* f = add("DRC-VIA-ORPHAN", CheckSeverity::kWarning, loc,
+                           "net " + net_name(c.net) + " via at " +
+                               str(site) + " is touched by no trace");
+          if (f) {
+            f->rect = Rect{{elems[x].g.x, elems[x].g.x},
+                           {elems[x].g.y, elems[x].g.y}};
+          }
+        }
+      }
+      for (std::size_t x = first_trace; x < elems.size(); ++x) {
+        if (elems[x].degree <= 1) {
+          Finding* f =
+              add("DRC-STUB", CheckSeverity::kWarning, loc,
+                  "net " + net_name(c.net) + " hop " +
+                      std::to_string(elems[x].hop) + " span (layer " +
+                      std::to_string(int{elems[x].layer}) + " ch " +
+                      std::to_string(elems[x].channel) + ") dangles");
+          if (f) {
+            f->layer = elems[x].layer;
+            f->rect =
+                span_rect(elems[x].layer, elems[x].channel, elems[x].span);
+          }
+        }
+      }
+    }
+  }
+
+  const Board& board_;
+  const GridSpec& spec_;
+  const DesignRules& rules_;
+  const ConnectionList& conns_;
+  DrcOptions opts_;
+  CheckReport rep_;
+  bool truncated_ = false;
+  std::unordered_map<Point, NetId> site_net_;
+  // channels_[layer][channel - across.lo] = copper items, sorted by lo.
+  std::vector<std::vector<ChannelItems>> channels_;
+};
+
+}  // namespace
+
+CheckReport drc_check(const Board& board, const ConnectionList& conns,
+                      const std::vector<SavedRoute>& routes,
+                      const DrcOptions& opts) {
+  std::unordered_map<ConnId, const RouteGeom*> by_id;
+  for (const SavedRoute& sr : routes) by_id[sr.id] = &sr.geom;
+  std::vector<const RouteGeom*> claims(conns.size(), nullptr);
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    auto it = by_id.find(conns[i].id);
+    if (it != by_id.end()) claims[i] = it->second;
+  }
+  return DrcEngine(board, conns, opts).run(claims);
+}
+
+CheckReport drc_check(const Board& board, const ConnectionList& conns,
+                      const RouteDB& db, const DrcOptions& opts) {
+  std::vector<const RouteGeom*> claims(conns.size(), nullptr);
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    const ConnId id = conns[i].id;
+    if (id >= 0 && static_cast<std::size_t>(id) < db.size() &&
+        db.routed(id)) {
+      claims[i] = &db.rec(id).geom;
+    }
+  }
+  return DrcEngine(board, conns, opts).run(claims);
+}
+
+}  // namespace grr

@@ -1,0 +1,57 @@
+// Geometric design-rule checker: a static-analysis pass over a routed
+// board's *claimed* geometry that runs without executing the router.
+//
+// Where route/audit re-checks the router's live data structures (channel
+// lists, via map, trace links), the DRC engine rebuilds the manufactured
+// copper — pin pads, drilled vias, trace spans — from the board description
+// plus per-connection route geometry (a RouteDB or a routes file), and then
+// checks the physical design rules of paper Sec 2 / Fig 1:
+//
+//   DRC-BOUNDS      claimed geometry outside the board or layer stack
+//   DRC-SHORT       cross-net copper overlap (sweep over per-channel
+//                   segment lists, including traces covering foreign via
+//                   or pin sites and keep-out obstacles)
+//   DRC-CLEARANCE   copper-to-copper air gap below design_rules
+//                   trace_gap_mils (parallel traces, colinear traces,
+//                   via-pad-to-trace), computed in physical mils from the
+//                   irregular 42/16/42 grid spacing
+//   DRC-OPEN        connection end points not connected by the claimed
+//                   geometry (connectivity-graph reachability), including
+//                   connections with no route at all
+//   DRC-STUB        dangling trace span: contacts the rest of its
+//                   connection at most once (dead end / disconnected)
+//   DRC-VIA-ORPHAN  drilled via touched by no trace of its connection
+//
+// Because it consumes the io/route_io claim rather than the installed
+// layer stack, it catches exactly the class of silent corruption that
+// rip-up/put-back (Sec 8) or a corrupted interchange file can introduce
+// while every structural invariant still holds.
+#pragma once
+
+#include "board/board.hpp"
+#include "check/check_report.hpp"
+#include "io/route_io.hpp"
+#include "route/route_db.hpp"
+
+namespace grr {
+
+struct DrcOptions {
+  bool shorts = true;     // grid-level cross-net overlap sweep
+  bool clearance = true;  // physical (mils) clearance checks
+  bool opens = true;      // reachability, stubs, orphan vias
+  /// Report at most this many findings (0 = unlimited); a corrupted file
+  /// can otherwise flood the report.
+  std::size_t max_findings = 1000;
+};
+
+/// Check claimed route geometry from an interchange file (io/route_io).
+/// Connections without a usable claim are reported as DRC-OPEN.
+CheckReport drc_check(const Board& board, const ConnectionList& conns,
+                      const std::vector<SavedRoute>& routes,
+                      const DrcOptions& opts = {});
+
+/// Check the geometry recorded in a route database (post-routing).
+CheckReport drc_check(const Board& board, const ConnectionList& conns,
+                      const RouteDB& db, const DrcOptions& opts = {});
+
+}  // namespace grr

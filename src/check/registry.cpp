@@ -1,0 +1,112 @@
+#include "check/registry.hpp"
+
+#include <utility>
+
+#include "board/lint.hpp"
+#include "route/audit.hpp"
+
+namespace grr {
+
+CheckSuite& CheckSuite::add(Checker checker) {
+  checkers_.push_back(std::move(checker));
+  return *this;
+}
+
+const Checker* CheckSuite::find(const std::string& name) const {
+  for (const Checker& c : checkers_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+CheckSuite& CheckSuite::override_severity(std::string rule,
+                                          CheckSeverity severity) {
+  severity_overrides_[std::move(rule)] = severity;
+  return *this;
+}
+
+CheckReport CheckSuite::run(const CheckContext& ctx,
+                            const std::vector<std::string>& only) const {
+  CheckReport rep;
+  auto wanted = [&](const Checker& c) {
+    if (only.empty()) return true;
+    for (const std::string& name : only) {
+      if (name == c.name) return true;
+    }
+    return false;
+  };
+  for (const std::string& name : only) {
+    if (find(name) == nullptr) {
+      rep.add("CHECK-UNKNOWN", CheckSeverity::kError, "suite",
+              "no checker named '" + name + "' is registered");
+    }
+  }
+  for (const Checker& c : checkers_) {
+    if (!wanted(c) || !c.applicable(ctx)) continue;
+    rep.merge(c.run(ctx));
+  }
+  for (Finding& f : rep.findings) {
+    auto it = severity_overrides_.find(f.rule);
+    if (it != severity_overrides_.end()) f.severity = it->second;
+  }
+  return rep;
+}
+
+CheckSuite CheckSuite::standard() {
+  CheckSuite suite;
+  suite.add({
+      "lint",
+      "netlist well-formedness (LINT-*)",
+      [](const CheckContext& ctx) { return ctx.board != nullptr; },
+      [](const CheckContext& ctx) { return lint_netlist(*ctx.board); },
+  });
+  suite.add({
+      "audit.stack",
+      "layer-stack structural invariants (AUDIT-CHAN-*, AUDIT-VIAMAP-*)",
+      [](const CheckContext& ctx) {
+        return ctx.board != nullptr && ctx.db != nullptr;
+      },
+      [](const CheckContext& ctx) { return audit_stack(ctx.board->stack()); },
+  });
+  suite.add({
+      "audit.routes",
+      "per-connection router invariants (AUDIT-TRACE-*, AUDIT-HOP-*, "
+      "AUDIT-VIA-COVER)",
+      [](const CheckContext& ctx) {
+        return ctx.board != nullptr && ctx.db != nullptr &&
+               ctx.conns != nullptr;
+      },
+      [](const CheckContext& ctx) {
+        return audit_routes(ctx.board->stack(), *ctx.db, *ctx.conns);
+      },
+  });
+  suite.add({
+      "audit.tiles",
+      "ECL/TTL tesselation conformance (AUDIT-TILE-*)",
+      [](const CheckContext& ctx) {
+        return ctx.board != nullptr && ctx.db != nullptr &&
+               ctx.conns != nullptr && ctx.tiles != nullptr;
+      },
+      [](const CheckContext& ctx) {
+        return audit_tiles(ctx.board->stack(), *ctx.db, *ctx.conns,
+                           *ctx.tiles);
+      },
+  });
+  suite.add({
+      "drc",
+      "geometric design rules on claimed route geometry (DRC-*)",
+      [](const CheckContext& ctx) {
+        return ctx.board != nullptr && ctx.conns != nullptr &&
+               (ctx.routes != nullptr || ctx.db != nullptr);
+      },
+      [](const CheckContext& ctx) {
+        if (ctx.routes != nullptr) {
+          return drc_check(*ctx.board, *ctx.conns, *ctx.routes, ctx.drc);
+        }
+        return drc_check(*ctx.board, *ctx.conns, *ctx.db, ctx.drc);
+      },
+  });
+  return suite;
+}
+
+}  // namespace grr

@@ -1,0 +1,78 @@
+// Checker registry: one front door for every static-analysis pass in the
+// repo. Netlist lint (board/lint), the router-state audits (route/audit)
+// and the geometric DRC engine (check/drc) all plug into a CheckSuite as
+// named checkers; callers build a CheckContext from whatever artifacts
+// they have (a board, a route database, an interchange file) and the suite
+// runs every checker whose inputs are present, merging the findings into
+// one CheckReport.
+//
+// Checkers are pure: they never mutate the context. Severity overrides
+// let a caller demote or promote individual rule IDs (e.g. treat
+// DRC-STUB as an error in CI) without touching the checkers themselves.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "board/board.hpp"
+#include "board/tile_map.hpp"
+#include "check/check_report.hpp"
+#include "check/drc.hpp"
+#include "io/route_io.hpp"
+#include "route/connection.hpp"
+#include "route/route_db.hpp"
+
+namespace grr {
+
+/// Everything a checker may look at. Optional members are null when the
+/// caller has nothing to offer (e.g. lint-only runs before routing).
+struct CheckContext {
+  const Board* board = nullptr;
+  const ConnectionList* conns = nullptr;
+  /// Live router state (enables the audit.* checkers and DRC on the
+  /// recorded geometry).
+  const RouteDB* db = nullptr;
+  /// Claimed geometry from an interchange file; when present the DRC
+  /// checker prefers it over `db` — that is the whole point of checking a
+  /// file one is about to install.
+  const std::vector<SavedRoute>* routes = nullptr;
+  const TileMap* tiles = nullptr;
+  DrcOptions drc;
+};
+
+struct Checker {
+  std::string name;  // e.g. "drc", "audit.stack", "lint"
+  std::string description;
+  /// True when the context carries the inputs this checker needs.
+  std::function<bool(const CheckContext&)> applicable;
+  std::function<CheckReport(const CheckContext&)> run;
+};
+
+class CheckSuite {
+ public:
+  CheckSuite& add(Checker checker);
+
+  /// The full standard battery: lint, audit.stack, audit.routes,
+  /// audit.tiles, drc.
+  static CheckSuite standard();
+
+  const std::vector<Checker>& checkers() const { return checkers_; }
+  const Checker* find(const std::string& name) const;
+
+  /// Force the severity of every finding with this rule ID.
+  CheckSuite& override_severity(std::string rule, CheckSeverity severity);
+
+  /// Run all applicable checkers — or, if `only` is non-empty, just the
+  /// named ones (unknown names are reported as a CHECK-UNKNOWN error) —
+  /// and merge their reports.
+  CheckReport run(const CheckContext& ctx,
+                  const std::vector<std::string>& only = {}) const;
+
+ private:
+  std::vector<Checker> checkers_;
+  std::map<std::string, CheckSeverity> severity_overrides_;
+};
+
+}  // namespace grr

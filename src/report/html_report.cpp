@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "check/registry.hpp"
 #include "report/pattern_stats.hpp"
 #include "report/svg.hpp"
 
@@ -94,6 +95,40 @@ std::string html_board_report(const Board& board, Router& router,
   }
   os << "</p>\n";
 
+  // Static analysis: run the full checker battery (lint, audits, DRC) and
+  // list the findings; each finding with a location becomes a marker on
+  // the layer artwork below.
+  CheckContext ctx;
+  ctx.board = &board;
+  ctx.conns = &conns;
+  ctx.db = &router.db();
+  CheckReport checks = CheckSuite::standard().run(ctx);
+  os << "<h2>Static analysis</h2>\n";
+  if (checks.findings.empty()) {
+    os << "<p>clean: " << checks.segments_checked << " segments and "
+       << checks.connections_checked
+       << " connections checked, no findings.</p>\n";
+  } else {
+    os << "<p>" << checks.error_count() << " errors, "
+       << checks.warning_count() << " warnings.</p>\n"
+       << "<table><tr><th>rule</th><th>severity</th><th>location</th>"
+       << "<th>message</th></tr>\n";
+    constexpr std::size_t kMaxRows = 200;
+    for (std::size_t i = 0;
+         i < checks.findings.size() && i < kMaxRows; ++i) {
+      const Finding& f = checks.findings[i];
+      os << "<tr><td>" << escape(f.rule) << "</td><td>"
+         << to_string(f.severity) << "</td><td>" << escape(f.where)
+         << "</td><td style='text-align:left'>" << escape(f.message)
+         << "</td></tr>\n";
+    }
+    os << "</table>\n";
+    if (checks.findings.size() > kMaxRows) {
+      os << "<p>(" << checks.findings.size() - kMaxRows
+         << " further findings omitted)</p>\n";
+    }
+  }
+
   os << "<h2>Routing problem</h2>\n<div class='art'>"
      << svg_string_art(board, conns) << "</div>\n";
   for (int l = 0; l < board.stack().num_layers(); ++l) {
@@ -104,7 +139,8 @@ std::string html_board_report(const Board& board, Router& router,
                : "vertical")
        << ")</h2>\n<div class='art'>"
        << svg_signal_layer(board, router.db(), conns,
-                           static_cast<LayerId>(l))
+                           static_cast<LayerId>(l), /*mitered=*/true,
+                           &checks)
        << "</div>\n";
   }
   os << "</body></html>\n";

@@ -87,7 +87,7 @@ std::string svg_string_art(const Board& board, const ConnectionList& conns) {
 
 std::string svg_signal_layer(const Board& board, const RouteDB& db,
                              const ConnectionList& conns, LayerId layer,
-                             bool mitered) {
+                             bool mitered, const CheckReport* findings) {
   const GridSpec& spec = board.spec();
   const LayerStack& stack = board.stack();
   std::ostringstream os;
@@ -130,7 +130,28 @@ std::string svg_signal_layer(const Board& board, const RouteDB& db,
       os << "'/>\n";
     }
   }
-  os << "</g>\n</svg>\n";
+  os << "</g>\n";
+
+  // Violation overlay: findings anchored to this layer (or to none in
+  // particular, e.g. opens) marked over the artwork.
+  if (findings != nullptr) {
+    for (const Finding& f : findings->findings) {
+      if (!f.has_overlay()) continue;
+      if (f.layer >= 0 && f.layer != layer) continue;
+      const char* color =
+          f.severity == CheckSeverity::kError ? "#e00" : "#e80";
+      const double x0 = px_of_grid(spec, f.rect.x.lo) - 2;
+      const double y0 = px_of_grid(spec, f.rect.y.lo) - 2;
+      const double x1 = px_of_grid(spec, f.rect.x.hi) + 2;
+      const double y1 = px_of_grid(spec, f.rect.y.hi) + 2;
+      os << "<rect x='" << x0 << "' y='" << y0 << "' width='" << x1 - x0
+         << "' height='" << y1 - y0 << "' fill='" << color
+         << "' fill-opacity='0.25' stroke='" << color
+         << "' stroke-width='0.8'><title>" << f.rule << ": " << f.message
+         << "</title></rect>\n";
+    }
+  }
+  os << "</svg>\n";
   return os.str();
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "board/power_plane.hpp"
+#include "check/check_report.hpp"
 #include "route/route_db.hpp"
 #include "route/router.hpp"
 #include "workload/board_gen.hpp"
@@ -21,10 +22,14 @@ std::string svg_string_art(const Board& board, const ConnectionList& conns);
 
 /// One routed signal layer: traces of that layer plus all via/pin pads
 /// (Fig 21). With `mitered`, staircase corners are drawn as 45-degree
-/// diagonals, as in the photoplot postprocessing.
+/// diagonals, as in the photoplot postprocessing. When `findings` is given,
+/// every finding that carries an overlay rect on this layer (or on no
+/// particular layer) is drawn as a translucent red (error) or orange
+/// (warning) marker over the artwork.
 std::string svg_signal_layer(const Board& board, const RouteDB& db,
                              const ConnectionList& conns, LayerId layer,
-                             bool mitered = true);
+                             bool mitered = true,
+                             const CheckReport* findings = nullptr);
 
 /// A power plane negative (Fig 22): etched disks on solid copper.
 std::string svg_power_plane(const PowerPlaneArt& art);

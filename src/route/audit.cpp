@@ -11,6 +11,10 @@ std::string str(Point p) {
   return os.str();
 }
 
+std::string chan_loc(int layer, Coord channel) {
+  return "layer " + std::to_string(layer) + " ch " + std::to_string(channel);
+}
+
 /// Does a span in `channel` touch grid point p (channel space pc, pv)?
 /// Touching = abutting it in its own channel or covering its along
 /// coordinate from an adjacent channel (one crossing step away).
@@ -22,8 +26,8 @@ bool span_touches(Coord ch, Interval s, Coord pc, Coord pv) {
 
 }  // namespace
 
-AuditReport audit_stack(const LayerStack& stack) {
-  AuditReport rep;
+CheckReport audit_stack(const LayerStack& stack) {
+  CheckReport rep;
   const GridSpec& spec = stack.spec();
   const SegmentPool& pool = stack.pool();
 
@@ -42,20 +46,22 @@ AuditReport audit_stack(const LayerStack& stack) {
         const Segment& seg = pool[s];
         ++rep.segments_checked;
         if (seg.prev != prev) {
-          rep.errors.push_back("channel back-link broken at layer " +
-                               std::to_string(li));
+          rep.add("AUDIT-CHAN-LINK", CheckSeverity::kError, chan_loc(li, c),
+                  "channel back-link broken at layer " + std::to_string(li));
         }
         if (seg.channel != c || seg.layer != li) {
-          rep.errors.push_back("segment/channel bookkeeping mismatch");
+          rep.add("AUDIT-CHAN-BOOK", CheckSeverity::kError, chan_loc(li, c),
+                  "segment/channel bookkeeping mismatch");
         }
         if (seg.span.empty() || !along.contains(seg.span.lo) ||
             !along.contains(seg.span.hi)) {
-          rep.errors.push_back("segment span outside channel extent");
+          rep.add("AUDIT-CHAN-EXTENT", CheckSeverity::kError, chan_loc(li, c),
+                  "segment span outside channel extent");
         }
         if (prev != kNoSeg && pool[prev].span.hi >= seg.span.lo) {
-          rep.errors.push_back("overlapping/unsorted segments in channel " +
-                               std::to_string(c) + " layer " +
-                               std::to_string(li));
+          rep.add("AUDIT-CHAN-ORDER", CheckSeverity::kError, chan_loc(li, c),
+                  "overlapping/unsorted segments in channel " +
+                      std::to_string(c) + " layer " + std::to_string(li));
         }
         if (c % spec.period() == 0) {
           Coord first =
@@ -79,9 +85,13 @@ AuditReport audit_stack(const LayerStack& stack) {
         int want =
             recount[static_cast<std::size_t>(vy) * spec.nx_vias() + vx];
         if (stack.via_map().count(v) != want) {
-          rep.errors.push_back("via map stale at " + str(v) + ": map says " +
-                               std::to_string(stack.via_map().count(v)) +
-                               ", layers say " + std::to_string(want));
+          Finding& f = rep.add(
+              "AUDIT-VIAMAP-STALE", CheckSeverity::kError, "via " + str(v),
+              "via map stale at " + str(v) + ": map says " +
+                  std::to_string(stack.via_map().count(v)) +
+                  ", layers say " + std::to_string(want));
+          Point g = spec.grid_of_via(v);
+          f.rect = Rect{{g.x, g.x}, {g.y, g.y}};
         }
       }
     }
@@ -89,9 +99,9 @@ AuditReport audit_stack(const LayerStack& stack) {
   return rep;
 }
 
-AuditReport audit_routes(const LayerStack& stack, const RouteDB& db,
+CheckReport audit_routes(const LayerStack& stack, const RouteDB& db,
                          const ConnectionList& conns) {
-  AuditReport rep;
+  CheckReport rep;
   const GridSpec& spec = stack.spec();
   const SegmentPool& pool = stack.pool();
 
@@ -99,9 +109,13 @@ AuditReport audit_routes(const LayerStack& stack, const RouteDB& db,
     const RouteRecord& r = db.rec(c.id);
     if (r.status != RouteStatus::kRouted) continue;
     ++rep.connections_checked;
-    auto fail = [&](const std::string& msg) {
-      rep.errors.push_back("conn " + std::to_string(c.id) + " (" +
-                           str(c.a) + "->" + str(c.b) + "): " + msg);
+    const std::string loc =
+        "conn " + std::to_string(c.id) + " " + str(c.a) + "->" + str(c.b);
+    auto fail = [&](const char* rule, const std::string& msg) -> Finding& {
+      Finding& f = rep.add(rule, CheckSeverity::kError, loc, msg);
+      Rect box = Rect::bounding(spec.grid_of_via(c.a), spec.grid_of_via(c.b));
+      f.rect = box;
+      return f;
     };
 
     if (c.a == c.b) continue;  // trivial
@@ -110,9 +124,13 @@ AuditReport audit_routes(const LayerStack& stack, const RouteDB& db,
     // chain mirrors the record's segment list (Sec 4's trace link).
     for (std::size_t i = 0; i < r.segs.size(); ++i) {
       const Segment& seg = pool[r.segs[i]];
-      if (seg.conn != c.id) fail("segment owned by someone else");
+      if (seg.conn != c.id) {
+        fail("AUDIT-TRACE-OWNER", "segment owned by someone else");
+      }
       SegId want_next = (i + 1 < r.segs.size()) ? r.segs[i + 1] : kNoSeg;
-      if (seg.trace_next != want_next) fail("trace link chain broken");
+      if (seg.trace_next != want_next) {
+        fail("AUDIT-TRACE-LINK", "trace link chain broken");
+      }
     }
 
     // Vias drilled on all layers with the right owner.
@@ -120,8 +138,8 @@ AuditReport audit_routes(const LayerStack& stack, const RouteDB& db,
       Point g = spec.grid_of_via(v);
       for (int li = 0; li < stack.num_layers(); ++li) {
         if (stack.conn_at(static_cast<LayerId>(li), g) != c.id) {
-          fail("via at " + str(v) + " not covering layer " +
-               std::to_string(li));
+          fail("AUDIT-VIA-COVER", "via at " + str(v) + " not covering layer " +
+                                      std::to_string(li));
         }
       }
     }
@@ -132,8 +150,9 @@ AuditReport audit_routes(const LayerStack& stack, const RouteDB& db,
     seq.insert(seq.end(), r.geom.vias.begin(), r.geom.vias.end());
     seq.push_back(c.b);
     if (r.geom.hops.size() != seq.size() - 1) {
-      fail("hop count " + std::to_string(r.geom.hops.size()) +
-           " does not chain " + std::to_string(seq.size()) + " vias");
+      fail("AUDIT-HOP-CHAIN",
+           "hop count " + std::to_string(r.geom.hops.size()) +
+               " does not chain " + std::to_string(seq.size()) + " vias");
       continue;
     }
     for (std::size_t j = 0; j < r.geom.hops.size(); ++j) {
@@ -144,24 +163,32 @@ AuditReport audit_routes(const LayerStack& stack, const RouteDB& db,
       Coord uc = layer.across_of(ug), uv = layer.along_of(ug);
       Coord wc = layer.across_of(wg), wv = layer.along_of(wg);
       if (hop.spans.empty()) {
-        if (manhattan(ug, wg) != 1) fail("empty hop between distant vias");
+        if (manhattan(ug, wg) != 1) {
+          fail("AUDIT-HOP-ENDS", "empty hop between distant vias");
+        }
         continue;
       }
       if (!span_touches(hop.spans.front().channel, hop.spans.front().span,
                         uc, uv)) {
-        fail("hop " + std::to_string(j) + " start does not touch its via");
+        fail("AUDIT-HOP-ENDS",
+             "hop " + std::to_string(j) + " start does not touch its via")
+            .layer = hop.layer;
       }
       if (!span_touches(hop.spans.back().channel, hop.spans.back().span, wc,
                         wv)) {
-        fail("hop " + std::to_string(j) + " end does not touch its via");
+        fail("AUDIT-HOP-ENDS",
+             "hop " + std::to_string(j) + " end does not touch its via")
+            .layer = hop.layer;
       }
       for (std::size_t k = 0; k + 1 < hop.spans.size(); ++k) {
         const ChannelSpan& s0 = hop.spans[k];
         const ChannelSpan& s1 = hop.spans[k + 1];
         if (std::abs(s0.channel - s1.channel) != 1 ||
             !s0.span.overlaps(s1.span)) {
-          fail("hop " + std::to_string(j) + " discontinuous at span " +
-               std::to_string(k));
+          fail("AUDIT-HOP-CONT", "hop " + std::to_string(j) +
+                                     " discontinuous at span " +
+                                     std::to_string(k))
+              .layer = hop.layer;
         }
       }
     }
@@ -169,9 +196,9 @@ AuditReport audit_routes(const LayerStack& stack, const RouteDB& db,
   return rep;
 }
 
-AuditReport audit_tiles(const LayerStack& stack, const RouteDB& db,
+CheckReport audit_tiles(const LayerStack& stack, const RouteDB& db,
                         const ConnectionList& conns, const TileMap& tiles) {
-  AuditReport rep;
+  CheckReport rep;
   const GridSpec& spec = stack.spec();
   for (const Connection& c : conns) {
     const RouteRecord& r = db.rec(c.id);
@@ -187,8 +214,12 @@ AuditReport audit_tiles(const LayerStack& stack, const RouteDB& db,
         for (const Tile& t : tiles.tiles()) {
           if (t.layer == hop.layer && t.klass != c.klass &&
               t.rect.overlaps(span_rect)) {
-            rep.errors.push_back("conn " + std::to_string(c.id) +
-                                 " trespasses a foreign tile");
+            Finding& f = rep.add("AUDIT-TILE-TRACE", CheckSeverity::kError,
+                                 "conn " + std::to_string(c.id),
+                                 "conn " + std::to_string(c.id) +
+                                     " trespasses a foreign tile");
+            f.layer = hop.layer;
+            f.rect = span_rect;
           }
         }
       }
@@ -197,8 +228,11 @@ AuditReport audit_tiles(const LayerStack& stack, const RouteDB& db,
       Point g = spec.grid_of_via(v);
       for (const Tile& t : tiles.tiles()) {
         if (t.klass != c.klass && t.rect.contains(g)) {
-          rep.errors.push_back("conn " + std::to_string(c.id) +
-                               " via inside a foreign tile");
+          Finding& f = rep.add("AUDIT-TILE-VIA", CheckSeverity::kError,
+                               "conn " + std::to_string(c.id),
+                               "conn " + std::to_string(c.id) +
+                                   " via inside a foreign tile");
+          f.rect = Rect{{g.x, g.x}, {g.y, g.y}};
         }
       }
     }
@@ -206,16 +240,16 @@ AuditReport audit_tiles(const LayerStack& stack, const RouteDB& db,
   return rep;
 }
 
-AuditReport audit_all(const LayerStack& stack, const RouteDB& db,
+CheckReport audit_all(const LayerStack& stack, const RouteDB& db,
                       const ConnectionList& conns, const TileMap* tiles) {
-  AuditReport rep = audit_stack(stack);
-  AuditReport routes = audit_routes(stack, db, conns);
-  rep.errors.insert(rep.errors.end(), routes.errors.begin(),
-                    routes.errors.end());
+  CheckReport rep = audit_stack(stack);
+  CheckReport routes = audit_routes(stack, db, conns);
   rep.connections_checked = routes.connections_checked;
+  rep.findings.insert(rep.findings.end(),
+                      std::make_move_iterator(routes.findings.begin()),
+                      std::make_move_iterator(routes.findings.end()));
   if (tiles) {
-    AuditReport tr = audit_tiles(stack, db, conns, *tiles);
-    rep.errors.insert(rep.errors.end(), tr.errors.begin(), tr.errors.end());
+    rep.merge(audit_tiles(stack, db, conns, *tiles));
   }
   return rep;
 }

@@ -8,39 +8,32 @@
 //    between adjacent channels);
 //  * every drilled via covers its site on all layers with the right owner;
 //  * ECL/TTL routes stay out of foreign tiles (Sec 10.2).
+//
+// Findings are reported through the unified CheckReport (rule IDs
+// AUDIT-*, documented in doc/DRC.md).
 #pragma once
 
-#include <string>
-#include <vector>
-
 #include "board/tile_map.hpp"
+#include "check/check_report.hpp"
 #include "route/route_db.hpp"
 #include "route/router.hpp"
 
 namespace grr {
 
-struct AuditReport {
-  std::vector<std::string> errors;
-  std::size_t segments_checked = 0;
-  std::size_t connections_checked = 0;
-
-  bool ok() const { return errors.empty(); }
-};
-
 /// Structural invariants of the layer stack (channel lists + via map).
-AuditReport audit_stack(const LayerStack& stack);
+CheckReport audit_stack(const LayerStack& stack);
 
 /// Per-connection invariants for all routed connections.
-AuditReport audit_routes(const LayerStack& stack, const RouteDB& db,
+CheckReport audit_routes(const LayerStack& stack, const RouteDB& db,
                          const ConnectionList& conns);
 
 /// Tesselation conformance: no segment or via of a connection lies inside a
 /// declared tile of the other signal class.
-AuditReport audit_tiles(const LayerStack& stack, const RouteDB& db,
+CheckReport audit_tiles(const LayerStack& stack, const RouteDB& db,
                         const ConnectionList& conns, const TileMap& tiles);
 
 /// Convenience: run all audits and merge reports.
-AuditReport audit_all(const LayerStack& stack, const RouteDB& db,
+CheckReport audit_all(const LayerStack& stack, const RouteDB& db,
                       const ConnectionList& conns,
                       const TileMap* tiles = nullptr);
 

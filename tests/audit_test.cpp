@@ -37,17 +37,17 @@ TEST_F(AuditTest, DetectsStaleViaMap) {
   stack_.set_use_via_map(false);
   stack_.insert_span({0, 6, {5, 8}}, 1);  // channel y=6 is a via row
   stack_.set_use_via_map(true);
-  AuditReport rep = audit_stack(stack_);
+  CheckReport rep = audit_stack(stack_);
   ASSERT_FALSE(rep.ok());
-  EXPECT_NE(rep.errors.front().find("via map stale"), std::string::npos);
+  EXPECT_NE(rep.first_error().find("via map stale"), std::string::npos);
 }
 
 TEST_F(AuditTest, DetectsChannelBookkeepingCorruption) {
   SegId s = stack_.insert_span({0, 6, {5, 8}}, 1);
   stack_.pool()[s].channel = 7;  // lie about the channel
-  AuditReport rep = audit_stack(stack_);
+  CheckReport rep = audit_stack(stack_);
   ASSERT_FALSE(rep.ok());
-  EXPECT_NE(rep.errors.front().find("bookkeeping"), std::string::npos);
+  EXPECT_NE(rep.first_error().find("bookkeeping"), std::string::npos);
 }
 
 TEST_F(AuditTest, DetectsBrokenTraceLinks) {
@@ -57,9 +57,9 @@ TEST_F(AuditTest, DetectsBrokenTraceLinks) {
   db_.commit(0, RouteStrategy::kZeroVia);
   // Sever the trace_next chain.
   stack_.pool()[db_.rec(0).segs.front()].trace_next = kNoSeg;
-  AuditReport rep = audit_routes(stack_, db_, {c});
+  CheckReport rep = audit_routes(stack_, db_, {c});
   ASSERT_FALSE(rep.ok());
-  EXPECT_NE(rep.errors.front().find("trace link"), std::string::npos);
+  EXPECT_NE(rep.first_error().find("trace link"), std::string::npos);
 }
 
 TEST_F(AuditTest, DetectsForeignSegmentOwnership) {
@@ -68,9 +68,9 @@ TEST_F(AuditTest, DetectsForeignSegmentOwnership) {
   db_.add_hop(stack_, 0, 0, {{7, {7, 10}}});
   db_.commit(0, RouteStrategy::kZeroVia);
   stack_.pool()[db_.rec(0).segs.front()].conn = 3;  // stolen segment
-  AuditReport rep = audit_routes(stack_, db_, {c});
+  CheckReport rep = audit_routes(stack_, db_, {c});
   ASSERT_FALSE(rep.ok());
-  EXPECT_NE(rep.errors.front().find("owned by someone else"),
+  EXPECT_NE(rep.first_error().find("owned by someone else"),
             std::string::npos);
 }
 
@@ -79,9 +79,9 @@ TEST_F(AuditTest, DetectsHopViaMismatch) {
   db_.begin(0);
   db_.add_via(stack_, 0, {5, 5});  // a via with no hops chaining it
   db_.commit(0, RouteStrategy::kOneVia);
-  AuditReport rep = audit_routes(stack_, db_, {c});
+  CheckReport rep = audit_routes(stack_, db_, {c});
   ASSERT_FALSE(rep.ok());
-  EXPECT_NE(rep.errors.front().find("does not chain"), std::string::npos);
+  EXPECT_NE(rep.first_error().find("does not chain"), std::string::npos);
 }
 
 TEST_F(AuditTest, DetectsDetachedHopEnds) {
@@ -90,9 +90,9 @@ TEST_F(AuditTest, DetectsDetachedHopEnds) {
   // A span nowhere near either end point. a=(2,2)->grid (6,6).
   db_.add_hop(stack_, 0, 0, {{20, {20, 26}}});
   db_.commit(0, RouteStrategy::kZeroVia);
-  AuditReport rep = audit_routes(stack_, db_, {c});
+  CheckReport rep = audit_routes(stack_, db_, {c});
   ASSERT_FALSE(rep.ok());
-  EXPECT_NE(rep.errors.front().find("does not touch its via"),
+  EXPECT_NE(rep.first_error().find("does not touch its via"),
             std::string::npos);
 }
 
@@ -103,10 +103,10 @@ TEST_F(AuditTest, DetectsDiscontinuousHop) {
   db_.begin(0);
   db_.add_hop(stack_, 0, 0, {{7, {5, 7}}, {11, {5, 7}}});
   db_.commit(0, RouteStrategy::kZeroVia);
-  AuditReport rep = audit_routes(stack_, db_, {c});
+  CheckReport rep = audit_routes(stack_, db_, {c});
   ASSERT_FALSE(rep.ok());
   bool found = false;
-  for (const std::string& e : rep.errors) {
+  for (const std::string& e : rep.errors()) {
     if (e.find("discontinuous") != std::string::npos) found = true;
   }
   EXPECT_TRUE(found);
@@ -127,10 +127,10 @@ TEST_F(AuditTest, DetectsMissingViaCoverage) {
       break;
     }
   }
-  AuditReport rep = audit_routes(stack_, db_, {c});
+  CheckReport rep = audit_routes(stack_, db_, {c});
   ASSERT_FALSE(rep.ok());
   bool found = false;
-  for (const std::string& e : rep.errors) {
+  for (const std::string& e : rep.errors()) {
     if (e.find("not covering layer") != std::string::npos) found = true;
   }
   EXPECT_TRUE(found);
@@ -144,9 +144,9 @@ TEST_F(AuditTest, DetectsTileTrespass) {
   db_.begin(0);
   db_.add_hop(stack_, 0, 0, {{7, {7, 10}}});  // inside the TTL tile
   db_.commit(0, RouteStrategy::kZeroVia);
-  AuditReport rep = audit_tiles(stack_, db_, {c}, tiles);
+  CheckReport rep = audit_tiles(stack_, db_, {c}, tiles);
   ASSERT_FALSE(rep.ok());
-  EXPECT_NE(rep.errors.front().find("trespasses"), std::string::npos);
+  EXPECT_NE(rep.first_error().find("trespasses"), std::string::npos);
 }
 
 }  // namespace

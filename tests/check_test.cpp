@@ -1,0 +1,292 @@
+// Tests for the static-analysis layer: the geometric DRC engine on
+// deliberately corrupted claims (each seeded violation must fire its rule
+// exactly once), the negative case (routed boards are DRC-clean), and the
+// CheckSuite registry plumbing (applicability, severity overrides,
+// machine-readable finding format).
+#include <gtest/gtest.h>
+
+#include "check/drc.hpp"
+#include "check/registry.hpp"
+#include "route/router.hpp"
+#include "workload/suite.hpp"
+
+namespace grr {
+namespace {
+
+// Geometry used throughout: GridSpec(13, 13) with the paper process —
+// period 3, via rows at grid coords 0,3,...,36, mils offsets 0/42/58.
+// Layer 0 is horizontal (channel = y), layer 1 vertical (channel = x).
+class DrcTest : public ::testing::Test {
+ protected:
+  DrcTest() : spec_(13, 13), board_(spec_, 2) {
+    board_.netlist().add({"alpha", SignalClass::kECL, false, {}});
+    board_.netlist().add({"beta", SignalClass::kECL, false, {}});
+  }
+
+  Connection conn(ConnId id, NetId net, Point a, Point b) {
+    Connection c;
+    c.id = id;
+    c.net = net;
+    c.a = a;
+    c.b = b;
+    conns_.push_back(c);
+    return c;
+  }
+
+  static SavedRoute claim(ConnId id, std::vector<Point> vias,
+                          std::vector<RouteHop> hops) {
+    SavedRoute sr;
+    sr.id = id;
+    sr.strategy = RouteStrategy::kZeroVia;
+    sr.geom.vias = std::move(vias);
+    sr.geom.hops = std::move(hops);
+    return sr;
+  }
+
+  CheckReport run(const std::vector<SavedRoute>& routes,
+                  const DrcOptions& opts = {}) {
+    return drc_check(board_, conns_, routes, opts);
+  }
+
+  GridSpec spec_;
+  Board board_;
+  ConnectionList conns_;
+};
+
+TEST_F(DrcTest, CleanClaimHasNoFindings) {
+  // a=(2,2)->grid(6,6), b=(8,2)->grid(24,6): one abutting span in the via
+  // row between them.
+  conn(0, 0, {2, 2}, {8, 2});
+  CheckReport rep = run({claim(0, {}, {{0, {{6, {7, 23}}}}})});
+  EXPECT_TRUE(rep.findings.empty()) << format_finding(rep.findings.front());
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.connections_checked, 1u);
+  EXPECT_GT(rep.segments_checked, 0u);
+}
+
+TEST_F(DrcTest, DetectsCrossNetShort) {
+  // Net 'alpha' runs a trace along via row y=6; net 'beta' drills a via at
+  // (4,2) = grid (12,6), right through that trace.
+  conn(0, 0, {2, 2}, {8, 2});
+  conn(1, 1, {4, 1}, {4, 3});
+  CheckReport rep = run({
+      claim(0, {}, {{0, {{6, {7, 23}}}}}),
+      claim(1, {{4, 2}},
+            {{1, {{12, {4, 5}}}}, {1, {{12, {7, 8}}}}}),
+  });
+  ASSERT_EQ(rep.findings.size(), 1u) << format_finding(rep.findings[1]);
+  EXPECT_EQ(rep.count_rule("DRC-SHORT"), 1u);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_NE(rep.first_error().find("overlaps"), std::string::npos);
+}
+
+TEST_F(DrcTest, DetectsSubClearanceParallelTraces) {
+  // With a 20-mil gap rule, two traces in adjacent routing channels (16
+  // mils center-to-center, 8 mils of air between 8-mil traces) violate.
+  DesignRules rules = DesignRules::paper_process();
+  rules.trace_gap_mils = 20;
+  Board tight(spec_, 2, rules);
+  ConnectionList conns;
+  Connection c0;
+  c0.id = 0;
+  c0.net = 0;
+  c0.a = {2, 2};
+  c0.b = {8, 2};
+  conns.push_back(c0);
+  Connection c1;
+  c1.id = 1;
+  c1.net = 1;
+  c1.a = {2, 3};
+  c1.b = {8, 3};
+  conns.push_back(c1);
+  std::vector<SavedRoute> routes = {
+      claim(0, {}, {{0, {{7, {6, 24}}}}}),  // channel y=7, fed from row 6
+      claim(1, {}, {{0, {{8, {6, 24}}}}}),  // channel y=8, fed from row 9
+  };
+  CheckReport rep = drc_check(tight, conns, routes);
+  ASSERT_EQ(rep.findings.size(), 1u) << format_finding(rep.findings[1]);
+  EXPECT_EQ(rep.count_rule("DRC-CLEARANCE"), 1u);
+  EXPECT_NE(rep.first_error().find("gap 8 mils < 20 mils"),
+            std::string::npos);
+
+  // The same artwork under the paper's 8-mil rule is legal.
+  CheckReport ok = drc_check(board_, conns, routes);
+  EXPECT_TRUE(ok.findings.empty()) << format_finding(ok.findings.front());
+}
+
+TEST_F(DrcTest, DetectsOrphanVia) {
+  conn(0, 0, {2, 2}, {8, 2});
+  // Valid trace, plus a drilled via at (5,4) that no trace touches.
+  CheckReport rep = run({claim(0, {{5, 4}}, {{0, {{6, {7, 23}}}}})});
+  ASSERT_EQ(rep.findings.size(), 1u) << format_finding(rep.findings[1]);
+  EXPECT_EQ(rep.count_rule("DRC-VIA-ORPHAN"), 1u);
+  EXPECT_EQ(rep.findings.front().severity, CheckSeverity::kWarning);
+  EXPECT_TRUE(rep.ok());  // a warning, not an error
+}
+
+TEST_F(DrcTest, DetectsUnroutedConnectionAsOpen) {
+  conn(0, 0, {2, 2}, {8, 2});
+  CheckReport rep = run({});
+  ASSERT_EQ(rep.findings.size(), 1u);
+  EXPECT_EQ(rep.count_rule("DRC-OPEN"), 1u);
+  EXPECT_NE(rep.first_error().find("unrouted"), std::string::npos);
+}
+
+TEST_F(DrcTest, DetectsDisconnectedClaimAsOpenPlusStub) {
+  // The trace starts at a but stops half way: unreachable b (an error)
+  // and a dangling span (a warning).
+  conn(0, 0, {2, 2}, {8, 2});
+  CheckReport rep = run({claim(0, {}, {{0, {{6, {7, 15}}}}})});
+  EXPECT_EQ(rep.count_rule("DRC-OPEN"), 1u);
+  EXPECT_EQ(rep.count_rule("DRC-STUB"), 1u);
+  EXPECT_EQ(rep.findings.size(), 2u);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST_F(DrcTest, DetectsOutOfBoardClaim) {
+  // A valid route plus a hop span claiming a channel beyond the board.
+  conn(0, 0, {2, 2}, {8, 2});
+  CheckReport rep = run({claim(
+      0, {}, {{0, {{6, {7, 23}}}}, {0, {{50, {5, 8}}}}})});
+  ASSERT_EQ(rep.findings.size(), 1u) << format_finding(rep.findings[1]);
+  EXPECT_EQ(rep.count_rule("DRC-BOUNDS"), 1u);
+}
+
+TEST_F(DrcTest, SameNetOverlapIsNotAShort) {
+  // Two connections of the same net may share copper (a T junction).
+  conn(0, 0, {2, 2}, {8, 2});
+  conn(1, 0, {2, 2}, {6, 2});
+  CheckReport rep = run({
+      claim(0, {}, {{0, {{6, {7, 23}}}}}),
+      claim(1, {}, {{0, {{6, {7, 17}}}}}),
+  });
+  EXPECT_EQ(rep.count_rule("DRC-SHORT"), 0u);
+  EXPECT_TRUE(rep.ok()) << rep.first_error();
+}
+
+TEST_F(DrcTest, FindingCapTruncatesReport) {
+  for (int i = 0; i < 6; ++i) {
+    conn(i, 0, {2, static_cast<Coord>(2 + i)},
+         {8, static_cast<Coord>(2 + i)});
+  }
+  DrcOptions opts;
+  opts.max_findings = 3;
+  CheckReport rep = run({}, opts);  // six opens, capped at three
+  EXPECT_EQ(rep.count_rule("DRC-OPEN"), 3u);
+  EXPECT_EQ(rep.count_rule("DRC-TRUNCATED"), 1u);
+}
+
+TEST_F(DrcTest, RoutedWorkloadBoardIsDrcCleanBothPaths) {
+  // The negative test the whole engine is calibrated against: a board the
+  // router finished must be clean — via the RouteDB and via a routes-file
+  // round trip.
+  BoardGenParams p;
+  p.name = "drc-neg";
+  p.width_in = 4;
+  p.height_in = 4;
+  p.layers = 4;
+  p.target_connections = 150;
+  p.seed = 11;
+  GeneratedBoard gb = generate_board(p);
+  Router router(gb.board->stack(), RouterConfig{});
+  ASSERT_TRUE(router.route_all(gb.strung.connections));
+
+  CheckReport via_db =
+      drc_check(*gb.board, gb.strung.connections, router.db());
+  EXPECT_TRUE(via_db.findings.empty())
+      << format_finding(via_db.findings.front());
+
+  RoutesReadResult rr = read_routes_string(
+      write_routes_string(router.db(), gb.strung.connections));
+  ASSERT_TRUE(rr.ok()) << rr.error;
+  CheckReport via_file =
+      drc_check(*gb.board, gb.strung.connections, rr.routes);
+  EXPECT_TRUE(via_file.findings.empty())
+      << format_finding(via_file.findings.front());
+}
+
+TEST(CheckReportTest, MachineReadableFindingFormat) {
+  Finding f;
+  f.rule = "DRC-SHORT";
+  f.severity = CheckSeverity::kError;
+  f.where = "layer 0 ch 6 [10,12]";
+  f.message = "trace overlaps via";
+  EXPECT_EQ(format_finding(f),
+            "DRC-SHORT:error:layer 0 ch 6 [10,12]: trace overlaps via");
+}
+
+TEST(CheckReportTest, MergeAndCounts) {
+  CheckReport a;
+  a.add("X-ONE", CheckSeverity::kError, "here", "boom");
+  a.segments_checked = 3;
+  CheckReport b;
+  b.add("X-TWO", CheckSeverity::kWarning, "there", "hmm");
+  b.connections_checked = 2;
+  a.merge(std::move(b));
+  EXPECT_EQ(a.findings.size(), 2u);
+  EXPECT_EQ(a.error_count(), 1u);
+  EXPECT_EQ(a.warning_count(), 1u);
+  EXPECT_EQ(a.segments_checked, 3u);
+  EXPECT_EQ(a.connections_checked, 2u);
+  EXPECT_FALSE(a.ok());
+  EXPECT_EQ(a.count_rule("X-ONE"), 1u);
+}
+
+TEST(CheckSuiteTest, StandardRegistersAllCheckers) {
+  CheckSuite suite = CheckSuite::standard();
+  for (const char* name :
+       {"lint", "audit.stack", "audit.routes", "audit.tiles", "drc"}) {
+    EXPECT_NE(suite.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(suite.checkers().size(), 5u);
+}
+
+TEST(CheckSuiteTest, RunsOnlyApplicableCheckers) {
+  // A context with just a board: lint runs, everything else is skipped.
+  GridSpec spec(13, 13);
+  Board board(spec, 2);
+  CheckContext ctx;
+  ctx.board = &board;
+  CheckReport rep = CheckSuite::standard().run(ctx);
+  EXPECT_TRUE(rep.ok()) << rep.first_error();
+  EXPECT_EQ(rep.connections_checked, 0u);
+}
+
+TEST(CheckSuiteTest, UnknownCheckerNameIsAnError) {
+  CheckContext ctx;
+  CheckReport rep = CheckSuite::standard().run(ctx, {"no-such-checker"});
+  EXPECT_EQ(rep.count_rule("CHECK-UNKNOWN"), 1u);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(CheckSuiteTest, SeverityOverridePromotesWarning) {
+  GridSpec spec(13, 13);
+  Board board(spec, 2);
+  ConnectionList conns;
+  Connection c;
+  c.id = 0;
+  c.net = 0;
+  c.a = {2, 2};
+  c.b = {8, 2};
+  conns.push_back(c);
+  // An orphan via is normally a warning; promote it to an error.
+  SavedRoute sr;
+  sr.id = 0;
+  sr.geom.vias = {{5, 4}};
+  sr.geom.hops = {{0, {{6, {7, 23}}}}};
+  std::vector<SavedRoute> routes = {sr};
+  CheckContext ctx;
+  ctx.board = &board;
+  ctx.conns = &conns;
+  ctx.routes = &routes;
+
+  CheckSuite strict = CheckSuite::standard();
+  strict.override_severity("DRC-VIA-ORPHAN", CheckSeverity::kError);
+  CheckReport rep = strict.run(ctx, {"drc"});
+  EXPECT_EQ(rep.count_rule("DRC-VIA-ORPHAN"), 1u);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(CheckSuite::standard().run(ctx, {"drc"}).ok());
+}
+
+}  // namespace
+}  // namespace grr

@@ -54,8 +54,8 @@ TEST_F(DispersionTest, RouterUsesDispersedEndpoints) {
   c.b = r.pins[1].via;
   Router router(stack_);
   ASSERT_TRUE(router.route_all({c}));
-  AuditReport audit = audit_all(stack_, router.db(), {c});
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  CheckReport audit = audit_all(stack_, router.db(), {c});
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 }
 
 TEST_F(DispersionTest, RemoveRestoresEmptyBoard) {

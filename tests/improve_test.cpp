@@ -28,9 +28,9 @@ TEST(ImproveTest, NeverMakesThingsWorse) {
   for (const Connection& c : gb.strung.connections) {
     EXPECT_TRUE(router.db().routed(c.id));
   }
-  AuditReport audit =
+  CheckReport audit =
       audit_all(gb.board->stack(), router.db(), gb.strung.connections);
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 }
 
 TEST(ImproveTest, RemovesRipupScars) {
@@ -66,8 +66,8 @@ TEST(ImproveTest, RemovesRipupScars) {
   EXPECT_EQ(st.improved, 1);
   EXPECT_EQ(router.db().rec(0).geom.vias.size(), 0u);
   EXPECT_LT(st.vias_after, st.vias_before);
-  AuditReport audit = audit_all(stack, router.db(), {c});
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  CheckReport audit = audit_all(stack, router.db(), {c});
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 }
 
 TEST(ImproveTest, RestoresWhenRerouteIsWorse) {

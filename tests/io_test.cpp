@@ -159,9 +159,9 @@ TEST(RouteIoTest, RoundTripAndInstall) {
   EXPECT_EQ(installed, static_cast<int>(rr.routes.size()));
   EXPECT_EQ(fresh.board->stack().segment_count(),
             pr.board->stack().segment_count());
-  AuditReport audit =
+  CheckReport audit =
       audit_all(fresh.board->stack(), db, strung.connections);
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
   // Round-trip fixpoint.
   EXPECT_EQ(write_routes_string(db, strung.connections), text);
 }

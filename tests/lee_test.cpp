@@ -172,8 +172,8 @@ TEST_F(LeeTest, RouterRealizesLeePath) {
   const RouteRecord& r = router.db().rec(0);
   EXPECT_EQ(r.strategy, RouteStrategy::kLee);
   EXPECT_EQ(r.geom.hops.size(), r.geom.vias.size() + 1);
-  AuditReport audit = audit_all(stack_, router.db(), {c});
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  CheckReport audit = audit_all(stack_, router.db(), {c});
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 }
 
 TEST_F(LeeTest, ReusedSearcherIsEpochSafe) {

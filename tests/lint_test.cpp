@@ -34,9 +34,9 @@ class LintTest : public ::testing::Test {
 TEST_F(LintTest, CleanNetlistPasses) {
   board_.netlist().add(two_pin(1, 2));
   board_.netlist().add(two_pin(3, 4));
-  LintReport rep = lint_netlist(board_);
+  CheckReport rep = lint_netlist(board_);
   EXPECT_TRUE(rep.ok());
-  EXPECT_TRUE(rep.warnings.empty());
+  EXPECT_TRUE(rep.warnings().empty());
 }
 
 TEST_F(LintTest, DetectsBadPartAndPin) {
@@ -46,10 +46,10 @@ TEST_F(LintTest, DetectsBadPartAndPin) {
   Net net2 = two_pin(3, 4);
   net2.pins.push_back({u1_, 40, PinRole::kInput});
   board_.netlist().add(std::move(net2));
-  LintReport rep = lint_netlist(board_);
-  ASSERT_EQ(rep.errors.size(), 2u);
-  EXPECT_NE(rep.errors[0].find("nonexistent part"), std::string::npos);
-  EXPECT_NE(rep.errors[1].find("only 16 pins"), std::string::npos);
+  CheckReport rep = lint_netlist(board_);
+  ASSERT_EQ(rep.error_count(), 2u);
+  EXPECT_NE(rep.errors()[0].find("nonexistent part"), std::string::npos);
+  EXPECT_NE(rep.errors()[1].find("only 16 pins"), std::string::npos);
 }
 
 TEST_F(LintTest, DetectsSharedAndDuplicatePins) {
@@ -57,11 +57,11 @@ TEST_F(LintTest, DetectsSharedAndDuplicatePins) {
   net.pins.push_back({u2_, 2, PinRole::kInput});  // duplicate within net
   board_.netlist().add(std::move(net));
   board_.netlist().add(two_pin(1, 3));  // U1:1 shared with first net
-  LintReport rep = lint_netlist(board_);
-  ASSERT_GE(rep.errors.size(), 2u);
-  EXPECT_NE(rep.errors[0].find("twice"), std::string::npos);
+  CheckReport rep = lint_netlist(board_);
+  ASSERT_GE(rep.error_count(), 2u);
+  EXPECT_NE(rep.errors()[0].find("twice"), std::string::npos);
   bool shared = false;
-  for (const auto& e : rep.errors) {
+  for (const auto& e : rep.errors()) {
     if (e.find("shares") != std::string::npos) shared = true;
   }
   EXPECT_TRUE(shared);
@@ -74,17 +74,17 @@ TEST_F(LintTest, DetectsOutputAfterInput) {
   net.pins.push_back({u1_, 1, PinRole::kInput});
   net.pins.push_back({u1_, 2, PinRole::kOutput});
   board_.netlist().add(std::move(net));
-  LintReport rep = lint_netlist(board_);
+  CheckReport rep = lint_netlist(board_);
   ASSERT_FALSE(rep.ok());
-  EXPECT_NE(rep.errors[0].find("precede"), std::string::npos);
+  EXPECT_NE(rep.errors()[0].find("precede"), std::string::npos);
 }
 
 TEST_F(LintTest, DetectsPowerPinAbuse) {
   board_.assign_power_pin("GND", u1_, 0);
   board_.netlist().add(two_pin(0, 2));  // drives from the ground pin
-  LintReport rep = lint_netlist(board_);
+  CheckReport rep = lint_netlist(board_);
   ASSERT_FALSE(rep.ok());
-  EXPECT_NE(rep.errors[0].find("power pin"), std::string::npos);
+  EXPECT_NE(rep.errors()[0].find("power pin"), std::string::npos);
 }
 
 TEST_F(LintTest, DetectsTerminatorShortage) {
@@ -92,9 +92,9 @@ TEST_F(LintTest, DetectsTerminatorShortage) {
   net.klass = SignalClass::kECL;
   net.needs_terminator = true;
   board_.netlist().add(std::move(net));
-  LintReport rep = lint_netlist(board_);  // no terminators registered
+  CheckReport rep = lint_netlist(board_);  // no terminators registered
   ASSERT_FALSE(rep.ok());
-  EXPECT_NE(rep.errors[0].find("terminating resistors"),
+  EXPECT_NE(rep.errors()[0].find("terminating resistors"),
             std::string::npos);
 }
 
@@ -110,11 +110,11 @@ TEST_F(LintTest, WarnsAboutDegenerateNets) {
   ecl_no_out.pins.push_back({u1_, 6, PinRole::kInput});
   ecl_no_out.pins.push_back({u2_, 6, PinRole::kInput});
   board_.netlist().add(std::move(ecl_no_out));
-  LintReport rep = lint_netlist(board_);
+  CheckReport rep = lint_netlist(board_);
   EXPECT_TRUE(rep.ok());
   // no-pins, single-pin, and two ECL-without-output warnings ("S" defaults
   // to ECL).
-  EXPECT_EQ(rep.warnings.size(), 4u);
+  EXPECT_EQ(rep.warning_count(), 4u);
 }
 
 TEST_F(LintTest, GeneratedWorkloadsAreClean) {
@@ -125,8 +125,8 @@ TEST_F(LintTest, GeneratedWorkloadsAreClean) {
   p.target_connections = 200;
   p.seed = 4;
   GeneratedBoard gb = generate_board(p);
-  LintReport rep = lint_netlist(*gb.board);
-  EXPECT_TRUE(rep.ok()) << rep.errors.front();
+  CheckReport rep = lint_netlist(*gb.board);
+  EXPECT_TRUE(rep.ok()) << rep.first_error();
 }
 
 }  // namespace

@@ -54,10 +54,10 @@ TEST_F(MixedTest, RoutesBothClassesInTheirTiles) {
   EXPECT_EQ(r.ecl->stats().routed, 2);
   EXPECT_EQ(r.ttl->stats().routed, 2);
   // No filler is left behind.
-  AuditReport a1 = audit_all(stack_, r.ecl->db(), r.ecl_conns, &tiles_);
-  AuditReport a2 = audit_all(stack_, r.ttl->db(), r.ttl_conns, &tiles_);
-  EXPECT_TRUE(a1.ok()) << a1.errors.front();
-  EXPECT_TRUE(a2.ok()) << a2.errors.front();
+  CheckReport a1 = audit_all(stack_, r.ecl->db(), r.ecl_conns, &tiles_);
+  CheckReport a2 = audit_all(stack_, r.ttl->db(), r.ttl_conns, &tiles_);
+  EXPECT_TRUE(a1.ok()) << a1.first_error();
+  EXPECT_TRUE(a2.ok()) << a2.first_error();
 }
 
 TEST_F(MixedTest, CrossTileConnectionFailsItsPass) {
@@ -69,7 +69,7 @@ TEST_F(MixedTest, CrossTileConnectionFailsItsPass) {
   MixedRouteResult r = route_mixed(stack_, tiles_, conns);
   EXPECT_FALSE(r.ok);
   EXPECT_EQ(r.ecl->stats().failed, 1);
-  AuditReport audit = audit_all(stack_, r.ecl->db(), r.ecl_conns, &tiles_);
+  CheckReport audit = audit_all(stack_, r.ecl->db(), r.ecl_conns, &tiles_);
   EXPECT_TRUE(audit.ok());
 }
 
@@ -124,8 +124,8 @@ TEST_F(TwoViaTest, RoutesWhatOneViaCannot) {
   EXPECT_EQ(r.strategy, RouteStrategy::kTwoVia);
   EXPECT_EQ(r.geom.vias.size(), 2u);
   EXPECT_GT(router.stats().two_via_candidates, 0);
-  AuditReport audit = audit_all(stack_, router.db(), {c});
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  CheckReport audit = audit_all(stack_, router.db(), {c});
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 }
 
 TEST_F(TwoViaTest, DisabledByDefault) {

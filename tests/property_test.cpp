@@ -52,9 +52,9 @@ TEST_P(RouteSweep, RoutesAuditCleanAndStatsBalance) {
   router.route_all(gb.strung.connections);
 
   // Whether or not everything routed, the board must be consistent.
-  AuditReport audit =
+  CheckReport audit =
       audit_all(gb.board->stack(), router.db(), gb.strung.connections);
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 
   const RouterStats& st = router.stats();
   EXPECT_EQ(st.routed + st.failed, st.total);
@@ -119,9 +119,9 @@ TEST_P(RipPutbackSweep, RipThenPutbackRestoresExactState) {
     EXPECT_TRUE(router.db().try_putback(stack, id));
   }
   EXPECT_EQ(stack.segment_count(), live);
-  AuditReport audit =
+  CheckReport audit =
       audit_all(stack, router.db(), gb.strung.connections);
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RipPutbackSweep,
@@ -177,8 +177,8 @@ TEST_P(TraceSweep, RandomTracesKeepTheStackConsistent) {
     ++routed;
   }
   EXPECT_GT(routed, 0);
-  AuditReport audit = audit_stack(stack);
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  CheckReport audit = audit_stack(stack);
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TraceSweep, ::testing::Range(1u, 13u));
@@ -205,9 +205,9 @@ TEST_P(StringingSweep, AllMethodsRouteAndAudit) {
   Router router(gb.board->stack());
   router.route_all(strung.connections);
   EXPECT_GT(router.stats().routed, 0);
-  AuditReport audit =
+  CheckReport audit =
       audit_all(gb.board->stack(), router.db(), strung.connections);
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 
   // Every net's connections form a connected graph over its pins.
   const Netlist& nl = gb.board->netlist();
@@ -286,8 +286,8 @@ TEST_P(PeriodSweep, RoutesOnAnyGridEmbedding) {
   } else {
     EXPECT_LT(router.stats().failed, router.stats().total / 2);
   }
-  AuditReport audit = audit_all(stack, router.db(), conns);
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  CheckReport audit = audit_all(stack, router.db(), conns);
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 }
 
 INSTANTIATE_TEST_SUITE_P(TracksBetweenVias, PeriodSweep,

@@ -56,9 +56,9 @@ TEST_F(RipupTest, BlockedConnectionRipsTheObstructor) {
   EXPECT_EQ(router.stats().routed, 1);
   EXPECT_EQ(router.stats().failed, 1);
   // No corrupted state despite the fight over the corridor.
-  AuditReport audit =
+  CheckReport audit =
       audit_all(stack_, router.db(), {first, second});
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 }
 
 TEST_F(RipupTest, PutbackRestoresUntouchedVictims) {
@@ -70,9 +70,9 @@ TEST_F(RipupTest, PutbackRestoresUntouchedVictims) {
   Router router(stack_);
   bool ok = router.route_all({first, second});
   EXPECT_TRUE(ok) << router.stats().failed << " failed";
-  AuditReport audit =
+  CheckReport audit =
       audit_all(stack_, router.db(), {first, second});
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 }
 
 TEST_F(RipupTest, RipupDisabledFailsFast) {
@@ -124,9 +124,9 @@ TEST(RipupIntegrationTest, CongestedBoardCompletesWithRipups) {
     rip_events += router.db().rec(c.id).rip_count;
   }
   EXPECT_EQ(rip_events, router.stats().rip_ups);
-  AuditReport audit =
+  CheckReport audit =
       audit_all(gb.board->stack(), router.db(), gb.strung.connections);
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 }
 
 }  // namespace

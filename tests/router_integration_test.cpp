@@ -2,6 +2,7 @@
 // invariant, and check the paper's qualitative claims (Secs 8.4 and 9).
 #include <gtest/gtest.h>
 
+#include "check/drc.hpp"
 #include "route/audit.hpp"
 #include "route/router.hpp"
 #include "workload/suite.hpp"
@@ -28,10 +29,15 @@ TEST(RouterIntegrationTest, RoutesModerateBoardCompletely) {
   ASSERT_TRUE(router.route_all(gb.strung.connections))
       << router.stats().failed << " of " << router.stats().total
       << " failed";
-  AuditReport audit =
+  CheckReport audit =
       audit_all(gb.board->stack(), router.db(), gb.strung.connections);
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
   EXPECT_GT(audit.connections_checked, 0u);
+  // The geometric DRC agrees: the routed board is manufacturable as-is.
+  CheckReport drc =
+      drc_check(*gb.board, gb.strung.connections, router.db());
+  EXPECT_TRUE(drc.findings.empty())
+      << format_finding(drc.findings.front());
 }
 
 TEST(RouterIntegrationTest, StatsAreConsistent) {
@@ -74,9 +80,9 @@ TEST(RouterIntegrationTest, TooFewLayersFailsGracefully) {
   EXPECT_FALSE(ok);
   EXPECT_GT(router.stats().failed, 0);
   EXPECT_LE(router.stats().passes, router.config().max_passes);
-  AuditReport audit =
+  CheckReport audit =
       audit_all(gb.board->stack(), router.db(), gb.strung.connections);
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 }
 
 TEST(RouterIntegrationTest, MoreLayersSolveTheSameProblem) {
@@ -125,9 +131,9 @@ TEST(RouterIntegrationTest, UnsortedOrderStillRoutesAndAudits) {
   // The list arrives in stringer order; Sec 6's sort is an optimization,
   // not a correctness requirement.
   ASSERT_TRUE(router.route_all(gb.strung.connections));
-  AuditReport audit =
+  CheckReport audit =
       audit_all(gb.board->stack(), router.db(), gb.strung.connections);
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 }
 
 TEST(RouterIntegrationTest, MaxPassesBoundsTheLoop) {
@@ -144,9 +150,13 @@ TEST(RouterIntegrationTest, ScaledTable1RowRoutes) {
   GeneratedBoard gb = generate_board(table1_board("coproc-6L", 0.5));
   Router router(gb.board->stack(), RouterConfig{});
   ASSERT_TRUE(router.route_all(gb.strung.connections));
-  AuditReport audit =
+  CheckReport audit =
       audit_all(gb.board->stack(), router.db(), gb.strung.connections);
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
+  CheckReport drc =
+      drc_check(*gb.board, gb.strung.connections, router.db());
+  EXPECT_TRUE(drc.findings.empty())
+      << format_finding(drc.findings.front());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // full-scale bench reproduces must already be visible.
 #include <gtest/gtest.h>
 
+#include "check/drc.hpp"
 #include "route/audit.hpp"
 #include "route/router.hpp"
 #include "workload/suite.hpp"
@@ -29,9 +30,17 @@ TEST_P(SuiteRegression, GeneratesRoutesAndAudits) {
     EXPECT_TRUE(ok) << GetParam().name << ": " << router.stats().failed
                     << " failed";
   }
-  AuditReport audit =
+  CheckReport audit =
       audit_all(gb.board->stack(), router.db(), gb.strung.connections);
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
+  // Every suite board is DRC-clean: what was routed is geometrically
+  // manufacturable (opens are only demanded of completed boards).
+  DrcOptions opts;
+  opts.opens = ok;
+  CheckReport drc =
+      drc_check(*gb.board, gb.strung.connections, router.db(), opts);
+  EXPECT_TRUE(drc.findings.empty())
+      << GetParam().name << ": " << format_finding(drc.findings.front());
   // Table 1's vias-per-connection stays below 1 on completed boards.
   if (ok) EXPECT_LT(router.stats().vias_per_conn(), 1.0);
 }
@@ -60,9 +69,9 @@ TEST(SuiteRegressionTest, FullScaleHardestRowFailsSoftly) {
       static_cast<double>(router.stats().routed) / router.stats().total;
   EXPECT_GT(routed_frac, 0.6);  // the paper reports ~80%
   EXPECT_LT(routed_frac, 1.0);
-  AuditReport audit =
+  CheckReport audit =
       audit_all(gb.board->stack(), router.db(), gb.strung.connections);
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 }
 
 }  // namespace

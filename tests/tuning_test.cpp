@@ -70,8 +70,8 @@ TEST_F(TuningTest, DetourTunerStretchesToTarget) {
   EXPECT_NEAR(r.achieved_ns, 0.5, 0.02);
   EXPECT_GT(r.detours_added, 0);
   // The tuned realization still audits clean.
-  AuditReport audit = audit_all(stack_, router_.db(), {c});
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  CheckReport audit = audit_all(stack_, router_.db(), {c});
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 }
 
 TEST_F(TuningTest, RepeatedDetoursForLargerTargets) {
@@ -130,8 +130,8 @@ TEST_F(TuningTest, EqualizeDelaysMatchesSlowestMember) {
     hi = std::max(hi, ns);
   }
   EXPECT_LE(hi - lo, 2 * tol);
-  AuditReport audit = audit_all(stack_, router_.db(), conns);
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  CheckReport audit = audit_all(stack_, router_.db(), conns);
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 }
 
 TEST_F(TuningTest, CostFnTunerFindsButWastesEffort) {
@@ -166,8 +166,8 @@ TEST_F(TuningTest, RollbackRestoresOriginalWhenStuck) {
   TuneResult r = tuner.tune(c);
   EXPECT_FALSE(r.success);
   EXPECT_TRUE(router_.db().routed(0));
-  AuditReport audit = audit_all(stack_, router_.db(), {c});
-  EXPECT_TRUE(audit.ok()) << audit.errors.front();
+  CheckReport audit = audit_all(stack_, router_.db(), {c});
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 }
 
 }  // namespace

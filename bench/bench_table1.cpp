@@ -7,25 +7,44 @@
 //   * rip-ups are rare except near failure;
 //   * vias per connection stays below 1.
 //
-// Usage: bench_table1 [scale]   (default 1.0; e.g. 0.5 for a quick run)
+// Usage: bench_table1 [scale] [threads]
+//   scale   board scale factor (default 1.0; e.g. 0.5 for a quick run)
+//   threads worker count for the batch router (default 1 = serial engine)
+//
+// Besides the console table, writes BENCH_table1.json with one record per
+// board (wall seconds, completion %, vias, threads) for machine comparison
+// of serial vs parallel runs.
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "report/table.hpp"
 #include "route/audit.hpp"
+#include "route/batch_router.hpp"
 #include "workload/suite.hpp"
 
 using namespace grr;
 
 int main(int argc, char** argv) {
   double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
-  std::cout << "Table 1 reproduction (scale " << scale << ")\n\n";
+  int threads = argc > 2 ? std::atoi(argv[2]) : 1;
+  std::cout << "Table 1 reproduction (scale " << scale << ", threads "
+            << threads << ")\n\n";
+
+  std::ofstream json("BENCH_table1.json");
+  json << "{\n  \"scale\": " << scale << ",\n  \"threads\": " << threads
+       << ",\n  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n  \"boards\": [\n";
 
   std::vector<Table1Row> rows;
+  bool first = true;
   for (const BoardGenParams& params : table1_suite(scale)) {
     GeneratedBoard gb = generate_board(params);
-    Router router(gb.board->stack(), RouterConfig{});
+    RouterConfig cfg;
+    cfg.threads = threads;
+    BatchRouter router(gb.board->stack(), cfg);
 
     auto t0 = std::chrono::steady_clock::now();
     router.route_all(gb.strung.connections);
@@ -40,6 +59,18 @@ int main(int argc, char** argv) {
     }
     rows.push_back(Table1Row::from_run(gb, router.stats(), sec));
     const RouterStats& st = router.stats();
+    const BatchStats& bs = router.batch_stats();
+    double completion =
+        st.total > 0 ? 100.0 * st.routed / st.total : 0.0;
+    json << (first ? "" : ",\n") << "    {\"board\": \"" << params.name
+         << "\", \"sec\": " << sec << ", \"completion_pct\": " << completion
+         << ", \"routed\": " << st.routed << ", \"total\": " << st.total
+         << ", \"vias\": " << st.vias_added
+         << ", \"vias_per_conn\": " << st.vias_per_conn()
+         << ", \"rip_ups\": " << st.rip_ups
+         << ", \"plans_installed\": " << bs.installed
+         << ", \"plan_conflicts\": " << bs.conflicts << "}";
+    first = false;
     // Sec 12: on difficult boards, Lee's algorithm is where the CPU goes.
     double strat = st.sec_zero_via + st.sec_one_via + st.sec_lee +
                    st.sec_ripup + st.sec_putback;
@@ -49,9 +80,11 @@ int main(int argc, char** argv) {
               << ", lee share of strategy time="
               << (strat > 0 ? 100.0 * st.sec_lee / strat : 0.0) << "%\n";
   }
+  json << "\n  ]\n}\n";
 
   std::cout << "\n";
   print_table1(std::cout, rows);
+  std::cout << "\nWrote BENCH_table1.json\n";
   std::cout << "\nPaper (VAX 11/785 CPU minutes):\n"
             << "  kdj11-2L: FAIL (~80% routed)   nmc-4L: %lee 14, 20 ripups, "
                ".99 vias, 28.5 min\n"

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "route/transaction.hpp"
+
 namespace grr {
 namespace {
 
@@ -216,8 +218,8 @@ int install_routes(LayerStack& stack, RouteDB& db,
     if (sr.id < 0 || static_cast<std::size_t>(sr.id) >= db.size()) continue;
     if (db.routed(sr.id)) continue;
     if (!geometry_in_bounds(stack, sr.geom)) continue;
-    db.adopt_geometry(sr.id, sr.geom, sr.strategy);
-    if (db.try_putback(stack, sr.id)) ++installed;
+    RouteTransaction::adopt_geometry(db, sr.id, sr.geom, sr.strategy);
+    if (RouteTransaction::putback(stack, db, sr.id)) ++installed;
   }
   return installed;
 }

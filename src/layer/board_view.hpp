@@ -1,0 +1,42 @@
+// Read-only view of a board's wiring state (search/commit split).
+//
+// Search workers plan routes against the shared LayerStack concurrently;
+// this façade is the type-level guarantee that they can only query it.
+// Every accessor forwards to a const method of the underlying stack, so a
+// BoardView is freely copyable and safe to hand to any number of threads as
+// long as nobody mutates the stack underneath (the batch router mutates only
+// between planning phases, from the commit thread).
+#pragma once
+
+#include "layer/layer_stack.hpp"
+
+namespace grr {
+
+class BoardView {
+ public:
+  explicit BoardView(const LayerStack& stack) : stack_(&stack) {}
+
+  const GridSpec& spec() const { return stack_->spec(); }
+  int num_layers() const { return stack_->num_layers(); }
+  const Layer& layer(LayerId l) const { return stack_->layer(l); }
+  const SegmentPool& pool() const { return stack_->pool(); }
+
+  bool via_free(Point via) const { return stack_->via_free(via); }
+  int via_use_count(Point via) const { return stack_->via_use_count(via); }
+  bool span_free(const PlacedSpan& ps) const { return stack_->span_free(ps); }
+  PlacedSpan via_span(LayerId l, Point via) const {
+    return stack_->via_span(l, via);
+  }
+
+  bool occupied(LayerId l, Point g) const { return stack_->occupied(l, g); }
+  ConnId conn_at(LayerId l, Point g) const { return stack_->conn_at(l, g); }
+
+  /// The underlying stack, const. For handing to read-only helpers
+  /// (LeeSearch, audits) that take a `const LayerStack&`.
+  const LayerStack& stack() const { return *stack_; }
+
+ private:
+  const LayerStack* stack_;
+};
+
+}  // namespace grr

@@ -2,9 +2,9 @@
 
 namespace grr {
 
-SegId Channel::seek(const SegmentPool& pool, Coord v) const {
+SegId Channel::seek(const SegmentPool& pool, Coord v, SegId hint) const {
   if (head_ == kNoSeg) return kNoSeg;
-  SegId s = (cursor_ != kNoSeg) ? cursor_ : head_;
+  SegId s = (hint != kNoSeg) ? hint : head_;
   if (pool[s].span.lo <= v) {
     // Walk up while the next segment still starts at or below v.
     while (true) {
@@ -15,19 +15,16 @@ SegId Channel::seek(const SegmentPool& pool, Coord v) const {
   } else {
     // Walk down until a segment starts at or below v (or run off the head).
     while (s != kNoSeg && pool[s].span.lo > v) s = pool[s].prev;
-    if (s == kNoSeg) {
-      cursor_ = head_;
-      return kNoSeg;
-    }
+    if (s == kNoSeg) return kNoSeg;
   }
-  cursor_ = s;
   return s;
 }
 
 Interval Channel::free_gap_at(const SegmentPool& pool, Interval extent,
-                              Coord v) const {
+                              Coord v, SegId* cursor) const {
   if (!extent.contains(v)) return {};
-  SegId s = seek(pool, v);
+  SegId s = seek(pool, v, cursor ? *cursor : kNoSeg);
+  if (cursor) *cursor = (s == kNoSeg) ? head_ : s;
   if (s != kNoSeg && pool[s].span.hi >= v) return {};  // occupied
   Coord lo = (s == kNoSeg) ? extent.lo : pool[s].span.hi + 1;
   SegId nxt = (s == kNoSeg) ? head_ : pool[s].next;
@@ -51,7 +48,6 @@ SegId Channel::insert(SegmentPool& pool, Segment seg) {
     head_ = id;
   }
   if (above != kNoSeg) pool[above].prev = id;
-  cursor_ = id;
   ++count_;
   return id;
 }
@@ -66,9 +62,6 @@ void Channel::erase(SegmentPool& pool, SegId id) {
     head_ = above;
   }
   if (above != kNoSeg) pool[above].prev = below;
-  if (cursor_ == id) {
-    cursor_ = (below != kNoSeg) ? below : above;
-  }
   pool.release(id);
   assert(count_ > 0);
   --count_;

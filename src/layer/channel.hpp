@@ -1,12 +1,15 @@
 // A channel: one grid line of a layer, holding the used segments on it as a
-// sorted doubly linked list with a moving head-of-list cursor (paper Secs 4
-// and 12).
+// sorted doubly linked list (paper Secs 4 and 12).
 //
 // The access pattern while routing one connection is strongly localized, so
-// searches start from the segment touched last (the cursor) and walk the
-// list; the paper reports that replacing a binary tree with exactly this
-// structure halved total routing time. Free space is not represented
-// explicitly: it is inferred from the gaps between segments.
+// searches start from the segment touched last and walk the list; the paper
+// reports that replacing a binary tree with exactly this structure halved
+// total routing time. The paper kept that moving cursor inside the channel;
+// here it lives in a per-worker CursorCache instead and is threaded through
+// queries as an optional `hint`, so that a Channel is genuinely const and
+// any number of search workers can read the board concurrently. Free space
+// is not represented explicitly: it is inferred from the gaps between
+// segments.
 #pragma once
 
 #include <cassert>
@@ -20,13 +23,15 @@ class Channel {
   bool empty() const { return head_ == kNoSeg; }
   SegId head() const { return head_; }
 
-  /// Last segment s with s.span.lo <= v, or kNoSeg if none. Starts walking
-  /// from the cursor; leaves the cursor on the returned segment.
-  SegId seek(const SegmentPool& pool, Coord v) const;
+  /// Last segment s with s.span.lo <= v, or kNoSeg if none. `hint` names a
+  /// segment of this channel to start walking from (kNoSeg: the head); pass
+  /// a CursorCache-validated hint to keep the paper's locality speedup.
+  SegId seek(const SegmentPool& pool, Coord v, SegId hint = kNoSeg) const;
 
   /// Segment containing v, or kNoSeg.
-  SegId find_at(const SegmentPool& pool, Coord v) const {
-    SegId s = seek(pool, v);
+  SegId find_at(const SegmentPool& pool, Coord v,
+                SegId hint = kNoSeg) const {
+    SegId s = seek(pool, v, hint);
     return (s != kNoSeg && pool[s].span.hi >= v) ? s : kNoSeg;
   }
 
@@ -36,17 +41,19 @@ class Channel {
 
   /// Maximal free interval containing v, clipped to `extent` (the channel's
   /// valid coordinate range). Returns an empty interval if v is occupied or
-  /// outside the extent.
-  Interval free_gap_at(const SegmentPool& pool, Interval extent,
-                       Coord v) const;
+  /// outside the extent. `cursor`, when non-null, is the worker's in/out
+  /// walk-start hint for this channel.
+  Interval free_gap_at(const SegmentPool& pool, Interval extent, Coord v,
+                       SegId* cursor = nullptr) const;
 
   /// Invoke fn(SegId) for every used segment overlapping `range`, in
   /// ascending order.
   template <typename Fn>
   void for_segs_overlapping(const SegmentPool& pool, Interval range,
-                            Fn&& fn) const {
+                            Fn&& fn, SegId* cursor = nullptr) const {
     if (range.empty()) return;
-    SegId s = seek(pool, range.lo);
+    SegId s = seek(pool, range.lo, cursor ? *cursor : kNoSeg);
+    if (cursor) *cursor = (s == kNoSeg) ? head_ : s;
     if (s == kNoSeg || pool[s].span.hi < range.lo) {
       s = (s == kNoSeg) ? head_ : pool[s].next;
     }
@@ -62,10 +69,12 @@ class Channel {
   /// matter which probe interval discovered it.
   template <typename Fn>
   void for_gaps_overlapping(const SegmentPool& pool, Interval extent,
-                            Interval range, Fn&& fn) const {
+                            Interval range, Fn&& fn,
+                            SegId* cursor = nullptr) const {
     range = range.intersect(extent);
     if (range.empty()) return;
-    SegId s = seek(pool, range.lo);
+    SegId s = seek(pool, range.lo, cursor ? *cursor : kNoSeg);
+    if (cursor) *cursor = (s == kNoSeg) ? head_ : s;
     // `lo` walks the lower boundary of the next candidate gap.
     Coord lo = (s == kNoSeg) ? extent.lo : pool[s].span.hi + 1;
     SegId nxt = (s == kNoSeg) ? head_ : pool[s].next;
@@ -90,7 +99,6 @@ class Channel {
 
  private:
   SegId head_ = kNoSeg;
-  mutable SegId cursor_ = kNoSeg;  // cache of the last segment touched
   std::size_t count_ = 0;
 };
 

@@ -1,0 +1,71 @@
+// Per-worker channel cursors (paper Secs 4 and 12).
+//
+// The paper's Channel kept a moving head-of-list cursor inside the data
+// structure itself ("searches start from the segment touched last"); that
+// made every "const" query secretly mutating and the whole board unsafe to
+// read concurrently. The cursor survives here as a thread-local *hint*: a
+// small direct-mapped cache, owned by each search worker, mapping
+// (layer, channel) to the segment that worker touched last. The shared
+// Channel stays genuinely read-only; the locality speedup is preserved
+// because the access pattern that made the cursor pay off — one connection
+// probing the same few channels over and over — is per-worker anyway.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "layer/segment_pool.hpp"
+
+namespace grr {
+
+class CursorCache {
+ public:
+  CursorCache() : slots_(kSlots) {}
+
+  /// Validated hint for (layer, channel): the cached segment if it is still
+  /// live in that exact channel, else kNoSeg. A stale id whose pool slot was
+  /// recycled into another channel would corrupt the list walk, so the hint
+  /// is only trusted when the pool's own bookkeeping confirms it.
+  SegId hint(const SegmentPool& pool, LayerId layer, Coord channel) const {
+    const Entry& e = slots_[index(layer, channel)];
+    if (e.key != key(layer, channel) || e.seg == kNoSeg) return kNoSeg;
+    if (e.seg >= pool.capacity()) return kNoSeg;
+    const Segment& s = pool[e.seg];
+    if (s.conn == kNoConn || s.layer != layer || s.channel != channel) {
+      return kNoSeg;
+    }
+    return e.seg;
+  }
+
+  void remember(LayerId layer, Coord channel, SegId seg) {
+    slots_[index(layer, channel)] = {key(layer, channel), seg};
+  }
+
+  void clear() {
+    for (Entry& e : slots_) e = Entry{};
+  }
+
+ private:
+  static constexpr std::size_t kSlots = 512;  // power of two
+
+  struct Entry {
+    std::uint64_t key = ~std::uint64_t{0};
+    SegId seg = kNoSeg;
+  };
+
+  static std::uint64_t key(LayerId layer, Coord channel) {
+    return (std::uint64_t{layer} << 32) |
+           static_cast<std::uint32_t>(channel);
+  }
+  static std::size_t index(LayerId layer, Coord channel) {
+    std::uint64_t k = key(layer, channel);
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdULL;
+    k ^= k >> 33;
+    return static_cast<std::size_t>(k) & (kSlots - 1);
+  }
+
+  std::vector<Entry> slots_;
+};
+
+}  // namespace grr

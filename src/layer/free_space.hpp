@@ -15,7 +15,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "layer/cursor_cache.hpp"
 #include "layer/layer.hpp"
+#include "layer/plan_overlay.hpp"
 
 namespace grr {
 
@@ -32,16 +34,23 @@ inline constexpr std::size_t kDefaultMaxFreeNodes = 1u << 20;
 
 namespace detail {
 
-/// Search box translated into one layer's channel space.
+/// Search box translated into one layer's channel space. Optionally carries
+/// a per-worker CursorCache (walk-start hints, the paper's moving-cursor
+/// speedup) and a PlanOverlay (tentative metal of the plan under
+/// construction, subtracted from every reported gap).
 template <typename LayerT>
 struct FreeSpaceQuery {
   const LayerT& layer;
   const SegmentPool& pool;
+  CursorCache* cursors = nullptr;
+  const PlanOverlay* overlay = nullptr;
   Interval box_across;
   Interval box_along;
 
-  FreeSpaceQuery(const LayerT& l, const SegmentPool& p, Rect box)
-      : layer(l), pool(p) {
+  FreeSpaceQuery(const LayerT& l, const SegmentPool& p, Rect box,
+                 CursorCache* cur = nullptr,
+                 const PlanOverlay* ov = nullptr)
+      : layer(l), pool(p), cursors(cur), overlay(ov) {
     const bool horiz = l.orientation() == Orientation::kHorizontal;
     box_across = (horiz ? box.y : box.x).intersect(l.across_extent());
     box_along = (horiz ? box.x : box.y).intersect(l.along_extent());
@@ -53,9 +62,64 @@ struct FreeSpaceQuery {
   /// Empty if occupied or outside the box.
   Interval gap_at(Coord ch, Coord v) const {
     if (!box_across.contains(ch) || !box_along.contains(v)) return {};
-    return layer.channel(ch)
-        .free_gap_at(pool, layer.along_extent(), v)
-        .intersect(box_along);
+    Interval g;
+    if (cursors != nullptr) {
+      SegId cur = cursors->hint(pool, layer.id(), ch);
+      g = layer.channel(ch).free_gap_at(pool, layer.along_extent(), v, &cur);
+      cursors->remember(layer.id(), ch, cur);
+    } else {
+      g = layer.channel(ch).free_gap_at(pool, layer.along_extent(), v);
+    }
+    if (overlay != nullptr) g = overlay->clip_gap_at(layer.id(), ch, g, v);
+    return g.intersect(box_along);
+  }
+
+  /// fn(Interval) for every maximal free gap overlapping `range` in channel
+  /// `ch`, extent-clipped and overlay-split, ascending. Sub-gaps produced by
+  /// the overlay may fall outside `range`; callers filter, as they already
+  /// must for gaps reported in full.
+  template <typename Fn>
+  void for_gaps(Coord ch, Interval range, Fn&& fn) const {
+    const auto& chan = layer.channel(ch);
+    auto emit = [&](Interval g) {
+      if (overlay != nullptr) {
+        overlay->split_gap(layer.id(), ch, g, fn);
+      } else {
+        fn(g);
+      }
+    };
+    if (cursors != nullptr) {
+      SegId cur = cursors->hint(pool, layer.id(), ch);
+      chan.for_gaps_overlapping(pool, layer.along_extent(), range, emit,
+                                &cur);
+      cursors->remember(layer.id(), ch, cur);
+    } else {
+      chan.for_gaps_overlapping(pool, layer.along_extent(), range, emit);
+    }
+  }
+
+  /// fn(SegId) for every used segment overlapping `range` in channel `ch`.
+  template <typename Fn>
+  void for_segs(Coord ch, Interval range, Fn&& fn) const {
+    const auto& chan = layer.channel(ch);
+    if (cursors != nullptr) {
+      SegId cur = cursors->hint(pool, layer.id(), ch);
+      chan.for_segs_overlapping(pool, range, fn, &cur);
+      cursors->remember(layer.id(), ch, cur);
+    } else {
+      chan.for_segs_overlapping(pool, range, fn);
+    }
+  }
+
+  /// Segment containing (ch, v), or kNoSeg, with a cursor-hinted walk.
+  SegId find_at(Coord ch, Coord v) const {
+    SegId hint = cursors != nullptr ? cursors->hint(pool, layer.id(), ch)
+                                    : kNoSeg;
+    SegId s = layer.channel(ch).find_at(pool, v, hint);
+    if (cursors != nullptr && s != kNoSeg) {
+      cursors->remember(layer.id(), ch, s);
+    }
+    return s;
   }
 
   /// Does the clipped gap (ch, g) touch the grid point whose channel-space
@@ -108,8 +172,9 @@ template <typename LayerT>
 std::optional<std::vector<ChannelSpan>> trace_path(
     const LayerT& layer, const SegmentPool& pool, Point a, Point b, Rect box,
     std::size_t max_nodes = kDefaultMaxFreeNodes,
-    FreeSpaceStats* stats = nullptr, int period = 3) {
-  detail::FreeSpaceQuery<LayerT> q(layer, pool, box);
+    FreeSpaceStats* stats = nullptr, int period = 3,
+    CursorCache* cursors = nullptr, const PlanOverlay* overlay = nullptr) {
+  detail::FreeSpaceQuery<LayerT> q(layer, pool, box, cursors, overlay);
   if (!q.valid()) return std::nullopt;
   const Coord ac = layer.across_of(a), av = layer.along_of(a);
   const Coord bc = layer.across_of(b), bv = layer.along_of(b);
@@ -187,12 +252,11 @@ std::optional<std::vector<ChannelSpan>> trace_path(
     for (Coord dc : {Coord{-1}, Coord{1}}) {
       const Coord c2 = ch + dc;
       if (!q.box_across.contains(c2)) continue;
-      layer.channel(c2).for_gaps_overlapping(
-          pool, layer.along_extent(), span, [&](Interval g) {
-            g = g.intersect(q.box_along);
-            if (g.empty() || !g.overlaps(span)) return;
-            kids.push_back({c2, g, gap_cost(c2, g)});
-          });
+      q.for_gaps(c2, span, [&](Interval g) {
+        g = g.intersect(q.box_along);
+        if (g.empty() || !g.overlaps(span)) return;
+        kids.push_back({c2, g, gap_cost(c2, g)});
+      });
     }
     std::sort(kids.begin(), kids.end(),
               [](const Child& x, const Child& y) { return x.dist < y.dist; });
@@ -275,8 +339,9 @@ template <typename LayerT, typename Fn>
 FreeSpaceStats reachable_vias(const LayerT& layer, const SegmentPool& pool,
                               int period, Point a, Rect box, Fn&& on_via,
                               std::size_t max_nodes = kDefaultMaxFreeNodes,
-                              const Point* touch = nullptr) {
-  detail::FreeSpaceQuery<LayerT> q(layer, pool, box);
+                              const Point* touch = nullptr,
+                              CursorCache* cursors = nullptr) {
+  detail::FreeSpaceQuery<LayerT> q(layer, pool, box, cursors);
   FreeSpaceStats st;
   if (!q.valid()) return st;
   const Coord ac = layer.across_of(a), av = layer.along_of(a);
@@ -321,11 +386,10 @@ FreeSpaceStats reachable_vias(const LayerT& layer, const SegmentPool& pool,
     for (Coord dc : {Coord{-1}, Coord{1}}) {
       const Coord c2 = ch + dc;
       if (!q.box_across.contains(c2)) continue;
-      layer.channel(c2).for_gaps_overlapping(
-          pool, layer.along_extent(), span, [&](Interval g) {
-            g = g.intersect(q.box_along);
-            if (!g.empty() && g.overlaps(span)) add_node(c2, g);
-          });
+      q.for_gaps(c2, span, [&](Interval g) {
+        g = g.intersect(q.box_along);
+        if (!g.empty() && g.overlaps(span)) add_node(c2, g);
+      });
     }
   }
   st.nodes = nodes.size();
@@ -338,15 +402,16 @@ FreeSpaceStats reachable_vias(const LayerT& layer, const SegmentPool& pool,
 template <typename LayerT, typename Fn>
 FreeSpaceStats obstructions(const LayerT& layer, const SegmentPool& pool,
                             Point a, Rect box, Fn&& on_conn,
-                            std::size_t max_nodes = kDefaultMaxFreeNodes) {
-  detail::FreeSpaceQuery<LayerT> q(layer, pool, box);
+                            std::size_t max_nodes = kDefaultMaxFreeNodes,
+                            CursorCache* cursors = nullptr) {
+  detail::FreeSpaceQuery<LayerT> q(layer, pool, box, cursors);
   FreeSpaceStats st;
   if (!q.valid()) return st;
   const Coord ac = layer.across_of(a), av = layer.along_of(a);
 
   auto report_at = [&](Coord ch, Coord v) {
     if (!q.box_across.contains(ch)) return;
-    SegId s = layer.channel(ch).find_at(pool, v);
+    SegId s = q.find_at(ch, v);
     if (s != kNoSeg) on_conn(pool[s].conn);
   };
 
@@ -367,9 +432,8 @@ FreeSpaceStats obstructions(const LayerT& layer, const SegmentPool& pool,
     nodes.push_back({ch, gap, -1});
     stack.push_back(static_cast<std::int32_t>(nodes.size() - 1));
     // The used segments bounding this gap in its own channel.
-    layer.channel(ch).for_segs_overlapping(
-        pool, {gap.lo - 1, gap.hi + 1},
-        [&](SegId s) { on_conn(pool[s].conn); });
+    q.for_segs(ch, {gap.lo - 1, gap.hi + 1},
+               [&](SegId s) { on_conn(pool[s].conn); });
   };
 
   const Coord seeds[4][2] = {
@@ -388,14 +452,12 @@ FreeSpaceStats obstructions(const LayerT& layer, const SegmentPool& pool,
       const Coord c2 = ch + dc;
       if (!q.box_across.contains(c2)) continue;
       // Used segments across the channel boundary are obstructions...
-      layer.channel(c2).for_segs_overlapping(
-          pool, span, [&](SegId s) { on_conn(pool[s].conn); });
+      q.for_segs(c2, span, [&](SegId s) { on_conn(pool[s].conn); });
       // ...and free gaps continue the enumeration.
-      layer.channel(c2).for_gaps_overlapping(
-          pool, layer.along_extent(), span, [&](Interval g) {
-            g = g.intersect(q.box_along);
-            if (!g.empty() && g.overlaps(span)) add_node(c2, g);
-          });
+      q.for_gaps(c2, span, [&](Interval g) {
+        g = g.intersect(q.box_along);
+        if (!g.empty() && g.overlaps(span)) add_node(c2, g);
+      });
     }
   }
   st.nodes = nodes.size();

@@ -1,0 +1,102 @@
+// Tentative metal of an in-flight route plan (search/commit split).
+//
+// The serial router places metal as it goes: one-via routing drills the
+// candidate via before tracing either leg, and Lee realization drills every
+// intermediate via before tracing the hops, so each trace sees the metal of
+// the earlier steps. A read-only planner cannot touch the shared board, so
+// it records that would-be metal here and the free-space queries subtract it
+// from every gap they report. A gap split by an overlay span has exactly the
+// bounds it would have had if the span were a real segment, so gap
+// identities (the gap.lo visited keys) — and therefore whole search results
+// — match the serial router bit for bit.
+//
+// The number of spans per plan is tiny (a handful of hops plus one unit span
+// per layer per via), so linear scans beat any indexed structure here.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "layer/segment_pool.hpp"
+
+namespace grr {
+
+class PlanOverlay {
+ public:
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+  /// Roll the overlay back to a previous size() mark (candidate rejected).
+  void truncate(std::size_t mark) { entries_.resize(mark); }
+
+  void add(LayerId layer, Coord channel, Interval span) {
+    entries_.push_back({span, channel, layer});
+  }
+
+  /// Clip a raw free gap of (layer, channel) down to the sub-gap containing
+  /// v, as if the overlay spans were real segments. Empty if v is covered.
+  Interval clip_gap_at(LayerId layer, Coord channel, Interval gap,
+                       Coord v) const {
+    if (gap.empty()) return gap;
+    for (const Entry& e : entries_) {
+      if (e.layer != layer || e.channel != channel) continue;
+      if (e.span.contains(v)) return {};
+      if (e.span.hi < v) {
+        if (e.span.hi + 1 > gap.lo) gap.lo = e.span.hi + 1;
+      } else if (e.span.lo - 1 < gap.hi) {
+        gap.hi = e.span.lo - 1;
+      }
+    }
+    return gap;
+  }
+
+  /// Invoke fn(Interval) for each sub-gap of a raw free gap after
+  /// subtracting the overlay spans, in ascending order. Matches the gap
+  /// sequence a channel walk would report if the spans were real segments.
+  template <typename Fn>
+  void split_gap(LayerId layer, Coord channel, Interval gap, Fn&& fn) const {
+    if (gap.empty()) return;
+    // Collect the overlay spans cutting this gap (few; insertion-sort).
+    Interval cuts[kMaxCuts];
+    int n = 0;
+    for (const Entry& e : entries_) {
+      if (e.layer != layer || e.channel != channel) continue;
+      if (!e.span.overlaps(gap)) continue;
+      if (n == kMaxCuts) {  // degenerate; bail to the conservative answer
+        fn(gap);
+        return;
+      }
+      int i = n++;
+      while (i > 0 && cuts[i - 1].lo > e.span.lo) {
+        cuts[i] = cuts[i - 1];
+        --i;
+      }
+      cuts[i] = e.span;
+    }
+    if (n == 0) {
+      fn(gap);
+      return;
+    }
+    Coord lo = gap.lo;
+    for (int i = 0; i < n; ++i) {
+      Interval sub{lo, cuts[i].lo - 1};
+      if (!sub.empty()) fn(sub);
+      if (cuts[i].hi + 1 > lo) lo = cuts[i].hi + 1;
+    }
+    Interval tail{lo, gap.hi};
+    if (!tail.empty()) fn(tail);
+  }
+
+ private:
+  struct Entry {
+    Interval span;
+    Coord channel = 0;
+    LayerId layer = 0;
+  };
+
+  static constexpr int kMaxCuts = 64;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace grr

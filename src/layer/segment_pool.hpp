@@ -62,6 +62,9 @@ class SegmentPool {
 
   /// Number of live segments.
   std::size_t size() const { return live_; }
+  /// Number of slots ever allocated (released slots keep their ids valid
+  /// for bounds checks; their conn is reset to kNoConn).
+  std::size_t capacity() const { return slots_.size(); }
 
  private:
   std::vector<Segment> slots_;

@@ -3,7 +3,8 @@
 namespace grr {
 
 Interval TreeChannel::free_gap_at(const SegmentPool& pool, Interval extent,
-                                  Coord v) const {
+                                  Coord v, SegId* cursor) const {
+  (void)cursor;
   if (!extent.contains(v)) return {};
   SegId s = seek(pool, v);
   if (s != kNoSeg && pool[s].span.hi >= v) return {};

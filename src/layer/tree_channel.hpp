@@ -23,15 +23,19 @@ class TreeChannel {
   }
 
   /// Last segment s with s.span.lo <= v, or kNoSeg (O(log n) tree search).
-  SegId seek(const SegmentPool& pool, Coord v) const {
+  /// The hint/cursor parameters exist for interface parity with Channel and
+  /// are ignored: a tree search has no locality to exploit.
+  SegId seek(const SegmentPool& pool, Coord v, SegId hint = kNoSeg) const {
     (void)pool;
+    (void)hint;
     auto it = by_lo_.upper_bound(v);
     if (it == by_lo_.begin()) return kNoSeg;
     return std::prev(it)->second;
   }
 
-  SegId find_at(const SegmentPool& pool, Coord v) const {
-    SegId s = seek(pool, v);
+  SegId find_at(const SegmentPool& pool, Coord v,
+                SegId hint = kNoSeg) const {
+    SegId s = seek(pool, v, hint);
     return (s != kNoSeg && pool[s].span.hi >= v) ? s : kNoSeg;
   }
 
@@ -39,12 +43,13 @@ class TreeChannel {
     return find_at(pool, v) != kNoSeg;
   }
 
-  Interval free_gap_at(const SegmentPool& pool, Interval extent,
-                       Coord v) const;
+  Interval free_gap_at(const SegmentPool& pool, Interval extent, Coord v,
+                       SegId* cursor = nullptr) const;
 
   template <typename Fn>
   void for_segs_overlapping(const SegmentPool& pool, Interval range,
-                            Fn&& fn) const {
+                            Fn&& fn, SegId* cursor = nullptr) const {
+    (void)cursor;
     if (range.empty()) return;
     auto it = by_lo_.upper_bound(range.lo);
     if (it != by_lo_.begin() &&
@@ -58,7 +63,9 @@ class TreeChannel {
 
   template <typename Fn>
   void for_gaps_overlapping(const SegmentPool& pool, Interval extent,
-                            Interval range, Fn&& fn) const {
+                            Interval range, Fn&& fn,
+                            SegId* cursor = nullptr) const {
+    (void)cursor;
     range = range.intersect(extent);
     if (range.empty()) return;
     SegId s = seek(pool, range.lo);

@@ -1,0 +1,169 @@
+#include "route/batch_router.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "route/boxes.hpp"
+#include "route/planner.hpp"
+#include "route/thread_pool.hpp"
+#include "timing/scoped_timer.hpp"
+
+namespace grr {
+
+BatchRouter::BatchRouter(LayerStack& stack, RouterConfig cfg)
+    : stack_(stack), cfg_(cfg), serial_(stack, cfg) {}
+
+bool BatchRouter::route_all(const ConnectionList& conns) {
+  batch_stats_ = BatchStats{};
+  // The two-via ablation threads uncommitted state through nested helpers;
+  // it exists to reproduce the paper's rejection of it, so it stays serial.
+  if (cfg_.threads <= 1 || cfg_.enable_two_via) {
+    return serial_.route_all(conns);
+  }
+  return route_parallel(conns);
+}
+
+bool BatchRouter::route_parallel(const ConnectionList& conns) {
+  const GridSpec& spec = stack_.spec();
+  ThreadPool pool(cfg_.threads);
+  std::vector<std::unique_ptr<ConnectionPlanner>> planners;
+  planners.reserve(static_cast<std::size_t>(pool.size()));
+  for (int i = 0; i < pool.size(); ++i) {
+    planners.push_back(std::make_unique<ConnectionPlanner>(stack_, cfg_));
+  }
+
+  serial_.prepare(conns);
+  MutationJournal journal;
+  serial_.set_journal(&journal);
+  const ConnectionList& order = serial_.connections();
+  const std::size_t max_batch = std::max<std::size_t>(
+      static_cast<std::size_t>(cfg_.threads) * 8, 32);
+
+  // Same outer loop and progress rule as the serial route_all (Sec 8.4).
+  std::size_t prev_unrouted = order.size() + 1;
+  for (int pass = 0; pass < cfg_.max_passes; ++pass) {
+    const std::size_t unrouted = serial_.count_unrouted();
+    if (unrouted == 0 || unrouted >= prev_unrouted) break;
+    prev_unrouted = unrouted;
+    ++serial_.stats().passes;
+
+    // The work list is dynamic, exactly like the serial pass loop's
+    // routed-status check at each position: a rip-up victim whose put-back
+    // fails regresses to unrouted and must be re-routed later in the SAME
+    // pass when its position is reached.
+    std::size_t idx = 0;
+    std::vector<std::size_t> batch;  // positions in `order`
+    std::vector<RoutePlan> plans;
+    std::vector<Rect> boxes;
+    while (idx < order.size()) {
+      if (serial_.db().routed(order[idx].id)) {
+        ++idx;
+        continue;
+      }
+      // Greedy batch: the longest run of currently-unrouted connections,
+      // from the front of the remaining order, whose zero-via boxes are
+      // pairwise disjoint. Order matters — commits must stay in the global
+      // sorted order — and disjointness is only a heuristic to raise the
+      // install rate: the journal check below is what guarantees serial
+      // equivalence.
+      batch.clear();
+      boxes.clear();
+      std::size_t scan = idx;
+      while (scan < order.size() && batch.size() < max_batch) {
+        const Connection& c = order[scan];
+        if (serial_.db().routed(c.id)) {
+          ++scan;
+          continue;
+        }
+        Rect b = zero_via_box(spec, c.a, c.b, cfg_.radius);
+        bool disjoint = true;
+        for (const Rect& r : boxes) {
+          if (r.overlaps(b)) {
+            disjoint = false;
+            break;
+          }
+        }
+        if (!disjoint) break;
+        batch.push_back(scan);
+        boxes.push_back(b);
+        ++scan;
+      }
+      const std::size_t n = batch.size();
+      ++batch_stats_.batches;
+      batch_stats_.planned += static_cast<long>(n);
+
+      plans.assign(n, RoutePlan{});
+      {
+        // Workers only read the board; nothing mutates it until the pool
+        // returns.
+        ScopedTimer t(batch_stats_.sec_plan);
+        pool.for_indices(n, [&](int worker, std::size_t i) {
+          plans[i] = planners[static_cast<std::size_t>(worker)]->plan(
+              order[batch[i]]);
+        });
+      }
+
+      // Ordered commit. The journal collects every rectangle of metal
+      // added or removed from here on (installs, rips, put-backs); a plan
+      // is installed verbatim only if nothing so far touched its reads.
+      ScopedTimer t(batch_stats_.sec_commit);
+      journal.clear();
+      std::size_t next_idx = batch.back() + 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        const Connection& c = order[batch[i]];
+        const RoutePlan& plan = plans[i];
+        bool dirty = !plan.found;
+        if (!dirty) {
+          for (const Rect& r : journal.touched) {
+            if (plan.footprint.intersects(r)) {
+              dirty = true;
+              ++batch_stats_.conflicts;
+              break;
+            }
+          }
+        }
+        bool handled = false;
+        if (!dirty) {
+          RouteTransaction txn(stack_, serial_.db(), c.id,
+                               &serial_.txn_counters_, &journal);
+          if (txn.try_install(plan)) {
+            handled = true;
+            ++batch_stats_.installed;
+            // The plan's search effort is what the serial router would
+            // have spent at this position; a discarded plan's effort is
+            // recounted by the serial redo instead.
+            RouterStats& st = serial_.stats();
+            st.lee_searches += plan.lee_searches;
+            st.lee_expansions += plan.lee_expansions;
+            st.sec_zero_via += plan.sec_zero_via;
+            st.sec_one_via += plan.sec_one_via;
+            st.sec_lee += plan.sec_lee;
+          }
+          // An install miss is impossible while the footprint covers the
+          // read set; the serial redo below keeps it correct regardless.
+        }
+        if (!handled) {
+          ++batch_stats_.serial_reroutes;
+          const long pb_failures = serial_.txn_counters().putback_failures;
+          serial_.route_connection(c);
+          serial_.put_back();
+          if (serial_.txn_counters().putback_failures != pb_failures) {
+            // A rip-up victim could not be put back: a connection at a
+            // later position may have regressed to unrouted, and the
+            // serial loop would re-examine every later position. Discard
+            // the rest of the batch and rescan from the next position.
+            next_idx = batch[i] + 1;
+            break;
+          }
+        }
+      }
+      idx = next_idx;
+    }
+  }
+
+  serial_.set_journal(nullptr);
+  serial_.finish();
+  return serial_.stats().failed == 0;
+}
+
+}  // namespace grr

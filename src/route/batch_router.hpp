@@ -1,0 +1,53 @@
+// The parallel batch routing engine (search/commit split).
+//
+// Each pass's unrouted connections are processed, in the serial sorted
+// order, as contiguous batches of bounding-box-disjoint connections.
+// Workers plan every connection of a batch concurrently against the frozen
+// board (ConnectionPlanner, read-only); the main thread then commits the
+// plans strictly in order, installing a plan verbatim only if no earlier
+// commit or rip of the batch touched its read footprint (MutationJournal).
+// A conflicted, failed or rip-needing connection is re-routed serially
+// inline at its ordered turn, so the board evolves exactly as a one-thread
+// run: the routed set, every route's geometry, and all discrete statistics
+// are identical for any thread count. threads <= 1 delegates outright to
+// the untouched serial Router — the paper-faithful reference.
+#pragma once
+
+#include "route/router.hpp"
+
+namespace grr {
+
+struct BatchStats {
+  long batches = 0;
+  long planned = 0;           // plans computed by workers
+  long installed = 0;         // plans installed verbatim
+  long conflicts = 0;         // plans discarded by the footprint check
+  long serial_reroutes = 0;   // connections re-routed inline
+  double sec_plan = 0;        // wall time in parallel planning
+  double sec_commit = 0;      // wall time in ordered commit + reroutes
+};
+
+class BatchRouter {
+ public:
+  explicit BatchRouter(LayerStack& stack, RouterConfig cfg = {});
+
+  /// Route a whole problem. Same contract as Router::route_all.
+  bool route_all(const ConnectionList& conns);
+
+  Router& router() { return serial_; }
+  const Router& router() const { return serial_; }
+  RouteDB& db() { return serial_.db(); }
+  const RouteDB& db() const { return serial_.db(); }
+  const RouterStats& stats() const { return serial_.stats(); }
+  const BatchStats& batch_stats() const { return batch_stats_; }
+
+ private:
+  bool route_parallel(const ConnectionList& conns);
+
+  LayerStack& stack_;
+  RouterConfig cfg_;
+  Router serial_;
+  BatchStats batch_stats_;
+};
+
+}  // namespace grr

@@ -54,6 +54,11 @@ struct RouterConfig {
   /// ("running over a via site... is avoided where possible in practice",
   /// Sec 4). bench_via_avoidance measures what this buys.
   bool via_avoidance = true;
+
+  /// Worker threads for the speculative BatchRouter. 1 runs the untouched
+  /// serial engine; any value produces the identical routed set, geometry
+  /// and discrete statistics (only wall times differ).
+  int threads = 1;
 };
 
 }  // namespace grr

@@ -76,8 +76,8 @@ ImproveStats improve_routes(Router& router, const ConnectionList& conns,
       }
       // Not better (or failed): restore the original realization.
       if (rerouted) router.unroute(c->id);
-      db.adopt_geometry(c->id, snapshot, snap_strategy);
-      bool restored = db.try_putback(stack, c->id);
+      RouteTransaction::adopt_geometry(db, c->id, snapshot, snap_strategy);
+      bool restored = RouteTransaction::putback(stack, db, c->id);
       (void)restored;
     }
     if (!any) break;

@@ -71,7 +71,9 @@ std::vector<Point> LeeSearch::chain(int side, Point from,
   return pts;
 }
 
-LeeResult LeeSearch::search(const Connection& c, const RouterConfig& cfg) {
+LeeResult LeeSearch::search(const Connection& c, const RouterConfig& cfg,
+                            CursorCache* cursors,
+                            std::vector<Point>* expanded_log) {
   const GridSpec& spec = stack_.spec();
   ++epoch_;
   const std::size_t n =
@@ -116,6 +118,7 @@ LeeResult LeeSearch::search(const Connection& c, const RouterConfig& cfg) {
       return res;
     }
     const Point p = e.p;
+    if (expanded_log != nullptr) expanded_log->push_back(p);
     const std::uint16_t p_hops = mark_of(side, p).hops;
     const Point pg = spec.grid_of_via(p);
     const Point og = spec.grid_of_via(src[1 - side]);
@@ -149,7 +152,7 @@ LeeResult LeeSearch::search(const Connection& c, const RouterConfig& cfg) {
               best_p[side] = v;
             }
           },
-          cfg.max_trace_nodes, &og);
+          cfg.max_trace_nodes, &og, cursors);
       if (!meet && st.touched) {
         // The free space around p touches the opposite source itself: a
         // direct trace p -> opposite source exists on this layer.

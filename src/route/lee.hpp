@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "layer/cursor_cache.hpp"
 #include "layer/layer_stack.hpp"
 #include "route/config.hpp"
 #include "route/connection.hpp"
@@ -41,7 +42,14 @@ class LeeSearch {
  public:
   explicit LeeSearch(const LayerStack& stack);
 
-  LeeResult search(const Connection& c, const RouterConfig& cfg);
+  /// Run the search. The board is only read. `cursors`, when given, carries
+  /// the caller's channel walk-start hints. `expanded_log`, when given,
+  /// records every wavefront point expanded — each expansion reads one
+  /// radius strip per layer, so the log determines the search's read
+  /// footprint for speculative (batch) routing.
+  LeeResult search(const Connection& c, const RouterConfig& cfg,
+                   CursorCache* cursors = nullptr,
+                   std::vector<Point>* expanded_log = nullptr);
 
  private:
   struct Mark {

@@ -9,7 +9,7 @@
 
 namespace grr {
 
-bool Router::place_direct(ConnId id, Point a_via, Point b_via) {
+bool Router::place_direct(RouteTransaction& txn, Point a_via, Point b_via) {
   const GridSpec& spec = stack_.spec();
   const Coord dx = std::abs(a_via.x - b_via.x);
   const Coord dy = std::abs(a_via.y - b_via.y);
@@ -32,10 +32,10 @@ bool Router::place_direct(ConnId id, Point a_via, Point b_via) {
       if (orth > cfg_.radius) continue;
       auto spans = trace_path(layer, stack_.pool(), ag, bg, box,
                               cfg_.max_trace_nodes, nullptr,
-                              cfg_.via_avoidance ? spec.period() : 0);
+                              cfg_.via_avoidance ? spec.period() : 0,
+                              &cursors_);
       if (spans) {
-        db_->add_hop(stack_, id, static_cast<LayerId>(li),
-                     std::move(*spans));
+        txn.add_hop(static_cast<LayerId>(li), std::move(*spans));
         return true;
       }
     }
@@ -43,13 +43,13 @@ bool Router::place_direct(ConnId id, Point a_via, Point b_via) {
   return false;
 }
 
-bool Router::try_zero_via(const Connection& c) {
-  if (!place_direct(c.id, c.a, c.b)) return false;
-  db_->commit(c.id, RouteStrategy::kZeroVia);
+bool Router::try_zero_via(RouteTransaction& txn, const Connection& c) {
+  if (!place_direct(txn, c.a, c.b)) return false;
+  txn.commit(RouteStrategy::kZeroVia);
   return true;
 }
 
-bool Router::one_via_between(ConnId id, Point a, Point b) {
+bool Router::one_via_between(RouteTransaction& txn, Point a, Point b) {
   const GridSpec& spec = stack_.spec();
   const int r = cfg_.radius;
 
@@ -84,22 +84,22 @@ bool Router::one_via_between(ConnId id, Point a, Point b) {
   std::unordered_set<Point> tried;  // the two squares can overlap
   for (const Cand& cand : cands) {
     if (!tried.insert(cand.v).second) continue;
-    db_->add_via(stack_, id, cand.v);
-    if (place_direct(id, a, cand.v) && place_direct(id, cand.v, b)) {
+    txn.add_via(cand.v);
+    if (place_direct(txn, a, cand.v) && place_direct(txn, cand.v, b)) {
       return true;
     }
-    db_->abort(stack_, id);
+    txn.rollback();
   }
   return false;
 }
 
-bool Router::try_one_via(const Connection& c) {
-  if (!one_via_between(c.id, c.a, c.b)) return false;
-  db_->commit(c.id, RouteStrategy::kOneVia);
+bool Router::try_one_via(RouteTransaction& txn, const Connection& c) {
+  if (!one_via_between(txn, c.a, c.b)) return false;
+  txn.commit(RouteStrategy::kOneVia);
   return true;
 }
 
-bool Router::try_two_via(const Connection& c) {
+bool Router::try_two_via(RouteTransaction& txn, const Connection& c) {
   // Sec 8.1: "When a one-via solution can't be found, one might choose an
   // intermediate via and attempt a zero-via connection to one of the pins
   // and a one-via connection to the other... Unfortunately there are
@@ -138,13 +138,13 @@ bool Router::try_two_via(const Connection& c) {
     // Zero-via from pin a to the candidate, one-via from it to pin b
     // (built in a-to-b order so the realized chain stays canonical).
     ++stats_.two_via_candidates;
-    db_->add_via(stack_, c.id, cand.v);
-    if (place_direct(c.id, c.a, cand.v) &&
-        one_via_between(c.id, cand.v, c.b)) {
-      db_->commit(c.id, RouteStrategy::kTwoVia);
+    txn.add_via(cand.v);
+    if (place_direct(txn, c.a, cand.v) &&
+        one_via_between(txn, cand.v, c.b)) {
+      txn.commit(RouteStrategy::kTwoVia);
       return true;
     }
-    db_->abort(stack_, c.id);
+    txn.rollback();
   }
   return false;
 }

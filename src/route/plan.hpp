@@ -1,0 +1,91 @@
+// A speculative route plan (search/commit split).
+//
+// A plan is the complete output of a read-only search worker: the geometry
+// that would be installed, plus the *read footprint* — a conservative cover
+// of every board location the search examined. The commit thread installs
+// plans in the serial order; a plan is installed verbatim only if no commit
+// or rip since the plan was taken touched its footprint, in which case the
+// plan is byte-identical to what the serial router would have produced at
+// that position. Otherwise the plan is discarded and the connection is
+// re-routed serially at its ordered turn, so the board evolves exactly as a
+// one-thread run for any worker count.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "route/route_db.hpp"
+
+namespace grr {
+
+/// Conservative cover of a search's read set, in grid coordinates. Optimal
+/// strategies read inside bounded rectangles; Lee expansions read full-length
+/// radius strips, which project to an interval on one axis only (a horizontal
+/// strip spans all x, so only its y-interval constrains it — a "band").
+struct ReadFootprint {
+  std::vector<Rect> rects;
+  std::vector<Interval> xbands;  // vertical strips: constrain x, any y
+  std::vector<Interval> ybands;  // horizontal strips: constrain y, any x
+  bool everything = false;       // unbounded read set (failed searches)
+
+  void add_rect(const Rect& r) { rects.push_back(r); }
+  void add_xband(Interval b) { xbands.push_back(b); }
+  void add_yband(Interval b) { ybands.push_back(b); }
+
+  /// Coalesce overlapping/adjacent bands (a Lee search adds one band per
+  /// expansion per layer; merged they collapse to a handful of intervals).
+  void normalize() {
+    auto merge = [](std::vector<Interval>& v) {
+      std::sort(v.begin(), v.end(),
+                [](Interval a, Interval b) { return a.lo < b.lo; });
+      std::size_t out = 0;
+      for (const Interval& b : v) {
+        if (out > 0 && b.lo <= v[out - 1].hi + 1) {
+          if (b.hi > v[out - 1].hi) v[out - 1].hi = b.hi;
+        } else {
+          v[out++] = b;
+        }
+      }
+      v.resize(out);
+    };
+    merge(xbands);
+    merge(ybands);
+  }
+
+  bool intersects(const Rect& r) const {
+    if (everything) return true;
+    for (const Interval& b : ybands) {
+      if (b.overlaps(r.y)) return true;
+    }
+    for (const Interval& b : xbands) {
+      if (b.overlaps(r.x)) return true;
+    }
+    for (const Rect& q : rects) {
+      if (q.overlaps(r)) return true;
+    }
+    return false;
+  }
+};
+
+/// Planned realization of one connection, computed without touching the
+/// board. Geometry is stored exactly as the serial router would install it:
+/// vias in drill order, hops in a-to-b order.
+struct RoutePlan {
+  ConnId id = kNoConn;
+  bool found = false;
+  RouteStrategy strategy = RouteStrategy::kNone;
+  std::vector<Point> vias;     // intermediate vias (via coordinates)
+  std::vector<RouteHop> hops;  // traces in a-to-b order
+  ReadFootprint footprint;
+
+  /// Search-effort counters, merged into RouterStats only when the plan is
+  /// installed verbatim; a discarded plan's effort is recounted by the
+  /// serial re-route so discrete stats match a serial run exactly.
+  long lee_searches = 0;
+  long lee_expansions = 0;
+  double sec_zero_via = 0;
+  double sec_one_via = 0;
+  double sec_lee = 0;
+};
+
+}  // namespace grr

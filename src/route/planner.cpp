@@ -1,0 +1,224 @@
+#include "route/planner.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "layer/free_space.hpp"
+#include "route/boxes.hpp"
+#include "timing/scoped_timer.hpp"
+
+namespace grr {
+
+ConnectionPlanner::ConnectionPlanner(const LayerStack& stack,
+                                     RouterConfig cfg)
+    : view_(stack), cfg_(cfg), scratch_(stack) {}
+
+bool ConnectionPlanner::plan_direct(RoutePlan& plan, Point a_via,
+                                    Point b_via) {
+  const GridSpec& spec = view_.spec();
+  const Coord dx = std::abs(a_via.x - b_via.x);
+  const Coord dy = std::abs(a_via.y - b_via.y);
+  const Orientation preferred =
+      dx >= dy ? Orientation::kHorizontal : Orientation::kVertical;
+
+  const Point ag = spec.grid_of_via(a_via);
+  const Point bg = spec.grid_of_via(b_via);
+  const Rect box = zero_via_box(spec, a_via, b_via, cfg_.radius);
+
+  for (int round = 0; round < 2; ++round) {
+    for (int li = 0; li < view_.num_layers(); ++li) {
+      const Layer& layer = view_.layer(static_cast<LayerId>(li));
+      const bool is_preferred = layer.orientation() == preferred;
+      if ((round == 0) != is_preferred) continue;
+      const Coord orth =
+          layer.orientation() == Orientation::kHorizontal ? dy : dx;
+      if (orth > cfg_.radius) continue;
+      auto spans = trace_path(layer, view_.pool(), ag, bg, box,
+                              cfg_.max_trace_nodes, nullptr,
+                              cfg_.via_avoidance ? spec.period() : 0,
+                              &scratch_.cursors, &scratch_.overlay);
+      if (spans) {
+        for (const ChannelSpan& cs : *spans) {
+          scratch_.overlay.add(static_cast<LayerId>(li), cs.channel,
+                               cs.span);
+        }
+        plan.hops.push_back({static_cast<LayerId>(li), std::move(*spans)});
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool ConnectionPlanner::plan_zero_via(RoutePlan& plan, const Connection& c) {
+  plan.footprint.add_rect(
+      zero_via_box(view_.spec(), c.a, c.b, cfg_.radius));
+  if (!plan_direct(plan, c.a, c.b)) return false;
+  plan.found = true;
+  plan.strategy = RouteStrategy::kZeroVia;
+  return true;
+}
+
+bool ConnectionPlanner::plan_one_via(RoutePlan& plan, Point a, Point b) {
+  const GridSpec& spec = view_.spec();
+  const int r = cfg_.radius;
+
+  // Read footprint: the candidate via_free probes sit within radius via
+  // units of the corners, and each leg's trace box inflates a sub-rectangle
+  // of the a-b bounding box by another radius — 2r via pitches covers all.
+  plan.footprint.add_rect(
+      Rect::bounding(spec.grid_of_via(a), spec.grid_of_via(b))
+          .inflated(2 * r * spec.period())
+          .intersect(spec.extent()));
+
+  struct Cand {
+    int ring;
+    long detour;
+    Point v;
+  };
+  std::vector<Cand> cands;
+  const Point corners[2] = {{b.x, a.y}, {a.x, b.y}};
+  for (const Point& corner : corners) {
+    for (Coord dx = -r; dx <= r; ++dx) {
+      for (Coord dy = -r; dy <= r; ++dy) {
+        Point v{corner.x + dx, corner.y + dy};
+        if (!spec.via_in_board(v)) continue;
+        if (v == a || v == b) continue;
+        if (!view_.via_free(v)) continue;
+        cands.push_back({static_cast<int>(chebyshev(v, corner)),
+                         static_cast<long>(manhattan(a, v)) + manhattan(v, b),
+                         v});
+      }
+    }
+  }
+  std::sort(cands.begin(), cands.end(), [](const Cand& x, const Cand& y) {
+    return std::tie(x.ring, x.detour, x.v.x, x.v.y) <
+           std::tie(y.ring, y.detour, y.v.x, y.v.y);
+  });
+
+  std::unordered_set<Point> tried;
+  for (const Cand& cand : cands) {
+    if (!tried.insert(cand.v).second) continue;
+    const std::size_t ov_mark = scratch_.overlay.size();
+    const std::size_t hop_mark = plan.hops.size();
+    // The serial router drills the candidate before tracing either leg;
+    // here the drill is tentative metal in the overlay.
+    for (int l = 0; l < view_.num_layers(); ++l) {
+      PlacedSpan ps = view_.via_span(static_cast<LayerId>(l), cand.v);
+      scratch_.overlay.add(ps.layer, ps.channel, ps.span);
+    }
+    if (plan_direct(plan, a, cand.v) && plan_direct(plan, cand.v, b)) {
+      plan.vias.push_back(cand.v);
+      plan.found = true;
+      plan.strategy = RouteStrategy::kOneVia;
+      return true;
+    }
+    scratch_.overlay.truncate(ov_mark);
+    plan.hops.resize(hop_mark);
+  }
+  return false;
+}
+
+bool ConnectionPlanner::plan_lee(RoutePlan& plan, const Connection& c) {
+  const GridSpec& spec = view_.spec();
+  plan.lee_searches = 1;
+  scratch_.expanded.clear();
+  LeeResult res =
+      scratch_.lee.search(c, cfg_, &scratch_.cursors, &scratch_.expanded);
+  plan.lee_expansions += static_cast<long>(res.expansions);
+
+  // Read footprint: each expansion reads one full-length radius strip per
+  // layer (plus via_free probes inside it), which projects to a band on the
+  // strip's constrained axis.
+  for (Point p : scratch_.expanded) {
+    for (int li = 0; li < view_.num_layers(); ++li) {
+      const Layer& layer = view_.layer(static_cast<LayerId>(li));
+      Rect box = strip_box(spec, layer.orientation(), p, cfg_.radius);
+      if (layer.orientation() == Orientation::kHorizontal) {
+        plan.footprint.add_yband(box.y);
+      } else {
+        plan.footprint.add_xband(box.x);
+      }
+    }
+  }
+  if (!res.found) return false;
+
+  // Realize the tentative path into the overlay exactly as the serial
+  // router realizes it onto the board: vias first, then hop by hop, each
+  // trace seeing everything placed before it.
+  for (std::size_t i = 1; i + 1 < res.via_seq.size(); ++i) {
+    plan.vias.push_back(res.via_seq[i]);
+    for (int l = 0; l < view_.num_layers(); ++l) {
+      PlacedSpan ps =
+          view_.via_span(static_cast<LayerId>(l), res.via_seq[i]);
+      scratch_.overlay.add(ps.layer, ps.channel, ps.span);
+    }
+  }
+  for (std::size_t j = 0; j + 1 < res.via_seq.size(); ++j) {
+    const Point u = res.via_seq[j];
+    const Point w = res.via_seq[j + 1];
+    const Layer& layer = view_.layer(res.hop_layers[j]);
+    Rect box = hull_strip_box(spec, layer.orientation(), u, w, cfg_.radius);
+    if (layer.orientation() == Orientation::kHorizontal) {
+      plan.footprint.add_yband(box.y);
+    } else {
+      plan.footprint.add_xband(box.x);
+    }
+    auto spans = trace_path(layer, view_.pool(), spec.grid_of_via(u),
+                            spec.grid_of_via(w), box, cfg_.max_trace_nodes,
+                            nullptr,
+                            cfg_.via_avoidance ? spec.period() : 0,
+                            &scratch_.cursors, &scratch_.overlay);
+    if (!spans) {
+      // Serial would roll back and fall through to rip-up.
+      plan.vias.clear();
+      plan.hops.clear();
+      return false;
+    }
+    for (const ChannelSpan& cs : *spans) {
+      scratch_.overlay.add(layer.id(), cs.channel, cs.span);
+    }
+    plan.hops.push_back({res.hop_layers[j], std::move(*spans)});
+  }
+  plan.found = true;
+  plan.strategy = RouteStrategy::kLee;
+  return true;
+}
+
+RoutePlan ConnectionPlanner::plan(const Connection& c) {
+  RoutePlan plan;
+  plan.id = c.id;
+  scratch_.overlay.clear();
+
+  if (c.a == c.b) {
+    plan.found = true;
+    plan.strategy = RouteStrategy::kTrivial;
+    return plan;  // no reads, no metal: installs under any board state
+  }
+
+  {
+    ScopedTimer t(plan.sec_zero_via);
+    if (cfg_.enable_zero_via && plan_zero_via(plan, c)) return plan;
+  }
+  {
+    ScopedTimer t(plan.sec_one_via);
+    if (cfg_.enable_one_via && plan_one_via(plan, c.a, c.b)) {
+      plan.footprint.normalize();
+      return plan;
+    }
+  }
+  if (cfg_.enable_lee) {
+    ScopedTimer t(plan.sec_lee);
+    if (plan_lee(plan, c)) {
+      plan.footprint.normalize();
+      return plan;
+    }
+  }
+  // The serial ladder would now fail outright or enter rip-up; either way
+  // the outcome depends on state a worker must not touch.
+  plan.footprint.everything = true;
+  plan.footprint.normalize();
+  return plan;
+}
+
+}  // namespace grr

@@ -1,0 +1,48 @@
+// Read-only route planning (search/commit split).
+//
+// A ConnectionPlanner computes what the serial router *would* do for one
+// connection — the same strategy ladder, candidate orders and traces — but
+// against a BoardView, without touching the board. Metal the serial router
+// would have placed mid-construction (a drilled candidate via, the first
+// leg of a one-via route, earlier hops of a Lee path) is recorded in the
+// worker's PlanOverlay, and the free-space queries subtract it from every
+// gap they report, so the plan's geometry is byte-identical to the serial
+// result whenever the board the plan was taken against still matches the
+// plan's read footprint at commit time.
+//
+// Rip-up is deliberately not planned: it mutates other connections, which a
+// speculative worker must never do. A connection whose plan comes back
+// found == false is re-routed serially at its ordered turn.
+#pragma once
+
+#include "layer/board_view.hpp"
+#include "route/config.hpp"
+#include "route/connection.hpp"
+#include "route/plan.hpp"
+#include "route/search_scratch.hpp"
+
+namespace grr {
+
+class ConnectionPlanner {
+ public:
+  ConnectionPlanner(const LayerStack& stack, RouterConfig cfg);
+
+  /// Plan one connection against the current board state. Reads the board,
+  /// mutates only this planner's scratch.
+  RoutePlan plan(const Connection& c);
+
+ private:
+  /// Mirror of Router::place_direct: one direct trace between two via
+  /// points, preferred-orientation layers first, appended to the plan and
+  /// the overlay on success.
+  bool plan_direct(RoutePlan& plan, Point a_via, Point b_via);
+  bool plan_zero_via(RoutePlan& plan, const Connection& c);
+  bool plan_one_via(RoutePlan& plan, Point a, Point b);
+  bool plan_lee(RoutePlan& plan, const Connection& c);
+
+  BoardView view_;
+  RouterConfig cfg_;
+  SearchScratch scratch_;
+};
+
+}  // namespace grr

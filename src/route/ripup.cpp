@@ -3,14 +3,15 @@
 // that made the most progress are ripped up; after the blocked connection
 // routes, the victims are re-inserted exactly where they were, and the few
 // that no longer fit are marked for re-routing in a later pass.
-#include <chrono>
 #include <unordered_set>
 
 #include "route/router.hpp"
+#include "timing/scoped_timer.hpp"
 
 namespace grr {
 
-int Router::rip_up(const Connection& c, Point center_via) {
+int Router::rip_up(RouteTransaction& txn, const Connection& c,
+                   Point center_via) {
   const GridSpec& spec = stack_.spec();
   const Point g = spec.grid_of_via(center_via);
   const Coord rb = cfg_.rip_box_vias * spec.period();
@@ -21,14 +22,16 @@ int Router::rip_up(const Connection& c, Point center_via) {
   std::unordered_set<ConnId> victims;
   for (int li = 0; li < stack_.num_layers(); ++li) {
     obstructions(stack_.layer(static_cast<LayerId>(li)), stack_.pool(), g,
-                 box, [&](ConnId id) {
+                 box,
+                 [&](ConnId id) {
                    if (is_rippable(id) && id != c.id && db_->routed(id)) {
                      victims.insert(id);
                    }
-                 });
+                 },
+                 kDefaultMaxFreeNodes, &cursors_);
   }
   for (ConnId id : victims) {
-    db_->rip(stack_, id);
+    txn.rip(id);
     ripped_.push_back(id);
     ++stats_.rip_ups;
   }
@@ -36,16 +39,13 @@ int Router::rip_up(const Connection& c, Point center_via) {
 }
 
 void Router::put_back() {
-  auto start = std::chrono::steady_clock::now();
+  ScopedTimer t(stats_.sec_putback);
   for (ConnId id : ripped_) {
     // Most victims re-insert verbatim; the rest stay unrouted and are
     // re-routed by a later pass.
-    db_->try_putback(stack_, id);
+    RouteTransaction::putback(stack_, *db_, id, &txn_counters_, journal_);
   }
   ripped_.clear();
-  stats_.sec_putback += std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - start)
-                            .count();
 }
 
 }  // namespace grr

@@ -61,6 +61,18 @@ class RouteDB {
     return rec(id).status == RouteStatus::kRouted;
   }
 
+  /// Total intermediate vias over all routed connections.
+  long total_vias() const;
+  /// Physical trace length of a routed connection in mils (spans plus the
+  /// orthogonal crossing steps between adjacent channels within each hop).
+  long length_mils(const GridSpec& spec, const LayerStack& stack,
+                   ConnId id) const;
+
+ private:
+  /// All mutation is reserved to the RouteTransaction choke point, which
+  /// journals and counts every board change (engine layering; DESIGN.md).
+  friend class RouteTransaction;
+
   /// Start (re)constructing a connection: clear any stale geometry left
   /// from an earlier rip. The connection must have no live segments.
   void begin(ConnId id);
@@ -83,14 +95,6 @@ class RouteDB {
   /// length tuner to restore a snapshot before try_putback).
   void adopt_geometry(ConnId id, RouteGeom geom, RouteStrategy strategy);
 
-  /// Total intermediate vias over all routed connections.
-  long total_vias() const;
-  /// Physical trace length of a routed connection in mils (spans plus the
-  /// orthogonal crossing steps between adjacent channels within each hop).
-  long length_mils(const GridSpec& spec, const LayerStack& stack,
-                   ConnId id) const;
-
- private:
   RouteRecord& mut(ConnId id) { return recs_[static_cast<std::size_t>(id)]; }
   void link_tail(LayerStack& stack, RouteRecord& r, SegId s);
   void install_geom(LayerStack& stack, ConnId id);

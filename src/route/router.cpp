@@ -2,37 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 
 #include "route/boxes.hpp"
+#include "timing/scoped_timer.hpp"
 
 namespace grr {
-namespace {
-
-/// Accumulates wall time into a RouterStats field while in scope.
-class ScopedTimer {
- public:
-  explicit ScopedTimer(double& sink)
-      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
-  ~ScopedTimer() {
-    sink_ += std::chrono::duration<double>(
-                 std::chrono::steady_clock::now() - start_)
-                 .count();
-  }
-
- private:
-  double& sink_;
-  std::chrono::steady_clock::time_point start_;
-};
-
-}  // namespace
 
 Router::Router(LayerStack& stack, RouterConfig cfg)
     : stack_(stack), cfg_(cfg), lee_(stack) {}
 
-bool Router::try_lee(const Connection& c, Point* rip_center) {
+bool Router::try_lee(RouteTransaction& txn, const Connection& c,
+                     Point* rip_center) {
   ++stats_.lee_searches;
-  LeeResult res = lee_.search(c, cfg_);
+  LeeResult res = lee_.search(c, cfg_, &cursors_);
   stats_.lee_expansions += static_cast<long>(res.expansions);
   if (!res.found) {
     *rip_center = res.rip_center;
@@ -43,7 +25,7 @@ bool Router::try_lee(const Connection& c, Point* rip_center) {
   // each hop with Trace (the links "may all be on different layers").
   const GridSpec& spec = stack_.spec();
   for (std::size_t i = 1; i + 1 < res.via_seq.size(); ++i) {
-    db_->add_via(stack_, c.id, res.via_seq[i]);
+    txn.add_via(res.via_seq[i]);
   }
   for (std::size_t j = 0; j + 1 < res.via_seq.size(); ++j) {
     const Point u = res.via_seq[j];
@@ -54,62 +36,65 @@ bool Router::try_lee(const Connection& c, Point* rip_center) {
     auto spans =
         trace_path(layer, stack_.pool(), spec.grid_of_via(u),
                    spec.grid_of_via(w), box, cfg_.max_trace_nodes, nullptr,
-                   cfg_.via_avoidance ? spec.period() : 0);
+                   cfg_.via_avoidance ? spec.period() : 0, &cursors_);
     if (!spans) {
       // Rare self-interference between hops of this very path: abandon the
       // attempt; the caller falls through to rip-up around the hop start.
-      db_->abort(stack_, c.id);
+      txn.rollback();
       *rip_center = u;
       return false;
     }
-    db_->add_hop(stack_, c.id, res.hop_layers[j], std::move(*spans));
+    txn.add_hop(res.hop_layers[j], std::move(*spans));
   }
-  db_->commit(c.id, RouteStrategy::kLee);
+  txn.commit(RouteStrategy::kLee);
   return true;
 }
 
 bool Router::route_connection(const Connection& c) {
   assert(db_.has_value());
-  if (db_->routed(c.id)) return true;  // alreadyrouted (Sec 8.4)
+  if (db_->routed(c.id)) return true;  // already routed (Sec 8.4)
 
+  RouteTransaction txn(stack_, *db_, c.id, &txn_counters_, journal_);
   if (c.a == c.b) {
-    db_->begin(c.id);
-    db_->commit(c.id, RouteStrategy::kTrivial);
+    txn.commit(RouteStrategy::kTrivial);
     return true;
   }
 
   int rounds = 0;
   while (true) {
-    db_->begin(c.id);
     {
       ScopedTimer t(stats_.sec_zero_via);
-      if (cfg_.enable_zero_via && try_zero_via(c)) return true;
+      if (cfg_.enable_zero_via && try_zero_via(txn, c)) return true;
     }
     {
       ScopedTimer t(stats_.sec_one_via);
-      if (cfg_.enable_one_via && try_one_via(c)) return true;
-      if (cfg_.enable_two_via && try_two_via(c)) return true;
+      if (cfg_.enable_one_via && try_one_via(txn, c)) return true;
+      if (cfg_.enable_two_via && try_two_via(txn, c)) return true;
     }
     if (!cfg_.enable_lee) return false;
     Point rip_center{};
     {
       ScopedTimer t(stats_.sec_lee);
-      if (try_lee(c, &rip_center)) return true;
+      if (try_lee(txn, c, &rip_center)) return true;
     }
     if (!cfg_.enable_ripup || rounds >= cfg_.max_rip_rounds) return false;
     ScopedTimer t(stats_.sec_ripup);
-    if (rip_up(c, rip_center) == 0) return false;  // nothing left to remove
+    if (rip_up(txn, c, rip_center) == 0) return false;  // nothing to remove
     ++rounds;
     // Restart the attempt from the beginning (Sec 8.3).
   }
 }
 
 void Router::unroute(ConnId id) {
-  if (db_->routed(id)) db_->rip(stack_, id);
-  db_->begin(id);
+  if (db_->routed(id)) {
+    RouteTransaction::rip_out(stack_, *db_, id, &txn_counters_, journal_);
+  }
+  // Open and drop a transaction: clears the remembered geometry so the
+  // caller rebuilds from scratch.
+  RouteTransaction txn(stack_, *db_, id, &txn_counters_, journal_);
 }
 
-bool Router::route_all(const ConnectionList& conns) {
+void Router::prepare(const ConnectionList& conns) {
   conns_ = conns;
   if (cfg_.sort_connections) sort_connections(conns_);
 
@@ -118,15 +103,22 @@ bool Router::route_all(const ConnectionList& conns) {
   db_.emplace(static_cast<std::size_t>(max_id + 1));
   stats_ = RouterStats{};
   stats_.total = static_cast<int>(conns_.size());
+  txn_counters_ = TxnCounters{};
   ripped_.clear();
+}
 
-  auto count_unrouted = [&] {
-    std::size_t n = 0;
-    for (const Connection& c : conns_) {
-      if (!db_->routed(c.id)) ++n;
-    }
-    return n;
-  };
+std::size_t Router::count_unrouted() const {
+  std::size_t n = 0;
+  for (const Connection& c : conns_) {
+    if (!db_->routed(c.id)) ++n;
+  }
+  return n;
+}
+
+void Router::finish() { recompute_final_stats(); }
+
+bool Router::route_all(const ConnectionList& conns) {
+  prepare(conns);
 
   // One pass suffices in the absence of rip-ups; otherwise further passes
   // re-do the ripped connections. `progress` is true only while each pass
@@ -145,7 +137,7 @@ bool Router::route_all(const ConnectionList& conns) {
     }
   }
 
-  recompute_final_stats();
+  finish();
   return stats_.failed == 0;
 }
 

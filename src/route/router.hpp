@@ -2,16 +2,23 @@
 // and one-via strategies, the generalized Lee's algorithm, and rip-up with
 // put-back, applied as "a collection of strategies of increasing
 // desperation" under a multi-pass loop with the progress rule of Sec 8.4.
+//
+// All board mutation flows through RouteTransaction; all board reads go
+// through const queries with a per-router CursorCache carrying the paper's
+// moving-cursor locality hints. This is the serial reference engine; the
+// parallel BatchRouter drives the same machinery batch-wise.
 #pragma once
 
 #include <optional>
 
+#include "layer/cursor_cache.hpp"
 #include "layer/layer_stack.hpp"
 #include "route/config.hpp"
 #include "route/connection.hpp"
 #include "route/lee.hpp"
 #include "route/route_db.hpp"
 #include "route/sorting.hpp"
+#include "route/transaction.hpp"
 
 namespace grr {
 
@@ -73,6 +80,14 @@ class Router {
   /// Re-insert as many ripped-up connections as possible (Sec 8.3).
   void put_back();
 
+  /// The pieces of route_all, exposed so an alternative driver (the batch
+  /// router) can reuse the setup and the final accounting around its own
+  /// pass loop: prepare() sorts and resets, count_unrouted() feeds the
+  /// progress rule, finish() recomputes the final statistics.
+  void prepare(const ConnectionList& conns);
+  std::size_t count_unrouted() const;
+  void finish();
+
   RouteDB& db() { return *db_; }
   const RouteDB& db() const { return *db_; }
   LayerStack& stack() { return stack_; }
@@ -84,6 +99,12 @@ class Router {
   const RouterStats& stats() const { return stats_; }
   const ConnectionList& connections() const { return conns_; }
 
+  /// Mutation-layer activity since prepare().
+  const TxnCounters& txn_counters() const { return txn_counters_; }
+  /// Journal receiving the grid rectangles of all metal this router adds or
+  /// removes (the batch router's conflict detector). May be null.
+  void set_journal(MutationJournal* journal) { journal_ = journal; }
+
   /// Remove a routed connection's metal entirely (used by the length tuner
   /// to rebuild hops). Geometry memory is cleared.
   void unroute(ConnId id);
@@ -91,28 +112,29 @@ class Router {
  private:
   friend class LengthTuner;
   friend class CostFnTuner;
+  friend class BatchRouter;
 
   /// Zero-via attempt (Sec 8.1): on each layer whose orientation satisfies
   /// the radius constraint, try a direct Trace. Places and commits.
-  bool try_zero_via(const Connection& c);
-  /// Place a direct trace between two via points for connection `id`
-  /// without committing (building block of one-via and tuning).
-  bool place_direct(ConnId id, Point a_via, Point b_via);
+  bool try_zero_via(RouteTransaction& txn, const Connection& c);
+  /// Place a direct trace between two via points under an open transaction
+  /// (building block of one-via and tuning).
+  bool place_direct(RouteTransaction& txn, Point a_via, Point b_via);
   /// One-via attempt (Sec 8.1): enumerate candidate intermediate vias in
   /// the two corner squares, best-to-worst. Places and commits.
-  bool try_one_via(const Connection& c);
+  bool try_one_via(RouteTransaction& txn, const Connection& c);
   /// One-via placement between arbitrary end points without committing
   /// (building block of try_one_via and the two-via ablation).
-  bool one_via_between(ConnId id, Point a_via, Point b_via);
+  bool one_via_between(RouteTransaction& txn, Point a_via, Point b_via);
   /// The rejected two-via divide-and-conquer extension (Sec 8.1): pick an
   /// intermediate via, try zero-via to one pin and one-via to the other,
   /// over a pre-determined candidate order. Kept for bench_two_via.
-  bool try_two_via(const Connection& c);
+  bool try_two_via(RouteTransaction& txn, const Connection& c);
   /// Lee attempt: search then realize (drill + Trace per hop).
-  bool try_lee(const Connection& c, Point* rip_center);
+  bool try_lee(RouteTransaction& txn, const Connection& c, Point* rip_center);
   /// Rip up the rippable connections near a point (Sec 8.3); returns the
   /// number of victims.
-  int rip_up(const Connection& c, Point center_via);
+  int rip_up(RouteTransaction& txn, const Connection& c, Point center_via);
 
   void recompute_final_stats();
 
@@ -120,9 +142,12 @@ class Router {
   RouterConfig cfg_;
   std::optional<RouteDB> db_;
   LeeSearch lee_;
+  CursorCache cursors_;  // the paper's moving-cursor hints (Secs 4, 12)
   ConnectionList conns_;
   std::vector<ConnId> ripped_;  // pending put-back
   RouterStats stats_;
+  TxnCounters txn_counters_;
+  MutationJournal* journal_ = nullptr;
 };
 
 }  // namespace grr

@@ -1,0 +1,28 @@
+// Per-worker mutable search state (search/commit split).
+//
+// Planning is read-only with respect to the shared board, but searching is
+// not stateless: the moving-cursor hints (Secs 4, 12), the Lee mark arrays,
+// and the tentative metal of the plan under construction all mutate as the
+// search runs. Bundling them per worker keeps the shared LayerStack free of
+// any mutable search state, which is what lets many planners run against
+// one board concurrently.
+#pragma once
+
+#include <vector>
+
+#include "layer/cursor_cache.hpp"
+#include "layer/plan_overlay.hpp"
+#include "route/lee.hpp"
+
+namespace grr {
+
+struct SearchScratch {
+  CursorCache cursors;   // channel walk-start hints
+  PlanOverlay overlay;   // tentative metal of the plan being built
+  LeeSearch lee;         // owns the per-search mark arrays
+  std::vector<Point> expanded;  // wavefront log -> read footprint
+
+  explicit SearchScratch(const LayerStack& stack) : lee(stack) {}
+};
+
+}  // namespace grr

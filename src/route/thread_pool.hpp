@@ -1,0 +1,102 @@
+// A small reusable worker pool for the batch router's planning phase.
+//
+// The batch router alternates strictly between a parallel planning phase
+// and a serial commit phase, so the pool's job is only to run one indexed
+// loop at a time: for_indices(n, fn) hands out indices to the workers and
+// blocks until all are done. The generation counter and the done count are
+// both guarded by the mutex, which gives the two barriers the batch router
+// needs: board mutations made before for_indices happen-before the
+// workers' reads, and the workers' plan writes happen-before the caller's
+// return.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace grr {
+
+class ThreadPool {
+ public:
+  using Job = std::function<void(int worker, std::size_t index)>;
+
+  explicit ThreadPool(int threads) {
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Run fn(worker, i) for every i in [0, count); workers claim indices
+  /// dynamically. Blocks until the whole range is done.
+  void for_indices(std::size_t count, const Job& fn) {
+    if (count == 0) return;
+    std::unique_lock<std::mutex> lk(mu_);
+    job_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    pending_ = workers_.size();
+    ++generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lk, [this] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void worker_loop(int id) {
+    std::uint64_t seen = 0;
+    while (true) {
+      const Job* job = nullptr;
+      std::size_t count = 0;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+        count = count_;
+      }
+      for (std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+           i < count;
+           i = next_.fetch_add(1, std::memory_order_relaxed)) {
+        (*job)(id, i);
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (--pending_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const Job* job_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace grr

@@ -1,0 +1,155 @@
+#include "route/transaction.hpp"
+
+#include <cassert>
+
+namespace grr {
+namespace {
+
+/// Grid-coordinate rectangle covered by one placed span.
+Rect rect_of(const LayerStack& stack, const PlacedSpan& ps) {
+  const Layer& layer = stack.layer(ps.layer);
+  if (layer.orientation() == Orientation::kHorizontal) {
+    return {ps.span, {ps.channel, ps.channel}};
+  }
+  return {{ps.channel, ps.channel}, ps.span};
+}
+
+/// A via covers the same single grid point on every layer.
+Rect rect_of_via(const LayerStack& stack, Point via) {
+  Point g = stack.spec().grid_of_via(via);
+  return {{g.x, g.x}, {g.y, g.y}};
+}
+
+void log_geom(MutationJournal* journal, const LayerStack& stack,
+              const RouteGeom& geom) {
+  if (journal == nullptr) return;
+  for (Point v : geom.vias) journal->touched.push_back(rect_of_via(stack, v));
+  for (const RouteHop& hop : geom.hops) {
+    for (const ChannelSpan& cs : hop.spans) {
+      journal->touched.push_back(
+          rect_of(stack, {hop.layer, cs.channel, cs.span}));
+    }
+  }
+}
+
+void log_live_segs(MutationJournal* journal, const LayerStack& stack,
+                   const std::vector<SegId>& segs) {
+  if (journal == nullptr) return;
+  for (SegId s : segs) {
+    journal->touched.push_back(rect_of(stack, stack.placed_span(s)));
+  }
+}
+
+}  // namespace
+
+RouteTransaction::RouteTransaction(LayerStack& stack, RouteDB& db, ConnId id,
+                                   TxnCounters* counters,
+                                   MutationJournal* journal)
+    : stack_(stack), db_(db), id_(id), counters_(counters),
+      journal_(journal) {
+  db_.begin(id_);
+  if (counters_ != nullptr) ++counters_->begins;
+}
+
+RouteTransaction::~RouteTransaction() {
+  if (!committed_) rollback();
+}
+
+void RouteTransaction::log_via(Point via) {
+  if (journal_ != nullptr) {
+    journal_->touched.push_back(rect_of_via(stack_, via));
+  }
+}
+
+void RouteTransaction::log_spans(LayerId layer,
+                                 const std::vector<ChannelSpan>& spans) {
+  if (journal_ == nullptr) return;
+  for (const ChannelSpan& cs : spans) {
+    journal_->touched.push_back(rect_of(stack_, {layer, cs.channel, cs.span}));
+  }
+}
+
+void RouteTransaction::add_via(Point via) {
+  assert(!committed_);
+  log_via(via);
+  db_.add_via(stack_, id_, via);
+  if (counters_ != nullptr) ++counters_->vias;
+}
+
+void RouteTransaction::add_hop(LayerId layer, std::vector<ChannelSpan> spans) {
+  assert(!committed_);
+  log_spans(layer, spans);
+  db_.add_hop(stack_, id_, layer, std::move(spans));
+  if (counters_ != nullptr) ++counters_->hops;
+}
+
+void RouteTransaction::commit(RouteStrategy strategy) {
+  assert(!committed_);
+  db_.commit(id_, strategy);
+  committed_ = true;
+  if (counters_ != nullptr) ++counters_->commits;
+}
+
+void RouteTransaction::rollback() {
+  assert(!committed_);
+  // Removed metal was already journalled when it was added.
+  db_.abort(stack_, id_);
+  if (counters_ != nullptr) ++counters_->rollbacks;
+}
+
+void RouteTransaction::rip(ConnId victim) {
+  rip_out(stack_, db_, victim, counters_, journal_);
+}
+
+bool RouteTransaction::try_install(const RoutePlan& plan) {
+  assert(plan.found);
+  for (Point v : plan.vias) {
+    if (!stack_.via_free(v)) {
+      rollback();
+      if (counters_ != nullptr) ++counters_->install_conflicts;
+      return false;
+    }
+    add_via(v);
+  }
+  for (const RouteHop& hop : plan.hops) {
+    for (const ChannelSpan& cs : hop.spans) {
+      if (!stack_.span_free({hop.layer, cs.channel, cs.span})) {
+        rollback();
+        if (counters_ != nullptr) ++counters_->install_conflicts;
+        return false;
+      }
+    }
+    add_hop(hop.layer, hop.spans);
+  }
+  commit(plan.strategy);
+  if (counters_ != nullptr) ++counters_->installs;
+  return true;
+}
+
+bool RouteTransaction::putback(LayerStack& stack, RouteDB& db, ConnId id,
+                               TxnCounters* counters,
+                               MutationJournal* journal) {
+  bool ok = db.try_putback(stack, id);
+  if (ok) {
+    log_geom(journal, stack, db.rec(id).geom);
+    if (counters != nullptr) ++counters->putbacks;
+  } else if (counters != nullptr) {
+    ++counters->putback_failures;
+  }
+  return ok;
+}
+
+void RouteTransaction::rip_out(LayerStack& stack, RouteDB& db, ConnId id,
+                               TxnCounters* counters,
+                               MutationJournal* journal) {
+  log_live_segs(journal, stack, db.rec(id).segs);
+  db.rip(stack, id);
+  if (counters != nullptr) ++counters->rips;
+}
+
+void RouteTransaction::adopt_geometry(RouteDB& db, ConnId id, RouteGeom geom,
+                                      RouteStrategy strategy) {
+  db.adopt_geometry(id, std::move(geom), strategy);
+}
+
+}  // namespace grr

@@ -1,0 +1,105 @@
+// RouteTransaction: the single choke point for board mutation.
+//
+// Every change to the shared wiring state — drilling, placing, committing,
+// aborting, ripping up, putting back — flows through this class, which
+// journals what it touches and counts what it does. Search code (the
+// planner, LeeSearch, the free-space algorithms) is read-only by
+// construction; RouteDB's mutators are private and befriend only this
+// class. The journal is what makes speculative parallel routing safe: the
+// commit thread replays plans in serial order and uses the journal's
+// touched-rectangle log to detect when a plan's read footprint has been
+// invalidated by an earlier commit.
+#pragma once
+
+#include <vector>
+
+#include "layer/layer_stack.hpp"
+#include "route/plan.hpp"
+#include "route/route_db.hpp"
+
+namespace grr {
+
+/// Running tally of mutation-layer activity (observability; cheap).
+struct TxnCounters {
+  long begins = 0;
+  long vias = 0;       // vias drilled (including later aborted ones)
+  long hops = 0;       // hops placed (including later aborted ones)
+  long commits = 0;
+  long rollbacks = 0;
+  long rips = 0;
+  long putbacks = 0;
+  long putback_failures = 0;
+  long installs = 0;           // whole plans installed verbatim
+  long install_conflicts = 0;  // plans rejected by the live-board check
+};
+
+/// Grid-coordinate rectangles of all metal added or removed since the last
+/// clear(). Removal is logged too: a rip frees space a speculative plan did
+/// not see, which invalidates the plan just as surely as new metal does.
+struct MutationJournal {
+  std::vector<Rect> touched;
+  void clear() { touched.clear(); }
+};
+
+class RouteTransaction {
+ public:
+  /// Opens a construction for `id` (the old RouteDB::begin). The connection
+  /// must have no live segments.
+  RouteTransaction(LayerStack& stack, RouteDB& db, ConnId id,
+                   TxnCounters* counters = nullptr,
+                   MutationJournal* journal = nullptr);
+  /// Rolls back automatically if neither committed nor rolled back.
+  ~RouteTransaction();
+
+  RouteTransaction(const RouteTransaction&) = delete;
+  RouteTransaction& operator=(const RouteTransaction&) = delete;
+
+  /// Drill an intermediate via for the connection under construction.
+  void add_via(Point via);
+  /// Place one trace (hop) for the connection under construction.
+  void add_hop(LayerId layer, std::vector<ChannelSpan> spans);
+  /// Finish a successful construction.
+  void commit(RouteStrategy strategy);
+  /// Remove everything placed so far; the transaction stays open and can
+  /// place again (the one-via candidate loop does exactly this).
+  void rollback();
+  /// Rip up another routed connection blocking this one (Sec 8.3).
+  void rip(ConnId victim);
+
+  /// Validate a precomputed plan against the live board and install it:
+  /// every via site and span is re-checked before placement. On any miss
+  /// the partial placement is rolled back, the transaction stays open, and
+  /// false is returned (the caller re-routes serially).
+  bool try_install(const RoutePlan& plan);
+
+  bool committed() const { return committed_; }
+  ConnId id() const { return id_; }
+
+  /// Out-of-band mutations that do not construct a route but still must
+  /// flow through the choke point.
+  /// Re-insert a ripped connection exactly where it was (Sec 8.3).
+  static bool putback(LayerStack& stack, RouteDB& db, ConnId id,
+                      TxnCounters* counters = nullptr,
+                      MutationJournal* journal = nullptr);
+  /// Rip a routed connection outside any construction (tuners).
+  static void rip_out(LayerStack& stack, RouteDB& db, ConnId id,
+                      TxnCounters* counters = nullptr,
+                      MutationJournal* journal = nullptr);
+  /// Replace an unrouted connection's remembered geometry (snapshot
+  /// restore before putback; mutates the database only, not the board).
+  static void adopt_geometry(RouteDB& db, ConnId id, RouteGeom geom,
+                             RouteStrategy strategy);
+
+ private:
+  void log_via(Point via);
+  void log_spans(LayerId layer, const std::vector<ChannelSpan>& spans);
+
+  LayerStack& stack_;
+  RouteDB& db_;
+  ConnId id_;
+  TxnCounters* counters_;
+  MutationJournal* journal_;
+  bool committed_ = false;
+};
+
+}  // namespace grr

@@ -1,0 +1,29 @@
+// Scoped wall-clock accumulation. Hoisted out of the router so every
+// engine phase (strategy ladders, batch planning, commit serialization)
+// reports through the same utility; the paper's tuning methodology leaned
+// on "profiles of the CPU usage of each procedure" (Sec 12).
+#pragma once
+
+#include <chrono>
+
+namespace grr {
+
+/// Accumulates wall time into a double (seconds) while in scope.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    sink_ += std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - start_)
+                 .count();
+  }
+
+ private:
+  double& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace grr

@@ -37,23 +37,17 @@ struct QGreater {
 
 bool CostFnTuner::realize(const Connection& c,
                           const std::vector<Point>& seq) {
-  RouteDB& db = router_.db();
   LayerStack& stack = router_.stack();
-  db.begin(c.id);
+  RouteTransaction txn(stack, router_.db(), c.id, &router_.txn_counters_,
+                       router_.journal_);
   for (std::size_t i = 1; i + 1 < seq.size(); ++i) {
-    if (!stack.via_free(seq[i])) {
-      db.abort(stack, c.id);
-      return false;
-    }
-    db.add_via(stack, c.id, seq[i]);
+    if (!stack.via_free(seq[i])) return false;  // dtor rolls back
+    txn.add_via(seq[i]);
   }
   for (std::size_t j = 0; j + 1 < seq.size(); ++j) {
-    if (!router_.place_direct(c.id, seq[j], seq[j + 1])) {
-      db.abort(stack, c.id);
-      return false;
-    }
+    if (!router_.place_direct(txn, seq[j], seq[j + 1])) return false;
   }
-  db.commit(c.id, RouteStrategy::kTuned);
+  txn.commit(RouteStrategy::kTuned);
   return true;
 }
 

@@ -7,23 +7,17 @@ namespace grr {
 
 bool LengthTuner::place_via_path(const Connection& c,
                                  const std::vector<Point>& seq) {
-  RouteDB& db = router_.db();
   LayerStack& stack = router_.stack();
-  db.begin(c.id);
+  RouteTransaction txn(stack, router_.db(), c.id, &router_.txn_counters_,
+                       router_.journal_);
   for (std::size_t i = 1; i + 1 < seq.size(); ++i) {
-    if (!stack.via_free(seq[i])) {
-      db.abort(stack, c.id);
-      return false;
-    }
-    db.add_via(stack, c.id, seq[i]);
+    if (!stack.via_free(seq[i])) return false;  // dtor rolls back
+    txn.add_via(seq[i]);
   }
   for (std::size_t j = 0; j + 1 < seq.size(); ++j) {
-    if (!router_.place_direct(c.id, seq[j], seq[j + 1])) {
-      db.abort(stack, c.id);
-      return false;
-    }
+    if (!router_.place_direct(txn, seq[j], seq[j + 1])) return false;
   }
-  db.commit(c.id, RouteStrategy::kTuned);
+  txn.commit(RouteStrategy::kTuned);
   return true;
 }
 
@@ -88,8 +82,10 @@ TuneResult LengthTuner::tune(const Connection& c, int max_iterations) {
             }
             router_.unroute(c.id);  // overshoot or no gain: roll back
           }
-          db.adopt_geometry(c.id, snapshot, snap_strategy);
-          bool restored = db.try_putback(stack, c.id);
+          RouteTransaction::adopt_geometry(db, c.id, snapshot,
+                                           snap_strategy);
+          bool restored = RouteTransaction::putback(
+              stack, db, c.id, &router_.txn_counters_, router_.journal_);
           assert(restored);
           (void)restored;
         }

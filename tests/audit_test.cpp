@@ -2,6 +2,8 @@
 // records must be detected (a checker that can't fail is no checker).
 #include "route/audit.hpp"
 
+#include "route/transaction.hpp"
+
 #include <gtest/gtest.h>
 
 namespace grr {
@@ -52,9 +54,11 @@ TEST_F(AuditTest, DetectsChannelBookkeepingCorruption) {
 
 TEST_F(AuditTest, DetectsBrokenTraceLinks) {
   Connection c = make_conn(0, {2, 2}, {8, 2});
-  db_.begin(0);
-  db_.add_hop(stack_, 0, 0, {{7, {7, 10}}, {8, {10, 14}}});
-  db_.commit(0, RouteStrategy::kZeroVia);
+  {
+    RouteTransaction txn(stack_, db_, 0);
+    txn.add_hop(0, {{7, {7, 10}}, {8, {10, 14}}});
+    txn.commit(RouteStrategy::kZeroVia);
+  }
   // Sever the trace_next chain.
   stack_.pool()[db_.rec(0).segs.front()].trace_next = kNoSeg;
   CheckReport rep = audit_routes(stack_, db_, {c});
@@ -64,9 +68,11 @@ TEST_F(AuditTest, DetectsBrokenTraceLinks) {
 
 TEST_F(AuditTest, DetectsForeignSegmentOwnership) {
   Connection c = make_conn(0, {2, 2}, {8, 2});
-  db_.begin(0);
-  db_.add_hop(stack_, 0, 0, {{7, {7, 10}}});
-  db_.commit(0, RouteStrategy::kZeroVia);
+  {
+    RouteTransaction txn(stack_, db_, 0);
+    txn.add_hop(0, {{7, {7, 10}}});
+    txn.commit(RouteStrategy::kZeroVia);
+  }
   stack_.pool()[db_.rec(0).segs.front()].conn = 3;  // stolen segment
   CheckReport rep = audit_routes(stack_, db_, {c});
   ASSERT_FALSE(rep.ok());
@@ -76,9 +82,11 @@ TEST_F(AuditTest, DetectsForeignSegmentOwnership) {
 
 TEST_F(AuditTest, DetectsHopViaMismatch) {
   Connection c = make_conn(0, {2, 2}, {8, 2});
-  db_.begin(0);
-  db_.add_via(stack_, 0, {5, 5});  // a via with no hops chaining it
-  db_.commit(0, RouteStrategy::kOneVia);
+  {
+    RouteTransaction txn(stack_, db_, 0);
+    txn.add_via({5, 5});  // a via with no hops chaining it
+    txn.commit(RouteStrategy::kOneVia);
+  }
   CheckReport rep = audit_routes(stack_, db_, {c});
   ASSERT_FALSE(rep.ok());
   EXPECT_NE(rep.first_error().find("does not chain"), std::string::npos);
@@ -86,10 +94,12 @@ TEST_F(AuditTest, DetectsHopViaMismatch) {
 
 TEST_F(AuditTest, DetectsDetachedHopEnds) {
   Connection c = make_conn(0, {2, 2}, {8, 2});
-  db_.begin(0);
-  // A span nowhere near either end point. a=(2,2)->grid (6,6).
-  db_.add_hop(stack_, 0, 0, {{20, {20, 26}}});
-  db_.commit(0, RouteStrategy::kZeroVia);
+  {
+    RouteTransaction txn(stack_, db_, 0);
+    // A span nowhere near either end point. a=(2,2)->grid (6,6).
+    txn.add_hop(0, {{20, {20, 26}}});
+    txn.commit(RouteStrategy::kZeroVia);
+  }
   CheckReport rep = audit_routes(stack_, db_, {c});
   ASSERT_FALSE(rep.ok());
   EXPECT_NE(rep.first_error().find("does not touch its via"),
@@ -100,9 +110,11 @@ TEST_F(AuditTest, DetectsDiscontinuousHop) {
   Connection c = make_conn(0, {2, 2}, {2, 4});
   // a = grid (6,6), b = grid (6,12): spans touching both ends but with a
   // gap in the middle chain (channels 7 and 11 are not adjacent).
-  db_.begin(0);
-  db_.add_hop(stack_, 0, 0, {{7, {5, 7}}, {11, {5, 7}}});
-  db_.commit(0, RouteStrategy::kZeroVia);
+  {
+    RouteTransaction txn(stack_, db_, 0);
+    txn.add_hop(0, {{7, {5, 7}}, {11, {5, 7}}});
+    txn.commit(RouteStrategy::kZeroVia);
+  }
   CheckReport rep = audit_routes(stack_, db_, {c});
   ASSERT_FALSE(rep.ok());
   bool found = false;
@@ -114,11 +126,13 @@ TEST_F(AuditTest, DetectsDiscontinuousHop) {
 
 TEST_F(AuditTest, DetectsMissingViaCoverage) {
   Connection c = make_conn(0, {2, 2}, {8, 2});
-  db_.begin(0);
-  db_.add_via(stack_, 0, {5, 5});
-  db_.add_hop(stack_, 0, 0, {{7, {7, 14}}});
-  db_.add_hop(stack_, 0, 1, {{15, {7, 14}}});
-  db_.commit(0, RouteStrategy::kOneVia);
+  {
+    RouteTransaction txn(stack_, db_, 0);
+    txn.add_via({5, 5});
+    txn.add_hop(0, {{7, {7, 14}}});
+    txn.add_hop(1, {{15, {7, 14}}});
+    txn.commit(RouteStrategy::kOneVia);
+  }
   // Erase the via's unit segment on layer 1 behind the database's back.
   const RouteRecord& r = db_.rec(0);
   for (SegId s : r.segs) {
@@ -141,9 +155,11 @@ TEST_F(AuditTest, DetectsTileTrespass) {
   tiles.add_tile(0, {{0, 36}, {0, 36}}, SignalClass::kTTL);
   Connection c = make_conn(0, {2, 2}, {8, 2});
   c.klass = SignalClass::kECL;
-  db_.begin(0);
-  db_.add_hop(stack_, 0, 0, {{7, {7, 10}}});  // inside the TTL tile
-  db_.commit(0, RouteStrategy::kZeroVia);
+  {
+    RouteTransaction txn(stack_, db_, 0);
+    txn.add_hop(0, {{7, {7, 10}}});  // inside the TTL tile
+    txn.commit(RouteStrategy::kZeroVia);
+  }
   CheckReport rep = audit_tiles(stack_, db_, {c}, tiles);
   ASSERT_FALSE(rep.ok());
   EXPECT_NE(rep.first_error().find("trespasses"), std::string::npos);

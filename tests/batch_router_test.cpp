@@ -1,0 +1,175 @@
+// The batch router's contract: for ANY thread count it produces the exact
+// serial result — same routed set, same per-connection geometry, same
+// discrete statistics — because plans are committed in serial order and
+// installed only when provably identical to what the serial router would
+// have done (otherwise the connection is re-routed serially in place).
+#include "route/batch_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "route/audit.hpp"
+#include "workload/suite.hpp"
+
+namespace grr {
+namespace {
+
+GeneratedBoard make_board(int layers, double locality, int conns,
+                          std::uint32_t seed = 5) {
+  BoardGenParams p;
+  p.name = "batch";
+  p.width_in = 6;
+  p.height_in = 5;
+  p.layers = layers;
+  p.target_connections = conns;
+  p.locality = locality;
+  p.seed = seed;
+  return generate_board(p);
+}
+
+/// Discrete statistics that must be bit-equal between runs (wall times and
+/// cursor behavior legitimately differ).
+void expect_stats_equal(const RouterStats& a, const RouterStats& b) {
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.routed, b.routed);
+  EXPECT_EQ(a.failed, b.failed);
+  for (int i = 0; i < kNumRouteStrategies; ++i) {
+    EXPECT_EQ(a.by_strategy[i], b.by_strategy[i]) << "strategy " << i;
+  }
+  EXPECT_EQ(a.rip_ups, b.rip_ups);
+  EXPECT_EQ(a.vias_added, b.vias_added);
+  EXPECT_EQ(a.lee_searches, b.lee_searches);
+  EXPECT_EQ(a.lee_expansions, b.lee_expansions);
+  EXPECT_EQ(a.passes, b.passes);
+}
+
+/// Every connection's realized geometry must match exactly.
+void expect_geometry_equal(const RouteDB& a, const RouteDB& b,
+                           const ConnectionList& conns) {
+  for (const Connection& c : conns) {
+    const RouteRecord& ra = a.rec(c.id);
+    const RouteRecord& rb = b.rec(c.id);
+    ASSERT_EQ(ra.status, rb.status) << "conn " << c.id;
+    ASSERT_EQ(ra.strategy, rb.strategy) << "conn " << c.id;
+    ASSERT_EQ(ra.geom.vias, rb.geom.vias) << "conn " << c.id;
+    ASSERT_EQ(ra.geom.hops.size(), rb.geom.hops.size()) << "conn " << c.id;
+    for (std::size_t h = 0; h < ra.geom.hops.size(); ++h) {
+      EXPECT_EQ(ra.geom.hops[h].layer, rb.geom.hops[h].layer)
+          << "conn " << c.id << " hop " << h;
+      EXPECT_EQ(ra.geom.hops[h].spans, rb.geom.hops[h].spans)
+          << "conn " << c.id << " hop " << h;
+    }
+  }
+}
+
+TEST(BatchRouterTest, OneThreadIsTheSerialEngine) {
+  GeneratedBoard serial = make_board(4, 0.3, 300);
+  GeneratedBoard batch = make_board(4, 0.3, 300);
+
+  Router sr(serial.board->stack(), RouterConfig{});
+  sr.route_all(serial.strung.connections);
+
+  RouterConfig cfg;
+  cfg.threads = 1;
+  BatchRouter br(batch.board->stack(), cfg);
+  br.route_all(batch.strung.connections);
+
+  EXPECT_EQ(br.batch_stats().planned, 0);  // no speculation at 1 thread
+  expect_stats_equal(sr.stats(), br.stats());
+  expect_geometry_equal(sr.db(), br.db(), serial.strung.connections);
+}
+
+TEST(BatchRouterTest, FourThreadsMatchSerialExactly) {
+  GeneratedBoard serial = make_board(4, 0.3, 400);
+  GeneratedBoard batch = make_board(4, 0.3, 400);
+
+  Router sr(serial.board->stack(), RouterConfig{});
+  sr.route_all(serial.strung.connections);
+
+  RouterConfig cfg;
+  cfg.threads = 4;
+  BatchRouter br(batch.board->stack(), cfg);
+  br.route_all(batch.strung.connections);
+
+  EXPECT_GT(br.batch_stats().planned, 0);
+  EXPECT_GT(br.batch_stats().installed, 0);  // speculation actually paid off
+  expect_stats_equal(sr.stats(), br.stats());
+  expect_geometry_equal(sr.db(), br.db(), serial.strung.connections);
+
+  CheckReport audit = audit_all(batch.board->stack(), br.db(),
+                                batch.strung.connections);
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
+}
+
+TEST(BatchRouterTest, ThreadCountsAgreeWithEachOther) {
+  GeneratedBoard two = make_board(4, 0.35, 350, 9);
+  GeneratedBoard eight = make_board(4, 0.35, 350, 9);
+
+  RouterConfig c2;
+  c2.threads = 2;
+  BatchRouter b2(two.board->stack(), c2);
+  b2.route_all(two.strung.connections);
+
+  RouterConfig c8;
+  c8.threads = 8;
+  BatchRouter b8(eight.board->stack(), c8);
+  b8.route_all(eight.strung.connections);
+
+  expect_stats_equal(b2.stats(), b8.stats());
+  expect_geometry_equal(b2.db(), b8.db(), two.strung.connections);
+}
+
+TEST(BatchRouterTest, OverCapacityBoardStillMatchesSerial) {
+  // Failures, rip-ups and multiple passes all take the serial-redo path;
+  // the equivalence must survive them.
+  GeneratedBoard serial = make_board(2, 0.5, 400, 11);
+  GeneratedBoard batch = make_board(2, 0.5, 400, 11);
+
+  Router sr(serial.board->stack(), RouterConfig{});
+  bool sok = sr.route_all(serial.strung.connections);
+
+  RouterConfig cfg;
+  cfg.threads = 4;
+  BatchRouter br(batch.board->stack(), cfg);
+  bool bok = br.route_all(batch.strung.connections);
+
+  EXPECT_EQ(sok, bok);
+  expect_stats_equal(sr.stats(), br.stats());
+  expect_geometry_equal(sr.db(), br.db(), serial.strung.connections);
+
+  CheckReport audit = audit_all(batch.board->stack(), br.db(),
+                                batch.strung.connections);
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
+}
+
+TEST(BatchRouterTest, TwoViaAblationFallsBackToSerial) {
+  GeneratedBoard gb = make_board(4, 0.3, 200);
+  RouterConfig cfg;
+  cfg.threads = 4;
+  cfg.enable_two_via = true;
+  BatchRouter br(gb.board->stack(), cfg);
+  br.route_all(gb.strung.connections);
+  EXPECT_EQ(br.batch_stats().planned, 0);
+  EXPECT_EQ(br.stats().routed + br.stats().failed, br.stats().total);
+}
+
+TEST(BatchRouterTest, UnsortedOrderAlsoMatches) {
+  GeneratedBoard serial = make_board(4, 0.3, 300, 7);
+  GeneratedBoard batch = make_board(4, 0.3, 300, 7);
+
+  RouterConfig scfg;
+  scfg.sort_connections = false;
+  Router sr(serial.board->stack(), scfg);
+  sr.route_all(serial.strung.connections);
+
+  RouterConfig bcfg;
+  bcfg.sort_connections = false;
+  bcfg.threads = 3;
+  BatchRouter br(batch.board->stack(), bcfg);
+  br.route_all(batch.strung.connections);
+
+  expect_stats_equal(sr.stats(), br.stats());
+  expect_geometry_equal(sr.db(), br.db(), serial.strung.connections);
+}
+
+}  // namespace
+}  // namespace grr

@@ -9,6 +9,7 @@
 
 #include "route/audit.hpp"
 #include "route/router.hpp"
+#include "route/transaction.hpp"
 #include "stringer/stringer.hpp"
 #include "workload/board_gen.hpp"
 
@@ -110,13 +111,13 @@ TEST_P(RipPutbackSweep, RipThenPutbackRestoresExactState) {
   std::vector<ConnId> ripped;
   for (const Connection& c : gb.strung.connections) {
     if (rng() % 4 == 0 && router.db().routed(c.id)) {
-      router.db().rip(stack, c.id);
+      RouteTransaction::rip_out(stack, router.db(), c.id);
       ripped.push_back(c.id);
     }
   }
   EXPECT_LT(stack.segment_count(), live);
   for (ConnId id : ripped) {
-    EXPECT_TRUE(router.db().try_putback(stack, id));
+    EXPECT_TRUE(RouteTransaction::putback(stack, router.db(), id));
   }
   EXPECT_EQ(stack.segment_count(), live);
   CheckReport audit =

@@ -1,8 +1,11 @@
-// Tests for the route database: construction, abort, rip-up and put-back
-// (paper Secs 4 and 8.3).
+// Tests for the route database and its mutation choke point: construction,
+// rollback, rip-up and put-back (paper Secs 4 and 8.3). All mutation goes
+// through RouteTransaction — RouteDB's raw mutators are private.
 #include "route/route_db.hpp"
 
 #include <gtest/gtest.h>
+
+#include "route/transaction.hpp"
 
 namespace grr {
 namespace {
@@ -14,14 +17,16 @@ class RouteDBTest : public ::testing::Test {
   GridSpec spec_;
   LayerStack stack_;
   RouteDB db_;
+  TxnCounters counters_;
+  MutationJournal journal_;
 };
 
 TEST_F(RouteDBTest, BuildCommitAndTraceLinks) {
-  db_.begin(0);
-  db_.add_via(stack_, 0, {5, 4});
-  db_.add_hop(stack_, 0, 0, {{12, {3, 14}}});
-  db_.add_hop(stack_, 0, 1, {{15, {13, 20}}});
-  db_.commit(0, RouteStrategy::kOneVia);
+  RouteTransaction txn(stack_, db_, 0, &counters_);
+  txn.add_via({5, 4});
+  txn.add_hop(0, {{12, {3, 14}}});
+  txn.add_hop(1, {{15, {13, 20}}});
+  txn.commit(RouteStrategy::kOneVia);
 
   const RouteRecord& r = db_.rec(0);
   EXPECT_EQ(r.status, RouteStatus::kRouted);
@@ -36,92 +41,146 @@ TEST_F(RouteDBTest, BuildCommitAndTraceLinks) {
     EXPECT_EQ(stack_.pool()[r.segs[i]].trace_next, want);
   }
   EXPECT_EQ(db_.total_vias(), 1);
+  EXPECT_EQ(counters_.begins, 1);
+  EXPECT_EQ(counters_.vias, 1);
+  EXPECT_EQ(counters_.hops, 2);
+  EXPECT_EQ(counters_.commits, 1);
+  EXPECT_EQ(counters_.rollbacks, 0);
 }
 
-TEST_F(RouteDBTest, AbortRemovesEverything) {
-  db_.begin(1);
-  db_.add_via(stack_, 1, {5, 4});
-  db_.add_hop(stack_, 1, 0, {{12, {3, 14}}});
-  db_.abort(stack_, 1);
+TEST_F(RouteDBTest, RollbackRemovesEverything) {
+  {
+    RouteTransaction txn(stack_, db_, 1, &counters_);
+    txn.add_via({5, 4});
+    txn.add_hop(0, {{12, {3, 14}}});
+    // Dropped uncommitted: the destructor rolls back.
+  }
   EXPECT_EQ(stack_.segment_count(), 0u);
   EXPECT_TRUE(stack_.via_free({5, 4}));
   EXPECT_EQ(db_.rec(1).status, RouteStatus::kUnrouted);
   EXPECT_TRUE(db_.rec(1).geom.vias.empty());
+  EXPECT_EQ(counters_.rollbacks, 1);
+}
+
+TEST_F(RouteDBTest, ExplicitRollbackLeavesTransactionOpen) {
+  RouteTransaction txn(stack_, db_, 1, &counters_);
+  txn.add_via({5, 4});
+  txn.rollback();
+  EXPECT_EQ(stack_.segment_count(), 0u);
+  // The transaction can place again after a rollback (the one-via
+  // candidate loop relies on this).
+  txn.add_via({6, 4});
+  txn.commit(RouteStrategy::kOneVia);
+  EXPECT_EQ(db_.rec(1).status, RouteStatus::kRouted);
+  EXPECT_FALSE(stack_.via_free({6, 4}));
+  EXPECT_TRUE(stack_.via_free({5, 4}));
 }
 
 TEST_F(RouteDBTest, RipKeepsGeometryAndPutbackRestores) {
-  db_.begin(0);
-  db_.add_via(stack_, 0, {5, 4});
-  db_.add_hop(stack_, 0, 0, {{12, {3, 14}}});
-  db_.commit(0, RouteStrategy::kOneVia);
+  {
+    RouteTransaction txn(stack_, db_, 0, &counters_);
+    txn.add_via({5, 4});
+    txn.add_hop(0, {{12, {3, 14}}});
+    txn.commit(RouteStrategy::kOneVia);
+  }
   const std::size_t live = stack_.segment_count();
 
-  db_.rip(stack_, 0);
+  RouteTransaction::rip_out(stack_, db_, 0, &counters_);
   EXPECT_EQ(stack_.segment_count(), 0u);
   EXPECT_TRUE(stack_.via_free({5, 4}));
   EXPECT_EQ(db_.rec(0).status, RouteStatus::kUnrouted);
   EXPECT_EQ(db_.rec(0).rip_count, 1);
   EXPECT_EQ(db_.rec(0).geom.vias.size(), 1u);  // geometry remembered
+  EXPECT_EQ(counters_.rips, 1);
 
-  EXPECT_TRUE(db_.try_putback(stack_, 0));
+  EXPECT_TRUE(RouteTransaction::putback(stack_, db_, 0, &counters_));
   EXPECT_EQ(db_.rec(0).status, RouteStatus::kRouted);
   EXPECT_EQ(stack_.segment_count(), live);
   EXPECT_FALSE(stack_.via_free({5, 4}));
+  EXPECT_EQ(counters_.putbacks, 1);
 }
 
 TEST_F(RouteDBTest, PutbackFailsWhenSpaceTaken) {
-  db_.begin(0);
-  db_.add_hop(stack_, 0, 0, {{12, {3, 14}}});
-  db_.commit(0, RouteStrategy::kZeroVia);
-  db_.rip(stack_, 0);
+  {
+    RouteTransaction txn(stack_, db_, 0, &counters_);
+    txn.add_hop(0, {{12, {3, 14}}});
+    txn.commit(RouteStrategy::kZeroVia);
+  }
+  RouteTransaction::rip_out(stack_, db_, 0, &counters_);
   // Another connection takes part of the corridor.
   SegId blocker = stack_.insert_span({0, 12, {10, 10}}, 3);
-  EXPECT_FALSE(db_.try_putback(stack_, 0));
+  EXPECT_FALSE(RouteTransaction::putback(stack_, db_, 0, &counters_));
   EXPECT_EQ(db_.rec(0).status, RouteStatus::kUnrouted);
+  EXPECT_EQ(counters_.putback_failures, 1);
   stack_.erase_segment(blocker);
-  EXPECT_TRUE(db_.try_putback(stack_, 0));
+  EXPECT_TRUE(RouteTransaction::putback(stack_, db_, 0, &counters_));
 }
 
 TEST_F(RouteDBTest, PutbackFailsWhenViaSiteTaken) {
-  db_.begin(0);
-  db_.add_via(stack_, 0, {5, 4});
-  db_.commit(0, RouteStrategy::kOneVia);
-  db_.rip(stack_, 0);
+  {
+    RouteTransaction txn(stack_, db_, 0);
+    txn.add_via({5, 4});
+    txn.commit(RouteStrategy::kOneVia);
+  }
+  RouteTransaction::rip_out(stack_, db_, 0);
   auto other = stack_.drill_via({5, 4}, 2);
-  EXPECT_FALSE(db_.try_putback(stack_, 0));
+  EXPECT_FALSE(RouteTransaction::putback(stack_, db_, 0));
   for (SegId s : other) stack_.erase_segment(s);
-  EXPECT_TRUE(db_.try_putback(stack_, 0));
+  EXPECT_TRUE(RouteTransaction::putback(stack_, db_, 0));
 }
 
 TEST_F(RouteDBTest, PutbackOnNeverRoutedFails) {
-  EXPECT_FALSE(db_.try_putback(stack_, 2));
+  EXPECT_FALSE(RouteTransaction::putback(stack_, db_, 2));
 }
 
 TEST_F(RouteDBTest, PutbackOnRoutedIsNoop) {
-  db_.begin(0);
-  db_.commit(0, RouteStrategy::kTrivial);
-  EXPECT_TRUE(db_.try_putback(stack_, 0));
+  {
+    RouteTransaction txn(stack_, db_, 0);
+    txn.commit(RouteStrategy::kTrivial);
+  }
+  EXPECT_TRUE(RouteTransaction::putback(stack_, db_, 0));
 }
 
 TEST_F(RouteDBTest, AdoptGeometryThenPutback) {
   RouteGeom geom;
   geom.vias.push_back({5, 4});
   geom.hops.push_back({0, {{12, {3, 14}}}});
-  db_.adopt_geometry(2, geom, RouteStrategy::kTuned);
-  EXPECT_TRUE(db_.try_putback(stack_, 2));
+  RouteTransaction::adopt_geometry(db_, 2, geom, RouteStrategy::kTuned);
+  EXPECT_TRUE(RouteTransaction::putback(stack_, db_, 2));
   EXPECT_EQ(db_.rec(2).strategy, RouteStrategy::kTuned);
   EXPECT_FALSE(stack_.via_free({5, 4}));
 }
 
 TEST_F(RouteDBTest, LengthMilsCountsSpansAndCrossings) {
-  db_.begin(0);
-  // Two spans in adjacent channels joined at grid 10: along lengths plus
-  // one crossing step.
-  db_.add_hop(stack_, 0, 0, {{12, {4, 10}}, {13, {10, 16}}});
-  db_.commit(0, RouteStrategy::kZeroVia);
+  {
+    RouteTransaction txn(stack_, db_, 0);
+    // Two spans in adjacent channels joined at grid 10: along lengths plus
+    // one crossing step.
+    txn.add_hop(0, {{12, {4, 10}}, {13, {10, 16}}});
+    txn.commit(RouteStrategy::kZeroVia);
+  }
   long want = spec_.mils_between(4, 10) + spec_.mils_between(12, 13) +
               spec_.mils_between(10, 16);
   EXPECT_EQ(db_.length_mils(spec_, stack_, 0), want);
+}
+
+TEST_F(RouteDBTest, JournalRecordsTouchedRects) {
+  {
+    RouteTransaction txn(stack_, db_, 0, &counters_, &journal_);
+    txn.add_via({5, 4});               // one grid point on every layer
+    txn.add_hop(0, {{12, {3, 14}}});   // layer 0 is horizontal: y=12
+    txn.commit(RouteStrategy::kOneVia);
+  }
+  ASSERT_EQ(journal_.touched.size(), 2u);
+  const Point g = spec_.grid_of_via({5, 4});
+  EXPECT_EQ(journal_.touched[0], (Rect{{g.x, g.x}, {g.y, g.y}}));
+  EXPECT_EQ(journal_.touched[1], (Rect{{3, 14}, {12, 12}}));
+
+  // A rip journals the removed metal too: freed space invalidates
+  // speculative plans just as new metal does.
+  journal_.clear();
+  RouteTransaction::rip_out(stack_, db_, 0, &counters_, &journal_);
+  EXPECT_EQ(journal_.touched.size(), 3u);  // 2 via units + 1 span
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "check/drc.hpp"
 #include "route/audit.hpp"
+#include "route/batch_router.hpp"
 #include "route/router.hpp"
 #include "workload/suite.hpp"
 
@@ -143,6 +144,27 @@ TEST(RouterIntegrationTest, MaxPassesBoundsTheLoop) {
   Router router(gb.board->stack(), cfg);
   router.route_all(gb.strung.connections);
   EXPECT_EQ(router.stats().passes, 1);
+}
+
+TEST(RouterIntegrationTest, ParallelRoutedBoardPassesAuditAndDrc) {
+  // The batch router's output goes through the same static-analysis
+  // gauntlet as the serial router's: every invariant checker and the
+  // geometric DRC must come back clean on a parallel-routed board.
+  GeneratedBoard gb = small_board(4, 0.3, 500);
+  RouterConfig cfg;
+  cfg.threads = 4;
+  BatchRouter router(gb.board->stack(), cfg);
+  ASSERT_TRUE(router.route_all(gb.strung.connections))
+      << router.stats().failed << " of " << router.stats().total
+      << " failed";
+  EXPECT_GT(router.batch_stats().installed, 0);
+  CheckReport audit =
+      audit_all(gb.board->stack(), router.db(), gb.strung.connections);
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
+  CheckReport drc =
+      drc_check(*gb.board, gb.strung.connections, router.db());
+  EXPECT_TRUE(drc.findings.empty())
+      << format_finding(drc.findings.front());
 }
 
 TEST(RouterIntegrationTest, ScaledTable1RowRoutes) {

@@ -5,6 +5,7 @@
 
 #include "check/drc.hpp"
 #include "route/audit.hpp"
+#include "route/batch_router.hpp"
 #include "route/router.hpp"
 #include "workload/suite.hpp"
 
@@ -42,7 +43,55 @@ TEST_P(SuiteRegression, GeneratesRoutesAndAudits) {
   EXPECT_TRUE(drc.findings.empty())
       << GetParam().name << ": " << format_finding(drc.findings.front());
   // Table 1's vias-per-connection stays below 1 on completed boards.
-  if (ok) EXPECT_LT(router.stats().vias_per_conn(), 1.0);
+  if (ok) {
+    EXPECT_LT(router.stats().vias_per_conn(), 1.0);
+  }
+}
+
+class SuiteDeterminism
+    : public ::testing::TestWithParam<BoardGenParams> {};
+
+TEST_P(SuiteDeterminism, ParallelMatchesSerialAndPassesDrc) {
+  // The batch router's contract over the whole Table 1 suite: threads=4
+  // produces the identical routed set and discrete statistics as
+  // threads=1, and the parallel-routed board is DRC-clean.
+  GeneratedBoard one = generate_board(GetParam());
+  GeneratedBoard four = generate_board(GetParam());
+
+  RouterConfig c1;
+  c1.threads = 1;
+  BatchRouter b1(one.board->stack(), c1);
+  bool ok1 = b1.route_all(one.strung.connections);
+
+  RouterConfig c4;
+  c4.threads = 4;
+  BatchRouter b4(four.board->stack(), c4);
+  bool ok4 = b4.route_all(four.strung.connections);
+
+  EXPECT_EQ(ok1, ok4);
+  const RouterStats& s1 = b1.stats();
+  const RouterStats& s4 = b4.stats();
+  EXPECT_EQ(s1.total, s4.total);
+  EXPECT_EQ(s1.routed, s4.routed);
+  EXPECT_EQ(s1.failed, s4.failed);
+  for (int i = 0; i < kNumRouteStrategies; ++i) {
+    EXPECT_EQ(s1.by_strategy[i], s4.by_strategy[i]) << "strategy " << i;
+  }
+  EXPECT_EQ(s1.rip_ups, s4.rip_ups);
+  EXPECT_EQ(s1.vias_added, s4.vias_added);
+  EXPECT_EQ(s1.lee_searches, s4.lee_searches);
+  EXPECT_EQ(s1.lee_expansions, s4.lee_expansions);
+  EXPECT_EQ(s1.passes, s4.passes);
+
+  CheckReport audit =
+      audit_all(four.board->stack(), b4.db(), four.strung.connections);
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
+  DrcOptions opts;
+  opts.opens = ok4;
+  CheckReport drc =
+      drc_check(*four.board, four.strung.connections, b4.db(), opts);
+  EXPECT_TRUE(drc.findings.empty())
+      << GetParam().name << ": " << format_finding(drc.findings.front());
 }
 
 std::string row_name(
@@ -55,6 +104,9 @@ std::string row_name(
 }
 
 INSTANTIATE_TEST_SUITE_P(Table1, SuiteRegression,
+                         ::testing::ValuesIn(table1_suite(0.4)), row_name);
+
+INSTANTIATE_TEST_SUITE_P(Table1, SuiteDeterminism,
                          ::testing::ValuesIn(table1_suite(0.4)), row_name);
 
 TEST(SuiteRegressionTest, FullScaleHardestRowFailsSoftly) {

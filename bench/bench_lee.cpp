@@ -1,0 +1,174 @@
+// Lee-search acceleration ablation: measures what each layer of the search
+// stack buys — goal-oriented (A*) ordering and the journal-invalidated
+// reachability cache — on the boards where Lee's algorithm dominates the
+// runtime (kdj11-2L and nmc-4L in Table 1; "well over 90% of CPU time",
+// Sec 12).
+//
+// For each selected board the whole routing problem is solved under the
+// four on/off combinations; the table reports the Lee-phase wall time, the
+// expansion and gap-node counts, and the derived throughput (expansions/sec
+// and gap nodes visited/sec — the honest work rates: a cache hit replays
+// its gap nodes instead of walking them, so gap_nodes/sec rising with the
+// cache on is the win showing up). Geometry is also cross-checked: every
+// configuration with the same expansion ORDER (i.e. same lee_astar) must
+// route the identical set.
+//
+// Usage: bench_lee [scale] [board-substring]
+//   scale            board scale factor (default 0.4)
+//   board-substring  only boards whose name contains it (default: kdj11,nmc)
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "route/audit.hpp"
+#include "route/router.hpp"
+#include "workload/suite.hpp"
+
+using namespace grr;
+
+namespace {
+
+struct RunResult {
+  double sec_total = 0;
+  double sec_lee = 0;
+  long searches = 0;
+  long expansions = 0;
+  long gap_nodes = 0;
+  long cache_hits = 0;
+  long cache_misses = 0;
+  long cache_evicted = 0;
+  long cache_flushes = 0;
+  int routed = 0;
+  int total = 0;
+  bool audit_ok = false;
+};
+
+RunResult run(const BoardGenParams& params, bool astar, bool cache) {
+  GeneratedBoard gb = generate_board(params);
+  RouterConfig cfg;
+  cfg.lee_astar = astar;
+  cfg.lee_cache = cache;
+  Router router(gb.board->stack(), cfg);
+
+  auto t0 = std::chrono::steady_clock::now();
+  router.route_all(gb.strung.connections);
+  auto t1 = std::chrono::steady_clock::now();
+
+  const RouterStats& st = router.stats();
+  RunResult r;
+  r.sec_total = std::chrono::duration<double>(t1 - t0).count();
+  r.sec_lee = st.sec_lee;
+  r.searches = st.lee_searches;
+  r.expansions = st.lee_expansions;
+  r.gap_nodes = st.lee_gap_nodes;
+  r.routed = st.routed;
+  r.total = st.total;
+  r.cache_hits = router.lee_cache_stats().hits;
+  r.cache_misses = router.lee_cache_stats().misses;
+  r.cache_evicted = router.lee_cache_stats().evicted;
+  r.cache_flushes = router.lee_cache_stats().flushes;
+  r.audit_ok =
+      audit_all(gb.board->stack(), router.db(), gb.strung.connections).ok();
+  return r;
+}
+
+double rate(long n, double sec) { return sec > 0 ? n / sec : 0.0; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.4;
+  std::string filter = argc > 2 ? argv[2] : "";
+  std::cout << "Lee search acceleration ablation (scale " << scale << ")\n\n";
+
+  std::ofstream json("BENCH_lee.json");
+  json << "{\n  \"scale\": " << scale << ",\n  \"boards\": [\n";
+
+  bool first_board = true;
+  for (const BoardGenParams& params : table1_suite(scale)) {
+    const std::string name = params.name;
+    if (filter.empty()) {
+      // Default selection: the two boards the paper singles out as
+      // Lee-dominated.
+      if (name.find("kdj11-2L") == std::string::npos &&
+          name.find("nmc-4L") == std::string::npos) {
+        continue;
+      }
+    } else if (name.find(filter) == std::string::npos) {
+      continue;
+    }
+
+    struct Config {
+      const char* label;
+      bool astar, cache;
+    };
+    const Config configs[4] = {
+        {"dijkstra", false, false},
+        {"dijkstra+cache", false, true},
+        {"astar", true, false},
+        {"astar+cache", true, true},
+    };
+
+    std::cout << name << ":\n";
+    std::cout << "  " << std::left << std::setw(16) << "config"
+              << std::right << std::setw(9) << "sec_lee" << std::setw(10)
+              << "searches" << std::setw(11) << "expansions" << std::setw(12)
+              << "gap_nodes" << std::setw(12) << "exp/sec" << std::setw(13)
+              << "gaps/sec" << std::setw(9) << "routed" << "\n";
+
+    json << (first_board ? "" : ",\n") << "    {\"board\": \"" << name
+         << "\", \"runs\": [\n";
+    first_board = false;
+
+    RunResult base{};
+    for (int i = 0; i < 4; ++i) {
+      RunResult r = run(params, configs[i].astar, configs[i].cache);
+      // The cache may never change the outcome: runs sharing the same
+      // lee_astar setting must agree on every discrete count except
+      // gap_nodes (deduped walks examine fewer gaps than full logged walks
+      // while producing identical marks and geometry).
+      if (configs[i].cache &&
+          (r.routed != base.routed || r.searches != base.searches ||
+           r.expansions != base.expansions)) {
+        std::cout << "  CACHE MISMATCH vs " << configs[i - 1].label << "\n";
+      }
+      if (!configs[i].cache) base = r;
+      std::cout << "  " << std::left << std::setw(16) << configs[i].label
+                << std::right << std::setw(9) << std::fixed
+                << std::setprecision(3) << r.sec_lee << std::setw(10)
+                << r.searches << std::setw(11) << r.expansions
+                << std::setw(12) << r.gap_nodes << std::setw(12)
+                << std::setprecision(0) << rate(r.expansions, r.sec_lee)
+                << std::setw(13) << rate(r.gap_nodes, r.sec_lee)
+                << std::setw(6) << r.routed << "/" << r.total
+                << (r.audit_ok ? "" : "  AUDIT FAILED") << "\n";
+      if (configs[i].cache) {
+        std::cout << "    cache: " << r.cache_hits << " hits / "
+                  << r.cache_misses << " misses, " << r.cache_evicted
+                  << " evicted, " << r.cache_flushes << " flushes\n";
+      }
+      json << (i == 0 ? "" : ",\n") << "      {\"config\": \""
+           << configs[i].label << "\", \"astar\": "
+           << (configs[i].astar ? "true" : "false")
+           << ", \"cache\": " << (configs[i].cache ? "true" : "false")
+           << ", \"sec_total\": " << r.sec_total
+           << ", \"sec_lee\": " << r.sec_lee
+           << ", \"lee_searches\": " << r.searches
+           << ", \"lee_expansions\": " << r.expansions
+           << ", \"lee_gap_nodes\": " << r.gap_nodes
+           << ", \"expansions_per_sec\": " << rate(r.expansions, r.sec_lee)
+           << ", \"gap_nodes_per_sec\": " << rate(r.gap_nodes, r.sec_lee)
+           << ", \"routed\": " << r.routed << ", \"total\": " << r.total
+           << ", \"audit_ok\": " << (r.audit_ok ? "true" : "false") << "}";
+    }
+    json << "\n    ]}";
+    std::cout << "\n";
+  }
+  json << "\n  ]\n}\n";
+  std::cout << "Wrote BENCH_lee.json\n";
+  return 0;
+}

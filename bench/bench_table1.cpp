@@ -69,7 +69,18 @@ int main(int argc, char** argv) {
          << ", \"vias_per_conn\": " << st.vias_per_conn()
          << ", \"rip_ups\": " << st.rip_ups
          << ", \"plans_installed\": " << bs.installed
-         << ", \"plan_conflicts\": " << bs.conflicts << "}";
+         << ", \"plan_conflicts\": " << bs.conflicts
+         // Per-phase breakdown (Sec 12's CPU profile, machine-readable):
+         // on difficult boards sec_lee should dominate, and it is the
+         // phase the search-acceleration work targets.
+         << ",\n     \"sec_zero_via\": " << st.sec_zero_via
+         << ", \"sec_one_via\": " << st.sec_one_via
+         << ", \"sec_lee\": " << st.sec_lee
+         << ", \"sec_ripup\": " << st.sec_ripup
+         << ", \"sec_putback\": " << st.sec_putback
+         << ",\n     \"lee_searches\": " << st.lee_searches
+         << ", \"lee_expansions\": " << st.lee_expansions
+         << ", \"lee_gap_nodes\": " << st.lee_gap_nodes << "}";
     first = false;
     // Sec 12: on difficult boards, Lee's algorithm is where the CPU goes.
     double strat = st.sec_zero_via + st.sec_one_via + st.sec_lee +

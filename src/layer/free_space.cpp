@@ -5,9 +5,11 @@ namespace grr {
 // Anchor instantiations for the two channel flavours.
 template std::optional<std::vector<ChannelSpan>> trace_path<Layer>(
     const Layer&, const SegmentPool&, Point, Point, Rect, std::size_t,
-    FreeSpaceStats*, int, CursorCache*, const PlanOverlay*);
+    FreeSpaceStats*, int, CursorCache*, const PlanOverlay*,
+    FreeSpaceScratch*);
 template std::optional<std::vector<ChannelSpan>> trace_path<TreeLayer>(
     const TreeLayer&, const SegmentPool&, Point, Point, Rect, std::size_t,
-    FreeSpaceStats*, int, CursorCache*, const PlanOverlay*);
+    FreeSpaceStats*, int, CursorCache*, const PlanOverlay*,
+    FreeSpaceScratch*);
 
 }  // namespace grr

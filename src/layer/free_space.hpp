@@ -12,7 +12,6 @@
 #include <algorithm>
 #include <cstdint>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
 #include "layer/cursor_cache.hpp"
@@ -146,7 +145,100 @@ inline std::uint64_t gap_key(Coord ch, Coord lo) {
          static_cast<std::uint32_t>(lo);
 }
 
+/// Visited-gap membership set with epoch-stamped slots: begin() is O(1), so
+/// one set is reused across millions of gap walks without per-call clearing
+/// or allocation (the seed used a freshly constructed std::unordered_set per
+/// walk — the dominant allocation source of the Lee hot loop). Linear-probe
+/// open addressing; the table only allocates when it grows, which stops once
+/// it covers the largest walk seen (warm-up).
+class VisitedSet {
+ public:
+  /// Start a new walk: previously inserted keys become stale in O(1).
+  void begin() {
+    ++epoch_;
+    count_ = 0;
+    if (epoch_ == 0) {  // epoch wrap: stamp everything stale for real
+      std::fill(epochs_.begin(), epochs_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  /// True iff `key` was not yet inserted in the current walk.
+  bool insert(std::uint64_t key) {
+    if ((count_ + 1) * 4 >= capacity() * 3) grow();
+    std::size_t i = slot_of(key);
+    while (epochs_[i] == epoch_) {
+      if (keys_[i] == key) return false;
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = key;
+    epochs_[i] = epoch_;
+    ++count_;
+    return true;
+  }
+
+  std::size_t size() const { return count_; }
+
+ private:
+  std::size_t capacity() const { return keys_.size(); }
+
+  std::size_t slot_of(std::uint64_t key) const {
+    std::uint64_t h = key;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h) & mask_;
+  }
+
+  void grow() {
+    std::size_t new_cap = capacity() == 0 ? 64 : capacity() * 2;
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<std::uint32_t> old_epochs = std::move(epochs_);
+    keys_.assign(new_cap, 0);
+    epochs_.assign(new_cap, 0);
+    mask_ = new_cap - 1;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_epochs[i] != epoch_) continue;
+      std::size_t j = slot_of(old_keys[i]);
+      while (epochs_[j] == epoch_) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      epochs_[j] = epoch_;
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> epochs_;
+  std::size_t mask_ = 0;
+  std::size_t count_ = 0;
+  std::uint32_t epoch_ = 1;
+};
+
+/// trace_path's per-expansion child record (sorted best-first).
+struct TraceChild {
+  Coord ch;
+  Interval gap;
+  Coord dist;
+};
+
 }  // namespace detail
+
+/// Reusable per-worker state for the free-space walks. All three algorithms
+/// (Trace, Vias, Obstructions) enumerate gaps through a node arena, a DFS
+/// stack and a visited set; owning them per worker makes the steady-state
+/// walk allocation-free. Passing nullptr falls back to a function-local
+/// scratch (the seed's per-call behavior — convenient for tests and tools).
+struct FreeSpaceScratch {
+  std::vector<detail::GapNode> nodes;
+  std::vector<std::int32_t> stack;
+  detail::VisitedSet visited;
+  std::vector<detail::TraceChild> kids;  // trace_path only
+
+  void begin() {
+    nodes.clear();
+    stack.clear();
+    visited.begin();
+  }
+};
 
 /// Statistics a free-space search reports back (for benches and tests).
 struct FreeSpaceStats {
@@ -173,7 +265,8 @@ std::optional<std::vector<ChannelSpan>> trace_path(
     const LayerT& layer, const SegmentPool& pool, Point a, Point b, Rect box,
     std::size_t max_nodes = kDefaultMaxFreeNodes,
     FreeSpaceStats* stats = nullptr, int period = 3,
-    CursorCache* cursors = nullptr, const PlanOverlay* overlay = nullptr) {
+    CursorCache* cursors = nullptr, const PlanOverlay* overlay = nullptr,
+    FreeSpaceScratch* scratch = nullptr) {
   detail::FreeSpaceQuery<LayerT> q(layer, pool, box, cursors, overlay);
   if (!q.valid()) return std::nullopt;
   const Coord ac = layer.across_of(a), av = layer.along_of(a);
@@ -182,14 +275,17 @@ std::optional<std::vector<ChannelSpan>> trace_path(
   // Grid neighbors are already electrically adjacent: no metal needed.
   if (manhattan(a, b) == 1) return std::vector<ChannelSpan>{};
 
-  std::vector<detail::GapNode> nodes;
-  std::vector<std::int32_t> stack;
-  std::unordered_set<std::uint64_t> visited;
+  FreeSpaceScratch local;
+  FreeSpaceScratch& s = scratch != nullptr ? *scratch : local;
+  s.begin();
+  std::vector<detail::GapNode>& nodes = s.nodes;
+  std::vector<std::int32_t>& stack = s.stack;
+  detail::VisitedSet& visited = s.visited;
   std::int32_t goal = -1;
 
   auto add_node = [&](Coord ch, Interval gap, std::int32_t parent) {
     if (gap.empty()) return false;
-    if (!visited.insert(detail::gap_key(ch, gap.lo)).second) return false;
+    if (!visited.insert(detail::gap_key(ch, gap.lo))) return false;
     nodes.push_back({ch, gap, parent});
     const auto idx = static_cast<std::int32_t>(nodes.size() - 1);
     if (detail::FreeSpaceQuery<LayerT>::touches(ch, gap, bc, bv)) {
@@ -211,12 +307,9 @@ std::optional<std::vector<ChannelSpan>> trace_path(
     return d;
   };
 
-  struct Child {
-    Coord ch;
-    Interval gap;
-    Coord dist;
-  };
-  std::vector<Child> kids;
+  using Child = detail::TraceChild;
+  std::vector<Child>& kids = s.kids;
+  kids.clear();
 
   // Seed with the free gaps bordering a, best-first.
   {
@@ -335,12 +428,30 @@ std::optional<std::vector<ChannelSpan>> trace_path(
 /// practice the opposite end of the connection being routed — and
 /// stats.touched reports whether any visited gap touches it, i.e. whether a
 /// direct Trace from `a` to it exists on this layer within `box`.
+/// `dedup` (optional) is a visited set whose lifetime spans *several* walks
+/// sharing the identical search box (`dedup_ctx` must uniquely identify that
+/// box; walks with different boxes must use different contexts): gaps
+/// already inserted by an earlier same-box walk are neither re-entered nor
+/// re-emitted, and the walk does not continue through them. Safe whenever
+/// every gap's emissions are idempotent for the caller (Lee's wavefront
+/// marking qualifies: a re-emitted via is already marked on its side, and a
+/// cross-side contact would have ended the search at the first emission).
+/// The traversal block is then also lossless: in the same box, anything
+/// reachable through a previously visited gap was already visited from it
+/// (the enumeration is exhaustive), so the skipped work consists entirely
+/// of no-ops. Incompatible with `node_log`: a logged walk must be
+/// self-contained (the log is replayed in contexts with different dedup
+/// state), so pass one or the other.
 template <typename LayerT, typename Fn>
 FreeSpaceStats reachable_vias(const LayerT& layer, const SegmentPool& pool,
                               int period, Point a, Rect box, Fn&& on_via,
                               std::size_t max_nodes = kDefaultMaxFreeNodes,
                               const Point* touch = nullptr,
-                              CursorCache* cursors = nullptr) {
+                              CursorCache* cursors = nullptr,
+                              FreeSpaceScratch* scratch = nullptr,
+                              std::vector<ChannelSpan>* node_log = nullptr,
+                              detail::VisitedSet* dedup = nullptr,
+                              std::uint64_t dedup_ctx = 0) {
   detail::FreeSpaceQuery<LayerT> q(layer, pool, box, cursors);
   FreeSpaceStats st;
   if (!q.valid()) return st;
@@ -348,9 +459,17 @@ FreeSpaceStats reachable_vias(const LayerT& layer, const SegmentPool& pool,
   const Coord tc = touch ? layer.across_of(*touch) : 0;
   const Coord tv = touch ? layer.along_of(*touch) : 0;
 
-  std::vector<detail::GapNode> nodes;
-  std::vector<std::int32_t> stack;
-  std::unordered_set<std::uint64_t> visited;
+  FreeSpaceScratch local;
+  FreeSpaceScratch& s = scratch != nullptr ? *scratch : local;
+  if (dedup != nullptr) {
+    s.nodes.clear();  // the visited epoch is the caller's to manage
+    s.stack.clear();
+  } else {
+    s.begin();
+  }
+  std::vector<detail::GapNode>& nodes = s.nodes;
+  std::vector<std::int32_t>& stack = s.stack;
+  detail::VisitedSet& visited = dedup != nullptr ? *dedup : s.visited;
 
   auto emit_vias = [&](Coord ch, Interval g) {
     if (ch % period != 0) return;  // channel not on a via row/column
@@ -360,10 +479,26 @@ FreeSpaceStats reachable_vias(const LayerT& layer, const SegmentPool& pool,
     }
   };
 
+  // Same-box dedup keys carry the context in the top bits; coordinates on
+  // any realistic board fit 22 bits each.
+  auto vkey = [&](Coord ch, Coord lo) {
+    if (dedup == nullptr) return detail::gap_key(ch, lo);
+    return (dedup_ctx << 44) |
+           ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(ch)) &
+             0x3fffffu)
+            << 22) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(lo)) &
+            0x3fffffu);
+  };
+
   auto add_node = [&](Coord ch, Interval gap) {
     if (gap.empty()) return;
-    if (!visited.insert(detail::gap_key(ch, gap.lo)).second) return;
+    if (!visited.insert(vkey(ch, gap.lo))) return;
     nodes.push_back({ch, gap, -1});
+    // The accepted-node log is the walk's replayable trace: the free-space
+    // cache stores it and can re-derive the via emissions and any touch
+    // test from it without repeating the walk (see FreeSpaceCache).
+    if (node_log != nullptr) node_log->push_back({ch, gap});
     emit_vias(ch, gap);
     if (touch && detail::FreeSpaceQuery<LayerT>::touches(ch, gap, tc, tv)) {
       st.touched = true;
@@ -403,7 +538,8 @@ template <typename LayerT, typename Fn>
 FreeSpaceStats obstructions(const LayerT& layer, const SegmentPool& pool,
                             Point a, Rect box, Fn&& on_conn,
                             std::size_t max_nodes = kDefaultMaxFreeNodes,
-                            CursorCache* cursors = nullptr) {
+                            CursorCache* cursors = nullptr,
+                            FreeSpaceScratch* scratch = nullptr) {
   detail::FreeSpaceQuery<LayerT> q(layer, pool, box, cursors);
   FreeSpaceStats st;
   if (!q.valid()) return st;
@@ -422,13 +558,16 @@ FreeSpaceStats obstructions(const LayerT& layer, const SegmentPool& pool,
   report_at(ac - 1, av);
   report_at(ac + 1, av);
 
-  std::vector<detail::GapNode> nodes;
-  std::vector<std::int32_t> stack;
-  std::unordered_set<std::uint64_t> visited;
+  FreeSpaceScratch local;
+  FreeSpaceScratch& s = scratch != nullptr ? *scratch : local;
+  s.begin();
+  std::vector<detail::GapNode>& nodes = s.nodes;
+  std::vector<std::int32_t>& stack = s.stack;
+  detail::VisitedSet& visited = s.visited;
 
   auto add_node = [&](Coord ch, Interval gap) {
     if (gap.empty()) return;
-    if (!visited.insert(detail::gap_key(ch, gap.lo)).second) return;
+    if (!visited.insert(detail::gap_key(ch, gap.lo))) return;
     nodes.push_back({ch, gap, -1});
     stack.push_back(static_cast<std::int32_t>(nodes.size() - 1));
     // The used segments bounding this gap in its own channel.

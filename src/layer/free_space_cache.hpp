@@ -1,0 +1,201 @@
+// Journal-invalidated reachability cache (per search worker).
+//
+// The Lee expansion of a wavefront point p on layer l enumerates the free
+// space of one radius strip — a gap walk whose cost is proportional to the
+// number of free segments examined. On hard boards the same strips are
+// walked over and over: optimal passes probe the same corridors, every
+// rip-up round re-runs the search over a nearly unchanged board, and the
+// improvement/tuning passes re-route connections whose surroundings did not
+// move. This cache memoizes the *accepted-node log* of a walk — the ordered
+// (channel, gap) list reachable_vias visits — keyed by (via, layer). A hit
+// replays the log: the via emissions and any touch test are re-derived from
+// the stored gaps in the original visit order, so a replayed expansion is
+// bit-identical to a fresh walk (SuiteDeterminism covers cache-on vs
+// cache-off).
+//
+// Invalidation contract: a cached walk is a pure function of the board
+// metal inside its strip box. Two mechanisms keep entries truthful:
+//
+//   1. Journal feed (precise): every add/remove footprint recorded by
+//      MutationJournal — the same rectangles the batch router's conflict
+//      check consumes — is applied via invalidate(): entries whose box
+//      intersects a touched rectangle are evicted. The owner then calls
+//      set_synced(stack.mutation_seq()) to record that the cache has seen
+//      every mutation up to that sequence number.
+//   2. Sequence backstop (safe): before any lookup cycle the owner calls
+//      ensure_synced(stack.mutation_seq()); a mismatch means mutations
+//      happened that no journal fed to us (an unwired tool, a test poking
+//      the stack directly), and the whole cache is dropped. Correctness
+//      therefore never depends on the journal wiring; the wiring only
+//      preserves entries across mutations that happened elsewhere.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "layer/free_space.hpp"
+
+namespace grr {
+
+class FreeSpaceCache {
+ public:
+  struct Stats {
+    long hits = 0;
+    long misses = 0;
+    long evicted = 0;   // entries dropped by journal rectangles
+    long flushes = 0;   // whole-cache drops (budget, params, backstop)
+  };
+
+  struct Entry {
+    Rect box;                       // strip box in grid coordinates
+    std::vector<ChannelSpan> gaps;  // accepted nodes in visit order
+  };
+
+  /// Per-entry cap: walks larger than this are not cached (they are rare
+  /// and would crowd out the small strips that repeat).
+  static constexpr std::size_t kMaxEntryGaps = 4096;
+
+  /// Flush if the walk-shaping parameters change (they define the strip
+  /// geometry and the enumeration budget, hence the cached results).
+  void set_params(int radius, std::size_t max_nodes,
+                  std::size_t max_total_gaps) {
+    if (radius == radius_ && max_nodes == max_nodes_ &&
+        max_total_gaps == max_total_gaps_) {
+      return;
+    }
+    radius_ = radius;
+    max_nodes_ = max_nodes;
+    max_total_gaps_ = max_total_gaps;
+    flush();
+  }
+
+  /// Backstop: drop everything if mutations happened that the journal feed
+  /// did not cover.
+  void ensure_synced(std::uint64_t stack_seq) {
+    if (stack_seq != synced_seq_) {
+      flush();
+      synced_seq_ = stack_seq;
+    }
+  }
+
+  /// Precise feed: evict entries whose box intersects any touched
+  /// rectangle, then record the mutation sequence the feed brings us to.
+  void apply(const std::vector<Rect>& touched, std::uint64_t stack_seq) {
+    if (!touched.empty() && !entries_.empty()) {
+      for (std::size_t slot = 0; slot < entries_.size(); ++slot) {
+        if (!live_[slot]) continue;
+        for (const Rect& r : touched) {
+          if (entries_[slot].box.overlaps(r)) {
+            evict(slot);
+            ++stats_.evicted;
+            break;
+          }
+        }
+      }
+    }
+    synced_seq_ = stack_seq;
+  }
+
+  const Entry* lookup(Point via, LayerId layer) {
+    auto it = index_.find(key_of(via, layer));
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    return &entries_[it->second];
+  }
+
+  /// Start recording the walk for a missed (via, layer): returns the gap
+  /// log to hand to reachable_vias. finish_insert() publishes it (or
+  /// discards an over-budget walk).
+  std::vector<ChannelSpan>* begin_insert(Point via, LayerId layer,
+                                         Rect box) {
+    pending_key_ = key_of(via, layer);
+    std::size_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = entries_.size();
+      entries_.emplace_back();
+      entry_keys_.push_back(0);
+      live_.push_back(false);
+    }
+    pending_slot_ = static_cast<std::int64_t>(slot);
+    entries_[slot].box = box;
+    entries_[slot].gaps.clear();  // keeps capacity
+    return &entries_[slot].gaps;
+  }
+
+  void finish_insert() {
+    if (pending_slot_ < 0) return;
+    const auto slot = static_cast<std::size_t>(pending_slot_);
+    pending_slot_ = -1;
+    const std::size_t n = entries_[slot].gaps.size();
+    if (n > kMaxEntryGaps) {
+      free_slots_.push_back(slot);
+      return;
+    }
+    if (total_gaps_ + n > max_total_gaps_) {
+      // Over budget: restart the cache rather than thrash at the rim.
+      flush();
+      // flush() pushed slots 0..size-1 in index order, so `slot` sits at
+      // position `slot` of the free list; reclaim it for this entry.
+      std::swap(free_slots_[slot], free_slots_.back());
+      free_slots_.pop_back();
+    }
+    live_[slot] = true;
+    total_gaps_ += n;
+    entry_keys_[slot] = pending_key_;
+    index_[pending_key_] = static_cast<std::uint32_t>(slot);
+  }
+
+  void flush() {
+    index_.clear();
+    free_slots_.clear();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      live_[i] = false;
+      free_slots_.push_back(i);
+    }
+    total_gaps_ = 0;
+    ++stats_.flushes;
+  }
+
+  std::uint64_t synced_seq() const { return synced_seq_; }
+  const Stats& stats() const { return stats_; }
+  std::size_t live_entries() const { return index_.size(); }
+
+ private:
+  static std::uint64_t key_of(Point via, LayerId layer) {
+    return (static_cast<std::uint64_t>(layer) << 48) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(via.x) &
+                                       0xffffffu)
+            << 24) |
+           (static_cast<std::uint32_t>(via.y) & 0xffffffu);
+  }
+
+  void evict(std::size_t slot) {
+    live_[slot] = false;
+    total_gaps_ -= entries_[slot].gaps.size();
+    index_.erase(entry_keys_[slot]);
+    free_slots_.push_back(slot);
+  }
+
+  int radius_ = -1;
+  std::size_t max_nodes_ = 0;
+  std::size_t max_total_gaps_ = 0;
+  std::uint64_t synced_seq_ = ~std::uint64_t{0};
+  std::uint64_t pending_key_ = 0;
+  std::int64_t pending_slot_ = -1;
+  std::size_t total_gaps_ = 0;
+  std::unordered_map<std::uint64_t, std::uint32_t> index_;
+  std::vector<std::size_t> free_slots_;
+  std::vector<Entry> entries_;
+  std::vector<std::uint64_t> entry_keys_;
+  std::vector<bool> live_;
+  Stats stats_;
+};
+
+}  // namespace grr

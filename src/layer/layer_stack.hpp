@@ -52,6 +52,15 @@ class LayerStack {
   SegId insert_span(const PlacedSpan& ps, ConnId conn, bool is_via = false);
   /// Erase a segment; updates the via map.
   void erase_segment(SegId id);
+
+  /// Monotone counter bumped by every geometry mutation (insert or erase).
+  /// Consumers holding derived read-side state (the per-worker free-space
+  /// cache) compare it against the sequence they last synchronized at: a
+  /// mismatch means mutations happened that their journal feed did not
+  /// cover, and the derived state must be dropped wholesale. This makes
+  /// journal-driven invalidation a pure optimization — correctness never
+  /// depends on every mutation path being wired to a journal.
+  std::uint64_t mutation_seq() const { return mutation_seq_; }
   /// Geometry of a live segment (for recording before erase).
   PlacedSpan placed_span(SegId id) const;
 
@@ -84,6 +93,7 @@ class LayerStack {
   std::vector<Layer> layers_;
   ViaMap via_map_;
   bool use_via_map_ = true;
+  std::uint64_t mutation_seq_ = 0;
 };
 
 }  // namespace grr

@@ -94,6 +94,16 @@ bool BatchRouter::route_parallel(const ConnectionList& conns) {
 
       plans.assign(n, RoutePlan{});
       {
+        // Feed the previous commit phase's mutation footprints to every
+        // worker's reachability cache before the workers run again. The
+        // journal has collected every rectangle since its last clear() —
+        // nothing mutates the board between fan-outs except the commit
+        // phase, so this broadcast is exhaustive and each worker's cache
+        // stays synchronized with the stack's mutation sequence (any gap
+        // would be caught by the cache's own sequence backstop anyway).
+        for (auto& planner : planners) {
+          planner->invalidate_search_cache(journal.touched);
+        }
         // Workers only read the board; nothing mutates it until the pool
         // returns.
         ScopedTimer t(batch_stats_.sec_plan);
@@ -124,8 +134,13 @@ bool BatchRouter::route_parallel(const ConnectionList& conns) {
         }
         bool handled = false;
         if (!dirty) {
+          // Journal through the serial router's feed: the rectangles reach
+          // `journal` via the chain (set_journal above) for the conflict
+          // checks, and the serial router's own reachability cache sees
+          // them too, so a later serial redo searches against fresh state.
           RouteTransaction txn(stack_, serial_.db(), c.id,
-                               &serial_.txn_counters_, &journal);
+                               &serial_.txn_counters_,
+                               serial_.mutation_feed());
           if (txn.try_install(plan)) {
             handled = true;
             ++batch_stats_.installed;
@@ -135,6 +150,7 @@ bool BatchRouter::route_parallel(const ConnectionList& conns) {
             RouterStats& st = serial_.stats();
             st.lee_searches += plan.lee_searches;
             st.lee_expansions += plan.lee_expansions;
+            st.lee_gap_nodes += plan.lee_gap_nodes;
             st.sec_zero_via += plan.sec_zero_via;
             st.sec_one_via += plan.sec_one_via;
             st.sec_lee += plan.sec_lee;

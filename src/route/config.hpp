@@ -50,6 +50,28 @@ struct RouterConfig {
   bool enable_ripup = true;
   /// Mod 2: spread wavefronts from both ends (false = single wavefront).
   bool bidirectional = true;
+  /// Goal-oriented (A*) wavefront ordering: fold an admissible lower bound
+  /// on the remaining hops into each entry's priority (see lee.cpp). False
+  /// (the default) keeps the seed's Dijkstra-like expansion order bit for
+  /// bit — the reference the equivalence test compares against. True cuts
+  /// expansions on congested boards (~15% on kdj11-2L) but, because the
+  /// default cost function is a guidance heuristic rather than a path
+  /// metric, it changes which routes are found first and can shift the
+  /// outcome by a few connections on over-capacity boards (bench_lee
+  /// records the tradeoff); it is an opt-in, not the default.
+  bool lee_astar = false;
+  /// Journal-invalidated reachability cache: replay previously walked
+  /// radius strips instead of re-enumerating them. Routed geometry and all
+  /// discrete search statistics except gap_nodes are bit-identical on or
+  /// off (SuiteDeterminism). Off (the default) additionally dedups gap
+  /// walks across the expansions of one search — the faster mode when the
+  /// board mutates between searches (serial routing); on pays off when many
+  /// searches run against a frozen board (speculative planning fan-outs,
+  /// improvement passes).
+  bool lee_cache = false;
+  /// Total gap budget of the per-worker reachability cache; exceeding it
+  /// flushes the cache (deterministically) rather than evicting piecemeal.
+  std::size_t lee_cache_max_gaps = 1u << 22;
   /// Steer traces away from via rows/columns so drill sites stay available
   /// ("running over a via site... is avoided where possible in practice",
   /// Sec 4). bench_via_avoidance measures what this buys.

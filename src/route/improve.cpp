@@ -77,7 +77,8 @@ ImproveStats improve_routes(Router& router, const ConnectionList& conns,
       // Not better (or failed): restore the original realization.
       if (rerouted) router.unroute(c->id);
       RouteTransaction::adopt_geometry(db, c->id, snapshot, snap_strategy);
-      bool restored = RouteTransaction::putback(stack, db, c->id);
+      bool restored = RouteTransaction::putback(stack, db, c->id, nullptr,
+                                                router.mutation_feed());
       (void)restored;
     }
     if (!any) break;

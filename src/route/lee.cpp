@@ -1,40 +1,62 @@
 #include "route/lee.hpp"
 
 #include <algorithm>
-#include <queue>
 
 #include "route/boxes.hpp"
 
 namespace grr {
 namespace {
 
-std::int64_t cost_of(CostFn fn, Coord dist_to_target, int hops) {
+// Wavefront priority. With astar=false this is the seed's cost function
+// verbatim; with astar=true the hop count is replaced by an admissible
+// lower bound on the *total* hops of any completion through this via
+// (hops so far + min_hops_lb, see below):
+//
+//   kUnitHops       g = hops               f = hops + h
+//   kDistance       already a pure estimate of remaining work; unchanged
+//   kDistTimesHops  d * hops               f = d * (hops + h)
+//
+// For kUnitHops the claim is the classical A* one: h never overestimates
+// the remaining hops, so f never overestimates the final hop count of any
+// path through the entry, and the first time the target side is reached it
+// is reached with the minimum hop count — the same count Dijkstra order
+// finds, with far fewer expansions. For kDistance and kDistTimesHops the
+// seed's cost is a guidance heuristic, not an additive path cost, so there
+// is no optimality to preserve; folding the same lower bound into the
+// product keeps the ordering goal-directed in the currency the seed used
+// (an entry whose every completion needs k more hops is priced as if it
+// already had them).
+std::int64_t priority_of(CostFn fn, Coord dist_to_target, int hops,
+                         int min_remaining) {
   switch (fn) {
     case CostFn::kUnitHops:
-      return hops;
+      return hops + min_remaining;
     case CostFn::kDistance:
       return dist_to_target;
     case CostFn::kDistTimesHops:
-      return static_cast<std::int64_t>(dist_to_target) * hops;
+      return static_cast<std::int64_t>(dist_to_target) *
+             (hops + min_remaining);
   }
   return 0;
 }
 
-struct QEntry {
-  std::int64_t cost;
-  std::uint64_t seq;  // FIFO tiebreak: equal-cost points expand in order
-  Point p;
-};
-
-struct QGreater {
-  bool operator()(const QEntry& x, const QEntry& y) const {
-    return std::tie(x.cost, x.seq) > std::tie(y.cost, y.seq);
-  }
-};
-
 }  // namespace
 
-LeeSearch::LeeSearch(const LayerStack& stack) : stack_(stack) {}
+LeeSearch::LeeSearch(const LayerStack& stack) : stack_(stack) {
+  const std::size_t n = static_cast<std::size_t>(stack.spec().nx_vias()) *
+                        stack.spec().ny_vias();
+  marks_[0].resize(n);
+  marks_[1].resize(n);
+  seen_.resize(2 * static_cast<std::size_t>(stack.num_layers()));
+  for (int i = 0; i < stack.num_layers(); ++i) {
+    if (stack.layer(static_cast<LayerId>(i)).orientation() ==
+        Orientation::kHorizontal) {
+      has_h_ = true;
+    } else {
+      has_v_ = true;
+    }
+  }
+}
 
 std::size_t LeeSearch::via_index(Point v) const {
   return static_cast<std::size_t>(v.y) * stack_.spec().nx_vias() + v.x;
@@ -50,138 +72,259 @@ const LeeSearch::Mark& LeeSearch::mark_of(int side, Point v) const {
 
 void LeeSearch::set_mark(int side, Point v, Point parent, LayerId layer,
                          std::uint16_t hops) {
-  marks_[side][via_index(v)] = {epoch_, parent, layer, hops};
+  Mark& m = marks_[side][via_index(v)];
+  // Preserve popped_epoch: it is compared against epoch_, and a stale value
+  // from a previous search can never equal the current epoch.
+  m.epoch = epoch_;
+  m.parent = parent;
+  m.layer = layer;
+  m.hops = hops;
 }
 
-std::vector<Point> LeeSearch::chain(int side, Point from,
-                                    std::vector<LayerId>* layers) const {
-  std::vector<Point> pts;
-  std::vector<LayerId> lyr;
-  Point cur = from;
-  while (true) {
-    pts.push_back(cur);
-    const Mark& m = mark_of(side, cur);
-    if (m.parent == cur) break;  // reached the wavefront source
-    lyr.push_back(m.layer);
-    cur = m.parent;
+// Admissible lower bound on the hops remaining from via v to via t, implied
+// by the layer orientations. A hop (Mod 1) runs a one-layer trace inside the
+// expansion point's radius strip: on a horizontal layer the strip spans the
+// full board in x but only `radius` via pitches in y, so a single hop moves
+// x freely while |Δy| <= radius — and symmetrically for vertical layers.
+// Hence, for any realizable via sequence from v to t:
+//
+//   * both orientations present: one hop suffices in principle only if the
+//     displacement fits a single strip — dx == 0 or dy == 0 (pick the layer
+//     running along the move), or min(dx, dy) <= radius (the short axis is
+//     the strip's across direction). Otherwise no single hop reaches t and
+//     at least 2 are needed (2 is also attainable in free space: an H hop
+//     to (t.x, y') with |y'-v.y| <= radius, then a V hop down column t.x,
+//     so the bound cannot be raised without inspecting metal).
+//   * one orientation only: every hop advances the across axis by at most
+//     radius, so at least ceil(across / radius) hops are needed, and at
+//     least 1 if anything moves at all.
+//
+// The bound never exceeds the hop count of any path from v to t, so adding
+// it to the hops already taken never overestimates any completion's total —
+// the A* admissibility condition.
+int LeeSearch::min_hops_lb(Point v, Point t, int radius) const {
+  const Coord dx = std::abs(v.x - t.x);
+  const Coord dy = std::abs(v.y - t.y);
+  if (dx == 0 && dy == 0) return 0;
+  if (radius <= 0) radius = 1;
+  if (has_h_ && has_v_) {
+    if (dx == 0 || dy == 0) return 1;
+    return std::min(dx, dy) <= radius ? 1 : 2;
   }
-  std::reverse(pts.begin(), pts.end());
-  std::reverse(lyr.begin(), lyr.end());
-  if (layers) *layers = std::move(lyr);
-  return pts;
+  const Coord across = has_h_ ? dy : dx;  // capped at radius per hop
+  const Coord along = has_h_ ? dx : dy;   // free within one hop
+  const auto k = static_cast<int>((across + radius - 1) / radius);
+  return std::max(k, along > 0 ? 1 : 0);
 }
 
-LeeResult LeeSearch::search(const Connection& c, const RouterConfig& cfg,
-                            CursorCache* cursors,
-                            std::vector<Point>* expanded_log) {
+void LeeSearch::search(const Connection& c, const RouterConfig& cfg,
+                       LeeResult* out, CursorCache* cursors,
+                       std::vector<Point>* expanded_log) {
   const GridSpec& spec = stack_.spec();
   ++epoch_;
-  const std::size_t n =
-      static_cast<std::size_t>(spec.nx_vias()) * spec.ny_vias();
-  marks_[0].resize(n);
-  marks_[1].resize(n);
+  if (epoch_ == 0) {  // epoch wrap: stamp every mark stale for real
+    for (auto& side_marks : marks_) {
+      std::fill(side_marks.begin(), side_marks.end(), Mark{});
+    }
+    epoch_ = 1;
+  }
 
-  using Queue = std::priority_queue<QEntry, std::vector<QEntry>, QGreater>;
-  Queue q[2];
+  LeeResult& res = *out;
+  res.found = false;
+  res.via_seq.clear();
+  res.hop_layers.clear();
+  res.rip_center = {};
+  res.budget_exceeded = false;
+  res.expansions = 0;
+  res.marks = 0;
+  res.gap_nodes = 0;
+  res.stale_skips = 0;
+  res.cache_hits = 0;
+  res.cache_misses = 0;
+
+  const bool use_cache = cfg.lee_cache;
+  if (use_cache) {
+    cache_.set_params(cfg.radius, cfg.max_trace_nodes,
+                      cfg.lee_cache_max_gaps);
+    cache_.ensure_synced(stack_.mutation_seq());
+  } else {
+    // Fresh per-search dedup state: each (side, layer) walks a gap at most
+    // once per search, no matter how many expansion strips cover it.
+    for (detail::VisitedSet& vs : seen_) vs.begin();
+  }
+
+  queue_[0].clear();
+  queue_[1].clear();
   const Point src[2] = {c.a, c.b};
   const Point tgt[2] = {c.b, c.a};
   std::uint64_t seq = 0;
 
   set_mark(0, c.a, c.a, 0, 0);
   set_mark(1, c.b, c.b, 0, 0);
-  q[0].push({0, seq++, c.a});
-  q[1].push({0, seq++, c.b});
+  queue_[0].push(0, seq++, c.a);
+  queue_[1].push(0, seq++, c.b);
 
   // Most-progress record per wavefront (Sec 8.3's rip-up point).
   Coord best_d[2] = {manhattan(c.a, c.b), manhattan(c.a, c.b)};
   Point best_p[2] = {c.a, c.b};
 
-  LeeResult res;
   bool meet = false;
   bool meet_src = false;  // p connects directly to the opposite source
   Point meet_p{}, meet_v{};
   LayerId meet_layer = 0;
   int meet_side = 0;
 
+  // Replay a cached strip walk: re-derive the via emissions and the touch
+  // test from the stored accepted-node list, in the original visit order —
+  // the externally visible effects of reachable_vias, minus the walk.
+  auto replay = [&](const Layer& layer, const FreeSpaceCache::Entry& ce,
+                    Point touch, auto&& on_via) {
+    FreeSpaceStats st;
+    st.nodes = ce.gaps.size();
+    const int period = spec.period();
+    const Coord tc = layer.across_of(touch), tv = layer.along_of(touch);
+    for (const ChannelSpan& cs : ce.gaps) {
+      if (cs.channel % period == 0) {
+        Coord first = ((cs.span.lo + period - 1) / period) * period;
+        for (Coord v = first; v <= cs.span.hi; v += period) {
+          on_via(layer.point_of(cs.channel, v));
+        }
+      }
+      if (detail::FreeSpaceQuery<Layer>::touches(cs.channel, cs.span, tc,
+                                                 tv)) {
+        st.touched = true;
+      }
+    }
+    return st;
+  };
+
   int side = 0;
   while (!meet) {
     if (!cfg.bidirectional) side = 0;
-    if (q[side].empty()) {
-      res.rip_center = best_p[side];
-      return res;  // blocked: this wavefront is exhausted
+    Point p{};
+    for (;;) {
+      if (queue_[side].empty()) {
+        res.rip_center = best_p[side];
+        return;  // blocked: this wavefront is exhausted
+      }
+      const LeeQueue::Entry e = queue_[side].pop();
+      Mark& m = marks_[side][via_index(e.p)];
+      if (m.popped_epoch == epoch_) {
+        ++res.stale_skips;  // duplicate entry for an expanded via
+        continue;
+      }
+      m.popped_epoch = epoch_;
+      p = e.p;
+      break;
     }
-    const QEntry e = q[side].top();
-    q[side].pop();
     if (++res.expansions > cfg.max_lee_expansions) {
       res.budget_exceeded = true;
       res.rip_center = (best_d[0] <= best_d[1]) ? best_p[0] : best_p[1];
-      return res;
+      return;
     }
-    const Point p = e.p;
     if (expanded_log != nullptr) expanded_log->push_back(p);
     const std::uint16_t p_hops = mark_of(side, p).hops;
     const Point pg = spec.grid_of_via(p);
     const Point og = spec.grid_of_via(src[1 - side]);
 
     for (int li = 0; li < stack_.num_layers() && !meet; ++li) {
-      const Layer& layer = stack_.layer(static_cast<LayerId>(li));
+      const auto lid = static_cast<LayerId>(li);
+      const Layer& layer = stack_.layer(lid);
       Rect box = strip_box(spec, layer.orientation(), p, cfg.radius);
-      FreeSpaceStats st = reachable_vias(
-          layer, stack_.pool(), spec.period(), pg, box,
-          [&](Point g) {
-            if (meet) return;
-            Point v = spec.via_of_grid(g);
-            if (v == p) return;
-            if (!stack_.via_free(v)) return;  // not drillable here
-            if (marked(1 - side, v)) {
-              meet = true;
-              meet_p = p;
-              meet_v = v;
-              meet_layer = static_cast<LayerId>(li);
-              meet_side = side;
-              return;
-            }
-            if (marked(side, v)) return;
-            set_mark(side, v, p, static_cast<LayerId>(li),
-                     static_cast<std::uint16_t>(p_hops + 1));
-            ++res.marks;
-            Coord d = manhattan(v, tgt[side]);
-            q[side].push({cost_of(cfg.cost_fn, d, p_hops + 1), seq++, v});
-            if (d < best_d[side]) {
-              best_d[side] = d;
-              best_p[side] = v;
-            }
-          },
-          cfg.max_trace_nodes, &og, cursors);
+      auto on_via = [&](Point g) {
+        if (meet) return;
+        Point v = spec.via_of_grid(g);
+        if (v == p) return;
+        if (!stack_.via_free(v)) return;  // not drillable here
+        if (marked(1 - side, v)) {
+          meet = true;
+          meet_p = p;
+          meet_v = v;
+          meet_layer = lid;
+          meet_side = side;
+          return;
+        }
+        if (marked(side, v)) return;
+        set_mark(side, v, p, lid, static_cast<std::uint16_t>(p_hops + 1));
+        ++res.marks;
+        Coord d = manhattan(v, tgt[side]);
+        const int rem =
+            cfg.lee_astar ? min_hops_lb(v, tgt[side], cfg.radius) : 0;
+        queue_[side].push(priority_of(cfg.cost_fn, d, p_hops + 1, rem),
+                          seq++, v);
+        if (d < best_d[side]) {
+          best_d[side] = d;
+          best_p[side] = v;
+        }
+      };
+      FreeSpaceStats st;
+      if (use_cache) {
+        if (const FreeSpaceCache::Entry* ce = cache_.lookup(p, lid)) {
+          ++res.cache_hits;
+          st = replay(layer, *ce, og, on_via);
+        } else {
+          ++res.cache_misses;
+          std::vector<ChannelSpan>* log = cache_.begin_insert(p, lid, box);
+          st = reachable_vias(layer, stack_.pool(), spec.period(), pg, box,
+                              on_via, cfg.max_trace_nodes, &og, cursors,
+                              &fs_, log);
+          cache_.finish_insert();
+        }
+      } else {
+        // The dedup context is the strip's across coordinate: expansions of
+        // the same wavefront in the same via row/column of this layer share
+        // an identical strip box, so their walks may dedup against each
+        // other (and only against each other — see reachable_vias).
+        st = reachable_vias(
+            layer, stack_.pool(), spec.period(), pg, box, on_via,
+            cfg.max_trace_nodes, &og, cursors, &fs_, nullptr,
+            &seen_[static_cast<std::size_t>(side) * stack_.num_layers() +
+                   static_cast<std::size_t>(li)],
+            static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(layer.across_of(pg))));
+      }
+      res.gap_nodes += st.nodes;
       if (!meet && st.touched) {
         // The free space around p touches the opposite source itself: a
         // direct trace p -> opposite source exists on this layer.
         meet = true;
         meet_src = true;
         meet_p = p;
-        meet_layer = static_cast<LayerId>(li);
+        meet_layer = lid;
         meet_side = side;
       }
     }
     side = cfg.bidirectional ? 1 - side : 0;
   }
 
-  // Assemble the via sequence: source_s .. meet_p, [meet_v .. source_o].
-  std::vector<LayerId> layers_s;
-  res.via_seq = chain(meet_side, meet_p, &layers_s);
-  res.hop_layers = std::move(layers_s);
+  // Assemble the via sequence: source_s .. meet_p, [meet_v .. source_o],
+  // directly into the caller's reused vectors (no scratch, no copies).
+  {
+    // Walk meet_p back to its source (reversed), then flip in place.
+    Point cur = meet_p;
+    while (true) {
+      res.via_seq.push_back(cur);
+      const Mark& m = mark_of(meet_side, cur);
+      if (m.parent == cur) break;  // reached the wavefront source
+      res.hop_layers.push_back(m.layer);
+      cur = m.parent;
+    }
+    std::reverse(res.via_seq.begin(), res.via_seq.end());
+    std::reverse(res.hop_layers.begin(), res.hop_layers.end());
+  }
   res.hop_layers.push_back(meet_layer);
   if (meet_src) {
     res.via_seq.push_back(src[1 - meet_side]);
   } else {
-    std::vector<LayerId> layers_o;
-    std::vector<Point> chain_o = chain(1 - meet_side, meet_v, &layers_o);
-    // chain_o is [source_o .. meet_v]; append it reversed.
-    for (auto it = chain_o.rbegin(); it != chain_o.rend(); ++it) {
-      res.via_seq.push_back(*it);
-    }
-    for (auto it = layers_o.rbegin(); it != layers_o.rend(); ++it) {
-      res.hop_layers.push_back(*it);
+    // The opposite chain is needed meet_v-first, which is exactly the
+    // order the parent walk produces.
+    Point cur = meet_v;
+    while (true) {
+      res.via_seq.push_back(cur);
+      const Mark& m = mark_of(1 - meet_side, cur);
+      if (m.parent == cur) break;
+      res.hop_layers.push_back(m.layer);
+      cur = m.parent;
     }
   }
   if (meet_side == 1) {
@@ -190,7 +333,6 @@ LeeResult LeeSearch::search(const Connection& c, const RouterConfig& cfg,
     std::reverse(res.hop_layers.begin(), res.hop_layers.end());
   }
   res.found = true;
-  return res;
 }
 
 }  // namespace grr

@@ -10,6 +10,32 @@
 //   Mod 3 — wavefront lists are kept in increasing cost order, with
 //           cost(n) = distance(n, target) * hops(n, source) by default.
 //
+// This implementation layers four accelerations on the seed engine:
+//
+//   * cross-expansion walk dedup: per-(side, layer) visited sets persist
+//     across all expansions of one search, so overlapping radius strips
+//     never re-enumerate a gap — every skipped re-visit is provably a
+//     no-op (see the dedup contract on reachable_vias), which makes this
+//     bit-identical to the seed and the engine's default fast path;
+//   * a bucketed wavefront queue (LeeQueue) and per-worker scratch replace
+//     the seed's per-search priority_queue / hash set — after warm-up a
+//     search performs no heap allocation;
+//   * goal-oriented ordering (RouterConfig::lee_astar, opt-in): an
+//     admissible lower bound on the remaining hops (derived from the layer
+//     orientations — see min_hops_lb in lee.cpp) is folded into each
+//     entry's priority, so wavefronts grow towards each other instead of
+//     in circles;
+//   * a journal-invalidated reachability cache (RouterConfig::lee_cache,
+//     opt-in; FreeSpaceCache) replays previously walked radius strips
+//     instead of re-enumerating them — for workloads that search a frozen
+//     board many times.
+//
+// With lee_astar=false (the default) the engine reproduces the seed's
+// (cost, seq) pop order bit for bit (lee_equivalence_test.cpp proves this
+// against a reference priority_queue implementation), and cache on/off
+// yields identical geometry and counts apart from gap_nodes
+// (SuiteDeterminism).
+//
 // The search is read-only: it returns the via sequence and per-hop layers;
 // the router realizes them with Trace and records them in the RouteDB.
 #pragma once
@@ -17,9 +43,11 @@
 #include <vector>
 
 #include "layer/cursor_cache.hpp"
+#include "layer/free_space_cache.hpp"
 #include "layer/layer_stack.hpp"
 #include "route/config.hpp"
 #include "route/connection.hpp"
+#include "route/lee_queue.hpp"
 
 namespace grr {
 
@@ -36,24 +64,64 @@ struct LeeResult {
 
   std::size_t expansions = 0;  // wavefront points expanded
   std::size_t marks = 0;       // via sites marked
+  /// Free gaps examined (walked fresh, or replayed from cache) across all
+  /// expansions — the work metric of the gap walks. Deterministic for a
+  /// fixed configuration at any thread count, but legitimately smaller with
+  /// the cross-expansion dedup (cache off) than with full logged walks
+  /// (cache on), while all other fields stay bit-identical.
+  std::size_t gap_nodes = 0;
+  /// Queue entries discarded because their via was already expanded. Under
+  /// the push-once discipline (a via is pushed only when first marked) this
+  /// stays 0; the skip is the contract that keeps a future decrease-key
+  /// variant safe.
+  std::size_t stale_skips = 0;
+  /// Reachability-cache counters for this search. NOT part of the
+  /// determinism-compared statistics: they legitimately differ between
+  /// cache-on and cache-off runs while all geometry and counts above are
+  /// bit-identical.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 };
 
 class LeeSearch {
  public:
   explicit LeeSearch(const LayerStack& stack);
 
-  /// Run the search. The board is only read. `cursors`, when given, carries
-  /// the caller's channel walk-start hints. `expanded_log`, when given,
-  /// records every wavefront point expanded — each expansion reads one
-  /// radius strip per layer, so the log determines the search's read
-  /// footprint for speculative (batch) routing.
+  /// Run the search into `*out`, reusing its vectors' capacity (the
+  /// steady-state zero-allocation entry point). The board is only read.
+  /// `cursors`, when given, carries the caller's channel walk-start hints.
+  /// `expanded_log`, when given, records every wavefront point expanded —
+  /// each expansion reads one radius strip per layer, so the log determines
+  /// the search's read footprint for speculative (batch) routing.
+  void search(const Connection& c, const RouterConfig& cfg, LeeResult* out,
+              CursorCache* cursors = nullptr,
+              std::vector<Point>* expanded_log = nullptr);
+
+  /// Convenience overload returning the result by value (tests/tools).
   LeeResult search(const Connection& c, const RouterConfig& cfg,
                    CursorCache* cursors = nullptr,
-                   std::vector<Point>* expanded_log = nullptr);
+                   std::vector<Point>* expanded_log = nullptr) {
+    LeeResult res;
+    search(c, cfg, &res, cursors, expanded_log);
+    return res;
+  }
+
+  /// Journal feed for the reachability cache: evict cached strips touched
+  /// by the given mutation footprints (grid coordinates) and mark the cache
+  /// synchronized with the stack's current mutation sequence. Callers pass
+  /// the rectangles a MutationJournal accumulated since the last feed; any
+  /// mutation that bypasses the feed is caught by the sequence backstop at
+  /// the next search (the whole cache is then dropped — see FreeSpaceCache).
+  void invalidate_cache(const std::vector<Rect>& touched) {
+    cache_.apply(touched, stack_.mutation_seq());
+  }
+
+  const FreeSpaceCache& cache() const { return cache_; }
 
  private:
   struct Mark {
     std::uint32_t epoch = 0;
+    std::uint32_t popped_epoch = 0;  // stale-entry skip (see LeeResult)
     Point parent;
     LayerId layer = 0;
     std::uint16_t hops = 0;
@@ -64,13 +132,22 @@ class LeeSearch {
   const Mark& mark_of(int side, Point v) const;
   void set_mark(int side, Point v, Point parent, LayerId layer,
                 std::uint16_t hops);
-  /// Chain from `from` back to the side's source, returned source-first.
-  std::vector<Point> chain(int side, Point from,
-                           std::vector<LayerId>* layers) const;
+  int min_hops_lb(Point v, Point t, int radius) const;
 
   const LayerStack& stack_;
   std::vector<Mark> marks_[2];
   std::uint32_t epoch_ = 0;
+  LeeQueue queue_[2];
+  FreeSpaceScratch fs_;
+  /// Per-(side, layer) visited sets spanning all expansions of one search:
+  /// overlapping radius strips stop re-walking gaps an earlier expansion of
+  /// the same wavefront already enumerated (every such re-visit is a no-op —
+  /// see the dedup contract on reachable_vias). Indexed side * layers + li.
+  /// Used on the cache-off path only: logged walks must stay self-contained.
+  std::vector<detail::VisitedSet> seen_;
+  FreeSpaceCache cache_;
+  bool has_h_ = false;  // any horizontal layer in the stack
+  bool has_v_ = false;  // any vertical layer in the stack
 };
 
 }  // namespace grr

@@ -1,0 +1,146 @@
+// Bucketed wavefront queue for the generalized Lee search.
+//
+// The seed kept each wavefront in a std::priority_queue<QEntry> that was
+// constructed (and heap-allocated) on every search. This queue is the
+// zero-allocation replacement: it is owned by the per-worker LeeSearch,
+// reset in O(1) amortized between searches, and performs no heap allocation
+// once its buckets and overflow heap have grown to the search's working set
+// (the counting-allocator test in lee_alloc_test.cpp enforces this).
+//
+// Ordering contract: pops follow the exact total order (cost, seq) — the
+// same order the seed's std::priority_queue produced — so a search driven
+// by this queue is bit-identical to one driven by the heap. Two tiers keep
+// that exact while staying allocation-free:
+//
+//   * costs < kSmallCosts land in a dense bucket array, one FIFO per cost
+//     (entries of equal cost arrive in increasing seq, so FIFO == seq
+//     order). A cursor tracks the smallest possibly-non-empty bucket; it
+//     moves backward when a smaller cost is pushed (Lee costs are not
+//     monotone: dist(n, target) shrinks as the wavefront advances, so a
+//     child's cost can undercut its parent's).
+//   * costs >= kSmallCosts go to a binary heap ordered by (cost, seq).
+//
+// The two tiers partition the cost axis, so the merge at pop time never
+// ties: whenever any bucket is non-empty its cost is strictly below every
+// heap cost. Buckets are reset lazily via epoch stamps — clearing the queue
+// does not walk the 4096 buckets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace grr {
+
+class LeeQueue {
+ public:
+  struct Entry {
+    std::int64_t cost = 0;
+    std::uint64_t seq = 0;
+    Point p;
+  };
+
+  /// Upper bound (exclusive) of the dense bucket tier. kUnitHops costs and
+  /// near-goal kDistance / kDistTimesHops costs live here; the long tail of
+  /// large products overflows to the heap.
+  static constexpr std::int64_t kSmallCosts = 4096;
+
+  LeeQueue() : buckets_(static_cast<std::size_t>(kSmallCosts)) {}
+
+  void clear() {
+    ++epoch_;
+    if (epoch_ == 0) {  // epoch wrap: stamp everything stale for real
+      for (Bucket& b : buckets_) b.epoch = 0;
+      epoch_ = 1;
+    }
+    small_count_ = 0;
+    cursor_ = kSmallCosts;
+    heap_.clear();
+  }
+
+  bool empty() const { return small_count_ == 0 && heap_.empty(); }
+
+  std::size_t size() const { return small_count_ + heap_.size(); }
+
+  void push(std::int64_t cost, std::uint64_t seq, Point p) {
+    if (cost < kSmallCosts) {
+      Bucket& b = buckets_[static_cast<std::size_t>(cost)];
+      if (b.epoch != epoch_) {
+        b.epoch = epoch_;
+        b.head = 0;
+        b.items.clear();  // keeps capacity
+      }
+      b.items.push_back(p);
+      ++small_count_;
+      if (cost < cursor_) cursor_ = cost;
+    } else {
+      heap_.push_back({cost, seq, p});
+      sift_up(heap_.size() - 1);
+    }
+  }
+
+  /// Pop the (cost, seq)-minimal entry. Precondition: !empty(). The seq of
+  /// bucket-tier entries is not stored (FIFO within a bucket is seq order);
+  /// the returned Entry carries seq 0 for them, which no caller consumes.
+  Entry pop() {
+    if (small_count_ > 0) {
+      while (true) {
+        Bucket& b = buckets_[static_cast<std::size_t>(cursor_)];
+        if (b.epoch == epoch_ && b.head < b.items.size()) break;
+        ++cursor_;
+      }
+      Bucket& b = buckets_[static_cast<std::size_t>(cursor_)];
+      Entry e{cursor_, 0, b.items[b.head]};
+      ++b.head;
+      --small_count_;
+      return e;
+    }
+    Entry top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return top;
+  }
+
+ private:
+  struct Bucket {
+    std::uint32_t epoch = 0;
+    std::size_t head = 0;
+    std::vector<Point> items;
+  };
+
+  static bool less(const Entry& a, const Entry& b) {
+    return a.cost != b.cost ? a.cost < b.cost : a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      std::size_t parent = (i - 1) / 2;
+      if (!less(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t best = i;
+      std::size_t l = 2 * i + 1, r = 2 * i + 2;
+      if (l < n && less(heap_[l], heap_[best])) best = l;
+      if (r < n && less(heap_[r], heap_[best])) best = r;
+      if (best == i) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Bucket> buckets_;
+  std::vector<Entry> heap_;
+  std::size_t small_count_ = 0;
+  std::int64_t cursor_ = kSmallCosts;  // lower bound on min non-empty bucket
+  std::uint32_t epoch_ = 1;
+};
+
+}  // namespace grr

@@ -33,7 +33,7 @@ bool Router::place_direct(RouteTransaction& txn, Point a_via, Point b_via) {
       auto spans = trace_path(layer, stack_.pool(), ag, bg, box,
                               cfg_.max_trace_nodes, nullptr,
                               cfg_.via_avoidance ? spec.period() : 0,
-                              &cursors_);
+                              &cursors_, nullptr, &fs_);
       if (spans) {
         txn.add_hop(static_cast<LayerId>(li), std::move(*spans));
         return true;

@@ -83,6 +83,7 @@ struct RoutePlan {
   /// serial re-route so discrete stats match a serial run exactly.
   long lee_searches = 0;
   long lee_expansions = 0;
+  long lee_gap_nodes = 0;
   double sec_zero_via = 0;
   double sec_one_via = 0;
   double sec_lee = 0;

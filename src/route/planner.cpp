@@ -36,7 +36,8 @@ bool ConnectionPlanner::plan_direct(RoutePlan& plan, Point a_via,
       auto spans = trace_path(layer, view_.pool(), ag, bg, box,
                               cfg_.max_trace_nodes, nullptr,
                               cfg_.via_avoidance ? spec.period() : 0,
-                              &scratch_.cursors, &scratch_.overlay);
+                              &scratch_.cursors, &scratch_.overlay,
+                              &scratch_.free_space);
       if (spans) {
         for (const ChannelSpan& cs : *spans) {
           scratch_.overlay.add(static_cast<LayerId>(li), cs.channel,
@@ -123,9 +124,11 @@ bool ConnectionPlanner::plan_lee(RoutePlan& plan, const Connection& c) {
   const GridSpec& spec = view_.spec();
   plan.lee_searches = 1;
   scratch_.expanded.clear();
-  LeeResult res =
-      scratch_.lee.search(c, cfg_, &scratch_.cursors, &scratch_.expanded);
+  scratch_.lee.search(c, cfg_, &scratch_.lee_res, &scratch_.cursors,
+                      &scratch_.expanded);
+  const LeeResult& res = scratch_.lee_res;
   plan.lee_expansions += static_cast<long>(res.expansions);
+  plan.lee_gap_nodes += static_cast<long>(res.gap_nodes);
 
   // Read footprint: each expansion reads one full-length radius strip per
   // layer (plus via_free probes inside it), which projects to a band on the
@@ -168,7 +171,8 @@ bool ConnectionPlanner::plan_lee(RoutePlan& plan, const Connection& c) {
                             spec.grid_of_via(w), box, cfg_.max_trace_nodes,
                             nullptr,
                             cfg_.via_avoidance ? spec.period() : 0,
-                            &scratch_.cursors, &scratch_.overlay);
+                            &scratch_.cursors, &scratch_.overlay,
+                            &scratch_.free_space);
     if (!spans) {
       // Serial would roll back and fall through to rip-up.
       plan.vias.clear();

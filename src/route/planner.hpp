@@ -31,6 +31,13 @@ class ConnectionPlanner {
   /// mutates only this planner's scratch.
   RoutePlan plan(const Connection& c);
 
+  /// Feed the mutation footprints committed since this planner last ran to
+  /// its reachability cache (called by the batch commit thread between
+  /// commit and the next planning fan-out; see BatchRouter).
+  void invalidate_search_cache(const std::vector<Rect>& touched) {
+    scratch_.lee.invalidate_cache(touched);
+  }
+
  private:
   /// Mirror of Router::place_direct: one direct trace between two via
   /// points, preferred-orientation layers first, appended to the plan and

@@ -28,7 +28,7 @@ int Router::rip_up(RouteTransaction& txn, const Connection& c,
                      victims.insert(id);
                    }
                  },
-                 kDefaultMaxFreeNodes, &cursors_);
+                 kDefaultMaxFreeNodes, &cursors_, &fs_);
   }
   for (ConnId id : victims) {
     txn.rip(id);
@@ -43,7 +43,8 @@ void Router::put_back() {
   for (ConnId id : ripped_) {
     // Most victims re-insert verbatim; the rest stay unrouted and are
     // re-routed by a later pass.
-    RouteTransaction::putback(stack_, *db_, id, &txn_counters_, journal_);
+    RouteTransaction::putback(stack_, *db_, id, &txn_counters_,
+                              &cache_feed_);
   }
   ripped_.clear();
 }

@@ -14,8 +14,15 @@ Router::Router(LayerStack& stack, RouterConfig cfg)
 bool Router::try_lee(RouteTransaction& txn, const Connection& c,
                      Point* rip_center) {
   ++stats_.lee_searches;
-  LeeResult res = lee_.search(c, cfg_, &cursors_);
+  // Drain the mutation feed into the reachability cache: every rectangle a
+  // transaction journalled since the last search precisely invalidates the
+  // cached strips it touches.
+  lee_.invalidate_cache(cache_feed_.touched);
+  cache_feed_.clear();
+  lee_.search(c, cfg_, &lee_res_, &cursors_);
+  const LeeResult& res = lee_res_;
   stats_.lee_expansions += static_cast<long>(res.expansions);
+  stats_.lee_gap_nodes += static_cast<long>(res.gap_nodes);
   if (!res.found) {
     *rip_center = res.rip_center;
     return false;
@@ -36,7 +43,8 @@ bool Router::try_lee(RouteTransaction& txn, const Connection& c,
     auto spans =
         trace_path(layer, stack_.pool(), spec.grid_of_via(u),
                    spec.grid_of_via(w), box, cfg_.max_trace_nodes, nullptr,
-                   cfg_.via_avoidance ? spec.period() : 0, &cursors_);
+                   cfg_.via_avoidance ? spec.period() : 0, &cursors_,
+                   nullptr, &fs_);
     if (!spans) {
       // Rare self-interference between hops of this very path: abandon the
       // attempt; the caller falls through to rip-up around the hop start.
@@ -54,7 +62,7 @@ bool Router::route_connection(const Connection& c) {
   assert(db_.has_value());
   if (db_->routed(c.id)) return true;  // already routed (Sec 8.4)
 
-  RouteTransaction txn(stack_, *db_, c.id, &txn_counters_, journal_);
+  RouteTransaction txn(stack_, *db_, c.id, &txn_counters_, &cache_feed_);
   if (c.a == c.b) {
     txn.commit(RouteStrategy::kTrivial);
     return true;
@@ -87,11 +95,12 @@ bool Router::route_connection(const Connection& c) {
 
 void Router::unroute(ConnId id) {
   if (db_->routed(id)) {
-    RouteTransaction::rip_out(stack_, *db_, id, &txn_counters_, journal_);
+    RouteTransaction::rip_out(stack_, *db_, id, &txn_counters_,
+                              &cache_feed_);
   }
   // Open and drop a transaction: clears the remembered geometry so the
   // caller rebuilds from scratch.
-  RouteTransaction txn(stack_, *db_, id, &txn_counters_, journal_);
+  RouteTransaction txn(stack_, *db_, id, &txn_counters_, &cache_feed_);
 }
 
 void Router::prepare(const ConnectionList& conns) {

@@ -31,6 +31,7 @@ struct RouterStats {
   long vias_added = 0;      // intermediate vias in the final routing
   long lee_searches = 0;
   long lee_expansions = 0;
+  long lee_gap_nodes = 0;  // free gaps visited/replayed by Lee expansions
   long two_via_candidates = 0;  // intermediate vias tried by the ablation
   int passes = 0;
 
@@ -97,13 +98,23 @@ class Router {
   void set_config(const RouterConfig& cfg) { cfg_ = cfg; }
   RouterStats& stats() { return stats_; }
   const RouterStats& stats() const { return stats_; }
+
+  /// Reachability-cache counters of the serial engine (diagnostics).
+  const FreeSpaceCache::Stats& lee_cache_stats() const {
+    return lee_.cache().stats();
+  }
   const ConnectionList& connections() const { return conns_; }
 
   /// Mutation-layer activity since prepare().
   const TxnCounters& txn_counters() const { return txn_counters_; }
   /// Journal receiving the grid rectangles of all metal this router adds or
-  /// removes (the batch router's conflict detector). May be null.
-  void set_journal(MutationJournal* journal) { journal_ = journal; }
+  /// removes (the batch router's conflict detector). May be null. The
+  /// router's own feed journal stays interposed in front of it, so the
+  /// reachability cache keeps seeing every mutation either way.
+  void set_journal(MutationJournal* journal) { cache_feed_.next = journal; }
+  /// The router's mutation feed: out-of-band mutators (the improvement
+  /// pass's putback) log here so the reachability cache stays precise.
+  MutationJournal* mutation_feed() { return &cache_feed_; }
 
   /// Remove a routed connection's metal entirely (used by the length tuner
   /// to rebuild hops). Geometry memory is cleared.
@@ -142,12 +153,17 @@ class Router {
   RouterConfig cfg_;
   std::optional<RouteDB> db_;
   LeeSearch lee_;
+  LeeResult lee_res_;    // reused across searches (zero-alloc steady state)
+  FreeSpaceScratch fs_;  // reused by this router's trace/obstruction walks
   CursorCache cursors_;  // the paper's moving-cursor hints (Secs 4, 12)
   ConnectionList conns_;
   std::vector<ConnId> ripped_;  // pending put-back
   RouterStats stats_;
   TxnCounters txn_counters_;
-  MutationJournal* journal_ = nullptr;
+  /// Feed for lee_'s reachability cache: every transaction this router
+  /// opens journals here; try_lee drains it into the cache before each
+  /// search. Chains to the externally registered journal (set_journal).
+  MutationJournal cache_feed_;
 };
 
 }  // namespace grr

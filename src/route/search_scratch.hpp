@@ -19,7 +19,9 @@ namespace grr {
 struct SearchScratch {
   CursorCache cursors;   // channel walk-start hints
   PlanOverlay overlay;   // tentative metal of the plan being built
-  LeeSearch lee;         // owns the per-search mark arrays
+  LeeSearch lee;         // owns the per-search mark arrays + strip cache
+  LeeResult lee_res;     // reused search result (zero-alloc steady state)
+  FreeSpaceScratch free_space;  // reused by the planner's trace walks
   std::vector<Point> expanded;  // wavefront log -> read footprint
 
   explicit SearchScratch(const LayerStack& stack) : lee(stack) {}

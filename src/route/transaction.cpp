@@ -23,11 +23,10 @@ Rect rect_of_via(const LayerStack& stack, Point via) {
 void log_geom(MutationJournal* journal, const LayerStack& stack,
               const RouteGeom& geom) {
   if (journal == nullptr) return;
-  for (Point v : geom.vias) journal->touched.push_back(rect_of_via(stack, v));
+  for (Point v : geom.vias) journal->log(rect_of_via(stack, v));
   for (const RouteHop& hop : geom.hops) {
     for (const ChannelSpan& cs : hop.spans) {
-      journal->touched.push_back(
-          rect_of(stack, {hop.layer, cs.channel, cs.span}));
+      journal->log(rect_of(stack, {hop.layer, cs.channel, cs.span}));
     }
   }
 }
@@ -36,7 +35,7 @@ void log_live_segs(MutationJournal* journal, const LayerStack& stack,
                    const std::vector<SegId>& segs) {
   if (journal == nullptr) return;
   for (SegId s : segs) {
-    journal->touched.push_back(rect_of(stack, stack.placed_span(s)));
+    journal->log(rect_of(stack, stack.placed_span(s)));
   }
 }
 
@@ -57,7 +56,7 @@ RouteTransaction::~RouteTransaction() {
 
 void RouteTransaction::log_via(Point via) {
   if (journal_ != nullptr) {
-    journal_->touched.push_back(rect_of_via(stack_, via));
+    journal_->log(rect_of_via(stack_, via));
   }
 }
 
@@ -65,7 +64,7 @@ void RouteTransaction::log_spans(LayerId layer,
                                  const std::vector<ChannelSpan>& spans) {
   if (journal_ == nullptr) return;
   for (const ChannelSpan& cs : spans) {
-    journal_->touched.push_back(rect_of(stack_, {layer, cs.channel, cs.span}));
+    journal_->log(rect_of(stack_, {layer, cs.channel, cs.span}));
   }
 }
 

@@ -36,8 +36,23 @@ struct TxnCounters {
 /// Grid-coordinate rectangles of all metal added or removed since the last
 /// clear(). Removal is logged too: a rip frees space a speculative plan did
 /// not see, which invalidates the plan just as surely as new metal does.
+///
+/// Journals chain: a rectangle logged here is forwarded to `next` (and so
+/// on down the chain). The router interposes its own journal — the feed for
+/// the per-worker reachability caches — in front of whatever journal the
+/// caller registered, so both observe every mutation without the mutation
+/// sites knowing about either. clear() drains only this journal; the chain
+/// is left alone.
 struct MutationJournal {
   std::vector<Rect> touched;
+  MutationJournal* next = nullptr;
+
+  void log(const Rect& r) {
+    touched.push_back(r);
+    for (MutationJournal* j = next; j != nullptr; j = j->next) {
+      j->touched.push_back(r);
+    }
+  }
   void clear() { touched.clear(); }
 };
 

@@ -39,7 +39,7 @@ bool CostFnTuner::realize(const Connection& c,
                           const std::vector<Point>& seq) {
   LayerStack& stack = router_.stack();
   RouteTransaction txn(stack, router_.db(), c.id, &router_.txn_counters_,
-                       router_.journal_);
+                       router_.mutation_feed());
   for (std::size_t i = 1; i + 1 < seq.size(); ++i) {
     if (!stack.via_free(seq[i])) return false;  // dtor rolls back
     txn.add_via(seq[i]);

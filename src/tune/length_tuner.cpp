@@ -9,7 +9,7 @@ bool LengthTuner::place_via_path(const Connection& c,
                                  const std::vector<Point>& seq) {
   LayerStack& stack = router_.stack();
   RouteTransaction txn(stack, router_.db(), c.id, &router_.txn_counters_,
-                       router_.journal_);
+                       router_.mutation_feed());
   for (std::size_t i = 1; i + 1 < seq.size(); ++i) {
     if (!stack.via_free(seq[i])) return false;  // dtor rolls back
     txn.add_via(seq[i]);
@@ -85,7 +85,8 @@ TuneResult LengthTuner::tune(const Connection& c, int max_iterations) {
           RouteTransaction::adopt_geometry(db, c.id, snapshot,
                                            snap_strategy);
           bool restored = RouteTransaction::putback(
-              stack, db, c.id, &router_.txn_counters_, router_.journal_);
+              stack, db, c.id, &router_.txn_counters_,
+              router_.mutation_feed());
           assert(restored);
           (void)restored;
         }

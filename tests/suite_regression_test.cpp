@@ -51,6 +51,29 @@ TEST_P(SuiteRegression, GeneratesRoutesAndAudits) {
 class SuiteDeterminism
     : public ::testing::TestWithParam<BoardGenParams> {};
 
+/// Full realized-geometry equality: status, strategy, via chain and every
+/// trace span of every connection. This is the bit-identical contract the
+/// search-acceleration work is held to (cache on/off, any thread count).
+void expect_same_routes(const std::vector<Connection>& conns,
+                        const RouteDB& a, const RouteDB& b,
+                        const char* what) {
+  for (const Connection& c : conns) {
+    const RouteRecord& ra = a.rec(c.id);
+    const RouteRecord& rb = b.rec(c.id);
+    ASSERT_EQ(ra.status, rb.status) << what << " conn " << c.id;
+    ASSERT_EQ(ra.strategy, rb.strategy) << what << " conn " << c.id;
+    ASSERT_EQ(ra.geom.vias, rb.geom.vias) << what << " conn " << c.id;
+    ASSERT_EQ(ra.geom.hops.size(), rb.geom.hops.size())
+        << what << " conn " << c.id;
+    for (std::size_t i = 0; i < ra.geom.hops.size(); ++i) {
+      ASSERT_EQ(ra.geom.hops[i].layer, rb.geom.hops[i].layer)
+          << what << " conn " << c.id << " hop " << i;
+      ASSERT_EQ(ra.geom.hops[i].spans, rb.geom.hops[i].spans)
+          << what << " conn " << c.id << " hop " << i;
+    }
+  }
+}
+
 TEST_P(SuiteDeterminism, ParallelMatchesSerialAndPassesDrc) {
   // The batch router's contract over the whole Table 1 suite: threads=4
   // produces the identical routed set and discrete statistics as
@@ -81,7 +104,11 @@ TEST_P(SuiteDeterminism, ParallelMatchesSerialAndPassesDrc) {
   EXPECT_EQ(s1.vias_added, s4.vias_added);
   EXPECT_EQ(s1.lee_searches, s4.lee_searches);
   EXPECT_EQ(s1.lee_expansions, s4.lee_expansions);
+  EXPECT_EQ(s1.lee_gap_nodes, s4.lee_gap_nodes);
   EXPECT_EQ(s1.passes, s4.passes);
+  // Not just the same counts: the same metal, span for span.
+  ASSERT_NO_FATAL_FAILURE(expect_same_routes(one.strung.connections, b1.db(),
+                                             b4.db(), "threads 1 vs 4"));
 
   CheckReport audit =
       audit_all(four.board->stack(), b4.db(), four.strung.connections);
@@ -92,6 +119,56 @@ TEST_P(SuiteDeterminism, ParallelMatchesSerialAndPassesDrc) {
       drc_check(*four.board, four.strung.connections, b4.db(), opts);
   EXPECT_TRUE(drc.findings.empty())
       << GetParam().name << ": " << format_finding(drc.findings.front());
+}
+
+TEST_P(SuiteDeterminism, ReachabilityCacheIsInvisible) {
+  // The journal-invalidated free-space cache may change only the speed of a
+  // run, never its outcome: cache on vs off must agree on every discrete
+  // statistic and every span of realized metal — serial and parallel alike.
+  GeneratedBoard on1 = generate_board(GetParam());
+  GeneratedBoard off1 = generate_board(GetParam());
+  GeneratedBoard off4 = generate_board(GetParam());
+
+  RouterConfig c_on;
+  c_on.lee_cache = true;  // opt-in: exercise the replay path explicitly
+  c_on.threads = 1;
+  BatchRouter b_on(on1.board->stack(), c_on);
+  bool ok_on = b_on.route_all(on1.strung.connections);
+
+  RouterConfig c_off = c_on;
+  c_off.lee_cache = false;
+  BatchRouter b_off(off1.board->stack(), c_off);
+  bool ok_off = b_off.route_all(off1.strung.connections);
+
+  RouterConfig c_off4 = c_off;
+  c_off4.threads = 4;
+  BatchRouter b_off4(off4.board->stack(), c_off4);
+  bool ok_off4 = b_off4.route_all(off4.strung.connections);
+
+  EXPECT_EQ(ok_on, ok_off);
+  EXPECT_EQ(ok_on, ok_off4);
+  const RouterStats& s_on = b_on.stats();
+  const RouterStats& s_off = b_off.stats();
+  const RouterStats& s_off4 = b_off4.stats();
+  for (const RouterStats* s : {&s_off, &s_off4}) {
+    EXPECT_EQ(s_on.routed, s->routed);
+    EXPECT_EQ(s_on.failed, s->failed);
+    EXPECT_EQ(s_on.rip_ups, s->rip_ups);
+    EXPECT_EQ(s_on.vias_added, s->vias_added);
+    EXPECT_EQ(s_on.lee_searches, s->lee_searches);
+    EXPECT_EQ(s_on.lee_expansions, s->lee_expansions);
+    EXPECT_EQ(s_on.passes, s->passes);
+  }
+  // gap_nodes is deliberately NOT compared across cache modes: cache-off
+  // walks are deduped across expansions, cache-on walks are full so their
+  // logs stay replayable — same marks and geometry, different work counts.
+  // Within one mode it is deterministic at any thread count:
+  EXPECT_EQ(s_off.lee_gap_nodes, s_off4.lee_gap_nodes);
+  ASSERT_NO_FATAL_FAILURE(expect_same_routes(
+      on1.strung.connections, b_on.db(), b_off.db(), "cache on vs off"));
+  ASSERT_NO_FATAL_FAILURE(expect_same_routes(on1.strung.connections,
+                                             b_on.db(), b_off4.db(),
+                                             "cache on/1t vs off/4t"));
 }
 
 std::string row_name(

@@ -1,164 +1,446 @@
-// Reproduces the channel data-structure anecdote of paper Sec 12: "In
-// earlier versions, each channel was represented as a binary tree of
+// Channel data-structure ablation, extending the paper Sec 12 anecdote:
+// "In earlier versions, each channel was represented as a binary tree of
 // segments... In reality, however, the access pattern to a channel is far
 // from random. It is localized... The change from binary tree to doubly
 // linked list with a moving head-of-list pointer halved the running time on
 // most problems."
 //
-// The same localized probe/insert/erase workloads and full Trace searches
-// run against both implementations.
-#include <benchmark/benchmark.h>
-
+// Three stores are compared — the paper's linked list with moving cursor,
+// the cache-resident flat SoA + bitmap store, and the binary tree the paper
+// abandoned — in two regimes:
+//
+//   * micro: the segments of a routed Table 1 board are mirrored into
+//     standalone channels of each flavour, and identical localized probe /
+//     gap / enumeration / churn traces replay against all three, timed per
+//     operation;
+//   * macro: the whole routing problem is solved twice, once with
+//     channel_store=list and once with =flat (the LayerStack has no tree
+//     mode — the paper already retired it), and the Lee-phase wall time is
+//     compared. Discrete statistics must be identical between the two: the
+//     store may change only the speed of a run, never its outcome.
+//
+// Usage: bench_channel [scale] [board-substring]
+//   scale            board scale factor (default 0.4)
+//   board-substring  only boards whose name contains it (default: kdj11,nmc)
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
 #include <random>
+#include <string>
+#include <vector>
 
-#include "grid/grid_spec.hpp"
-#include "layer/free_space.hpp"
 #include "layer/layer.hpp"
+#include "layer/tree_channel.hpp"
+#include "route/audit.hpp"
+#include "route/router.hpp"
+#include "workload/suite.hpp"
 
-namespace grr {
+using namespace grr;
+
 namespace {
 
-constexpr Coord kExtentHi = 2999;
-constexpr int kSegments = 400;
+// ---------------------------------------------------------------------------
+// Micro: replicas of a routed board's channels, one per store flavour.
 
+/// All channels of all layers of one board, mirrored into ChannelT with its
+/// own pool. Indexed [layer][across].
 template <typename ChannelT>
-void fill_channel(SegmentPool& pool, ChannelT& ch) {
-  // Segments of length 4 every 7 positions: plenty of gaps.
-  for (Coord lo = 0; lo + 4 <= kExtentHi; lo += 7) {
-    Segment s;
-    s.span = {lo, lo + 3};
-    s.conn = 1;
-    ch.insert(pool, s);
-    if (ch.count() >= kSegments) break;
-  }
-}
-
-/// Localized probes: a random walk with small steps, like the probes made
-/// while routing one connection.
-template <typename ChannelT>
-void BM_LocalizedProbes(benchmark::State& state) {
+struct Replica {
   SegmentPool pool;
-  ChannelT ch;
-  fill_channel(pool, ch);
-  std::mt19937 rng(1);
-  std::uniform_int_distribution<Coord> step(-12, 12);
-  Coord pos = kExtentHi / 2;
-  for (auto _ : state) {
-    pos = std::clamp<Coord>(pos + step(rng), 0, kExtentHi);
-    benchmark::DoNotOptimize(ch.find_at(pool, pos));
+  std::vector<std::vector<ChannelT>> layers;
+  std::vector<Interval> along;  // per-layer along extent
+};
+
+template <typename ChannelT, typename ConfigureFn>
+Replica<ChannelT> mirror(const LayerStack& stack, ConfigureFn configure) {
+  Replica<ChannelT> rep;
+  rep.layers.resize(stack.num_layers());
+  rep.along.resize(stack.num_layers());
+  for (int li = 0; li < stack.num_layers(); ++li) {
+    const Layer& layer = stack.layer(static_cast<LayerId>(li));
+    const Interval across = layer.across_extent();
+    rep.along[li] = layer.along_extent();
+    rep.layers[li].resize(static_cast<std::size_t>(across.hi) + 1);
+    for (Coord c = across.lo; c <= across.hi; ++c) {
+      ChannelT& out = rep.layers[li][c];
+      configure(out, rep.along[li]);
+      for (SegId s = layer.channel(c).head(); s != kNoSeg;
+           s = stack.pool()[s].next) {
+        Segment seg;
+        seg.span = stack.pool()[s].span;
+        seg.conn = stack.pool()[s].conn;
+        seg.channel = c;
+        seg.layer = static_cast<LayerId>(li);
+        out.insert(rep.pool, seg);
+      }
+    }
   }
+  return rep;
 }
-BENCHMARK_TEMPLATE(BM_LocalizedProbes, Channel);
-BENCHMARK_TEMPLATE(BM_LocalizedProbes, TreeChannel);
+
+/// One probe position in a localized trace.
+struct Op {
+  std::uint8_t layer;
+  Coord chan;
+  Coord v;
+};
+
+/// A random walk over (channel, along) with occasional jumps — the access
+/// pattern of routing one connection after another.
+std::vector<Op> make_trace(const LayerStack& stack, std::size_t n,
+                           unsigned seed) {
+  std::mt19937 rng(seed);
+  std::vector<Op> trace;
+  trace.reserve(n);
+  int li = 0;
+  const Layer* layer = &stack.layer(0);
+  Coord chan = layer->across_extent().hi / 2;
+  Coord v = layer->along_extent().hi / 2;
+  std::uniform_int_distribution<int> pct(0, 99);
+  std::uniform_int_distribution<Coord> cstep(-2, 2);
+  std::uniform_int_distribution<Coord> vstep(-12, 12);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pct(rng) < 2) {  // jump: a new connection starts elsewhere
+      li = static_cast<int>(rng() % stack.num_layers());
+      layer = &stack.layer(static_cast<LayerId>(li));
+      chan = static_cast<Coord>(rng() % (layer->across_extent().hi + 1));
+      v = static_cast<Coord>(rng() % (layer->along_extent().hi + 1));
+    } else {
+      chan = std::clamp<Coord>(chan + cstep(rng), 0,
+                               layer->across_extent().hi);
+      v = std::clamp<Coord>(v + vstep(rng), 0, layer->along_extent().hi);
+    }
+    trace.push_back({static_cast<std::uint8_t>(li), chan, v});
+  }
+  return trace;
+}
 
 /// Uniform random probes — the case binary trees are good at; the paper's
 /// point is that this pattern does not occur in practice.
-template <typename ChannelT>
-void BM_RandomProbes(benchmark::State& state) {
-  SegmentPool pool;
-  ChannelT ch;
-  fill_channel(pool, ch);
-  std::mt19937 rng(1);
-  std::uniform_int_distribution<Coord> pick(0, kExtentHi);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ch.find_at(pool, pick(rng)));
+std::vector<Op> make_random_trace(const LayerStack& stack, std::size_t n,
+                                  unsigned seed) {
+  std::mt19937 rng(seed);
+  std::vector<Op> trace;
+  trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    int li = static_cast<int>(rng() % stack.num_layers());
+    const Layer& layer = stack.layer(static_cast<LayerId>(li));
+    trace.push_back(
+        {static_cast<std::uint8_t>(li),
+         static_cast<Coord>(rng() % (layer.across_extent().hi + 1)),
+         static_cast<Coord>(rng() % (layer.along_extent().hi + 1))});
   }
+  return trace;
 }
-BENCHMARK_TEMPLATE(BM_RandomProbes, Channel);
-BENCHMARK_TEMPLATE(BM_RandomProbes, TreeChannel);
 
-/// Localized insert/erase churn, as rip-up and re-route produce.
+struct MicroResult {
+  double ns_per_op = 0;
+  std::uint64_t checksum = 0;  // anti-DCE + cross-store agreement check
+};
+
+template <typename Body>
+MicroResult timed(std::size_t ops, Body body) {
+  MicroResult r;
+  auto t0 = std::chrono::steady_clock::now();
+  r.checksum = body();
+  auto t1 = std::chrono::steady_clock::now();
+  r.ns_per_op =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() / ops;
+  return r;
+}
+
 template <typename ChannelT>
-void BM_LocalizedChurn(benchmark::State& state) {
-  SegmentPool pool;
-  ChannelT ch;
-  fill_channel(pool, ch);
-  std::mt19937 rng(1);
-  std::uniform_int_distribution<Coord> step(-9, 9);
-  Coord pos = kExtentHi / 2;
-  for (auto _ : state) {
-    pos = std::clamp<Coord>(pos + step(rng), 0, kExtentHi - 7);
-    Interval gap = ch.free_gap_at(pool, {0, kExtentHi}, pos);
-    if (gap.empty() || gap.length() < 2) {
-      SegId hit = ch.find_at(pool, pos);
-      if (hit != kNoSeg && pool[hit].conn == 2) ch.erase(pool, hit);
-      continue;
+MicroResult micro_seek(Replica<ChannelT>& rep, const std::vector<Op>& trace) {
+  return timed(trace.size(), [&] {
+    std::uint64_t sum = 0;
+    for (const Op& op : trace) {
+      SegId s = rep.layers[op.layer][op.chan].find_at(rep.pool, op.v);
+      sum += (s != kNoSeg) ? rep.pool[s].conn : 0;
     }
-    Segment s;
-    s.span = {gap.lo, std::min<Coord>(gap.lo + 1, gap.hi)};
-    s.conn = 2;
-    benchmark::DoNotOptimize(ch.insert(pool, s));
-  }
+    return sum;
+  });
 }
-BENCHMARK_TEMPLATE(BM_LocalizedChurn, Channel);
-BENCHMARK_TEMPLATE(BM_LocalizedChurn, TreeChannel);
 
-/// Gap enumeration across a window, the inner loop of the free-space DFS.
 template <typename ChannelT>
-void BM_GapEnumeration(benchmark::State& state) {
-  SegmentPool pool;
-  ChannelT ch;
-  fill_channel(pool, ch);
-  std::mt19937 rng(1);
-  std::uniform_int_distribution<Coord> step(-15, 15);
-  Coord pos = kExtentHi / 2;
-  for (auto _ : state) {
-    pos = std::clamp<Coord>(pos + step(rng), 60, kExtentHi - 60);
-    Coord total = 0;
-    ch.for_gaps_overlapping(pool, {0, kExtentHi}, {pos - 50, pos + 50},
-                            [&](Interval g) { total += g.length(); });
-    benchmark::DoNotOptimize(total);
-  }
+MicroResult micro_gap(Replica<ChannelT>& rep, const std::vector<Op>& trace) {
+  return timed(trace.size(), [&] {
+    std::uint64_t sum = 0;
+    for (const Op& op : trace) {
+      Interval g = rep.layers[op.layer][op.chan].free_gap_at(
+          rep.pool, rep.along[op.layer], op.v);
+      sum += static_cast<std::uint64_t>(g.empty() ? 0 : g.length());
+    }
+    return sum;
+  });
 }
-BENCHMARK_TEMPLATE(BM_GapEnumeration, Channel);
-BENCHMARK_TEMPLATE(BM_GapEnumeration, TreeChannel);
 
-/// Full Trace searches through identical clutter on both layer flavours.
-template <typename LayerT>
-void BM_TraceSearch(benchmark::State& state) {
-  GridSpec spec(41, 31);
-  SegmentPool pool;
-  LayerT layer(0, Orientation::kHorizontal, spec.extent());
-  std::mt19937 rng(7);
-  auto rnd = [&](Coord lo, Coord hi) {
-    return std::uniform_int_distribution<Coord>(lo, hi)(rng);
-  };
-  for (int i = 0; i < 300; ++i) {
-    Coord ch = rnd(0, layer.across_extent().hi);
-    Coord lo = rnd(0, layer.along_extent().hi - 5);
-    Interval span{lo, lo + rnd(0, 4)};
-    Interval gap =
-        layer.channel(ch).free_gap_at(pool, layer.along_extent(), span.lo);
-    if (!gap.contains(span)) continue;
-    Segment s;
-    s.span = span;
-    s.channel = ch;
-    s.conn = 1;
-    layer.channel(ch).insert(pool, s);
-  }
-  Point a = spec.grid_of_via({2, 15});
-  Point b = spec.grid_of_via({38, 15});
-  // End points occupied, as Trace expects.
-  for (Point p : {a, b}) {
-    if (layer.channel(layer.across_of(p)).find_at(pool, layer.along_of(p)) ==
-        kNoSeg) {
+template <typename ChannelT>
+MicroResult micro_enum(Replica<ChannelT>& rep, const std::vector<Op>& trace) {
+  return timed(trace.size(), [&] {
+    std::uint64_t sum = 0;
+    for (const Op& op : trace) {
+      const Interval along = rep.along[op.layer];
+      Interval win{std::max<Coord>(along.lo, op.v - 50),
+                   std::min<Coord>(along.hi, op.v + 50)};
+      rep.layers[op.layer][op.chan].for_gaps_overlapping(
+          rep.pool, along, win,
+          [&](Interval g) { sum += static_cast<std::uint64_t>(g.length()); });
+    }
+    return sum;
+  });
+}
+
+/// Localized insert/erase churn, as rip-up and re-route produce. The trace
+/// is deterministic and the stores are equivalent, so every replica makes
+/// the same decisions and ends in the same state.
+template <typename ChannelT>
+MicroResult micro_churn(Replica<ChannelT>& rep, const std::vector<Op>& trace) {
+  return timed(trace.size(), [&] {
+    std::uint64_t sum = 0;
+    for (const Op& op : trace) {
+      ChannelT& ch = rep.layers[op.layer][op.chan];
+      Interval gap = ch.free_gap_at(rep.pool, rep.along[op.layer], op.v);
+      if (gap.empty() || gap.length() < 2) {
+        SegId hit = ch.find_at(rep.pool, op.v);
+        if (hit != kNoSeg && rep.pool[hit].conn == kPinConn - 1) {
+          ch.erase(rep.pool, hit);
+          ++sum;
+        }
+        continue;
+      }
       Segment s;
-      s.span = {layer.along_of(p), layer.along_of(p)};
-      s.channel = layer.across_of(p);
-      s.conn = kPinConn;
-      layer.channel(layer.across_of(p)).insert(pool, s);
+      s.span = {gap.lo, std::min<Coord>(gap.lo + 1, gap.hi)};
+      s.conn = kPinConn - 1;  // a conn id real content never uses
+      s.channel = op.chan;
+      s.layer = static_cast<LayerId>(op.layer);
+      ch.insert(rep.pool, s);
+      sum += 2;
     }
-  }
-  for (auto _ : state) {
-    auto spans = trace_path(layer, pool, a, b, spec.extent(),
-                            kDefaultMaxFreeNodes, nullptr, spec.period());
-    benchmark::DoNotOptimize(spans);
-  }
+    return sum;
+  });
 }
-BENCHMARK_TEMPLATE(BM_TraceSearch, Layer);
-BENCHMARK_TEMPLATE(BM_TraceSearch, TreeLayer);
+
+// ---------------------------------------------------------------------------
+// Macro: full route runs, list vs flat.
+
+struct MacroResult {
+  double sec_total = 0;
+  double sec_lee = 0;
+  long searches = 0;
+  long expansions = 0;
+  long gap_nodes = 0;
+  int routed = 0;
+  int total = 0;
+  long rip_ups = 0;
+  long vias_added = 0;
+  bool audit_ok = false;
+};
+
+MacroResult macro_run(BoardGenParams params, ChannelStore store) {
+  params.channel_store = store;
+  GeneratedBoard gb = generate_board(params);
+  Router router(gb.board->stack(), RouterConfig{});
+
+  auto t0 = std::chrono::steady_clock::now();
+  router.route_all(gb.strung.connections);
+  auto t1 = std::chrono::steady_clock::now();
+
+  const RouterStats& st = router.stats();
+  MacroResult r;
+  r.sec_total = std::chrono::duration<double>(t1 - t0).count();
+  r.sec_lee = st.sec_lee;
+  r.searches = st.lee_searches;
+  r.expansions = st.lee_expansions;
+  r.gap_nodes = st.lee_gap_nodes;
+  r.routed = st.routed;
+  r.total = st.total;
+  r.rip_ups = st.rip_ups;
+  r.vias_added = st.vias_added;
+  r.audit_ok =
+      audit_all(gb.board->stack(), router.db(), gb.strung.connections).ok();
+  return r;
+}
+
+bool same_outcome(const MacroResult& a, const MacroResult& b) {
+  return a.routed == b.routed && a.searches == b.searches &&
+         a.expansions == b.expansions && a.gap_nodes == b.gap_nodes &&
+         a.rip_ups == b.rip_ups && a.vias_added == b.vias_added;
+}
 
 }  // namespace
-}  // namespace grr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.4;
+  std::string filter = argc > 2 ? argv[2] : "";
+  constexpr std::size_t kProbeOps = 400000;
+  constexpr std::size_t kChurnOps = 120000;
+
+  std::cout << "Channel store ablation (scale " << scale << ")\n\n";
+  std::ofstream json("BENCH_channel.json");
+  json << "{\n  \"scale\": " << scale << ",\n  \"boards\": [\n";
+
+  const char* kStores[3] = {"list", "flat", "tree"};
+  bool first_board = true;
+  for (const BoardGenParams& params : table1_suite(scale)) {
+    const std::string name = params.name;
+    if (filter.empty()) {
+      // Default: the two boards the paper singles out as Lee-dominated.
+      if (name.find("kdj11-2L") == std::string::npos &&
+          name.find("nmc-4L") == std::string::npos) {
+        continue;
+      }
+    } else if (name.find(filter) == std::string::npos) {
+      continue;
+    }
+
+    // Route once (store choice does not change the metal) and mirror the
+    // realized content into the three standalone flavours.
+    GeneratedBoard gb = generate_board(params);
+    {
+      Router router(gb.board->stack(), RouterConfig{});
+      router.route_all(gb.strung.connections);
+    }
+    const LayerStack& stack = gb.board->stack();
+
+    auto mk_list = [&] {
+      return mirror<Channel>(stack, [](Channel& ch, Interval along) {
+        ch.configure(along, ChannelStore::kList);
+      });
+    };
+    auto mk_flat = [&] {
+      return mirror<Channel>(stack, [](Channel& ch, Interval along) {
+        ch.configure(along, ChannelStore::kFlat);
+      });
+    };
+    auto mk_tree = [&] {
+      return mirror<TreeChannel>(stack, [](TreeChannel&, Interval) {});
+    };
+
+    struct Workload {
+      const char* label;
+      std::size_t ops;
+    };
+    const Workload workloads[5] = {{"seek", kProbeOps},
+                                   {"free_gap", kProbeOps},
+                                   {"gap_enum", kProbeOps},
+                                   {"churn", kChurnOps},
+                                   {"seek_random", kProbeOps}};
+
+    std::cout << name << " micro (ns/op, " << kProbeOps
+              << " localized ops):\n";
+    std::cout << "  " << std::left << std::setw(10) << "workload"
+              << std::right << std::setw(9) << "list" << std::setw(9)
+              << "flat" << std::setw(9) << "tree" << std::setw(12)
+              << "list/flat" << "\n";
+
+    json << (first_board ? "" : ",\n") << "    {\"board\": \"" << name
+         << "\", \"micro\": [\n";
+    first_board = false;
+
+    for (int w = 0; w < 5; ++w) {
+      // Fresh replicas per workload so churn damage does not leak.
+      auto list = mk_list();
+      auto flat = mk_flat();
+      auto tree = mk_tree();
+      const std::vector<Op> trace =
+          w == 4 ? make_random_trace(stack, workloads[w].ops, 1234u + w)
+                 : make_trace(stack, workloads[w].ops, 1234u + w);
+      MicroResult r[3];
+      switch (w) {
+        case 0:
+        case 4:
+          r[0] = micro_seek(list, trace);
+          r[1] = micro_seek(flat, trace);
+          r[2] = micro_seek(tree, trace);
+          break;
+        case 1:
+          r[0] = micro_gap(list, trace);
+          r[1] = micro_gap(flat, trace);
+          r[2] = micro_gap(tree, trace);
+          break;
+        case 2:
+          r[0] = micro_enum(list, trace);
+          r[1] = micro_enum(flat, trace);
+          r[2] = micro_enum(tree, trace);
+          break;
+        case 3:
+          r[0] = micro_churn(list, trace);
+          r[1] = micro_churn(flat, trace);
+          r[2] = micro_churn(tree, trace);
+          break;
+      }
+      const bool agree =
+          r[0].checksum == r[1].checksum && r[1].checksum == r[2].checksum;
+      std::cout << "  " << std::left << std::setw(10) << workloads[w].label
+                << std::right << std::fixed << std::setprecision(1)
+                << std::setw(9) << r[0].ns_per_op << std::setw(9)
+                << r[1].ns_per_op << std::setw(9) << r[2].ns_per_op
+                << std::setw(11) << std::setprecision(2)
+                << (r[1].ns_per_op > 0 ? r[0].ns_per_op / r[1].ns_per_op : 0)
+                << "x" << (agree ? "" : "  STORE MISMATCH") << "\n";
+      json << (w == 0 ? "" : ",\n") << "      {\"workload\": \""
+           << workloads[w].label << "\", \"ops\": " << workloads[w].ops;
+      for (int s = 0; s < 3; ++s) {
+        json << ", \"ns_per_op_" << kStores[s] << "\": " << r[s].ns_per_op;
+      }
+      json << ", \"stores_agree\": " << (agree ? "true" : "false") << "}";
+    }
+    json << "\n    ], \"macro\": [\n";
+
+    std::cout << name << " macro (full route):\n";
+    std::cout << "  " << std::left << std::setw(10) << "store" << std::right
+              << std::setw(10) << "sec_total" << std::setw(9) << "sec_lee"
+              << std::setw(11) << "expansions" << std::setw(12)
+              << "gap_nodes" << std::setw(9) << "routed" << "\n";
+    MacroResult mr[2];
+    for (int s = 0; s < 2; ++s) {
+      const ChannelStore store =
+          s == 0 ? ChannelStore::kList : ChannelStore::kFlat;
+      // Best of three: route runs are seconds-scale, so the min is the
+      // least-noisy estimate of the store's cost on a shared machine.
+      mr[s] = macro_run(params, store);
+      for (int rep = 1; rep < 3; ++rep) {
+        MacroResult again = macro_run(params, store);
+        if (!same_outcome(mr[s], again)) {
+          std::cout << "  NONDETERMINISM between repeat runs\n";
+        }
+        if (again.sec_lee < mr[s].sec_lee) {
+          again.audit_ok = again.audit_ok && mr[s].audit_ok;
+          mr[s] = again;
+        }
+      }
+      std::cout << "  " << std::left << std::setw(10) << kStores[s]
+                << std::right << std::fixed << std::setprecision(3)
+                << std::setw(10) << mr[s].sec_total << std::setw(9)
+                << mr[s].sec_lee << std::setw(11) << mr[s].expansions
+                << std::setw(12) << mr[s].gap_nodes << std::setw(6)
+                << mr[s].routed << "/" << mr[s].total
+                << (mr[s].audit_ok ? "" : "  AUDIT FAILED")
+                << (s == 1 && !same_outcome(mr[0], mr[1])
+                        ? "  STORE MISMATCH"
+                        : "")
+                << "\n";
+      json << (s == 0 ? "" : ",\n") << "      {\"store\": \"" << kStores[s]
+           << "\", \"sec_total\": " << mr[s].sec_total
+           << ", \"sec_lee\": " << mr[s].sec_lee
+           << ", \"lee_searches\": " << mr[s].searches
+           << ", \"lee_expansions\": " << mr[s].expansions
+           << ", \"lee_gap_nodes\": " << mr[s].gap_nodes
+           << ", \"routed\": " << mr[s].routed
+           << ", \"total\": " << mr[s].total
+           << ", \"audit_ok\": " << (mr[s].audit_ok ? "true" : "false")
+           << "}";
+    }
+    const double speedup =
+        mr[1].sec_lee > 0 ? mr[0].sec_lee / mr[1].sec_lee : 0;
+    std::cout << "  Lee-phase speedup (list/flat): " << std::setprecision(2)
+              << speedup << "x\n\n";
+    json << "\n    ], \"lee_speedup_list_over_flat\": " << speedup << "}";
+  }
+  json << "\n  ]\n}\n";
+  std::cout << "Wrote BENCH_channel.json\n";
+  return 0;
+}

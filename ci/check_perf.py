@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Perf regression gate for the bench JSON artifacts.
+
+Compares a fresh BENCH_lee.json / BENCH_table1.json pair against the
+checked-in baseline (ci/perf_baseline.json) and fails if any tracked
+wall-time metric regressed by more than THRESHOLD, with an absolute floor
+so sub-jitter timings cannot flake the job.
+
+CI runners and developer machines differ in absolute speed, so the gate is
+deliberately loose (1.3x): it exists to catch gross regressions — an
+accidentally quadratic walk, a lost fast path, a debug assert in the hot
+loop — not single-digit drift. Refresh the baseline with --write-baseline
+after an intentional perf change, on the same class of machine that runs
+the gate.
+
+Usage:
+  check_perf.py BASELINE BENCH_lee.json BENCH_table1.json
+  check_perf.py --write-baseline BASELINE BENCH_lee.json BENCH_table1.json
+"""
+
+import json
+import sys
+
+# A fresh timing must be < baseline * THRESHOLD ...
+THRESHOLD = 1.3
+# ... unless both sides are below the jitter floor (seconds). Timings this
+# small are scheduler noise on shared CI runners.
+FLOOR_SEC = 0.020
+
+
+def extract(lee, table1):
+    """Flatten the two bench reports into {metric_name: seconds}."""
+    metrics = {}
+    for board in lee.get("boards", []):
+        for run in board.get("runs", []):
+            key = f"lee/{board['board']}/{run['config']}/sec_lee"
+            metrics[key] = run["sec_lee"]
+    for row in table1.get("boards", []):
+        metrics[f"table1/{row['board']}/sec"] = row["sec"]
+        metrics[f"table1/{row['board']}/sec_lee"] = row["sec_lee"]
+    return metrics
+
+
+def main(argv):
+    write = "--write-baseline" in argv
+    argv = [a for a in argv if a != "--write-baseline"]
+    if len(argv) != 4:
+        print(__doc__)
+        return 2
+    baseline_path, lee_path, table1_path = argv[1:]
+
+    with open(lee_path) as f:
+        lee = json.load(f)
+    with open(table1_path) as f:
+        table1 = json.load(f)
+    fresh = extract(lee, table1)
+
+    if write:
+        with open(baseline_path, "w") as f:
+            json.dump(
+                {
+                    "threshold": THRESHOLD,
+                    "floor_sec": FLOOR_SEC,
+                    "metrics": fresh,
+                },
+                f,
+                indent=2,
+                sort_keys=True,
+            )
+            f.write("\n")
+        print(f"Wrote {len(fresh)} metrics to {baseline_path}")
+        return 0
+
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    base = baseline["metrics"]
+
+    failures = []
+    missing = []
+    for key, base_sec in sorted(base.items()):
+        if key not in fresh:
+            missing.append(key)
+            continue
+        got = fresh[key]
+        if got <= FLOOR_SEC and base_sec <= FLOOR_SEC:
+            status = "ok (sub-floor)"
+        elif got > max(base_sec, FLOOR_SEC) * THRESHOLD:
+            status = "REGRESSED"
+            failures.append(key)
+        else:
+            status = "ok"
+        ratio = got / base_sec if base_sec > 0 else float("inf")
+        print(f"  {key}: {base_sec:.3f}s -> {got:.3f}s ({ratio:.2f}x) {status}")
+
+    if missing:
+        print(f"MISSING metrics (bench no longer reports them): {missing}")
+        failures.extend(missing)
+    if failures:
+        print(f"\nFAIL: {len(failures)} metric(s) regressed past "
+              f"{THRESHOLD}x the checked-in baseline.")
+        print("If this slowdown is intentional, refresh the baseline:")
+        print("  python3 ci/check_perf.py --write-baseline "
+              "ci/perf_baseline.json BENCH_lee.json BENCH_table1.json")
+        return 1
+    print(f"\nOK: all {len(base)} metrics within {THRESHOLD}x of baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,8 +5,9 @@
 namespace grr {
 
 Board::Board(const GridSpec& spec, int num_layers, DesignRules rules,
-             std::vector<Orientation> orients)
-    : rules_(rules), stack_(spec, num_layers, std::move(orients)) {}
+             std::vector<Orientation> orients, ChannelStore channel_store)
+    : rules_(rules),
+      stack_(spec, num_layers, std::move(orients), channel_store) {}
 
 int Board::add_footprint(Footprint fp) {
   footprints_.push_back(std::move(fp));

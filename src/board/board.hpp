@@ -25,7 +25,8 @@ class Board {
  public:
   Board(const GridSpec& spec, int num_layers,
         DesignRules rules = DesignRules::paper_process(),
-        std::vector<Orientation> orients = {});
+        std::vector<Orientation> orients = {},
+        ChannelStore channel_store = kDefaultChannelStore);
 
   const GridSpec& spec() const { return stack_.spec(); }
   const DesignRules& rules() const { return rules_; }

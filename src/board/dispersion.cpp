@@ -66,6 +66,12 @@ DispersionResult build_dispersion(LayerStack& stack,
     fan_layers.push_back(surface);
   }
 
+  // Pads of one part land in the same few channels, so keep one walk-start
+  // cursor per layer across the pad loop (the paper's locality speedup; a
+  // pad in a different channel just invalidates the hint).
+  std::vector<SegId> occ_cursors(
+      static_cast<std::size_t>(stack.num_layers()), kNoSeg);
+
   for (Point pad : pads_grid) {
     if (!spec.in_board(pad)) {
       undo_all();
@@ -75,7 +81,8 @@ DispersionResult build_dispersion(LayerStack& stack,
     bool free_everywhere = true;
     for (LayerId l : through_hole ? fan_layers
                                   : std::vector<LayerId>{surface}) {
-      free_everywhere &= !stack.layer(l).occupied(stack.pool(), pad);
+      free_everywhere &=
+          !stack.layer(l).occupied(stack.pool(), pad, &occ_cursors[l]);
     }
     if (!free_everywhere) {
       undo_all();

@@ -17,6 +17,7 @@ class BoardView {
   explicit BoardView(const LayerStack& stack) : stack_(&stack) {}
 
   const GridSpec& spec() const { return stack_->spec(); }
+  ChannelStore channel_store() const { return stack_->channel_store(); }
   int num_layers() const { return stack_->num_layers(); }
   const Layer& layer(LayerId l) const { return stack_->layer(l); }
   const SegmentPool& pool() const { return stack_->pool(); }

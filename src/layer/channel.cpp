@@ -2,7 +2,29 @@
 
 namespace grr {
 
+namespace {
+
+/// 64-bit masks for bit positions >= b / <= b within one word.
+inline std::uint64_t mask_from(unsigned b) { return ~std::uint64_t{0} << b; }
+inline std::uint64_t mask_upto(unsigned b) {
+  return ~std::uint64_t{0} >> (63 - b);
+}
+
+}  // namespace
+
 SegId Channel::seek(const SegmentPool& pool, Coord v, SegId hint) const {
+  if (flat_) {
+    const std::size_t n = id_.size();
+    if (n == 0) return kNoSeg;
+    std::size_t cnt;
+    if (hint != kNoSeg && pool[hint].chan_slot < n &&
+        id_[pool[hint].chan_slot] == hint) {
+      cnt = flat_count_lo_le_from(v, pool[hint].chan_slot);
+    } else {
+      cnt = count_le(lo_.data(), n, v);
+    }
+    return cnt == 0 ? kNoSeg : id_[cnt - 1];
+  }
   if (head_ == kNoSeg) return kNoSeg;
   SegId s = (hint != kNoSeg) ? hint : head_;
   if (pool[s].span.lo <= v) {
@@ -20,9 +42,123 @@ SegId Channel::seek(const SegmentPool& pool, Coord v, SegId hint) const {
   return s;
 }
 
+std::size_t Channel::flat_count_lo_le_from(Coord v,
+                                           std::size_t hint_slot) const {
+  const Coord* a = lo_.data();
+  const std::size_t n = lo_.size();
+  // Bracket the boundary (the first index with a[i] > v) around the hint
+  // with exponentially growing probes, then finish branchlessly inside.
+  std::size_t b, e;  // boundary is in [b, e]
+  if (a[hint_slot] <= v) {
+    std::size_t last_le = hint_slot;
+    std::size_t off = 1;
+    while (true) {
+      const std::size_t p = hint_slot + off;
+      if (p >= n) {
+        e = n;
+        break;
+      }
+      if (a[p] > v) {
+        e = p;
+        break;
+      }
+      last_le = p;
+      off <<= 1;
+    }
+    b = last_le + 1;
+  } else {
+    std::size_t first_gt = hint_slot;
+    std::size_t off = 1;
+    std::ptrdiff_t last_le = -1;
+    while (true) {
+      if (off > hint_slot) break;  // ran past the front: last_le stays -1
+      const std::size_t p = hint_slot - off;
+      if (a[p] <= v) {
+        last_le = static_cast<std::ptrdiff_t>(p);
+        break;
+      }
+      first_gt = p;
+      off <<= 1;
+    }
+    b = static_cast<std::size_t>(last_le + 1);
+    e = first_gt;
+  }
+  // Candidates strictly inside the bracket: a[b-1] <= v (or b == 0) and
+  // a[e] > v (or e == n) are already known.
+  return b + count_le(a + b, e - b, v);
+}
+
+std::ptrdiff_t Channel::flat_next_occupied(std::size_t i) const {
+  const std::size_t nw = bits_.size();
+  std::size_t w = i >> 6;
+  if (w >= nw) return -1;
+  const std::uint64_t m = bits_[w] & mask_from(i & 63);
+  if (m != 0) {
+    return static_cast<std::ptrdiff_t>((w << 6) + std::countr_zero(m));
+  }
+  // Coarse level: find the next non-empty word.
+  std::size_t ww = w + 1;
+  while (ww < nw) {
+    const std::size_t sw = ww >> 6;
+    const std::uint64_t sm = summary_[sw] & mask_from(ww & 63);
+    if (sm != 0) {
+      const std::size_t w2 = (sw << 6) + std::countr_zero(sm);
+      return static_cast<std::ptrdiff_t>((w2 << 6) +
+                                         std::countr_zero(bits_[w2]));
+    }
+    ww = (sw + 1) << 6;
+  }
+  return -1;
+}
+
+std::ptrdiff_t Channel::flat_prev_occupied(std::ptrdiff_t i) const {
+  if (i < 0) return -1;
+  const std::size_t w = static_cast<std::size_t>(i) >> 6;
+  const std::uint64_t m = bits_[w] & mask_upto(i & 63);
+  if (m != 0) {
+    return static_cast<std::ptrdiff_t>((w << 6) + 63 -
+                                       std::countl_zero(m));
+  }
+  // Coarse level: find the previous non-empty word.
+  std::ptrdiff_t ww = static_cast<std::ptrdiff_t>(w) - 1;
+  while (ww >= 0) {
+    const std::size_t sw = static_cast<std::size_t>(ww) >> 6;
+    const std::uint64_t sm = summary_[sw] & mask_upto(ww & 63);
+    if (sm != 0) {
+      const std::size_t w2 = (sw << 6) + 63 - std::countl_zero(sm);
+      return static_cast<std::ptrdiff_t>((w2 << 6) + 63 -
+                                         std::countl_zero(bits_[w2]));
+    }
+    ww = static_cast<std::ptrdiff_t>(sw << 6) - 1;
+  }
+  return -1;
+}
+
 Interval Channel::free_gap_at(const SegmentPool& pool, Interval extent,
                               Coord v, SegId* cursor) const {
   if (!extent.contains(v)) return {};
+  if (flat_) {
+    if (extent_.contains(v)) {
+      const std::size_t c = cell_of(v);
+      if (bit_test(c)) return {};  // occupied
+      const std::ptrdiff_t below =
+          flat_prev_occupied(static_cast<std::ptrdiff_t>(c) - 1);
+      const std::ptrdiff_t above = flat_next_occupied(c + 1);
+      const Coord lo =
+          below < 0 ? extent.lo : extent_.lo + static_cast<Coord>(below) + 1;
+      const Coord hi =
+          above < 0 ? extent.hi : extent_.lo + static_cast<Coord>(above) - 1;
+      return {lo, hi};
+    }
+    // Probe outside the configured universe (test-only): derive the gap
+    // from the arrays directly.
+    const std::size_t n = id_.size();
+    const std::size_t cnt = count_le(lo_.data(), n, v);
+    if (cnt > 0 && hi_[cnt - 1] >= v) return {};  // occupied
+    const Coord lo = (cnt == 0) ? extent.lo : hi_[cnt - 1] + 1;
+    const Coord hi = (cnt == n) ? extent.hi : lo_[cnt] - 1;
+    return {lo, hi};
+  }
   SegId s = seek(pool, v, cursor ? *cursor : kNoSeg);
   if (cursor) *cursor = (s == kNoSeg) ? head_ : s;
   if (s != kNoSeg && pool[s].span.hi >= v) return {};  // occupied
@@ -32,8 +168,45 @@ Interval Channel::free_gap_at(const SegmentPool& pool, Interval extent,
   return {lo, hi};
 }
 
+void Channel::flat_set_bits(Interval span) {
+  const std::size_t a = cell_of(span.lo);
+  const std::size_t b = cell_of(span.hi);
+  const std::size_t wa = a >> 6;
+  const std::size_t wb = b >> 6;
+  if (wa == wb) {
+    bits_[wa] |= mask_from(a & 63) & mask_upto(b & 63);
+  } else {
+    bits_[wa] |= mask_from(a & 63);
+    for (std::size_t w = wa + 1; w < wb; ++w) bits_[w] = ~std::uint64_t{0};
+    bits_[wb] |= mask_upto(b & 63);
+  }
+  for (std::size_t w = wa; w <= wb; ++w) {
+    summary_[w >> 6] |= std::uint64_t{1} << (w & 63);
+  }
+}
+
+void Channel::flat_clear_bits(Interval span) {
+  const std::size_t a = cell_of(span.lo);
+  const std::size_t b = cell_of(span.hi);
+  const std::size_t wa = a >> 6;
+  const std::size_t wb = b >> 6;
+  if (wa == wb) {
+    bits_[wa] &= ~(mask_from(a & 63) & mask_upto(b & 63));
+  } else {
+    bits_[wa] &= ~mask_from(a & 63);
+    for (std::size_t w = wa + 1; w < wb; ++w) bits_[w] = 0;
+    bits_[wb] &= ~mask_upto(b & 63);
+  }
+  for (std::size_t w = wa; w <= wb; ++w) {
+    if (bits_[w] == 0) {
+      summary_[w >> 6] &= ~(std::uint64_t{1} << (w & 63));
+    }
+  }
+}
+
 SegId Channel::insert(SegmentPool& pool, Segment seg) {
   assert(!seg.span.empty());
+  if (flat_) return flat_insert(pool, seg);
   SegId below = seek(pool, seg.span.lo);
   assert(below == kNoSeg || pool[below].span.hi < seg.span.lo);
   SegId above = (below == kNoSeg) ? head_ : pool[below].next;
@@ -52,7 +225,45 @@ SegId Channel::insert(SegmentPool& pool, Segment seg) {
   return id;
 }
 
+SegId Channel::flat_insert(SegmentPool& pool, Segment seg) {
+  assert(extent_.contains(seg.span) &&
+         "flat store requires spans inside the configured extent");
+  const std::size_t pos = count_le(lo_.data(), lo_.size(), seg.span.lo);
+  assert(pos == 0 || hi_[pos - 1] < seg.span.lo);
+  assert(pos == id_.size() || lo_[pos] > seg.span.hi);
+  const SegId below = (pos == 0) ? kNoSeg : id_[pos - 1];
+  const SegId above = (pos == id_.size()) ? kNoSeg : id_[pos];
+
+  // Pool links are maintained exactly as in list mode so that external
+  // walkers (audits, stats, the seed baseline) see the same structure.
+  seg.prev = below;
+  seg.next = above;
+  seg.chan_slot = static_cast<std::uint32_t>(pos);
+  const SegId id = pool.allocate(seg);
+  if (below != kNoSeg) {
+    pool[below].next = id;
+  } else {
+    head_ = id;
+  }
+  if (above != kNoSeg) pool[above].prev = id;
+
+  lo_.insert(lo_.begin() + static_cast<std::ptrdiff_t>(pos), seg.span.lo);
+  hi_.insert(hi_.begin() + static_cast<std::ptrdiff_t>(pos), seg.span.hi);
+  id_.insert(id_.begin() + static_cast<std::ptrdiff_t>(pos), id);
+  conn_.insert(conn_.begin() + static_cast<std::ptrdiff_t>(pos), seg.conn);
+  for (std::size_t i = pos + 1; i < id_.size(); ++i) {
+    pool[id_[i]].chan_slot = static_cast<std::uint32_t>(i);
+  }
+  flat_set_bits(seg.span);
+  ++count_;
+  return id;
+}
+
 void Channel::erase(SegmentPool& pool, SegId id) {
+  if (flat_) {
+    flat_erase(pool, id);
+    return;
+  }
   const Segment& seg = pool[id];
   SegId below = seg.prev;
   SegId above = seg.next;
@@ -65,6 +276,69 @@ void Channel::erase(SegmentPool& pool, SegId id) {
   pool.release(id);
   assert(count_ > 0);
   --count_;
+}
+
+void Channel::flat_erase(SegmentPool& pool, SegId id) {
+  const Segment& seg = pool[id];
+  const std::size_t pos = seg.chan_slot;
+  assert(pos < id_.size() && id_[pos] == id);
+  const SegId below = seg.prev;
+  const SegId above = seg.next;
+  if (below != kNoSeg) {
+    pool[below].next = above;
+  } else {
+    head_ = above;
+  }
+  if (above != kNoSeg) pool[above].prev = below;
+
+  flat_clear_bits(seg.span);
+  lo_.erase(lo_.begin() + static_cast<std::ptrdiff_t>(pos));
+  hi_.erase(hi_.begin() + static_cast<std::ptrdiff_t>(pos));
+  id_.erase(id_.begin() + static_cast<std::ptrdiff_t>(pos));
+  conn_.erase(conn_.begin() + static_cast<std::ptrdiff_t>(pos));
+  for (std::size_t i = pos; i < id_.size(); ++i) {
+    pool[id_[i]].chan_slot = static_cast<std::uint32_t>(i);
+  }
+  pool.release(id);
+  assert(count_ > 0);
+  --count_;
+}
+
+bool Channel::store_consistent(const SegmentPool& pool) const {
+  if (!flat_) return true;
+  if (lo_.size() != count_ || hi_.size() != count_ ||
+      id_.size() != count_ || conn_.size() != count_) {
+    return false;
+  }
+  // Arrays sorted, disjoint, mirroring the pool and the chan_slot
+  // indirection; head_/prev/next agree with the slot order.
+  if (count_ == 0 && head_ != kNoSeg) return false;
+  if (count_ > 0 && head_ != id_[0]) return false;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Segment& s = pool[id_[i]];
+    if (s.span.lo != lo_[i] || s.span.hi != hi_[i] || s.conn != conn_[i]) {
+      return false;
+    }
+    if (s.chan_slot != i) return false;
+    if (i > 0 && hi_[i - 1] >= lo_[i]) return false;
+    if (s.prev != (i == 0 ? kNoSeg : id_[i - 1])) return false;
+    if (s.next != (i + 1 == count_ ? kNoSeg : id_[i + 1])) return false;
+    if (!extent_.contains(Interval{lo_[i], hi_[i]})) return false;
+  }
+  // Bitmap and summary agree with the segments exactly.
+  std::vector<std::uint64_t> want(bits_.size(), 0);
+  for (std::size_t i = 0; i < count_; ++i) {
+    for (Coord v = lo_[i]; v <= hi_[i]; ++v) {
+      const std::size_t c = cell_of(v);
+      want[c >> 6] |= std::uint64_t{1} << (c & 63);
+    }
+  }
+  if (want != bits_) return false;
+  for (std::size_t w = 0; w < bits_.size(); ++w) {
+    const bool summarized = (summary_[w >> 6] >> (w & 63)) & 1u;
+    if (summarized != (bits_[w] != 0)) return false;
+  }
+  return true;
 }
 
 }  // namespace grr

@@ -1,42 +1,125 @@
-// A channel: one grid line of a layer, holding the used segments on it as a
-// sorted doubly linked list (paper Secs 4 and 12).
+// A channel: one grid line of a layer, holding the used segments on it
+// (paper Secs 4 and 12).
 //
-// The access pattern while routing one connection is strongly localized, so
-// searches start from the segment touched last and walk the list; the paper
-// reports that replacing a binary tree with exactly this structure halved
-// total routing time. The paper kept that moving cursor inside the channel;
-// here it lives in a per-worker CursorCache instead and is threaded through
-// queries as an optional `hint`, so that a Channel is genuinely const and
-// any number of search workers can read the board concurrently. Free space
-// is not represented explicitly: it is inferred from the gaps between
-// segments.
+// Two interchangeable representations live behind one API, selected per
+// board at construction (ChannelStore):
+//
+//  * kList — the paper's sorted doubly linked list. The access pattern
+//    while routing one connection is strongly localized, so searches start
+//    from the segment touched last and walk the list; the paper reports
+//    that replacing a binary tree with exactly this structure halved total
+//    routing time. The paper kept that moving cursor inside the channel;
+//    here it lives in a per-worker CursorCache instead and is threaded
+//    through queries as an optional `hint`, so that a Channel is genuinely
+//    const and any number of search workers can read the board
+//    concurrently.
+//
+//  * kFlat — a cache-resident structure-of-arrays store: the segment
+//    bounds live in contiguous sorted arrays (`lo_`, `hi_`, plus the owning
+//    conn and the SegId handle per slot), so seek is a branchless binary
+//    search over one or two cache lines instead of a chain of dependent
+//    loads, and enumeration is a linear array walk. Occupancy is mirrored
+//    into a per-cell bitmap packed into 64-bit words with a one-bit-per-word
+//    summary level, so occupied() is a single bit test and free_gap_at()
+//    resolves by countl_zero/countr_zero word scans. SegId stays the stable
+//    handle: Segment::chan_slot is the indirection from a pool id to its
+//    current flat slot, maintained on every insert/erase. The pool's
+//    prev/next links and head_ are still maintained so external walkers
+//    (audits, stats, the seed baseline) read either store identically.
+//
+// Both stores produce bit-identical query results — the same segments, the
+// same maximal gaps, in the same order; cursor hints only change where a
+// list walk starts, never what it returns. Free space is not represented
+// explicitly as segments: it is inferred from the gaps (list) or the zero
+// runs (flat).
 #pragma once
 
+#include <bit>
 #include <cassert>
+#include <cstdint>
+#include <vector>
 
 #include "layer/segment_pool.hpp"
 
 namespace grr {
 
+/// Which per-channel representation a board's channels use. Chosen once at
+/// board construction; the two stores are bit-identical in outcome (held to
+/// it by lee_equivalence_test, SuiteDeterminism and channel_store_test) and
+/// differ only in speed.
+enum class ChannelStore : std::uint8_t {
+  kList,  // paper Secs 4/12: sorted doubly linked list + cursor hints
+  kFlat,  // flat SoA arrays + word-scan occupancy bitmap
+};
+
+/// Default for newly built boards: the cache-resident store. The list store
+/// remains selectable for the ablation benches and the equivalence tests.
+inline constexpr ChannelStore kDefaultChannelStore = ChannelStore::kFlat;
+
 class Channel {
  public:
-  bool empty() const { return head_ == kNoSeg; }
+  /// Select the representation and (for kFlat) size the occupancy bitmap to
+  /// the channel's coordinate universe. Must be called before any insert; a
+  /// default-constructed Channel is a list-store channel, so existing
+  /// direct users are unaffected.
+  void configure(Interval extent, ChannelStore store) {
+    assert(count_ == 0 && "configure() must precede any insert");
+    flat_ = (store == ChannelStore::kFlat);
+    extent_ = extent;
+    if (flat_ && !extent.empty()) {
+      const auto cells = static_cast<std::size_t>(extent.length());
+      bits_.assign((cells + 63) / 64, 0);
+      summary_.assign((bits_.size() + 63) / 64, 0);
+    }
+  }
+
+  ChannelStore store() const {
+    return flat_ ? ChannelStore::kFlat : ChannelStore::kList;
+  }
+
+  bool empty() const { return count_ == 0; }
   SegId head() const { return head_; }
 
   /// Last segment s with s.span.lo <= v, or kNoSeg if none. `hint` names a
-  /// segment of this channel to start walking from (kNoSeg: the head); pass
-  /// a CursorCache-validated hint to keep the paper's locality speedup.
+  /// segment of this channel to start from (kNoSeg: the head); pass a
+  /// CursorCache-validated hint to keep the paper's locality speedup. The
+  /// flat store gallops from the hint's slot instead of walking links; the
+  /// result never depends on the hint.
   SegId seek(const SegmentPool& pool, Coord v, SegId hint = kNoSeg) const;
 
   /// Segment containing v, or kNoSeg.
   SegId find_at(const SegmentPool& pool, Coord v,
                 SegId hint = kNoSeg) const {
+    if (flat_) {
+      const std::size_t s = flat_slot_at(v);
+      return s == kNoSlot ? kNoSeg : id_[s];
+    }
     SegId s = seek(pool, v, hint);
     return (s != kNoSeg && pool[s].span.hi >= v) ? s : kNoSeg;
   }
 
-  bool occupied(const SegmentPool& pool, Coord v) const {
-    return find_at(pool, v) != kNoSeg;
+  /// Is v covered by a segment? `cursor`, when non-null, is the caller's
+  /// in/out walk-start hint for this channel (already validated as a live
+  /// segment of this channel — see CursorCache::hint / Layer::occupied).
+  /// The flat store answers with one bit test and ignores the hint.
+  bool occupied(const SegmentPool& pool, Coord v,
+                SegId* cursor = nullptr) const {
+    if (flat_) return extent_.contains(v) && bit_test(cell_of(v));
+    SegId s = seek(pool, v, cursor != nullptr ? *cursor : kNoSeg);
+    if (cursor != nullptr) *cursor = (s == kNoSeg) ? head_ : s;
+    return s != kNoSeg && pool[s].span.hi >= v;
+  }
+
+  /// Connection occupying v, or kNoConn. The flat store reads the conn from
+  /// its own array — no pool dereference on the hot path.
+  ConnId conn_at(const SegmentPool& pool, Coord v,
+                 SegId hint = kNoSeg) const {
+    if (flat_) {
+      const std::size_t s = flat_slot_at(v);
+      return s == kNoSlot ? kNoConn : conn_[s];
+    }
+    SegId s = find_at(pool, v, hint);
+    return s == kNoSeg ? kNoConn : pool[s].conn;
   }
 
   /// Maximal free interval containing v, clipped to `extent` (the channel's
@@ -52,6 +135,16 @@ class Channel {
   void for_segs_overlapping(const SegmentPool& pool, Interval range,
                             Fn&& fn, SegId* cursor = nullptr) const {
     if (range.empty()) return;
+    if (flat_) {
+      // Segments are disjoint, so hi_ is sorted too: the first overlap
+      // candidate is the first segment ending at or after range.lo.
+      const std::size_t n = id_.size();
+      for (std::size_t i = count_lt(hi_.data(), n, range.lo);
+           i < n && lo_[i] <= range.hi; ++i) {
+        fn(id_[i]);
+      }
+      return;
+    }
     SegId s = seek(pool, range.lo, cursor ? *cursor : kNoSeg);
     if (cursor) *cursor = (s == kNoSeg) ? head_ : s;
     if (s == kNoSeg || pool[s].span.hi < range.lo) {
@@ -73,6 +166,22 @@ class Channel {
                             SegId* cursor = nullptr) const {
     range = range.intersect(extent);
     if (range.empty()) return;
+    if (flat_) {
+      // Mirror of the list walk below over the flat arrays: slot `nxt` is
+      // the segment bounding the current candidate gap from above.
+      const std::size_t n = id_.size();
+      std::size_t nxt = count_le(lo_.data(), n, range.lo);
+      Coord lo = (nxt == 0) ? extent.lo : hi_[nxt - 1] + 1;
+      while (lo <= range.hi) {
+        const Coord hi = (nxt == n) ? extent.hi : lo_[nxt] - 1;
+        const Interval gap{lo, hi};
+        if (!gap.empty() && gap.overlaps(range)) fn(gap);
+        if (nxt == n) break;
+        lo = hi_[nxt] + 1;
+        ++nxt;
+      }
+      return;
+    }
     SegId s = seek(pool, range.lo, cursor ? *cursor : kNoSeg);
     if (cursor) *cursor = (s == kNoSeg) ? head_ : s;
     // `lo` walks the lower boundary of the next candidate gap.
@@ -89,7 +198,8 @@ class Channel {
   }
 
   /// Insert a segment occupying `seg.span`. The span must not overlap any
-  /// existing segment. Returns the new segment's id.
+  /// existing segment (and, for the flat store, must lie within the
+  /// configured extent). Returns the new segment's id.
   SegId insert(SegmentPool& pool, Segment seg);
 
   /// Remove a segment from the channel (and release it from the pool).
@@ -97,9 +207,84 @@ class Channel {
 
   std::size_t count() const { return count_; }
 
+  /// Internal-consistency check for audits: flat arrays sorted, disjoint
+  /// and in exact agreement with the pool links, the chan_slot indirection,
+  /// the bitmap and its summary. Trivially true for the list store (its
+  /// only invariants are the pool links the audit already walks).
+  bool store_consistent(const SegmentPool& pool) const;
+
  private:
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  /// Number of values in a[0..n) that are <= v (branchless binary search:
+  /// the loop is a fixed halving with a conditional move, no hard-to-predict
+  /// branch on the comparison).
+  static std::size_t count_le(const Coord* a, std::size_t n, Coord v) {
+    const Coord* base = a;
+    while (n > 1) {
+      const std::size_t half = n >> 1;
+      base += (base[half - 1] <= v) ? half : 0;
+      n -= half;
+    }
+    return static_cast<std::size_t>(base - a) +
+           (n == 1 && base[0] <= v ? 1 : 0);
+  }
+
+  /// Number of values in a[0..n) that are < v.
+  static std::size_t count_lt(const Coord* a, std::size_t n, Coord v) {
+    const Coord* base = a;
+    while (n > 1) {
+      const std::size_t half = n >> 1;
+      base += (base[half - 1] < v) ? half : 0;
+      n -= half;
+    }
+    return static_cast<std::size_t>(base - a) +
+           (n == 1 && base[0] < v ? 1 : 0);
+  }
+
+  /// count_le over lo_, galloping out from a hinted slot: exponential probes
+  /// bracket the boundary near the hint, then the branchless search finishes
+  /// inside the bracket. Equal to count_le(lo_, n, v) for any hint.
+  std::size_t flat_count_lo_le_from(Coord v, std::size_t hint_slot) const;
+
+  /// Flat slot covering v, or kNoSlot.
+  std::size_t flat_slot_at(Coord v) const {
+    if (!extent_.contains(v) || !bit_test(cell_of(v))) return kNoSlot;
+    // Covered, so the covering segment is the first with hi >= v.
+    return count_lt(hi_.data(), hi_.size(), v);
+  }
+
+  std::size_t cell_of(Coord v) const {
+    return static_cast<std::size_t>(v - extent_.lo);
+  }
+  bool bit_test(std::size_t i) const {
+    return (bits_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Index of the nearest occupied cell at or after `i` / at or before `i`;
+  /// -1 if none. The summary word level skips runs of empty words.
+  std::ptrdiff_t flat_next_occupied(std::size_t i) const;
+  std::ptrdiff_t flat_prev_occupied(std::ptrdiff_t i) const;
+
+  void flat_set_bits(Interval span);
+  void flat_clear_bits(Interval span);
+
+  SegId flat_insert(SegmentPool& pool, Segment seg);
+  void flat_erase(SegmentPool& pool, SegId id);
+
   SegId head_ = kNoSeg;
   std::size_t count_ = 0;
+  bool flat_ = false;
+
+  // Flat store (unused and empty in list mode). The bound arrays are what
+  // the hot queries touch; id_/conn_ ride along one index away.
+  Interval extent_;             // configured coordinate universe
+  std::vector<Coord> lo_;       // span.lo per slot, ascending
+  std::vector<Coord> hi_;       // span.hi per slot (ascending too: disjoint)
+  std::vector<SegId> id_;       // stable pool handle per slot
+  std::vector<ConnId> conn_;    // owning connection per slot
+  std::vector<std::uint64_t> bits_;     // one occupancy bit per cell
+  std::vector<std::uint64_t> summary_;  // bit w: bits_[w] has any bit set
 };
 
 }  // namespace grr

@@ -53,6 +53,9 @@ struct FreeSpaceQuery {
     const bool horiz = l.orientation() == Orientation::kHorizontal;
     box_across = (horiz ? box.y : box.x).intersect(l.across_extent());
     box_along = (horiz ? box.x : box.y).intersect(l.along_extent());
+    // The flat store answers every probe positionlessly (bit tests and
+    // array searches), so hint upkeep would be pure overhead: drop it.
+    if (l.store() == ChannelStore::kFlat) cursors = nullptr;
   }
 
   bool valid() const { return !box_across.empty() && !box_along.empty(); }

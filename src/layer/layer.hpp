@@ -18,17 +18,28 @@ namespace grr {
 template <typename ChannelT>
 class BasicLayer {
  public:
-  BasicLayer(LayerId id, Orientation orient, Rect grid_extent)
+  BasicLayer(LayerId id, Orientation orient, Rect grid_extent,
+             ChannelStore store = kDefaultChannelStore)
       : id_(id), orient_(orient) {
     along_ = (orient == Orientation::kHorizontal) ? grid_extent.x
                                                   : grid_extent.y;
     across_ = (orient == Orientation::kHorizontal) ? grid_extent.y
                                                    : grid_extent.x;
     channels_.resize(static_cast<std::size_t>(across_.length()));
+    if constexpr (requires(ChannelT& c) { c.configure(along_, store); }) {
+      store_ = store;
+      for (ChannelT& ch : channels_) ch.configure(along_, store);
+    } else {
+      // TreeChannel has a single representation; report it as the
+      // hint-indifferent list family so cursor handling stays enabled.
+      store_ = ChannelStore::kList;
+    }
   }
 
   LayerId id() const { return id_; }
   Orientation orientation() const { return orient_; }
+  /// The channel representation this layer's channels were built with.
+  ChannelStore store() const { return store_; }
   /// Valid coordinate range along a channel.
   Interval along_extent() const { return along_; }
   /// Valid channel indices (across coordinate range).
@@ -51,14 +62,29 @@ class BasicLayer {
     return across_.contains(across_of(g)) && along_.contains(along_of(g));
   }
 
-  bool occupied(const SegmentPool& pool, Point g) const {
-    return channel(across_of(g)).occupied(pool, along_of(g));
+  /// Is g covered by a segment? `cursor`, when non-null, is the caller's
+  /// raw in/out walk-start hint. Unlike CursorCache-managed hints it may be
+  /// stale or point into another channel (callers probing many points keep
+  /// one per layer), so it is validated here before the channel trusts it.
+  bool occupied(const SegmentPool& pool, Point g,
+                SegId* cursor = nullptr) const {
+    const Coord across_v = across_of(g);
+    if (cursor != nullptr && *cursor != kNoSeg) {
+      if (*cursor >= pool.capacity()) {
+        *cursor = kNoSeg;
+      } else {
+        const Segment& s = pool[*cursor];
+        if (s.conn == kNoConn || s.layer != id_ || s.channel != across_v) {
+          *cursor = kNoSeg;
+        }
+      }
+    }
+    return channel(across_v).occupied(pool, along_of(g), cursor);
   }
 
   /// Connection occupying g, or kNoConn.
   ConnId conn_at(const SegmentPool& pool, Point g) const {
-    SegId s = channel(across_of(g)).find_at(pool, along_of(g));
-    return s == kNoSeg ? kNoConn : pool[s].conn;
+    return channel(across_of(g)).conn_at(pool, along_of(g));
   }
 
   /// Maximal free interval (along the channel) containing g; empty if g is
@@ -93,6 +119,7 @@ class BasicLayer {
  private:
   LayerId id_;
   Orientation orient_;
+  ChannelStore store_ = kDefaultChannelStore;
   Interval along_;
   Interval across_;
   std::vector<ChannelT> channels_;

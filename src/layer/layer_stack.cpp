@@ -5,8 +5,10 @@
 namespace grr {
 
 LayerStack::LayerStack(const GridSpec& spec, int num_layers,
-                       std::vector<Orientation> orients)
-    : spec_(spec), via_map_(spec.nx_vias(), spec.ny_vias()) {
+                       std::vector<Orientation> orients,
+                       ChannelStore channel_store)
+    : spec_(spec), via_map_(spec.nx_vias(), spec.ny_vias()),
+      channel_store_(channel_store) {
   assert(num_layers >= 1);
   if (orients.empty()) {
     orients.reserve(static_cast<std::size_t>(num_layers));
@@ -20,7 +22,7 @@ LayerStack::LayerStack(const GridSpec& spec, int num_layers,
   for (int i = 0; i < num_layers; ++i) {
     layers_.emplace_back(static_cast<LayerId>(i),
                          orients[static_cast<std::size_t>(i)],
-                         spec_.extent());
+                         spec_.extent(), channel_store);
   }
 }
 

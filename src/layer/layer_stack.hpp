@@ -25,10 +25,14 @@ class LayerStack {
  public:
   /// Build a stack of `num_layers` signal layers. By default orientations
   /// alternate H,V,H,V,…; pass `orients` to override (must match count).
+  /// `channel_store` selects the per-channel representation for every
+  /// channel of every layer (outcome-identical; see ChannelStore).
   LayerStack(const GridSpec& spec, int num_layers,
-             std::vector<Orientation> orients = {});
+             std::vector<Orientation> orients = {},
+             ChannelStore channel_store = kDefaultChannelStore);
 
   const GridSpec& spec() const { return spec_; }
+  ChannelStore channel_store() const { return channel_store_; }
   int num_layers() const { return static_cast<int>(layers_.size()); }
   const Layer& layer(LayerId l) const { return layers_[l]; }
   Layer& layer(LayerId l) { return layers_[l]; }
@@ -68,9 +72,10 @@ class LayerStack {
   /// must be free. Returns the created segments (one per layer).
   std::vector<SegId> drill_via(Point via, ConnId conn);
 
-  /// Convenience probes in grid coordinates.
-  bool occupied(LayerId l, Point g) const {
-    return layers_[l].occupied(pool_, g);
+  /// Convenience probes in grid coordinates. `cursor` is an optional raw
+  /// walk-start hint for the probed channel (validated by Layer::occupied).
+  bool occupied(LayerId l, Point g, SegId* cursor = nullptr) const {
+    return layers_[l].occupied(pool_, g, cursor);
   }
   ConnId conn_at(LayerId l, Point g) const {
     return layers_[l].conn_at(pool_, g);
@@ -92,6 +97,7 @@ class LayerStack {
   SegmentPool pool_;
   std::vector<Layer> layers_;
   ViaMap via_map_;
+  ChannelStore channel_store_ = kDefaultChannelStore;
   bool use_via_map_ = true;
   std::uint64_t mutation_seq_ = 0;
 };

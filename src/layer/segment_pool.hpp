@@ -41,6 +41,11 @@ struct Segment {
   SegId prev = kNoSeg;        // next lower segment in this channel
   SegId next = kNoSeg;        // next higher segment in this channel
   SegId trace_next = kNoSeg;  // next segment of the same trace (any layer)
+  /// Slot of this segment in its channel's flat arrays (ChannelStore::kFlat
+  /// only; unused by the list store). Maintained by Channel on every
+  /// insert/erase, it is the indirection that keeps SegId a stable handle
+  /// while the flat arrays shift underneath.
+  std::uint32_t chan_slot = 0;
   ConnId conn = kNoConn;      // owning connection
   LayerId layer = 0;          // layer the segment lies on
   bool is_via = false;        // unit segment representing a drill hole/pin

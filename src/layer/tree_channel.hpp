@@ -39,8 +39,16 @@ class TreeChannel {
     return (s != kNoSeg && pool[s].span.hi >= v) ? s : kNoSeg;
   }
 
-  bool occupied(const SegmentPool& pool, Coord v) const {
+  bool occupied(const SegmentPool& pool, Coord v,
+                SegId* cursor = nullptr) const {
+    (void)cursor;
     return find_at(pool, v) != kNoSeg;
+  }
+
+  ConnId conn_at(const SegmentPool& pool, Coord v,
+                 SegId hint = kNoSeg) const {
+    SegId s = find_at(pool, v, hint);
+    return s == kNoSeg ? kNoConn : pool[s].conn;
   }
 
   Interval free_gap_at(const SegmentPool& pool, Interval extent, Coord v,

@@ -19,7 +19,8 @@ namespace grr {
 class ViaMap {
  public:
   ViaMap(Coord nx_vias, Coord ny_vias)
-      : nx_(nx_vias), counts_(static_cast<std::size_t>(nx_vias) * ny_vias) {}
+      : nx_(nx_vias), ny_(ny_vias),
+        counts_(static_cast<std::size_t>(nx_vias) * ny_vias) {}
 
   /// p is in via coordinates.
   std::uint16_t count(Point p) const { return counts_[index(p)]; }
@@ -33,10 +34,14 @@ class ViaMap {
 
  private:
   std::size_t index(Point p) const {
+    // An out-of-range point would silently alias a neighboring row.
+    assert(p.x >= 0 && p.x < nx_);
+    assert(p.y >= 0 && p.y < ny_);
     return static_cast<std::size_t>(p.y) * nx_ + p.x;
   }
 
   Coord nx_;
+  Coord ny_;
   std::vector<std::uint16_t> counts_;
 };
 

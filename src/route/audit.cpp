@@ -41,6 +41,10 @@ CheckReport audit_stack(const LayerStack& stack) {
     const Interval across = layer.across_extent();
     for (Coord c = across.lo; c <= across.hi; ++c) {
       const Channel& ch = layer.channel(c);
+      if (!ch.store_consistent(pool)) {
+        rep.add("AUDIT-CHAN-STORE", CheckSeverity::kError, chan_loc(li, c),
+                "flat store arrays/bitmap out of sync with the pool");
+      }
       SegId prev = kNoSeg;
       for (SegId s = ch.head(); s != kNoSeg; s = pool[s].next) {
         const Segment& seg = pool[s];

@@ -29,7 +29,10 @@ GeneratedBoard generate_board(const BoardGenParams& p) {
   const Coord nx = static_cast<Coord>(std::lround(p.width_in * 10)) + 1;
   const Coord ny = static_cast<Coord>(std::lround(p.height_in * 10)) + 1;
   GridSpec spec(nx, ny);
-  out.board = std::make_unique<Board>(spec, p.layers);
+  out.board = std::make_unique<Board>(spec, p.layers,
+                                      DesignRules::paper_process(),
+                                      std::vector<Orientation>{},
+                                      p.channel_store);
   Board& board = *out.board;
 
   const int fp_dip = board.add_footprint(Footprint::dip(24, 3));

@@ -35,6 +35,9 @@ struct BoardGenParams {
   /// real wiring. The rest are random fanout nets.
   double bus_fraction = 0.6;
   std::uint32_t seed = 1;
+  /// Channel representation the board is built with (outcome-identical;
+  /// the ablation benches and equivalence tests flip it).
+  ChannelStore channel_store = kDefaultChannelStore;
 };
 
 struct GeneratedBoard {

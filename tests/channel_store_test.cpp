@@ -1,0 +1,264 @@
+// Property test holding the two channel stores bit-identical under fire:
+// randomized insert/erase/rip/put-back sequences are mirrored onto a
+// list-store and a flat-store instance, and after every step the two must
+// agree on every observable — segment sets, seeks (with and without hints),
+// free gaps, gap/segment enumerations, via counts — while the flat store's
+// internal arrays, bitmap and summary stay consistent.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "layer/channel.hpp"
+#include "layer/layer_stack.hpp"
+#include "route/audit.hpp"
+
+namespace grr {
+namespace {
+
+constexpr Interval kExtent{0, 1499};
+
+struct StorePair {
+  SegmentPool list_pool;
+  SegmentPool flat_pool;
+  Channel list;
+  Channel flat;
+  std::vector<SegId> live;  // same ids in both pools (mirrored op order)
+
+  StorePair() {
+    list.configure(kExtent, ChannelStore::kList);
+    flat.configure(kExtent, ChannelStore::kFlat);
+  }
+};
+
+/// Every observable of the two stores, compared at one probe coordinate.
+void expect_probe_equal(const StorePair& sp, Coord v, SegId hint_list,
+                        SegId hint_flat) {
+  ASSERT_EQ(sp.list.occupied(sp.list_pool, v),
+            sp.flat.occupied(sp.flat_pool, v))
+      << "occupied at " << v;
+  ASSERT_EQ(sp.list.free_gap_at(sp.list_pool, kExtent, v),
+            sp.flat.free_gap_at(sp.flat_pool, kExtent, v))
+      << "free_gap_at " << v;
+  ASSERT_EQ(sp.list.conn_at(sp.list_pool, v),
+            sp.flat.conn_at(sp.flat_pool, v))
+      << "conn_at " << v;
+
+  // Seeks return ids; compare the spans they name (ids match too because
+  // the pools saw identical allocation orders, but spans are the claim).
+  const SegId sl = sp.list.seek(sp.list_pool, v, hint_list);
+  const SegId sf = sp.flat.seek(sp.flat_pool, v, hint_flat);
+  ASSERT_EQ(sl == kNoSeg, sf == kNoSeg) << "seek at " << v;
+  if (sl != kNoSeg) {
+    ASSERT_EQ(sp.list_pool[sl].span, sp.flat_pool[sf].span)
+        << "seek span at " << v;
+  }
+  const SegId fl = sp.list.find_at(sp.list_pool, v, hint_list);
+  const SegId ff = sp.flat.find_at(sp.flat_pool, v, hint_flat);
+  ASSERT_EQ(fl == kNoSeg, ff == kNoSeg) << "find_at " << v;
+  if (fl != kNoSeg) {
+    ASSERT_EQ(sp.list_pool[fl].span, sp.flat_pool[ff].span);
+  }
+}
+
+void expect_stores_equal(const StorePair& sp, std::mt19937& rng) {
+  ASSERT_EQ(sp.list.count(), sp.flat.count());
+  ASSERT_EQ(sp.list.empty(), sp.flat.empty());
+  ASSERT_TRUE(sp.flat.store_consistent(sp.flat_pool));
+  ASSERT_TRUE(sp.list.store_consistent(sp.list_pool));
+
+  // Full enumerations must match span for span, conn for conn.
+  std::vector<Interval> spans_l, spans_f;
+  std::vector<ConnId> conns_l, conns_f;
+  sp.list.for_segs_overlapping(sp.list_pool, kExtent, [&](SegId s) {
+    spans_l.push_back(sp.list_pool[s].span);
+    conns_l.push_back(sp.list_pool[s].conn);
+  });
+  sp.flat.for_segs_overlapping(sp.flat_pool, kExtent, [&](SegId s) {
+    spans_f.push_back(sp.flat_pool[s].span);
+    conns_f.push_back(sp.flat_pool[s].conn);
+  });
+  ASSERT_EQ(spans_l, spans_f);
+  ASSERT_EQ(conns_l, conns_f);
+
+  std::vector<Interval> gaps_l, gaps_f;
+  sp.list.for_gaps_overlapping(sp.list_pool, kExtent, kExtent,
+                               [&](Interval g) { gaps_l.push_back(g); });
+  sp.flat.for_gaps_overlapping(sp.flat_pool, kExtent, kExtent,
+                               [&](Interval g) { gaps_f.push_back(g); });
+  ASSERT_EQ(gaps_l, gaps_f);
+
+  // Random sub-range enumerations (the shape free-space walks produce).
+  std::uniform_int_distribution<Coord> coord(kExtent.lo, kExtent.hi);
+  for (int i = 0; i < 8; ++i) {
+    Coord a = coord(rng), b = coord(rng);
+    Interval range{std::min(a, b), std::max(a, b)};
+    gaps_l.clear();
+    gaps_f.clear();
+    sp.list.for_gaps_overlapping(sp.list_pool, kExtent, range,
+                                 [&](Interval g) { gaps_l.push_back(g); });
+    sp.flat.for_gaps_overlapping(sp.flat_pool, kExtent, range,
+                                 [&](Interval g) { gaps_f.push_back(g); });
+    ASSERT_EQ(gaps_l, gaps_f) << "gaps over " << range;
+    spans_l.clear();
+    spans_f.clear();
+    sp.list.for_segs_overlapping(sp.list_pool, range, [&](SegId s) {
+      spans_l.push_back(sp.list_pool[s].span);
+    });
+    sp.flat.for_segs_overlapping(sp.flat_pool, range, [&](SegId s) {
+      spans_f.push_back(sp.flat_pool[s].span);
+    });
+    ASSERT_EQ(spans_l, spans_f) << "segs over " << range;
+  }
+
+  // Random point probes, unhinted and hinted from a random live segment
+  // (hints must never change a result, only where a walk starts).
+  for (int i = 0; i < 16; ++i) {
+    const Coord v = coord(rng);
+    SegId hint_l = kNoSeg, hint_f = kNoSeg;
+    if (!sp.live.empty() && (rng() & 1u)) {
+      const SegId h = sp.live[rng() % sp.live.size()];
+      hint_l = h;
+      hint_f = h;
+    }
+    ASSERT_NO_FATAL_FAILURE(expect_probe_equal(sp, v, hint_l, hint_f));
+  }
+}
+
+TEST(ChannelStoreTest, RandomizedChurnKeepsStoresIdentical) {
+  std::mt19937 rng(20260807);
+  std::uniform_int_distribution<Coord> coord(kExtent.lo, kExtent.hi);
+  std::uniform_int_distribution<Coord> len(1, 40);
+
+  for (int seq = 0; seq < 3; ++seq) {
+    StorePair sp;
+    for (int op = 0; op < 1200; ++op) {
+      const bool do_insert = sp.live.empty() || (rng() % 100) < 62;
+      if (do_insert) {
+        const Coord lo = coord(rng);
+        const Interval span{lo, std::min<Coord>(lo + len(rng), kExtent.hi)};
+        // Both stores must agree the span is placeable before we try.
+        const Interval gap =
+            sp.list.free_gap_at(sp.list_pool, kExtent, span.lo);
+        ASSERT_EQ(gap, sp.flat.free_gap_at(sp.flat_pool, kExtent, span.lo));
+        if (!gap.contains(span)) continue;
+        Segment seg;
+        seg.span = span;
+        seg.conn = static_cast<ConnId>(op % 97);
+        const SegId il = sp.list.insert(sp.list_pool, seg);
+        const SegId if_ = sp.flat.insert(sp.flat_pool, seg);
+        ASSERT_EQ(il, if_);  // identical allocation histories
+        sp.live.push_back(il);
+      } else {
+        const std::size_t pick = rng() % sp.live.size();
+        const SegId id = sp.live[pick];
+        sp.list.erase(sp.list_pool, id);
+        sp.flat.erase(sp.flat_pool, id);
+        sp.live[pick] = sp.live.back();
+        sp.live.pop_back();
+      }
+      if (op % 16 == 0) {
+        ASSERT_NO_FATAL_FAILURE(expect_stores_equal(sp, rng));
+      }
+    }
+    ASSERT_NO_FATAL_FAILURE(expect_stores_equal(sp, rng));
+
+    // Rip/put-back: tear out a random half of the survivors (recording
+    // geometry), re-insert it, and require full agreement again — the
+    // transaction layer's core loop in miniature.
+    std::vector<Segment> ripped;
+    for (std::size_t i = 0; i < sp.live.size();) {
+      if (rng() & 1u) {
+        const SegId id = sp.live[i];
+        ripped.push_back(sp.list_pool[id]);
+        sp.list.erase(sp.list_pool, id);
+        sp.flat.erase(sp.flat_pool, id);
+        sp.live[i] = sp.live.back();
+        sp.live.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    ASSERT_NO_FATAL_FAILURE(expect_stores_equal(sp, rng));
+    for (const Segment& seg : ripped) {
+      Segment fresh;
+      fresh.span = seg.span;
+      fresh.conn = seg.conn;
+      const SegId il = sp.list.insert(sp.list_pool, fresh);
+      const SegId if_ = sp.flat.insert(sp.flat_pool, fresh);
+      ASSERT_EQ(il, if_);
+      sp.live.push_back(il);
+    }
+    ASSERT_NO_FATAL_FAILURE(expect_stores_equal(sp, rng));
+  }
+}
+
+TEST(ChannelStoreTest, StackLevelChurnKeepsViaCountsIdentical) {
+  // Mirror random span/via churn onto two whole stacks — one per store —
+  // and require identical via counts, span probes and clean audits. This
+  // is the level where the incremental via map, the bitmap maintenance and
+  // the pool links all have to stay in lockstep.
+  GridSpec spec(61, 49);
+  LayerStack list_stack(spec, 4, {}, ChannelStore::kList);
+  LayerStack flat_stack(spec, 4, {}, ChannelStore::kFlat);
+  std::mt19937 rng(7);
+
+  std::vector<SegId> live;
+  auto rnd = [&](Coord lo, Coord hi) {
+    return std::uniform_int_distribution<Coord>(lo, hi)(rng);
+  };
+
+  for (int op = 0; op < 1500; ++op) {
+    const int kind = static_cast<int>(rng() % 100);
+    if (kind < 50) {  // insert a random span if free in both
+      const LayerId l = static_cast<LayerId>(rng() % 4);
+      const Layer& layer = flat_stack.layer(l);
+      const Coord ch = rnd(layer.across_extent().lo, layer.across_extent().hi);
+      const Coord lo = rnd(layer.along_extent().lo, layer.along_extent().hi);
+      const Coord hi = std::min(lo + rnd(0, 12), layer.along_extent().hi);
+      const PlacedSpan ps{l, ch, {lo, hi}};
+      ASSERT_EQ(list_stack.span_free(ps), flat_stack.span_free(ps));
+      if (!flat_stack.span_free(ps)) continue;
+      const SegId a = list_stack.insert_span(ps, op);
+      const SegId b = flat_stack.insert_span(ps, op);
+      ASSERT_EQ(a, b);
+      live.push_back(a);
+    } else if (kind < 75 && !live.empty()) {  // erase
+      const std::size_t pick = rng() % live.size();
+      list_stack.erase_segment(live[pick]);
+      flat_stack.erase_segment(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    } else {  // drill a via if the site is free in both
+      const Point via{rnd(0, spec.nx_vias() - 1), rnd(0, spec.ny_vias() - 1)};
+      ASSERT_EQ(list_stack.via_free(via), flat_stack.via_free(via));
+      if (!flat_stack.via_free(via)) continue;
+      const std::vector<SegId> a = list_stack.drill_via(via, op);
+      const std::vector<SegId> b = flat_stack.drill_via(via, op);
+      ASSERT_EQ(a, b);
+      live.insert(live.end(), a.begin(), a.end());
+    }
+
+    if (op % 50 == 0) {
+      for (int i = 0; i < 12; ++i) {
+        const Point via{rnd(0, spec.nx_vias() - 1),
+                        rnd(0, spec.ny_vias() - 1)};
+        ASSERT_EQ(list_stack.via_use_count(via),
+                  flat_stack.via_use_count(via));
+        const Point g{rnd(spec.extent().x.lo, spec.extent().x.hi),
+                      rnd(spec.extent().y.lo, spec.extent().y.hi)};
+        for (LayerId l = 0; l < 4; ++l) {
+          ASSERT_EQ(list_stack.occupied(l, g), flat_stack.occupied(l, g));
+          ASSERT_EQ(list_stack.conn_at(l, g), flat_stack.conn_at(l, g));
+        }
+      }
+    }
+  }
+
+  EXPECT_TRUE(audit_stack(list_stack).ok());
+  EXPECT_TRUE(audit_stack(flat_stack).ok());
+  EXPECT_EQ(list_stack.segment_count(), flat_stack.segment_count());
+}
+
+}  // namespace
+}  // namespace grr

@@ -1,6 +1,7 @@
-// Typed tests run against both channel implementations: the linked list
-// with moving cursor (the shipped one) and the binary tree (the Sec 12
-// ablation variant). Both must expose identical semantics.
+// Typed tests run against every channel implementation: the linked list
+// with moving cursor (the paper's), the flat SoA + bitmap store (the
+// shipped default), and the binary tree (the Sec 12 ablation variant).
+// All must expose identical semantics.
 #include "layer/channel.hpp"
 
 #include <gtest/gtest.h>
@@ -40,7 +41,14 @@ class ChannelTest : public ::testing::Test {
   ChannelT ch_;
 };
 
-using ChannelTypes = ::testing::Types<Channel, TreeChannel>;
+/// Channel pre-configured with the flat store (a default-constructed
+/// Channel is the legacy list). The extent is deliberately larger than the
+/// probe ranges the tests use, as a layer's always is.
+struct FlatChannel : Channel {
+  FlatChannel() { configure({0, 4095}, ChannelStore::kFlat); }
+};
+
+using ChannelTypes = ::testing::Types<Channel, FlatChannel, TreeChannel>;
 TYPED_TEST_SUITE(ChannelTest, ChannelTypes);
 
 TYPED_TEST(ChannelTest, EmptyChannel) {

@@ -85,35 +85,44 @@ long allocs_during_searches(LeeSearch& engine, const RouterConfig& cfg,
 }
 
 TEST(LeeAllocTest, SteadyStateSearchAllocatesNothing) {
-  GeneratedBoard gb = generate_board(table1_board("nmc-4L", 0.3));
-  LayerStack& stack = gb.board->stack();
-  // Route the board first so the gap walks run over real metal, not just
-  // pin fields — the steady state the claim is about.
-  {
-    Router router(stack, RouterConfig{});
-    router.route_all(gb.strung.connections);
-  }
+  // The guarantee is store-independent: flat-store queries are pure array
+  // scans and the legacy list walks pooled nodes, so neither may allocate
+  // once the engine's buffers are warm.
+  for (ChannelStore store : {ChannelStore::kList, ChannelStore::kFlat}) {
+    BoardGenParams params = table1_board("nmc-4L", 0.3);
+    params.channel_store = store;
+    GeneratedBoard gb = generate_board(params);
+    LayerStack& stack = gb.board->stack();
+    // Route the board first so the gap walks run over real metal, not just
+    // pin fields — the steady state the claim is about.
+    {
+      Router router(stack, RouterConfig{});
+      router.route_all(gb.strung.connections);
+    }
 
-  for (bool cache : {true, false}) {
-    RouterConfig cfg;
-    cfg.lee_cache = cache;
-    LeeSearch engine(stack);
-    LeeResult res;
-    CursorCache cursors;
-    std::vector<Point> expanded;
+    for (bool cache : {true, false}) {
+      RouterConfig cfg;
+      cfg.lee_cache = cache;
+      LeeSearch engine(stack);
+      LeeResult res;
+      CursorCache cursors;
+      std::vector<Point> expanded;
 
-    // Warm pass: grows every reusable buffer (queue tiers, walk scratch,
-    // result vectors, cache slots and gap logs) to steady-state size.
-    (void)allocs_during_searches(engine, cfg, gb.strung.connections, &res,
-                                 &cursors, &expanded);
-    // Steady state: identical work on an unchanged board must allocate
-    // nothing at all.
-    const long allocs = allocs_during_searches(
-        engine, cfg, gb.strung.connections, &res, &cursors, &expanded);
-    EXPECT_EQ(allocs, 0) << (cache ? "cache on" : "cache off");
-    if (cache) {
-      // Make sure the measured pass actually took the replay path.
-      EXPECT_GT(engine.cache().stats().hits, 0);
+      // Warm pass: grows every reusable buffer (queue tiers, walk scratch,
+      // result vectors, cache slots and gap logs) to steady-state size.
+      (void)allocs_during_searches(engine, cfg, gb.strung.connections, &res,
+                                   &cursors, &expanded);
+      // Steady state: identical work on an unchanged board must allocate
+      // nothing at all.
+      const long allocs = allocs_during_searches(
+          engine, cfg, gb.strung.connections, &res, &cursors, &expanded);
+      EXPECT_EQ(allocs, 0)
+          << (cache ? "cache on" : "cache off") << ", "
+          << (store == ChannelStore::kFlat ? "flat" : "list") << " store";
+      if (cache) {
+        // Make sure the measured pass actually took the replay path.
+        EXPECT_GT(engine.cache().stats().hits, 0);
+      }
     }
   }
 }

@@ -251,6 +251,38 @@ TEST_P(LeeEquivalenceTest, DijkstraOrderMatchesReferenceBitForBit) {
   EXPECT_GT(engine.cache().stats().hits, 0);
 }
 
+TEST_P(LeeEquivalenceTest, FlatStoreMatchesLegacyListBitForBit) {
+  // The flat SoA + bitmap channel store claims representation invisibility:
+  // every seek, gap probe and strip walk returns exactly what the legacy
+  // linked list returns, so the search produces the same output field for
+  // field — including gap_nodes, because both stores enumerate the same
+  // canonical gaps.
+  BoardGenParams list_params = table1_board(GetParam(), 0.3);
+  list_params.channel_store = ChannelStore::kList;
+  BoardGenParams flat_params = table1_board(GetParam(), 0.3);
+  flat_params.channel_store = ChannelStore::kFlat;
+  GeneratedBoard list_gb = generate_board(list_params);
+  GeneratedBoard flat_gb = generate_board(flat_params);
+
+  RouterConfig cfg;
+  cfg.lee_astar = false;
+  cfg.lee_cache = false;
+
+  LeeSearch list_engine(list_gb.board->stack());
+  LeeSearch flat_engine(flat_gb.board->stack());
+  LeeResult got_list, got_flat;
+
+  int compared = 0;
+  for (const Connection& c : list_gb.strung.connections) {
+    if (c.a == c.b) continue;
+    list_engine.search(c, cfg, &got_list);
+    flat_engine.search(c, cfg, &got_flat);
+    expect_same(got_flat, got_list, c, "flat vs list", true);
+    if (++compared >= 150) break;
+  }
+  ASSERT_GT(compared, 20) << "board too small to be a meaningful check";
+}
+
 INSTANTIATE_TEST_SUITE_P(Boards, LeeEquivalenceTest,
                          ::testing::Values("kdj11-2L", "nmc-4L", "tna-6L"));
 

@@ -3,6 +3,8 @@
 // full-scale bench reproduces must already be visible.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "check/drc.hpp"
 #include "route/audit.hpp"
 #include "route/batch_router.hpp"
@@ -119,6 +121,65 @@ TEST_P(SuiteDeterminism, ParallelMatchesSerialAndPassesDrc) {
       drc_check(*four.board, four.strung.connections, b4.db(), opts);
   EXPECT_TRUE(drc.findings.empty())
       << GetParam().name << ": " << format_finding(drc.findings.front());
+}
+
+TEST_P(SuiteDeterminism, FlatStoreMatchesLegacyList) {
+  // The channel_store switch may change only the speed of a run, never its
+  // outcome: legacy list and flat SoA boards must route identically —
+  // every discrete statistic and every span of realized metal, serial and
+  // parallel alike. Baseline: legacy list, one thread.
+  struct Combo {
+    ChannelStore store;
+    int threads;
+    const char* what;
+  };
+  const Combo kCombos[] = {
+      {ChannelStore::kList, 1, "list/1t"},
+      {ChannelStore::kList, 4, "list/4t"},
+      {ChannelStore::kFlat, 1, "flat/1t"},
+      {ChannelStore::kFlat, 4, "flat/4t"},
+  };
+
+  GeneratedBoard boards[4];
+  std::unique_ptr<BatchRouter> routers[4];
+  for (int i = 0; i < 4; ++i) {
+    BoardGenParams params = GetParam();
+    params.channel_store = kCombos[i].store;
+    boards[i] = generate_board(params);
+    RouterConfig cfg;
+    cfg.threads = kCombos[i].threads;
+    routers[i] =
+        std::make_unique<BatchRouter>(boards[i].board->stack(), cfg);
+    routers[i]->route_all(boards[i].strung.connections);
+  }
+
+  const RouterStats& base = routers[0]->stats();
+  for (int i = 1; i < 4; ++i) {
+    const RouterStats& s = routers[i]->stats();
+    EXPECT_EQ(base.total, s.total) << kCombos[i].what;
+    EXPECT_EQ(base.routed, s.routed) << kCombos[i].what;
+    EXPECT_EQ(base.failed, s.failed) << kCombos[i].what;
+    for (int j = 0; j < kNumRouteStrategies; ++j) {
+      EXPECT_EQ(base.by_strategy[j], s.by_strategy[j])
+          << kCombos[i].what << " strategy " << j;
+    }
+    EXPECT_EQ(base.rip_ups, s.rip_ups) << kCombos[i].what;
+    EXPECT_EQ(base.vias_added, s.vias_added) << kCombos[i].what;
+    EXPECT_EQ(base.lee_searches, s.lee_searches) << kCombos[i].what;
+    EXPECT_EQ(base.lee_expansions, s.lee_expansions) << kCombos[i].what;
+    EXPECT_EQ(base.lee_gap_nodes, s.lee_gap_nodes) << kCombos[i].what;
+    EXPECT_EQ(base.passes, s.passes) << kCombos[i].what;
+    ASSERT_NO_FATAL_FAILURE(expect_same_routes(boards[0].strung.connections,
+                                               routers[0]->db(),
+                                               routers[i]->db(),
+                                               kCombos[i].what));
+  }
+
+  // The flat-routed board audits clean — including the new store
+  // consistency check (arrays, bitmap and summary against the pool).
+  CheckReport audit = audit_all(boards[3].board->stack(), routers[3]->db(),
+                                boards[3].strung.connections);
+  EXPECT_TRUE(audit.ok()) << audit.first_error();
 }
 
 TEST_P(SuiteDeterminism, ReachabilityCacheIsInvisible) {

@@ -95,6 +95,13 @@ def main(argv):
     if missing:
         print(f"MISSING metrics (bench no longer reports them): {missing}")
         failures.extend(missing)
+    # The reverse hole: a metric the benches report but the baseline does
+    # not track would sail through every future regression unexamined.
+    untracked = sorted(set(fresh) - set(base))
+    if untracked:
+        print(f"UNTRACKED metrics (absent from the baseline): {untracked}")
+        print("Refresh the baseline to start tracking them.")
+        failures.extend(untracked)
     if failures:
         print(f"\nFAIL: {len(failures)} metric(s) regressed past "
               f"{THRESHOLD}x the checked-in baseline.")

@@ -1,0 +1,20 @@
+// Negative fixture for ci/lint_search_purity.py — NOT built, NOT correct.
+//
+// A RouteDB whose mutators leaked into the public section and whose friend
+// declaration was dropped. The lint's self-test asserts CHOKE-POINT fires
+// on both defects.
+#pragma once
+
+namespace grr {
+
+class RouteDB {
+ public:
+  void begin(int id);
+  void add_via(int id);
+  void commit(int id);
+
+ private:
+  void rip(int id);
+};
+
+}  // namespace grr

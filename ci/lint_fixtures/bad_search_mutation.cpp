@@ -1,0 +1,18 @@
+// Negative fixture for ci/lint_search_purity.py — NOT built, NOT correct.
+//
+// A "helper" a hurried refactor might drop into the search layer: it takes
+// the board by non-const reference and mutates it outside RouteTransaction.
+// The lint's self-test asserts this file trips SEARCH-NONCONST (the
+// `LayerStack&` parameter) and SEARCH-MUT-CALL (the drill_via/insert_span
+// call sites). If it stops tripping, the lint has gone blind.
+#include "layer/layer_stack.hpp"
+
+namespace grr {
+
+int sneaky_search_helper(LayerStack& stack) {
+  stack.drill_via({4, 4}, 7);
+  stack.insert_span({0, 4, {1, 3}}, 7);
+  return 0;
+}
+
+}  // namespace grr

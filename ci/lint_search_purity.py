@@ -1,0 +1,362 @@
+#!/usr/bin/env python3
+"""Const-discipline lint for the search/commit split.
+
+The engine layering (DESIGN.md) promises that planning is read-only: no code
+reachable from the planner/search layer may mutate the board, and all board
+mutation funnels through the RouteTransaction choke point. The compiler
+enforces most of this through const, but const_cast, a leaked non-const
+reference, or a mutator made public in a refactor would all slip through a
+build. This lint re-checks the invariant structurally on every PR:
+
+  SEARCH-LAYERING   The transitive include closure of the search roots
+                    (planner, Lee search, BoardView, free-space walks) must
+                    not pull in the commit layer (RouteTransaction,
+                    BatchRouter) or anything above it (io/, check/).
+  SEARCH-MUT-CALL   No file in the search closure may contain a member-call
+                    site of a named board mutator (insert_span, drill_via,
+                    add_hop, ...), except the structure owners themselves
+                    (layer_stack.cpp implementing its own API is fine; the
+                    planner calling it is not).
+  SEARCH-NONCONST   No non-owner file in the search closure may declare a
+                    non-const reference or pointer to a mutable board type
+                    (LayerStack, RouteDB, Channel, ...). Generic-named
+                    mutators (insert, erase, begin, commit, rip, inc, dec)
+                    that SEARCH-MUT-CALL cannot match without type info are
+                    covered here: they are uncallable without a non-const
+                    object of the owning type.
+  CHOKE-POINT       route_db.hpp must keep every RouteDB mutator declared
+                    private and must befriend exactly RouteTransaction, so
+                    the only path to board mutation stays the journaled one.
+  MUT-LIST-STALE    Each mutator the lint greps for must still exist in its
+                    expected owner header — a rename fails the lint loudly
+                    instead of silently narrowing it.
+
+Pure Python on purpose: libclang / clang-query are not available in every
+environment that runs this (the CI container installs clang-tidy, developer
+images may not), and the patterns above are stable enough for text-level
+matching after comments and string literals are stripped.
+
+Usage:
+  lint_search_purity.py [--repo DIR]        lint src/ (exit 1 on findings)
+  lint_search_purity.py --self-test         lint src/ AND require that the
+                                            checked-in negative fixtures in
+                                            ci/lint_fixtures/ still trip
+                                            every rule
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Roots of the read-only search layer. The lint closes over their includes,
+# so new search-side files are covered automatically.
+SEARCH_ROOTS = [
+    "route/planner.cpp",
+    "route/lee.cpp",
+    "layer/board_view.hpp",
+    "layer/free_space.hpp",
+]
+
+# Files the search closure must never contain: the commit layer and
+# everything above it. Prefix match against the src/-relative path.
+FORBIDDEN_IN_CLOSURE = [
+    "route/transaction",
+    "route/batch_router",
+    "io/",
+    "check/",
+    "workload/",
+]
+
+# Unambiguously named board mutators, keyed by the header that owns them.
+# SEARCH-MUT-CALL flags `.name(` / `->name(` in non-owner closure files;
+# MUT-LIST-STALE asserts the name still exists in the owner header.
+MUTATORS = {
+    "layer/layer_stack.hpp": [
+        "insert_span",
+        "erase_segment",
+        "drill_via",
+        "set_use_via_map",
+    ],
+    "route/route_db.hpp": [
+        "add_via",
+        "add_hop",
+        "adopt_geometry",
+        "try_putback",
+        "install_geom",
+        "link_tail",
+    ],
+    "layer/channel.hpp": [
+        "flat_insert",
+        "flat_erase",
+        "flat_set_bits",
+        "flat_clear_bits",
+    ],
+}
+
+# Mutable board types: a non-const reference or pointer to one of these in
+# non-owner search code is a mutation capability and fails SEARCH-NONCONST.
+MUTABLE_TYPES = [
+    "LayerStack",
+    "RouteDB",
+    "Layer",
+    "Channel",
+    "TreeChannel",
+    "SegmentPool",
+    "ViaMap",
+]
+
+# Structure owners: the files that implement the board types. They mutate
+# their own state by definition and are exempt from the call/ref rules;
+# what keeps them safe from search code is CHOKE-POINT (RouteDB) and the
+# fact that their mutators need a non-const receiver (SEARCH-NONCONST).
+OWNER_FILES = {
+    "layer/layer_stack.hpp",
+    "layer/layer_stack.cpp",
+    "layer/layer.hpp",
+    "layer/layer.cpp",
+    "layer/channel.hpp",
+    "layer/channel.cpp",
+    "layer/tree_channel.hpp",
+    "layer/tree_channel.cpp",
+    "layer/segment_pool.hpp",
+    "layer/segment_pool.cpp",
+    "layer/via_map.hpp",
+    "layer/via_map.cpp",
+    "route/route_db.hpp",
+    "route/route_db.cpp",
+}
+
+# RouteDB mutators that CHOKE-POINT requires to be declared private.
+ROUTE_DB_MUTATORS = [
+    "begin",
+    "add_via",
+    "add_hop",
+    "commit",
+    "abort",
+    "rip",
+    "try_putback",
+    "adopt_geometry",
+]
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.M)
+
+
+def strip_code(text):
+    """Remove comments, string and char literals (preserving newlines so
+    reported line numbers stay correct)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("\n" * text.count("\n", i, j))
+            i = j
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            i = min(j + 1, n)
+            out.append(quote + quote)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def read(path):
+    with open(path, encoding="utf-8") as f:
+        return f.read()
+
+
+def closure(src_dir, roots):
+    """Transitive include closure over src/-relative paths. Every reachable
+    header drags in its paired .cpp (the linker makes that code callable
+    even though no #include names it)."""
+    seen = set()
+    work = [r for r in roots if os.path.exists(os.path.join(src_dir, r))]
+    while work:
+        rel = work.pop()
+        if rel in seen:
+            continue
+        seen.add(rel)
+        path = os.path.join(src_dir, rel)
+        for inc in INCLUDE_RE.findall(read(path)):
+            if os.path.exists(os.path.join(src_dir, inc)):
+                work.append(inc)
+        if rel.endswith(".hpp"):
+            pair = rel[:-4] + ".cpp"
+            if os.path.exists(os.path.join(src_dir, pair)):
+                work.append(pair)
+    return sorted(seen)
+
+
+def find_lines(code, pattern):
+    """Yield (line_number, line_text) for every match of pattern."""
+    for m in re.finditer(pattern, code):
+        line_no = code.count("\n", 0, m.start()) + 1
+        line = code.split("\n")[line_no - 1].strip()
+        yield line_no, line
+
+
+def lint_file(rel, code, findings):
+    """Apply SEARCH-MUT-CALL and SEARCH-NONCONST to one closure file."""
+    all_mutators = sorted({m for ms in MUTATORS.values() for m in ms})
+    call_re = re.compile(
+        r"(?:\.|->)\s*(" + "|".join(all_mutators) + r")\s*\(")
+    for line_no, line in find_lines(code, call_re):
+        findings.append(
+            (rel, line_no, "SEARCH-MUT-CALL",
+             f"search-layer code calls board mutator: {line}"))
+
+    ref_re = re.compile(
+        r"\b(" + "|".join(MUTABLE_TYPES) + r")\b\s*[&*](?!&)")
+    for m in re.finditer(ref_re, code):
+        before = code[:m.start()].rstrip()
+        if before.endswith("const"):
+            continue
+        line_no = code.count("\n", 0, m.start()) + 1
+        line = code.split("\n")[line_no - 1].strip()
+        findings.append(
+            (rel, line_no, "SEARCH-NONCONST",
+             f"non-const {m.group(1)} reference/pointer in search code: "
+             f"{line}"))
+
+
+def check_choke_point(path, findings, rel="route/route_db.hpp"):
+    """CHOKE-POINT: RouteDB mutators private, RouteTransaction befriended."""
+    code = strip_code(read(path))
+    if not re.search(r"\bfriend\s+class\s+RouteTransaction\s*;", code):
+        findings.append(
+            (rel, 1, "CHOKE-POINT",
+             "route_db.hpp no longer befriends RouteTransaction — board "
+             "mutation has lost its journaled choke point"))
+    access = "public"  # class bodies here open with an explicit `public:`
+    decl_res = [
+        (name,
+         re.compile(r"\b(?:void|bool)\s+" + name + r"\s*\("))
+        for name in ROUTE_DB_MUTATORS
+    ]
+    for idx, raw_line in enumerate(code.split("\n"), start=1):
+        line = raw_line.strip()
+        if re.match(r"(public|protected|private)\s*:", line):
+            access = line.split(":")[0].strip()
+            continue
+        for name, decl_re in decl_res:
+            if decl_re.search(line) and access != "private":
+                findings.append(
+                    (rel, idx, "CHOKE-POINT",
+                     f"RouteDB mutator `{name}` is declared {access}; it "
+                     "must be private so only RouteTransaction reaches it"))
+
+
+def check_mutator_list(src_dir, findings):
+    """MUT-LIST-STALE: every greppable mutator still exists where expected."""
+    for owner, names in MUTATORS.items():
+        path = os.path.join(src_dir, owner)
+        if not os.path.exists(path):
+            findings.append(
+                (owner, 1, "MUT-LIST-STALE",
+                 "owner header missing — update MUTATORS in this lint"))
+            continue
+        code = strip_code(read(path))
+        for name in names:
+            if not re.search(r"\b" + name + r"\s*\(", code):
+                findings.append(
+                    (owner, 1, "MUT-LIST-STALE",
+                     f"mutator `{name}` not found — renamed? update "
+                     "MUTATORS in this lint"))
+
+
+def lint_tree(src_dir):
+    """Run every rule against src/. Returns the finding list."""
+    findings = []
+    files = closure(src_dir, SEARCH_ROOTS)
+    missing_roots = [r for r in SEARCH_ROOTS
+                     if not os.path.exists(os.path.join(src_dir, r))]
+    for r in missing_roots:
+        findings.append((r, 1, "SEARCH-LAYERING",
+                         "search root missing — update SEARCH_ROOTS"))
+    for rel in files:
+        for bad in FORBIDDEN_IN_CLOSURE:
+            if rel.startswith(bad):
+                findings.append(
+                    (rel, 1, "SEARCH-LAYERING",
+                     "commit/upper-layer file reachable from the search "
+                     "roots' include closure"))
+    for rel in files:
+        if rel in OWNER_FILES:
+            continue
+        lint_file(rel, strip_code(read(os.path.join(src_dir, rel))),
+                  findings)
+    check_choke_point(os.path.join(src_dir, "route/route_db.hpp"), findings)
+    check_mutator_list(src_dir, findings)
+    return findings, files
+
+
+def report(findings):
+    for rel, line_no, rule, msg in findings:
+        print(f"src/{rel}:{line_no}: [{rule}] {msg}")
+
+
+def self_test(repo, src_dir):
+    """The negative fixtures must trip their rules; src/ must stay clean."""
+    fix_dir = os.path.join(repo, "ci", "lint_fixtures")
+    failures = []
+
+    bad_search = os.path.join(fix_dir, "bad_search_mutation.cpp")
+    findings = []
+    lint_file("ci/lint_fixtures/bad_search_mutation.cpp",
+              strip_code(read(bad_search)), findings)
+    rules = {f[2] for f in findings}
+    for want in ("SEARCH-MUT-CALL", "SEARCH-NONCONST"):
+        if want not in rules:
+            failures.append(f"fixture bad_search_mutation.cpp did not trip "
+                            f"{want}")
+
+    bad_db = os.path.join(fix_dir, "bad_route_db.hpp")
+    findings = []
+    check_choke_point(bad_db, findings,
+                      rel="ci/lint_fixtures/bad_route_db.hpp")
+    if not any(f[2] == "CHOKE-POINT" for f in findings):
+        failures.append("fixture bad_route_db.hpp did not trip CHOKE-POINT")
+
+    if failures:
+        for f in failures:
+            print(f"SELF-TEST FAIL: {f}")
+        return 1
+    print("self-test: all negative fixtures trip their rules")
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--repo", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args(argv)
+
+    src_dir = os.path.join(args.repo, "src")
+    findings, files = lint_tree(src_dir)
+    if findings:
+        report(findings)
+        print(f"\nFAIL: {len(findings)} const-discipline finding(s) across "
+              f"a {len(files)}-file search closure.")
+        return 1
+    print(f"OK: search closure ({len(files)} files) is mutation-free; "
+          "RouteDB choke point intact.")
+
+    if args.self_test:
+        return self_test(args.repo, src_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

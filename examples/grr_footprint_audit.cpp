@@ -1,0 +1,172 @@
+// grr_footprint_audit — route the Table 1 suite with the shadow access
+// tracker on and hold every speculative plan to its declared ReadFootprint.
+//
+//   grr_footprint_audit [options]
+//       --scale S        suite scale (default 1.0 = the paper's boards)
+//       --board NAME     one Table 1 row instead of the whole suite
+//       --threads LIST   comma list of worker counts (default 1,4)
+//       --slack-ratio R  FOOT-SLACK threshold (default 64)
+//       --verbose        print every finding, not just the first
+//
+// For every board x thread count x channel store, the batch router runs
+// with access auditing enabled, the FOOT-* checkers compare declared
+// against actual, and a tightness summary (read area / declared area per
+// audited plan) quantifies the over-conservatism that will throttle
+// footprint-based sharding (ROADMAP item 2; numbers in EXPERIMENTS.md).
+//
+// Exit status: 0 = no read/write escapes anywhere, 1 = any escape.
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/footprint_check.hpp"
+#include "route/batch_router.hpp"
+#include "workload/suite.hpp"
+
+using namespace grr;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: grr_footprint_audit [--scale S] [--board NAME] "
+               "[--threads LIST] [--slack-ratio R] [--verbose]\n";
+  return 2;
+}
+
+struct Tightness {
+  std::size_t plans = 0;    // audited plans with a bounded declaration
+  double sum_ratio = 0;     // sum of read/declared area ratios
+  double min_ratio = 1.0;
+  std::vector<double> ratios;
+
+  void note(double r) {
+    ++plans;
+    sum_ratio += r;
+    min_ratio = std::min(min_ratio, r);
+    ratios.push_back(r);
+  }
+  double mean() const { return plans == 0 ? 1.0 : sum_ratio / plans; }
+  double percentile(double p) {
+    if (ratios.empty()) return 1.0;
+    std::sort(ratios.begin(), ratios.end());
+    std::size_t i = static_cast<std::size_t>(p * (ratios.size() - 1));
+    return ratios[i];
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  double slack_ratio = 64.0;
+  std::string board;
+  std::vector<int> threads = {1, 4};
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--board") == 0 && i + 1 < argc) {
+      board = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads.clear();
+      for (const char* p = argv[++i]; *p != '\0';) {
+        threads.push_back(std::atoi(p));
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    } else if (std::strcmp(argv[i], "--slack-ratio") == 0 && i + 1 < argc) {
+      slack_ratio = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else {
+      return usage();
+    }
+  }
+
+  std::vector<BoardGenParams> suite;
+  if (board.empty()) {
+    suite = table1_suite(scale);
+  } else {
+    suite.push_back(table1_board(board, scale));
+  }
+
+  FootprintCheckOptions opts;
+  opts.slack_ratio = slack_ratio;
+
+  long escapes = 0;
+  std::size_t total_plans = 0;
+  Tightness overall;
+  for (const BoardGenParams& base : suite) {
+    for (int nthreads : threads) {
+      for (ChannelStore store :
+           {ChannelStore::kList, ChannelStore::kFlat}) {
+        BoardGenParams params = base;
+        params.channel_store = store;
+        GeneratedBoard gb = generate_board(params);
+
+        RouterConfig cfg;
+        cfg.threads = nthreads;
+        cfg.access_audit = true;
+        BatchRouter br(gb.board->stack(), cfg);
+        br.route_all(gb.strung.connections);
+
+        const FootprintAuditLog& log = br.footprint_log();
+        CheckReport rep = check_footprints(log, opts);
+        const std::size_t read_esc = rep.count_rule("FOOT-READ-ESCAPE");
+        const std::size_t write_esc = rep.count_rule("FOOT-WRITE-ESCAPE");
+        const std::size_t slack = rep.count_rule("FOOT-SLACK");
+        escapes += static_cast<long>(read_esc + write_esc);
+        total_plans += log.records.size();
+
+        Tightness tight;
+        for (const PlanAuditRecord& rec : log.records) {
+          if (!rec.found || rec.declared.everything || rec.reads.empty()) {
+            continue;
+          }
+          const std::int64_t da = union_area(
+              footprint_cover_rects(rec.declared, log.extent));
+          const std::int64_t ra = union_area(rec.reads);
+          if (da <= 0) continue;
+          const double r =
+              static_cast<double>(ra) / static_cast<double>(da);
+          tight.note(r);
+          overall.note(r);
+        }
+
+        std::cout << base.name << " store="
+                  << (store == ChannelStore::kFlat ? "flat" : "list")
+                  << " threads=" << nthreads << ": plans="
+                  << log.records.size() << " installed="
+                  << br.batch_stats().installed << " read-escapes="
+                  << read_esc << " write-escapes=" << write_esc
+                  << " slack-warnings=" << slack;
+        if (tight.plans > 0) {
+          std::cout << " tightness mean=" << tight.mean()
+                    << " p10=" << tight.percentile(0.10)
+                    << " min=" << tight.min_ratio;
+        }
+        std::cout << "\n";
+        if (verbose || read_esc + write_esc > 0) {
+          for (const Finding& f : rep.findings) {
+            std::cout << "  " << format_finding(f) << "\n";
+          }
+        }
+      }
+    }
+  }
+
+  std::cout << "total: " << total_plans << " plans audited, " << escapes
+            << " escapes";
+  if (overall.plans > 0) {
+    std::cout << "; tightness (read/declared area) mean=" << overall.mean()
+              << " p10=" << overall.percentile(0.10)
+              << " min=" << overall.min_ratio << " over " << overall.plans
+              << " bounded plans";
+  }
+  std::cout << "\n";
+  return escapes == 0 ? 0 : 1;
+}

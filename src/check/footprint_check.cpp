@@ -1,0 +1,154 @@
+#include "check/footprint_check.hpp"
+
+#include <sstream>
+
+namespace grr {
+namespace {
+
+/// The (up to four) pieces of `r` left after removing its overlap with `d`.
+void subtract_into(const Rect& r, const Rect& d, std::vector<Rect>* out) {
+  if (!r.overlaps(d)) {
+    out->push_back(r);
+    return;
+  }
+  const Rect o = r.intersect(d);
+  // Bands above and below the overlap, full width of r...
+  if (r.y.lo < o.y.lo) out->push_back({r.x, {r.y.lo, o.y.lo - 1}});
+  if (o.y.hi < r.y.hi) out->push_back({r.x, {o.y.hi + 1, r.y.hi}});
+  // ...and the side pieces at the overlap's own height.
+  if (r.x.lo < o.x.lo) out->push_back({{r.x.lo, o.x.lo - 1}, o.y});
+  if (o.x.hi < r.x.hi) out->push_back({{o.x.hi + 1, r.x.hi}, o.y});
+}
+
+std::string conn_label(ConnId id) {
+  std::ostringstream os;
+  os << "conn " << id;
+  return os.str();
+}
+
+std::string rect_text(const Rect& r) {
+  std::ostringstream os;
+  os << "x[" << r.x.lo << "," << r.x.hi << "] y[" << r.y.lo << "," << r.y.hi
+     << "]";
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<Rect> footprint_cover_rects(const ReadFootprint& fp,
+                                        const Rect& extent) {
+  std::vector<Rect> cover;
+  if (fp.everything) {
+    cover.push_back(extent);
+    return cover;
+  }
+  cover.reserve(fp.rects.size() + fp.xbands.size() + fp.ybands.size());
+  for (const Rect& r : fp.rects) {
+    Rect c = r.intersect(extent);
+    if (!c.empty()) cover.push_back(c);
+  }
+  for (const Interval& b : fp.xbands) {
+    Interval x = b.intersect(extent.x);
+    if (!x.empty()) cover.push_back({x, extent.y});
+  }
+  for (const Interval& b : fp.ybands) {
+    Interval y = b.intersect(extent.y);
+    if (!y.empty()) cover.push_back({{extent.x}, y});
+  }
+  return cover;
+}
+
+std::vector<Rect> uncovered_pieces(const Rect& r,
+                                   const std::vector<Rect>& cover) {
+  std::vector<Rect> pieces{r};
+  std::vector<Rect> next;
+  for (const Rect& c : cover) {
+    if (pieces.empty()) break;
+    next.clear();
+    for (const Rect& p : pieces) subtract_into(p, c, &next);
+    pieces.swap(next);
+  }
+  return pieces;
+}
+
+std::int64_t union_area(std::vector<Rect> rects) {
+  // Incremental disjoint decomposition: each rect contributes only the
+  // pieces no earlier rect covered. Quadratic in the rect count, which the
+  // per-plan logs keep small (dedup upstream, band coalescing downstream).
+  std::vector<Rect> disjoint;
+  std::int64_t total = 0;
+  for (const Rect& r : rects) {
+    if (r.empty()) continue;
+    std::vector<Rect> pieces = uncovered_pieces(r, disjoint);
+    for (const Rect& p : pieces) {
+      total += p.area();
+      disjoint.push_back(p);
+    }
+  }
+  return total;
+}
+
+CheckReport check_footprints(const FootprintAuditLog& log,
+                             const FootprintCheckOptions& opts) {
+  CheckReport rep;
+  rep.connections_checked = log.records.size();
+  std::size_t read_findings = 0, write_findings = 0, slack_findings = 0;
+
+  for (const PlanAuditRecord& rec : log.records) {
+    const std::vector<Rect> declared =
+        footprint_cover_rects(rec.declared, log.extent);
+
+    if (read_findings < opts.max_findings_per_rule) {
+      for (const Rect& r : rec.reads) {
+        std::vector<Rect> escaped = uncovered_pieces(r, declared);
+        if (escaped.empty()) continue;
+        Finding& f = rep.add(
+            "FOOT-READ-ESCAPE", CheckSeverity::kError, conn_label(rec.id),
+            "actual read " + rect_text(r) +
+                " escapes the declared footprint at " +
+                rect_text(escaped.front()) +
+                " — a commit there would not invalidate this plan");
+        f.rect = escaped.front();
+        if (++read_findings >= opts.max_findings_per_rule) break;
+      }
+    }
+
+    if (rec.installed && write_findings < opts.max_findings_per_rule) {
+      for (const Rect& w : rec.writes) {
+        std::vector<Rect> escaped = uncovered_pieces(w, rec.cover);
+        if (escaped.empty()) continue;
+        Finding& f = rep.add(
+            "FOOT-WRITE-ESCAPE", CheckSeverity::kError, conn_label(rec.id),
+            "install mutated " + rect_text(w) +
+                " outside the plan's own geometry (escape at " +
+                rect_text(escaped.front()) + ")");
+        f.rect = escaped.front();
+        if (++write_findings >= opts.max_findings_per_rule) break;
+      }
+    }
+
+    // Over-conservatism: only meaningful for found plans with a bounded
+    // declaration (failed searches legitimately declare everything).
+    if (rec.found && !rec.declared.everything &&
+        slack_findings < opts.max_findings_per_rule) {
+      const std::int64_t da = union_area(declared);
+      const std::int64_t ra = union_area(rec.reads);
+      if (da > opts.slack_min_area &&
+          static_cast<double>(da) >
+              opts.slack_ratio * static_cast<double>(ra < 1 ? 1 : ra)) {
+        std::ostringstream os;
+        os << "declared footprint covers " << da << " grid cells but only "
+           << ra << " were read (ratio "
+           << (static_cast<double>(da) /
+               static_cast<double>(ra < 1 ? 1 : ra))
+           << ") — over-conservative declarations throttle sharding";
+        rep.add("FOOT-SLACK", CheckSeverity::kWarning, conn_label(rec.id),
+                os.str());
+        ++slack_findings;
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace grr

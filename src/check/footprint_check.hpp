@@ -1,0 +1,60 @@
+// Footprint soundness checker (FOOT-*).
+//
+// The BatchRouter's serial equivalence rests on two claims about every
+// speculative plan: the declared ReadFootprint conservatively covers every
+// board region the search actually read (otherwise a stale plan could pass
+// the commit-time conflict check), and installing the plan mutates only the
+// metal the plan itself describes (otherwise a commit could invalidate a
+// neighbor the journal check cleared). With RouterConfig::access_audit on,
+// the BatchRouter collects the evidence — actual reads from the shadow
+// AccessLog, actual writes from the mutation journal — into a
+// FootprintAuditLog, and check_footprints proves both claims per plan:
+//
+//   FOOT-READ-ESCAPE   (error)    an actual read region is not fully covered
+//                                 by the declared footprint;
+//   FOOT-WRITE-ESCAPE  (error)    an installed plan's journalled mutation
+//                                 falls outside its own geometry;
+//   FOOT-SLACK         (warning)  the declared footprint covers vastly more
+//                                 area than was read — over-conservatism
+//                                 that will throttle footprint-based
+//                                 sharding (ROADMAP item 2).
+//
+// Rule documentation: doc/DRC.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/check_report.hpp"
+#include "route/footprint_audit.hpp"
+
+namespace grr {
+
+struct FootprintCheckOptions {
+  /// FOOT-SLACK fires when declared_area > slack_ratio * read_area and the
+  /// declared area also exceeds slack_min_area (tiny plans are noise). The
+  /// defaults only flag egregious over-coverage; grr_footprint_audit
+  /// reports the full tightness distribution regardless.
+  double slack_ratio = 64.0;
+  std::int64_t slack_min_area = 1 << 16;
+  /// Stop adding findings per rule after this many (the suite routes
+  /// thousands of plans; a systematic escape needs no more witnesses).
+  std::size_t max_findings_per_rule = 32;
+};
+
+/// The declared footprint as a list of rects, bands expanded to full-extent
+/// strips and everything clipped to `extent`.
+std::vector<Rect> footprint_cover_rects(const ReadFootprint& fp,
+                                        const Rect& extent);
+
+/// Area of the union of `rects` (overlaps counted once).
+std::int64_t union_area(std::vector<Rect> rects);
+
+/// Pieces of `r` not covered by any rect in `cover` (empty = fully covered).
+std::vector<Rect> uncovered_pieces(const Rect& r,
+                                   const std::vector<Rect>& cover);
+
+CheckReport check_footprints(const FootprintAuditLog& log,
+                             const FootprintCheckOptions& opts = {});
+
+}  // namespace grr

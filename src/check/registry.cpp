@@ -93,6 +93,14 @@ CheckSuite CheckSuite::standard() {
       },
   });
   suite.add({
+      "footprint",
+      "speculative-plan footprint soundness (FOOT-*)",
+      [](const CheckContext& ctx) { return ctx.footprints != nullptr; },
+      [](const CheckContext& ctx) {
+        return check_footprints(*ctx.footprints, ctx.foot);
+      },
+  });
+  suite.add({
       "drc",
       "geometric design rules on claimed route geometry (DRC-*)",
       [](const CheckContext& ctx) {

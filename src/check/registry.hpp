@@ -20,6 +20,7 @@
 #include "board/tile_map.hpp"
 #include "check/check_report.hpp"
 #include "check/drc.hpp"
+#include "check/footprint_check.hpp"
 #include "io/route_io.hpp"
 #include "route/connection.hpp"
 #include "route/route_db.hpp"
@@ -40,6 +41,10 @@ struct CheckContext {
   const std::vector<SavedRoute>* routes = nullptr;
   const TileMap* tiles = nullptr;
   DrcOptions drc;
+  /// Declared-vs-actual footprint evidence from an access-audited batch
+  /// route (enables the footprint checker).
+  const FootprintAuditLog* footprints = nullptr;
+  FootprintCheckOptions foot;
 };
 
 struct Checker {

@@ -1,0 +1,19 @@
+#include "layer/access_log.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace grr {
+
+bool access_audit_env() {
+  // Read once before any worker threads exist; the cached value keeps the
+  // hot path free of libc calls.
+  static const bool on = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    const char* v = std::getenv("GRR_ACCESS_AUDIT");
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+  }();
+  return on;
+}
+
+}  // namespace grr

@@ -1,0 +1,83 @@
+// Shadow access tracking (footprint soundness analysis).
+//
+// An AccessLog records, in grid coordinates, every region of shared board
+// state a search worker actually read: point probes (via map, occupancy),
+// span probes, and the clipped boxes of free-space walks. The log is the
+// ground truth the FOOT-* checkers compare a plan's declared ReadFootprint
+// against — an access outside the declaration is exactly the condition that
+// would let the batch router install a stale plan.
+//
+// Box-level recording is semantically exact for the free-space walks: a
+// FreeSpaceQuery clips its box to the layer extents up front and clips every
+// reported gap back to the box, so the walk's *results* depend only on
+// segment state inside the box even where the underlying list traversal
+// physically strays past an edge. CursorCache hints are exempt by the same
+// argument — a hint is validated before use and a stale one degrades to a
+// fresh walk with identical results, so hints carry no state a plan's
+// correctness can depend on.
+//
+// The tracker is opt-in (RouterConfig::access_audit or GRR_ACCESS_AUDIT) and
+// zero-cost when off: every recording site is a single pointer test against
+// a log that is only attached while auditing.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace grr {
+
+/// Per-worker log of actual read regions, grid coordinates. Exact duplicate
+/// rects are dropped (a Lee search re-reads the same strip thousands of
+/// times); distinct rects are all kept, so no escape can hide behind dedup.
+class AccessLog {
+ public:
+  void clear() {
+    rects_.clear();
+    seen_.clear();
+  }
+
+  void note(const Rect& r) {
+    if (r.empty()) return;
+    if (seen_.insert(key_of(r)).second) rects_.push_back(r);
+  }
+
+  void note_point(Point g) { note({{g.x, g.x}, {g.y, g.y}}); }
+
+  bool empty() const { return rects_.empty(); }
+  const std::vector<Rect>& rects() const { return rects_; }
+
+ private:
+  struct Key {
+    Rect r;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      auto mix = [](std::size_t h, Coord v) {
+        h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(v)) +
+             0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        return h;
+      };
+      std::size_t h = 0;
+      h = mix(h, k.r.x.lo);
+      h = mix(h, k.r.x.hi);
+      h = mix(h, k.r.y.lo);
+      h = mix(h, k.r.y.hi);
+      return h;
+    }
+  };
+
+  static Key key_of(const Rect& r) { return Key{r}; }
+
+  std::vector<Rect> rects_;
+  std::unordered_set<Key, KeyHash> seen_;
+};
+
+/// Process-wide opt-in: true when the GRR_ACCESS_AUDIT environment variable
+/// is set to anything but "" or "0". Read once, at first use.
+bool access_audit_env();
+
+}  // namespace grr

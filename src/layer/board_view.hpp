@@ -6,8 +6,15 @@
 // BoardView is freely copyable and safe to hand to any number of threads as
 // long as nobody mutates the stack underneath (the batch router mutates only
 // between planning phases, from the commit thread).
+//
+// The view doubles as the instrumentation seam for footprint soundness
+// audits: with an AccessLog attached (set_access_log), every accessor that
+// reads wiring *state* records the grid region it examined. via_span is
+// deliberately not recorded — it is pure geometry (which channel/position a
+// drill would occupy), computable from the grid spec alone.
 #pragma once
 
+#include "layer/access_log.hpp"
 #include "layer/layer_stack.hpp"
 
 namespace grr {
@@ -22,15 +29,36 @@ class BoardView {
   const Layer& layer(LayerId l) const { return stack_->layer(l); }
   const SegmentPool& pool() const { return stack_->pool(); }
 
-  bool via_free(Point via) const { return stack_->via_free(via); }
-  int via_use_count(Point via) const { return stack_->via_use_count(via); }
-  bool span_free(const PlacedSpan& ps) const { return stack_->span_free(ps); }
+  bool via_free(Point via) const {
+    if (access_ != nullptr) access_->note(stack_->grid_rect_of_via(via));
+    return stack_->via_free(via);
+  }
+  int via_use_count(Point via) const {
+    if (access_ != nullptr) access_->note(stack_->grid_rect_of_via(via));
+    return stack_->via_use_count(via);
+  }
+  bool span_free(const PlacedSpan& ps) const {
+    if (access_ != nullptr) access_->note(stack_->grid_rect_of(ps));
+    return stack_->span_free(ps);
+  }
   PlacedSpan via_span(LayerId l, Point via) const {
     return stack_->via_span(l, via);
   }
 
-  bool occupied(LayerId l, Point g) const { return stack_->occupied(l, g); }
-  ConnId conn_at(LayerId l, Point g) const { return stack_->conn_at(l, g); }
+  bool occupied(LayerId l, Point g) const {
+    if (access_ != nullptr) access_->note_point(g);
+    return stack_->occupied(l, g);
+  }
+  ConnId conn_at(LayerId l, Point g) const {
+    if (access_ != nullptr) access_->note_point(g);
+    return stack_->conn_at(l, g);
+  }
+
+  /// Attach (or detach, with nullptr) the shadow access tracker. Read-only
+  /// helpers that bypass the view through stack() — LeeSearch, the
+  /// free-space walks — carry their own log hookups; the planner attaches
+  /// the same log to all of them.
+  void set_access_log(AccessLog* log) { access_ = log; }
 
   /// The underlying stack, const. For handing to read-only helpers
   /// (LeeSearch, audits) that take a `const LayerStack&`.
@@ -38,6 +66,7 @@ class BoardView {
 
  private:
   const LayerStack* stack_;
+  AccessLog* access_ = nullptr;
 };
 
 }  // namespace grr

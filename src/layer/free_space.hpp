@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "layer/access_log.hpp"
 #include "layer/cursor_cache.hpp"
 #include "layer/layer.hpp"
 #include "layer/plan_overlay.hpp"
@@ -59,6 +60,16 @@ struct FreeSpaceQuery {
   }
 
   bool valid() const { return !box_across.empty() && !box_along.empty(); }
+
+  /// The clipped box back in grid coordinates — the region this walk's
+  /// results can depend on (every reported gap is clipped to it), i.e. what
+  /// the shadow access tracker records for the whole walk.
+  Rect grid_box() const {
+    if (layer.orientation() == Orientation::kHorizontal) {
+      return {box_along, box_across};
+    }
+    return {box_across, box_along};
+  }
 
   /// Maximal free gap containing `v` in channel `ch`, clipped to the box.
   /// Empty if occupied or outside the box.
@@ -235,6 +246,10 @@ struct FreeSpaceScratch {
   std::vector<std::int32_t> stack;
   detail::VisitedSet visited;
   std::vector<detail::TraceChild> kids;  // trace_path only
+  /// Shadow access tracker (footprint soundness audits). When attached,
+  /// every walk through this scratch records its clipped query box; null —
+  /// the default — costs one pointer test per walk.
+  AccessLog* access = nullptr;
 
   void begin() {
     nodes.clear();
@@ -272,6 +287,9 @@ std::optional<std::vector<ChannelSpan>> trace_path(
     FreeSpaceScratch* scratch = nullptr) {
   detail::FreeSpaceQuery<LayerT> q(layer, pool, box, cursors, overlay);
   if (!q.valid()) return std::nullopt;
+  if (scratch != nullptr && scratch->access != nullptr) {
+    scratch->access->note(q.grid_box());
+  }
   const Coord ac = layer.across_of(a), av = layer.along_of(a);
   const Coord bc = layer.across_of(b), bv = layer.along_of(b);
 
@@ -458,6 +476,9 @@ FreeSpaceStats reachable_vias(const LayerT& layer, const SegmentPool& pool,
   detail::FreeSpaceQuery<LayerT> q(layer, pool, box, cursors);
   FreeSpaceStats st;
   if (!q.valid()) return st;
+  if (scratch != nullptr && scratch->access != nullptr) {
+    scratch->access->note(q.grid_box());
+  }
   const Coord ac = layer.across_of(a), av = layer.along_of(a);
   const Coord tc = touch ? layer.across_of(*touch) : 0;
   const Coord tv = touch ? layer.along_of(*touch) : 0;
@@ -546,6 +567,11 @@ FreeSpaceStats obstructions(const LayerT& layer, const SegmentPool& pool,
   detail::FreeSpaceQuery<LayerT> q(layer, pool, box, cursors);
   FreeSpaceStats st;
   if (!q.valid()) return st;
+  if (scratch != nullptr && scratch->access != nullptr) {
+    // The walk reads the box; report_at additionally probes the four grid
+    // neighbors of `a`, which the +1 inflation covers.
+    scratch->access->note(q.grid_box().inflated(1));
+  }
   const Coord ac = layer.across_of(a), av = layer.along_of(a);
 
   auto report_at = [&](Coord ch, Coord v) {

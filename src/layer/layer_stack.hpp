@@ -87,6 +87,22 @@ class LayerStack {
   /// Is the whole span free (no segment overlaps it)?
   bool span_free(const PlacedSpan& ps) const;
 
+  /// Grid-coordinate rectangle covered by one placed span — the unit the
+  /// mutation journal logs and the access tracker records.
+  Rect grid_rect_of(const PlacedSpan& ps) const {
+    const Layer& l = layers_[ps.layer];
+    if (l.orientation() == Orientation::kHorizontal) {
+      return {ps.span, {ps.channel, ps.channel}};
+    }
+    return {{ps.channel, ps.channel}, ps.span};
+  }
+
+  /// A via covers the same single grid point on every layer.
+  Rect grid_rect_of_via(Point via) const {
+    Point g = spec_.grid_of_via(via);
+    return {{g.x, g.x}, {g.y, g.y}};
+  }
+
   std::size_t segment_count() const { return pool_.size(); }
 
  private:

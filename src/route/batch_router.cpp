@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "layer/access_log.hpp"
 #include "route/boxes.hpp"
 #include "route/planner.hpp"
 #include "route/thread_pool.hpp"
@@ -13,8 +14,14 @@ namespace grr {
 BatchRouter::BatchRouter(LayerStack& stack, RouterConfig cfg)
     : stack_(stack), cfg_(cfg), serial_(stack, cfg) {}
 
+bool BatchRouter::access_audit_enabled() const {
+  return cfg_.access_audit || access_audit_env();
+}
+
 bool BatchRouter::route_all(const ConnectionList& conns) {
   batch_stats_ = BatchStats{};
+  foot_log_.clear();
+  foot_log_.extent = stack_.spec().extent();
   // The two-via ablation threads uncommitted state through nested helpers;
   // it exists to reproduce the paper's rejection of it, so it stays serial.
   if (cfg_.threads <= 1 || cfg_.enable_two_via) {
@@ -25,11 +32,15 @@ bool BatchRouter::route_all(const ConnectionList& conns) {
 
 bool BatchRouter::route_parallel(const ConnectionList& conns) {
   const GridSpec& spec = stack_.spec();
+  const bool audit = access_audit_enabled();
   ThreadPool pool(cfg_.threads);
   std::vector<std::unique_ptr<ConnectionPlanner>> planners;
   planners.reserve(static_cast<std::size_t>(pool.size()));
+  RouterConfig worker_cfg = cfg_;
+  worker_cfg.access_audit = audit;  // env opt-in reaches the workers too
   for (int i = 0; i < pool.size(); ++i) {
-    planners.push_back(std::make_unique<ConnectionPlanner>(stack_, cfg_));
+    planners.push_back(
+        std::make_unique<ConnectionPlanner>(stack_, worker_cfg));
   }
 
   serial_.prepare(conns);
@@ -133,6 +144,28 @@ bool BatchRouter::route_parallel(const ConnectionList& conns) {
           }
         }
         bool handled = false;
+        // Footprint evidence: declared vs. actual reads for every plan, and
+        // — once installed below — journalled writes vs. the plan's own
+        // geometry. `journal` observes every install rect via the chain, so
+        // slicing it around try_install isolates this plan's writes.
+        const std::size_t journal_mark = journal.touched.size();
+        if (audit) {
+          PlanAuditRecord rec;
+          rec.id = plan.id;
+          rec.found = plan.found;
+          rec.declared = plan.footprint;
+          rec.reads = plan.reads;
+          for (Point v : plan.vias) {
+            rec.cover.push_back(stack_.grid_rect_of_via(v));
+          }
+          for (const RouteHop& hop : plan.hops) {
+            for (const ChannelSpan& cs : hop.spans) {
+              rec.cover.push_back(
+                  stack_.grid_rect_of({hop.layer, cs.channel, cs.span}));
+            }
+          }
+          foot_log_.records.push_back(std::move(rec));
+        }
         if (!dirty) {
           // Journal through the serial router's feed: the rectangles reach
           // `journal` via the chain (set_journal above) for the conflict
@@ -144,6 +177,13 @@ bool BatchRouter::route_parallel(const ConnectionList& conns) {
           if (txn.try_install(plan)) {
             handled = true;
             ++batch_stats_.installed;
+            if (audit) {
+              PlanAuditRecord& rec = foot_log_.records.back();
+              rec.installed = true;
+              rec.writes.assign(journal.touched.begin() +
+                                    static_cast<std::ptrdiff_t>(journal_mark),
+                                journal.touched.end());
+            }
             // The plan's search effort is what the serial router would
             // have spent at this position; a discarded plan's effort is
             // recounted by the serial redo instead.

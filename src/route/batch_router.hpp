@@ -13,6 +13,7 @@
 // the untouched serial Router — the paper-faithful reference.
 #pragma once
 
+#include "route/footprint_audit.hpp"
 #include "route/router.hpp"
 
 namespace grr {
@@ -41,6 +42,13 @@ class BatchRouter {
   const RouterStats& stats() const { return serial_.stats(); }
   const BatchStats& batch_stats() const { return batch_stats_; }
 
+  /// True when this run collects footprint evidence: the config flag or the
+  /// GRR_ACCESS_AUDIT environment opt-in.
+  bool access_audit_enabled() const;
+  /// Declared-vs-actual footprint evidence from the last route_all run with
+  /// auditing on (empty otherwise). Feed to check_footprints / CheckContext.
+  const FootprintAuditLog& footprint_log() const { return foot_log_; }
+
  private:
   bool route_parallel(const ConnectionList& conns);
 
@@ -48,6 +56,7 @@ class BatchRouter {
   RouterConfig cfg_;
   Router serial_;
   BatchStats batch_stats_;
+  FootprintAuditLog foot_log_;
 };
 
 }  // namespace grr

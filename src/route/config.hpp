@@ -81,6 +81,14 @@ struct RouterConfig {
   /// serial engine; any value produces the identical routed set, geometry
   /// and discrete statistics (only wall times differ).
   int threads = 1;
+
+  /// Footprint soundness audit: attach a shadow AccessLog to every planner
+  /// so each plan carries its *actual* read regions alongside the declared
+  /// ReadFootprint, and have the BatchRouter collect a FootprintAuditLog
+  /// (declared vs. actual reads, install cover vs. journalled writes) for
+  /// the FOOT-* checkers. Routing outcomes are bit-identical on or off; the
+  /// GRR_ACCESS_AUDIT environment variable forces it on (see access_log).
+  bool access_audit = false;
 };
 
 }  // namespace grr

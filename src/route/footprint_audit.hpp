@@ -1,0 +1,37 @@
+// Footprint audit evidence (search/commit split, soundness analysis).
+//
+// With RouterConfig::access_audit on, the BatchRouter records one
+// PlanAuditRecord per speculative plan: the declared ReadFootprint next to
+// the regions the shadow AccessLog saw the search actually read, and — for
+// plans installed verbatim — the mutation journal's write rects next to the
+// plan's own geometry. The FOOT-* checkers (check/footprint_check) consume
+// this log; keeping the structs here lets the route layer produce evidence
+// without depending on the check layer.
+#pragma once
+
+#include <vector>
+
+#include "route/plan.hpp"
+
+namespace grr {
+
+/// Declared-vs-actual evidence for one speculative plan.
+struct PlanAuditRecord {
+  ConnId id = kNoConn;
+  bool found = false;      // plan.found (failed plans declare everything)
+  bool installed = false;  // installed verbatim by the commit thread
+  ReadFootprint declared;
+  std::vector<Rect> reads;   // actual read regions (shadow AccessLog)
+  std::vector<Rect> writes;  // journal rects logged during the install
+  std::vector<Rect> cover;   // install cover: the plan's own geometry
+};
+
+/// Everything the batch router saw while routing with auditing on.
+struct FootprintAuditLog {
+  Rect extent;  // board grid extent (band -> rect conversion)
+  std::vector<PlanAuditRecord> records;
+
+  void clear() { records.clear(); }
+};
+
+}  // namespace grr

@@ -231,6 +231,7 @@ void LeeSearch::search(const Connection& c, const RouterConfig& cfg,
       const auto lid = static_cast<LayerId>(li);
       const Layer& layer = stack_.layer(lid);
       Rect box = strip_box(spec, layer.orientation(), p, cfg.radius);
+      if (access_ != nullptr) access_->note(box);
       auto on_via = [&](Point g) {
         if (meet) return;
         Point v = spec.via_of_grid(g);

@@ -42,6 +42,7 @@
 
 #include <vector>
 
+#include "layer/access_log.hpp"
 #include "layer/cursor_cache.hpp"
 #include "layer/free_space_cache.hpp"
 #include "layer/layer_stack.hpp"
@@ -118,6 +119,13 @@ class LeeSearch {
 
   const FreeSpaceCache& cache() const { return cache_; }
 
+  /// Attach (or detach, with nullptr) a shadow access tracker. Each
+  /// expansion records the radius strip it reads on each layer — the strip
+  /// bounds every gap walked and every via-map probe emitted from it, on
+  /// the fresh-walk, dedup and cache-replay paths alike (a replayed entry
+  /// was logged under the identical box).
+  void set_access_log(AccessLog* log) { access_ = log; }
+
  private:
   struct Mark {
     std::uint32_t epoch = 0;
@@ -146,6 +154,7 @@ class LeeSearch {
   /// Used on the cache-off path only: logged walks must stay self-contained.
   std::vector<detail::VisitedSet> seen_;
   FreeSpaceCache cache_;
+  AccessLog* access_ = nullptr;  // shadow access tracker (audits only)
   bool has_h_ = false;  // any horizontal layer in the stack
   bool has_v_ = false;  // any vertical layer in the stack
 };

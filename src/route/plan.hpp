@@ -78,6 +78,12 @@ struct RoutePlan {
   std::vector<RouteHop> hops;  // traces in a-to-b order
   ReadFootprint footprint;
 
+  /// Shadow access tracker output (RouterConfig::access_audit only; empty
+  /// otherwise): the grid regions the search *actually* read, recorded by
+  /// the instrumented query layer. The FOOT-READ-ESCAPE checker proves
+  /// every one of them is covered by `footprint`.
+  std::vector<Rect> reads;
+
   /// Search-effort counters, merged into RouterStats only when the plan is
   /// installed verbatim; a discarded plan's effort is recounted by the
   /// serial re-route so discrete stats match a serial run exactly.

@@ -11,7 +11,16 @@ namespace grr {
 
 ConnectionPlanner::ConnectionPlanner(const LayerStack& stack,
                                      RouterConfig cfg)
-    : view_(stack), cfg_(cfg), scratch_(stack) {}
+    : view_(stack), cfg_(cfg), scratch_(stack) {
+  if (cfg_.access_audit) {
+    // One log covers the planner's whole query surface: the view's point
+    // and span probes, the trace walks through the scratch, and the Lee
+    // engine's radius strips all record into it.
+    view_.set_access_log(&access_);
+    scratch_.free_space.access = &access_;
+    scratch_.lee.set_access_log(&access_);
+  }
+}
 
 bool ConnectionPlanner::plan_direct(RoutePlan& plan, Point a_via,
                                     Point b_via) {
@@ -189,6 +198,32 @@ bool ConnectionPlanner::plan_lee(RoutePlan& plan, const Connection& c) {
   return true;
 }
 
+void ConnectionPlanner::plan_strategies(RoutePlan& plan,
+                                        const Connection& c) {
+  {
+    ScopedTimer t(plan.sec_zero_via);
+    if (cfg_.enable_zero_via && plan_zero_via(plan, c)) return;
+  }
+  {
+    ScopedTimer t(plan.sec_one_via);
+    if (cfg_.enable_one_via && plan_one_via(plan, c.a, c.b)) {
+      plan.footprint.normalize();
+      return;
+    }
+  }
+  if (cfg_.enable_lee) {
+    ScopedTimer t(plan.sec_lee);
+    if (plan_lee(plan, c)) {
+      plan.footprint.normalize();
+      return;
+    }
+  }
+  // The serial ladder would now fail outright or enter rip-up; either way
+  // the outcome depends on state a worker must not touch.
+  plan.footprint.everything = true;
+  plan.footprint.normalize();
+}
+
 RoutePlan ConnectionPlanner::plan(const Connection& c) {
   RoutePlan plan;
   plan.id = c.id;
@@ -200,28 +235,9 @@ RoutePlan ConnectionPlanner::plan(const Connection& c) {
     return plan;  // no reads, no metal: installs under any board state
   }
 
-  {
-    ScopedTimer t(plan.sec_zero_via);
-    if (cfg_.enable_zero_via && plan_zero_via(plan, c)) return plan;
-  }
-  {
-    ScopedTimer t(plan.sec_one_via);
-    if (cfg_.enable_one_via && plan_one_via(plan, c.a, c.b)) {
-      plan.footprint.normalize();
-      return plan;
-    }
-  }
-  if (cfg_.enable_lee) {
-    ScopedTimer t(plan.sec_lee);
-    if (plan_lee(plan, c)) {
-      plan.footprint.normalize();
-      return plan;
-    }
-  }
-  // The serial ladder would now fail outright or enter rip-up; either way
-  // the outcome depends on state a worker must not touch.
-  plan.footprint.everything = true;
-  plan.footprint.normalize();
+  if (cfg_.access_audit) access_.clear();
+  plan_strategies(plan, c);
+  if (cfg_.access_audit) plan.reads = access_.rects();
   return plan;
 }
 

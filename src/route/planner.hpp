@@ -25,6 +25,11 @@ namespace grr {
 
 class ConnectionPlanner {
  public:
+  /// With cfg.access_audit set, a shadow AccessLog is attached to the
+  /// planner's whole query surface (BoardView, the free-space walks, the
+  /// Lee engine) and every plan returned carries its actual read regions
+  /// in RoutePlan::reads. Off — the default — the log stays detached and
+  /// the recording sites cost one never-taken pointer test each.
   ConnectionPlanner(const LayerStack& stack, RouterConfig cfg);
 
   /// Plan one connection against the current board state. Reads the board,
@@ -46,10 +51,12 @@ class ConnectionPlanner {
   bool plan_zero_via(RoutePlan& plan, const Connection& c);
   bool plan_one_via(RoutePlan& plan, Point a, Point b);
   bool plan_lee(RoutePlan& plan, const Connection& c);
+  void plan_strategies(RoutePlan& plan, const Connection& c);
 
   BoardView view_;
   RouterConfig cfg_;
   SearchScratch scratch_;
+  AccessLog access_;  // shadow read log (cfg_.access_audit only)
 };
 
 }  // namespace grr

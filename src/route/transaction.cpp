@@ -5,28 +5,13 @@
 namespace grr {
 namespace {
 
-/// Grid-coordinate rectangle covered by one placed span.
-Rect rect_of(const LayerStack& stack, const PlacedSpan& ps) {
-  const Layer& layer = stack.layer(ps.layer);
-  if (layer.orientation() == Orientation::kHorizontal) {
-    return {ps.span, {ps.channel, ps.channel}};
-  }
-  return {{ps.channel, ps.channel}, ps.span};
-}
-
-/// A via covers the same single grid point on every layer.
-Rect rect_of_via(const LayerStack& stack, Point via) {
-  Point g = stack.spec().grid_of_via(via);
-  return {{g.x, g.x}, {g.y, g.y}};
-}
-
 void log_geom(MutationJournal* journal, const LayerStack& stack,
               const RouteGeom& geom) {
   if (journal == nullptr) return;
-  for (Point v : geom.vias) journal->log(rect_of_via(stack, v));
+  for (Point v : geom.vias) journal->log(stack.grid_rect_of_via(v));
   for (const RouteHop& hop : geom.hops) {
     for (const ChannelSpan& cs : hop.spans) {
-      journal->log(rect_of(stack, {hop.layer, cs.channel, cs.span}));
+      journal->log(stack.grid_rect_of({hop.layer, cs.channel, cs.span}));
     }
   }
 }
@@ -35,7 +20,7 @@ void log_live_segs(MutationJournal* journal, const LayerStack& stack,
                    const std::vector<SegId>& segs) {
   if (journal == nullptr) return;
   for (SegId s : segs) {
-    journal->log(rect_of(stack, stack.placed_span(s)));
+    journal->log(stack.grid_rect_of(stack.placed_span(s)));
   }
 }
 
@@ -56,7 +41,7 @@ RouteTransaction::~RouteTransaction() {
 
 void RouteTransaction::log_via(Point via) {
   if (journal_ != nullptr) {
-    journal_->log(rect_of_via(stack_, via));
+    journal_->log(stack_.grid_rect_of_via(via));
   }
 }
 
@@ -64,7 +49,7 @@ void RouteTransaction::log_spans(LayerId layer,
                                  const std::vector<ChannelSpan>& spans) {
   if (journal_ == nullptr) return;
   for (const ChannelSpan& cs : spans) {
-    journal_->log(rect_of(stack_, {layer, cs.channel, cs.span}));
+    journal_->log(stack_.grid_rect_of({layer, cs.channel, cs.span}));
   }
 }
 

@@ -234,11 +234,11 @@ TEST(CheckReportTest, MergeAndCounts) {
 
 TEST(CheckSuiteTest, StandardRegistersAllCheckers) {
   CheckSuite suite = CheckSuite::standard();
-  for (const char* name :
-       {"lint", "audit.stack", "audit.routes", "audit.tiles", "drc"}) {
+  for (const char* name : {"lint", "audit.stack", "audit.routes",
+                           "audit.tiles", "footprint", "drc"}) {
     EXPECT_NE(suite.find(name), nullptr) << name;
   }
-  EXPECT_EQ(suite.checkers().size(), 5u);
+  EXPECT_EQ(suite.checkers().size(), 6u);
 }
 
 TEST(CheckSuiteTest, RunsOnlyApplicableCheckers) {

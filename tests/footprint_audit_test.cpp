@@ -1,0 +1,276 @@
+// Footprint soundness: the shadow access tracker, the FOOT-* checkers, and
+// the neutrality of the whole apparatus.
+//
+// Three layers of proof:
+//   1. seeded violations — hand-built audit logs with a deliberately shrunk
+//      footprint / an out-of-cover write make each FOOT-* rule fire (a
+//      checker that cannot fail proves nothing);
+//   2. live evidence — routing Table 1 boards with auditing on yields a
+//      non-trivial log with zero read/write escapes, on both channel stores
+//      and through the standard CheckSuite front door;
+//   3. neutrality — auditing changes no routing outcome: stats and realized
+//      geometry are bit-identical with the tracker on and off.
+#include <gtest/gtest.h>
+
+#include "check/footprint_check.hpp"
+#include "check/registry.hpp"
+#include "route/batch_router.hpp"
+#include "workload/suite.hpp"
+
+namespace grr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rect algebra the checker is built on.
+
+TEST(FootprintAlgebraTest, UncoveredPieces) {
+  const Rect r{{0, 9}, {0, 9}};
+  EXPECT_TRUE(uncovered_pieces(r, {{{0, 9}, {0, 9}}}).empty());
+  EXPECT_TRUE(uncovered_pieces(r, {{{-5, 20}, {-5, 20}}}).empty());
+  // Split cover: two halves leave nothing.
+  EXPECT_TRUE(
+      uncovered_pieces(r, {{{0, 4}, {0, 9}}, {{5, 9}, {0, 9}}}).empty());
+  // A hole remains.
+  auto pieces = uncovered_pieces(r, {{{0, 9}, {0, 8}}});
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], (Rect{{0, 9}, {9, 9}}));
+  // Disjoint cover leaves the whole rect.
+  pieces = uncovered_pieces(r, {{{20, 30}, {20, 30}}});
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], r);
+}
+
+TEST(FootprintAlgebraTest, UnionArea) {
+  EXPECT_EQ(union_area({}), 0);
+  EXPECT_EQ(union_area({{{0, 9}, {0, 9}}}), 100);
+  // Overlap counted once.
+  EXPECT_EQ(union_area({{{0, 9}, {0, 9}}, {{5, 14}, {0, 9}}}), 150);
+  // Duplicate counted once.
+  EXPECT_EQ(union_area({{{0, 9}, {0, 9}}, {{0, 9}, {0, 9}}}), 100);
+}
+
+TEST(FootprintAlgebraTest, CoverRectsExpandBandsToStrips) {
+  const Rect extent{{0, 99}, {0, 49}};
+  ReadFootprint fp;
+  fp.add_rect({{10, 20}, {10, 20}});
+  fp.add_xband({30, 35});
+  fp.add_yband({40, 45});
+  auto cover = footprint_cover_rects(fp, extent);
+  ASSERT_EQ(cover.size(), 3u);
+  EXPECT_EQ(cover[0], (Rect{{10, 20}, {10, 20}}));
+  EXPECT_EQ(cover[1], (Rect{{30, 35}, {0, 49}}));   // xband: any y
+  EXPECT_EQ(cover[2], (Rect{{0, 99}, {40, 45}}));   // yband: any x
+
+  ReadFootprint everything;
+  everything.everything = true;
+  auto all = footprint_cover_rects(everything, extent);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], extent);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded violations: every FOOT-* rule must be able to fire.
+
+FootprintAuditLog seed_log() {
+  FootprintAuditLog log;
+  log.extent = {{0, 199}, {0, 199}};
+  PlanAuditRecord rec;
+  rec.id = 7;
+  rec.found = true;
+  rec.installed = true;
+  rec.declared.add_rect({{0, 49}, {0, 49}});
+  rec.reads = {{{10, 20}, {10, 20}}};
+  rec.cover = {{{12, 18}, {15, 15}}};
+  rec.writes = {{{12, 18}, {15, 15}}};
+  log.records.push_back(std::move(rec));
+  return log;
+}
+
+TEST(FootprintCheckTest, CleanLogPasses) {
+  CheckReport rep = check_footprints(seed_log());
+  EXPECT_TRUE(rep.ok()) << rep.first_error();
+  EXPECT_EQ(rep.findings.size(), 0u);
+}
+
+TEST(FootprintCheckTest, ReadEscapeFires) {
+  FootprintAuditLog log = seed_log();
+  // Shrink the declaration so the actual read sticks out.
+  log.records[0].declared.rects[0] = {{0, 14}, {0, 49}};
+  CheckReport rep = check_footprints(log);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(rep.count_rule("FOOT-READ-ESCAPE"), 1u);
+}
+
+TEST(FootprintCheckTest, ReadEscapeSeesThroughBands) {
+  // A band covers the full board on one axis; the checker must honor that
+  // (no false escape) yet still catch a read off the band.
+  FootprintAuditLog log = seed_log();
+  PlanAuditRecord& rec = log.records[0];
+  rec.declared = ReadFootprint{};
+  rec.declared.add_yband({10, 20});
+  rec.reads = {{{0, 199}, {12, 18}}};  // inside the horizontal strip
+  EXPECT_TRUE(check_footprints(log).ok());
+  rec.reads.push_back({{50, 60}, {25, 30}});  // off the strip
+  CheckReport rep = check_footprints(log);
+  EXPECT_EQ(rep.count_rule("FOOT-READ-ESCAPE"), 1u);
+}
+
+TEST(FootprintCheckTest, WriteEscapeFires) {
+  FootprintAuditLog log = seed_log();
+  // The install touched a rect the plan's geometry does not contain.
+  log.records[0].writes.push_back({{100, 104}, {100, 100}});
+  CheckReport rep = check_footprints(log);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(rep.count_rule("FOOT-WRITE-ESCAPE"), 1u);
+  // Uninstalled plans have no write obligation.
+  log.records[0].installed = false;
+  EXPECT_TRUE(check_footprints(log).ok());
+}
+
+TEST(FootprintCheckTest, SlackFires) {
+  FootprintAuditLog log = seed_log();
+  FootprintCheckOptions opts;
+  opts.slack_ratio = 4.0;
+  opts.slack_min_area = 100;
+  // Declared 2500 cells, read 121: ratio ~20.7 > 4.
+  CheckReport rep = check_footprints(log, opts);
+  EXPECT_TRUE(rep.ok());  // slack is a warning, not an error
+  EXPECT_EQ(rep.count_rule("FOOT-SLACK"), 1u);
+  // Failed plans declare everything; that is policy, not slack.
+  log.records[0].found = false;
+  log.records[0].declared = ReadFootprint{};
+  log.records[0].declared.everything = true;
+  EXPECT_EQ(check_footprints(log, opts).count_rule("FOOT-SLACK"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Live evidence over the Table 1 suite.
+
+class FootprintAuditSuite
+    : public ::testing::TestWithParam<BoardGenParams> {};
+
+TEST_P(FootprintAuditSuite, NoEscapesOnEitherStore) {
+  for (ChannelStore store : {ChannelStore::kList, ChannelStore::kFlat}) {
+    BoardGenParams params = GetParam();
+    params.channel_store = store;
+    GeneratedBoard gb = generate_board(params);
+
+    RouterConfig cfg;
+    cfg.threads = 4;
+    cfg.access_audit = true;
+    BatchRouter br(gb.board->stack(), cfg);
+    br.route_all(gb.strung.connections);
+
+    const FootprintAuditLog& log = br.footprint_log();
+    ASSERT_GT(log.records.size(), 0u) << "no speculative plans audited";
+    bool any_reads = false;
+    for (const PlanAuditRecord& rec : log.records) {
+      if (!rec.reads.empty()) any_reads = true;
+    }
+    EXPECT_TRUE(any_reads) << "tracker recorded nothing";
+
+    CheckReport rep = check_footprints(log);
+    EXPECT_EQ(rep.count_rule("FOOT-READ-ESCAPE"), 0u)
+        << rep.first_error();
+    EXPECT_EQ(rep.count_rule("FOOT-WRITE-ESCAPE"), 0u)
+        << rep.first_error();
+    EXPECT_TRUE(rep.ok()) << rep.first_error();
+  }
+}
+
+TEST_P(FootprintAuditSuite, StandardSuiteRunsFootprintChecker) {
+  GeneratedBoard gb = generate_board(GetParam());
+  RouterConfig cfg;
+  cfg.threads = 4;
+  cfg.access_audit = true;
+  BatchRouter br(gb.board->stack(), cfg);
+  br.route_all(gb.strung.connections);
+
+  CheckContext ctx;
+  ctx.board = gb.board.get();
+  ctx.conns = &gb.strung.connections;
+  ctx.db = &br.db();
+  ctx.footprints = &br.footprint_log();
+  CheckReport rep = CheckSuite::standard().run(ctx, {"footprint"});
+  EXPECT_TRUE(rep.ok()) << rep.first_error();
+
+  // The same evidence, tampered with, must fail through the same front
+  // door: shrink the first bounded declaration that actually read
+  // something.
+  FootprintAuditLog tampered = br.footprint_log();
+  bool shrunk = false;
+  for (PlanAuditRecord& rec : tampered.records) {
+    if (rec.declared.everything || rec.reads.empty()) continue;
+    rec.declared = ReadFootprint{};
+    rec.declared.add_rect({{0, 0}, {0, 0}});
+    shrunk = true;
+    break;
+  }
+  ASSERT_TRUE(shrunk);
+  ctx.footprints = &tampered;
+  CheckReport bad = CheckSuite::standard().run(ctx, {"footprint"});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_GT(bad.count_rule("FOOT-READ-ESCAPE"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Neutrality: auditing must not change what gets routed.
+
+void expect_same_outcome(const std::vector<Connection>& conns,
+                         const BatchRouter& a, const BatchRouter& b) {
+  EXPECT_EQ(a.stats().routed, b.stats().routed);
+  EXPECT_EQ(a.stats().failed, b.stats().failed);
+  EXPECT_EQ(a.stats().rip_ups, b.stats().rip_ups);
+  EXPECT_EQ(a.stats().vias_added, b.stats().vias_added);
+  EXPECT_EQ(a.stats().lee_searches, b.stats().lee_searches);
+  EXPECT_EQ(a.stats().lee_expansions, b.stats().lee_expansions);
+  for (const Connection& c : conns) {
+    const RouteRecord& ra = a.db().rec(c.id);
+    const RouteRecord& rb = b.db().rec(c.id);
+    ASSERT_EQ(ra.status, rb.status) << "conn " << c.id;
+    ASSERT_EQ(ra.strategy, rb.strategy) << "conn " << c.id;
+    ASSERT_EQ(ra.geom.vias, rb.geom.vias) << "conn " << c.id;
+    ASSERT_EQ(ra.geom.hops.size(), rb.geom.hops.size()) << "conn " << c.id;
+    for (std::size_t h = 0; h < ra.geom.hops.size(); ++h) {
+      ASSERT_EQ(ra.geom.hops[h].spans, rb.geom.hops[h].spans)
+          << "conn " << c.id << " hop " << h;
+    }
+  }
+}
+
+TEST(FootprintNeutralityTest, AuditOnIsBitIdenticalToOff) {
+  BoardGenParams params = table1_board("nmc-4L", 0.35);
+  GeneratedBoard on = generate_board(params);
+  GeneratedBoard off = generate_board(params);
+
+  RouterConfig cfg_on;
+  cfg_on.threads = 4;
+  cfg_on.access_audit = true;
+  BatchRouter br_on(on.board->stack(), cfg_on);
+  br_on.route_all(on.strung.connections);
+
+  RouterConfig cfg_off;
+  cfg_off.threads = 4;
+  BatchRouter br_off(off.board->stack(), cfg_off);
+  br_off.route_all(off.strung.connections);
+
+  EXPECT_GT(br_on.footprint_log().records.size(), 0u);
+  EXPECT_EQ(br_off.footprint_log().records.size(), 0u);
+  ASSERT_NO_FATAL_FAILURE(
+      expect_same_outcome(on.strung.connections, br_on, br_off));
+}
+
+std::string row_name(
+    const ::testing::TestParamInfo<BoardGenParams>& info) {
+  std::string n = info.param.name;
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, FootprintAuditSuite,
+                         ::testing::ValuesIn(table1_suite(0.4)), row_name);
+
+}  // namespace
+}  // namespace grr

@@ -19,12 +19,14 @@
 //     compared. Discrete statistics must be identical between the two: the
 //     store may change only the speed of a run, never its outcome.
 //
-// Usage: bench_channel [scale] [board-substring]
+// Usage: bench_channel [scale] [board-substring] [--json PATH]
 //   scale            board scale factor (default 0.4)
 //   board-substring  only boards whose name contains it (default: kdj11,nmc)
+//   --json PATH      output file (default BENCH_channel.json)
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -46,7 +48,8 @@ namespace {
 // Micro: replicas of a routed board's channels, one per store flavour.
 
 /// All channels of all layers of one board, mirrored into ChannelT with its
-/// own pool. Indexed [layer][across].
+/// own pool. Indexed [layer][across]. Built in place via mirror() — the
+/// pool's mutex makes the replica immovable.
 template <typename ChannelT>
 struct Replica {
   SegmentPool pool;
@@ -55,8 +58,8 @@ struct Replica {
 };
 
 template <typename ChannelT, typename ConfigureFn>
-Replica<ChannelT> mirror(const LayerStack& stack, ConfigureFn configure) {
-  Replica<ChannelT> rep;
+void mirror(const LayerStack& stack, ConfigureFn configure,
+            Replica<ChannelT>& rep) {
   rep.layers.resize(stack.num_layers());
   rep.along.resize(stack.num_layers());
   for (int li = 0; li < stack.num_layers(); ++li) {
@@ -78,7 +81,6 @@ Replica<ChannelT> mirror(const LayerStack& stack, ConfigureFn configure) {
       }
     }
   }
-  return rep;
 }
 
 /// One probe position in a localized trace.
@@ -273,13 +275,29 @@ bool same_outcome(const MacroResult& a, const MacroResult& b) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  double scale = argc > 1 ? std::atof(argv[1]) : 0.4;
-  std::string filter = argc > 2 ? argv[2] : "";
+  double scale = 0.4;
+  std::string filter;
+  std::string json_path = "BENCH_channel.json";
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (positional == 0) {
+      scale = std::atof(argv[i]);
+      ++positional;
+    } else if (positional == 1) {
+      filter = argv[i];
+      ++positional;
+    } else {
+      std::cerr << "unknown argument: " << argv[i] << "\n";
+      return 2;
+    }
+  }
   constexpr std::size_t kProbeOps = 400000;
   constexpr std::size_t kChurnOps = 120000;
 
   std::cout << "Channel store ablation (scale " << scale << ")\n\n";
-  std::ofstream json("BENCH_channel.json");
+  std::ofstream json(json_path);
   json << "{\n  \"scale\": " << scale << ",\n  \"boards\": [\n";
 
   const char* kStores[3] = {"list", "flat", "tree"};
@@ -305,18 +323,24 @@ int main(int argc, char** argv) {
     }
     const LayerStack& stack = gb.board->stack();
 
-    auto mk_list = [&] {
-      return mirror<Channel>(stack, [](Channel& ch, Interval along) {
-        ch.configure(along, ChannelStore::kList);
-      });
+    auto mk_list = [&](Replica<Channel>& rep) {
+      mirror<Channel>(
+          stack,
+          [](Channel& ch, Interval along) {
+            ch.configure(along, ChannelStore::kList);
+          },
+          rep);
     };
-    auto mk_flat = [&] {
-      return mirror<Channel>(stack, [](Channel& ch, Interval along) {
-        ch.configure(along, ChannelStore::kFlat);
-      });
+    auto mk_flat = [&](Replica<Channel>& rep) {
+      mirror<Channel>(
+          stack,
+          [](Channel& ch, Interval along) {
+            ch.configure(along, ChannelStore::kFlat);
+          },
+          rep);
     };
-    auto mk_tree = [&] {
-      return mirror<TreeChannel>(stack, [](TreeChannel&, Interval) {});
+    auto mk_tree = [&](Replica<TreeChannel>& rep) {
+      mirror<TreeChannel>(stack, [](TreeChannel&, Interval) {}, rep);
     };
 
     struct Workload {
@@ -342,9 +366,12 @@ int main(int argc, char** argv) {
 
     for (int w = 0; w < 5; ++w) {
       // Fresh replicas per workload so churn damage does not leak.
-      auto list = mk_list();
-      auto flat = mk_flat();
-      auto tree = mk_tree();
+      Replica<Channel> list;
+      Replica<Channel> flat;
+      Replica<TreeChannel> tree;
+      mk_list(list);
+      mk_flat(flat);
+      mk_tree(tree);
       const std::vector<Op> trace =
           w == 4 ? make_random_trace(stack, workloads[w].ops, 1234u + w)
                  : make_trace(stack, workloads[w].ops, 1234u + w);
@@ -441,6 +468,6 @@ int main(int argc, char** argv) {
     json << "\n    ], \"lee_speedup_list_over_flat\": " << speedup << "}";
   }
   json << "\n  ]\n}\n";
-  std::cout << "Wrote BENCH_channel.json\n";
+  std::cout << "Wrote " << json_path << "\n";
   return 0;
 }

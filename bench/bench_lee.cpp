@@ -13,9 +13,10 @@
 // configuration with the same expansion ORDER (i.e. same lee_astar) must
 // route the identical set.
 //
-// Usage: bench_lee [scale] [board-substring]
+// Usage: bench_lee [scale] [board-substring] [--json PATH]
 //   scale            board scale factor (default 0.4)
 //   board-substring  only boards whose name contains it (default: kdj11,nmc)
+//   --json PATH      output file (default BENCH_lee.json)
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -81,11 +82,27 @@ double rate(long n, double sec) { return sec > 0 ? n / sec : 0.0; }
 }  // namespace
 
 int main(int argc, char** argv) {
-  double scale = argc > 1 ? std::atof(argv[1]) : 0.4;
-  std::string filter = argc > 2 ? argv[2] : "";
+  double scale = 0.4;
+  std::string filter;
+  std::string json_path = "BENCH_lee.json";
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (positional == 0) {
+      scale = std::atof(argv[i]);
+      ++positional;
+    } else if (positional == 1) {
+      filter = argv[i];
+      ++positional;
+    } else {
+      std::cerr << "unknown argument: " << argv[i] << "\n";
+      return 2;
+    }
+  }
   std::cout << "Lee search acceleration ablation (scale " << scale << ")\n\n";
 
-  std::ofstream json("BENCH_lee.json");
+  std::ofstream json(json_path);
   json << "{\n  \"scale\": " << scale << ",\n  \"boards\": [\n";
 
   bool first_board = true;
@@ -169,6 +186,6 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   }
   json << "\n  ]\n}\n";
-  std::cout << "Wrote BENCH_lee.json\n";
+  std::cout << "Wrote " << json_path << "\n";
   return 0;
 }

@@ -7,17 +7,24 @@
 //   * rip-ups are rare except near failure;
 //   * vias per connection stays below 1.
 //
-// Usage: bench_table1 [scale] [threads]
+// Usage: bench_table1 [scale] [threads] [options]
 //   scale   board scale factor (default 1.0; e.g. 0.5 for a quick run)
 //   threads worker count for the batch router (default 1 = serial engine)
+//   --suite table1|giant  board suite (default table1). The giant tier is
+//           the ~100k-connection blow-up spatial sharding exists for.
+//   --shards N            ShardMap cells for the region-parallel commit
+//                         (default 0 = ordered serial commit)
+//   --json PATH           output file (default BENCH_table1.json)
 //
-// Besides the console table, writes BENCH_table1.json with one record per
-// board (wall seconds, completion %, vias, threads) for machine comparison
-// of serial vs parallel runs.
+// The JSON has one record per board (wall seconds, completion %, vias,
+// per-phase seconds) plus, when sharding is on, the wave/shard breakdown —
+// the machine-readable record ci/check_perf.py gates on.
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <string>
 #include <thread>
 
 #include "report/table.hpp"
@@ -28,22 +35,55 @@
 using namespace grr;
 
 int main(int argc, char** argv) {
-  double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
-  int threads = argc > 2 ? std::atoi(argv[2]) : 1;
-  std::cout << "Table 1 reproduction (scale " << scale << ", threads "
-            << threads << ")\n\n";
+  double scale = 1.0;
+  int threads = 1;
+  int shards = 0;
+  std::string suite = "table1";
+  std::string json_path = "BENCH_table1.json";
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--suite") == 0 && i + 1 < argc) {
+      suite = argv[++i];
+    } else if (positional == 0) {
+      scale = std::atof(argv[i]);
+      ++positional;
+    } else if (positional == 1) {
+      threads = std::atoi(argv[i]);
+      ++positional;
+    } else {
+      std::cerr << "unknown argument: " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  if (suite != "table1" && suite != "giant") {
+    std::cerr << "unknown suite: " << suite << " (want table1 or giant)\n";
+    return 2;
+  }
 
-  std::ofstream json("BENCH_table1.json");
-  json << "{\n  \"scale\": " << scale << ",\n  \"threads\": " << threads
+  std::cout << (suite == "giant" ? "Giant tier" : "Table 1 reproduction")
+            << " (scale " << scale << ", threads " << threads;
+  if (shards > 1) std::cout << ", shards " << shards;
+  std::cout << ")\n\n";
+
+  std::ofstream json(json_path);
+  json << "{\n  \"suite\": \"" << suite << "\",\n  \"scale\": " << scale
+       << ",\n  \"threads\": " << threads << ",\n  \"shards\": " << shards
        << ",\n  \"hardware_concurrency\": "
        << std::thread::hardware_concurrency() << ",\n  \"boards\": [\n";
 
   std::vector<Table1Row> rows;
   bool first = true;
-  for (const BoardGenParams& params : table1_suite(scale)) {
+  const std::vector<BoardGenParams> boards =
+      suite == "giant" ? giant_suite(scale) : table1_suite(scale);
+  for (const BoardGenParams& params : boards) {
     GeneratedBoard gb = generate_board(params);
     RouterConfig cfg;
     cfg.threads = threads;
+    cfg.shards = shards;
     BatchRouter router(gb.board->stack(), cfg);
 
     auto t0 = std::chrono::steady_clock::now();
@@ -80,7 +120,28 @@ int main(int argc, char** argv) {
          << ", \"sec_putback\": " << st.sec_putback
          << ",\n     \"lee_searches\": " << st.lee_searches
          << ", \"lee_expansions\": " << st.lee_expansions
-         << ", \"lee_gap_nodes\": " << st.lee_gap_nodes << "}";
+         << ", \"lee_gap_nodes\": " << st.lee_gap_nodes;
+    if (shards > 1) {
+      // Region-parallel commit breakdown: where the admitted plans landed
+      // and what the waves cost. repair_rollbacks must read 0 — the
+      // defence-in-depth path that never runs.
+      json << ",\n     \"shard_rows\": " << bs.shard_rows
+           << ", \"shard_cols\": " << bs.shard_cols
+           << ", \"admitted_runs\": " << bs.admitted_runs
+           << ", \"wave_rounds\": " << bs.wave_rounds
+           << ", \"wave_installs\": " << bs.wave_installs
+           << ", \"residual_installs\": " << bs.residual_installs
+           << ", \"direct_installs\": " << bs.direct_installs
+           << ", \"repair_rollbacks\": " << bs.repair_rollbacks
+           << ", \"sec_wave\": " << bs.sec_wave << ",\n     \"per_shard\": [";
+      for (std::size_t s = 0; s < bs.per_shard.size(); ++s) {
+        json << (s == 0 ? "" : ", ") << "{\"installs\": "
+             << bs.per_shard[s].installs
+             << ", \"sec\": " << bs.per_shard[s].sec << "}";
+      }
+      json << "]";
+    }
+    json << "}";
     first = false;
     // Sec 12: on difficult boards, Lee's algorithm is where the CPU goes.
     double strat = st.sec_zero_via + st.sec_one_via + st.sec_lee +
@@ -90,19 +151,29 @@ int main(int argc, char** argv) {
               << " routed, %optimal=" << st.pct_optimal()
               << ", lee share of strategy time="
               << (strat > 0 ? 100.0 * st.sec_lee / strat : 0.0) << "%\n";
+    if (shards > 1) {
+      std::cout << "    shards " << bs.shard_rows << "x" << bs.shard_cols
+                << ": " << bs.wave_installs << " wave + "
+                << bs.residual_installs << " residual + "
+                << bs.direct_installs << " direct installs, "
+                << bs.wave_rounds << " wave rounds in " << bs.sec_wave
+                << " s, " << bs.repair_rollbacks << " repair rollbacks\n";
+    }
   }
   json << "\n  ]\n}\n";
 
   std::cout << "\n";
   print_table1(std::cout, rows);
-  std::cout << "\nWrote BENCH_table1.json\n";
-  std::cout << "\nPaper (VAX 11/785 CPU minutes):\n"
-            << "  kdj11-2L: FAIL (~80% routed)   nmc-4L: %lee 14, 20 ripups, "
-               ".99 vias, 28.5 min\n"
-            << "  dpath-6L: %lee 8, .65 vias     coproc-6L: %lee 6, .62 "
-               "vias   kdj11-4L: %lee 8, .70 vias\n"
-            << "  icache-6L: %lee 3, .41 vias    nmc-6L: %lee 3, .68 vias   "
-               "dcache-6L: %lee 2, .40 vias\n"
-            << "  tna-6L: %lee 3, .50 vias\n";
+  std::cout << "\nWrote " << json_path << "\n";
+  if (suite == "table1") {
+    std::cout << "\nPaper (VAX 11/785 CPU minutes):\n"
+              << "  kdj11-2L: FAIL (~80% routed)   nmc-4L: %lee 14, 20 "
+                 "ripups, .99 vias, 28.5 min\n"
+              << "  dpath-6L: %lee 8, .65 vias     coproc-6L: %lee 6, .62 "
+                 "vias   kdj11-4L: %lee 8, .70 vias\n"
+              << "  icache-6L: %lee 3, .41 vias    nmc-6L: %lee 3, .68 vias "
+                 "  dcache-6L: %lee 2, .40 vias\n"
+              << "  tna-6L: %lee 3, .50 vias\n";
+  }
   return 0;
 }

@@ -15,10 +15,9 @@
 namespace grr {
 namespace {
 
-/// A 12x10-inch six-layer board with scattered traces and vias.
-LayerStack make_stack(bool use_map) {
-  GridSpec spec(121, 101);
-  LayerStack stack(spec, 6);
+/// Populate a 12x10-inch six-layer board with scattered traces and vias.
+/// Out-parameter because SegmentPool (and so LayerStack) is immovable.
+void make_stack(bool use_map, LayerStack& stack) {
   stack.set_use_via_map(use_map);
   std::mt19937 rng(3);
   auto rnd = [&](Coord lo, Coord hi) {
@@ -36,11 +35,12 @@ LayerStack make_stack(bool use_map) {
     if (!gap.contains(span)) continue;
     stack.insert_span({l, ch, span}, 1);
   }
-  return stack;
 }
 
 void BM_ViaProbe_WithMap(benchmark::State& state) {
-  LayerStack stack = make_stack(true);
+  GridSpec spec(121, 101);
+  LayerStack stack(spec, 6);
+  make_stack(true, stack);
   std::mt19937 rng(5);
   std::uniform_int_distribution<Coord> px(0, 120), py(0, 100);
   for (auto _ : state) {
@@ -50,7 +50,9 @@ void BM_ViaProbe_WithMap(benchmark::State& state) {
 BENCHMARK(BM_ViaProbe_WithMap);
 
 void BM_ViaProbe_ProbingLayers(benchmark::State& state) {
-  LayerStack stack = make_stack(false);
+  GridSpec spec(121, 101);
+  LayerStack stack(spec, 6);
+  make_stack(false, stack);
   std::mt19937 rng(5);
   std::uniform_int_distribution<Coord> px(0, 120), py(0, 100);
   for (auto _ : state) {
@@ -65,7 +67,9 @@ BENCHMARK(BM_ViaProbe_ProbingLayers);
 void BM_MixedWorkload(benchmark::State& state) {
   const bool use_map = state.range(0) != 0;
   const long ratio = state.range(1);
-  LayerStack stack = make_stack(use_map);
+  GridSpec spec(121, 101);
+  LayerStack stack(spec, 6);
+  make_stack(use_map, stack);
   std::mt19937 rng(5);
   std::uniform_int_distribution<Coord> px(0, 120), py(0, 100);
   SegId last = kNoSeg;

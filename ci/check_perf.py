@@ -1,10 +1,18 @@
 #!/usr/bin/env python3
 """Perf regression gate for the bench JSON artifacts.
 
-Compares a fresh BENCH_lee.json / BENCH_table1.json pair against the
-checked-in baseline (ci/perf_baseline.json) and fails if any tracked
-wall-time metric regressed by more than THRESHOLD, with an absolute floor
-so sub-jitter timings cannot flake the job.
+Compares fresh bench reports against the checked-in baseline
+(ci/perf_baseline.json) and fails if any tracked wall-time metric regressed
+by more than THRESHOLD, with an absolute floor so sub-jitter timings cannot
+flake the job.
+
+Inputs are one BENCH_lee.json followed by one or more bench_table1-style
+reports (any suite: the plain Table 1 run, the giant tier, a sharded
+ablation). Each table1-style report carries its suite name in its "suite"
+field, which becomes the metric prefix — "table1/<board>/sec",
+"giant/<board>/sec" — so one baseline file gates every tier. Reports
+written before the suite field existed default to "table1", keeping the
+historical keys.
 
 CI runners and developer machines differ in absolute speed, so the gate is
 deliberately loose (1.3x): it exists to catch gross regressions — an
@@ -14,8 +22,8 @@ after an intentional perf change, on the same class of machine that runs
 the gate.
 
 Usage:
-  check_perf.py BASELINE BENCH_lee.json BENCH_table1.json
-  check_perf.py --write-baseline BASELINE BENCH_lee.json BENCH_table1.json
+  check_perf.py BASELINE BENCH_lee.json TABLE1_JSON [TABLE1_JSON...]
+  check_perf.py --write-baseline BASELINE BENCH_lee.json TABLE1_JSON...
 """
 
 import json
@@ -28,32 +36,37 @@ THRESHOLD = 1.3
 FLOOR_SEC = 0.020
 
 
-def extract(lee, table1):
-    """Flatten the two bench reports into {metric_name: seconds}."""
+def extract(lee, table1_reports):
+    """Flatten the bench reports into {metric_name: seconds}."""
     metrics = {}
     for board in lee.get("boards", []):
         for run in board.get("runs", []):
             key = f"lee/{board['board']}/{run['config']}/sec_lee"
             metrics[key] = run["sec_lee"]
-    for row in table1.get("boards", []):
-        metrics[f"table1/{row['board']}/sec"] = row["sec"]
-        metrics[f"table1/{row['board']}/sec_lee"] = row["sec_lee"]
+    for report in table1_reports:
+        suite = report.get("suite", "table1")
+        for row in report.get("boards", []):
+            metrics[f"{suite}/{row['board']}/sec"] = row["sec"]
+            metrics[f"{suite}/{row['board']}/sec_lee"] = row["sec_lee"]
     return metrics
 
 
 def main(argv):
     write = "--write-baseline" in argv
     argv = [a for a in argv if a != "--write-baseline"]
-    if len(argv) != 4:
+    if len(argv) < 4:
         print(__doc__)
         return 2
-    baseline_path, lee_path, table1_path = argv[1:]
+    baseline_path, lee_path = argv[1:3]
+    table1_paths = argv[3:]
 
     with open(lee_path) as f:
         lee = json.load(f)
-    with open(table1_path) as f:
-        table1 = json.load(f)
-    fresh = extract(lee, table1)
+    table1_reports = []
+    for path in table1_paths:
+        with open(path) as f:
+            table1_reports.append(json.load(f))
+    fresh = extract(lee, table1_reports)
 
     if write:
         with open(baseline_path, "w") as f:
@@ -107,7 +120,8 @@ def main(argv):
               f"{THRESHOLD}x the checked-in baseline.")
         print("If this slowdown is intentional, refresh the baseline:")
         print("  python3 ci/check_perf.py --write-baseline "
-              "ci/perf_baseline.json BENCH_lee.json BENCH_table1.json")
+              "ci/perf_baseline.json BENCH_lee.json BENCH_table1.json "
+              "BENCH_giant.json")
         return 1
     print(f"\nOK: all {len(base)} metrics within {THRESHOLD}x of baseline.")
     return 0

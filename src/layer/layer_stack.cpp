@@ -62,7 +62,7 @@ SegId LayerStack::insert_span(const PlacedSpan& ps, ConnId conn,
   Layer& l = layers_[ps.layer];
   SegId id = l.insert(pool_, ps.channel, ps.span, conn, is_via);
   if (use_via_map_) update_via_map(l, ps.channel, ps.span, +1);
-  ++mutation_seq_;
+  mutation_seq_.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
@@ -71,7 +71,7 @@ void LayerStack::erase_segment(SegId id) {
   Layer& l = layers_[seg.layer];
   if (use_via_map_) update_via_map(l, seg.channel, seg.span, -1);
   l.erase(pool_, id);
-  ++mutation_seq_;
+  mutation_seq_.fetch_add(1, std::memory_order_relaxed);
 }
 
 PlacedSpan LayerStack::placed_span(SegId id) const {

@@ -2,6 +2,7 @@
 // pool, and the via map, kept mutually consistent (Sec 4).
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <vector>
 
@@ -64,7 +65,13 @@ class LayerStack {
   /// cover, and the derived state must be dropped wholesale. This makes
   /// journal-driven invalidation a pure optimization — correctness never
   /// depends on every mutation path being wired to a journal.
-  std::uint64_t mutation_seq() const { return mutation_seq_; }
+  /// Atomic because the batch router's install waves mutate disjoint
+  /// channels from several threads; relaxed suffices — the total is
+  /// deterministic and consumers read it only from serial sections (the
+  /// wave barriers order the increments before any read).
+  std::uint64_t mutation_seq() const {
+    return mutation_seq_.load(std::memory_order_relaxed);
+  }
   /// Geometry of a live segment (for recording before erase).
   PlacedSpan placed_span(SegId id) const;
 
@@ -115,7 +122,7 @@ class LayerStack {
   ViaMap via_map_;
   ChannelStore channel_store_ = kDefaultChannelStore;
   bool use_via_map_ = true;
-  std::uint64_t mutation_seq_ = 0;
+  std::atomic<std::uint64_t> mutation_seq_{0};
 };
 
 }  // namespace grr

@@ -2,7 +2,7 @@
 
 namespace grr {
 
-SegId SegmentPool::allocate(const Segment& seg) {
+SegId SegmentPool::allocate_locked(const Segment& seg) {
   ++live_;
   if (!free_.empty()) {
     SegId id = free_.back();
@@ -10,16 +10,57 @@ SegId SegmentPool::allocate(const Segment& seg) {
     slots_[id] = seg;
     return id;
   }
+  assert(!concurrent_ && "concurrent allocate must be covered by "
+                         "reserve_free (vector growth moves slots)");
   slots_.push_back(seg);
   return static_cast<SegId>(slots_.size() - 1);
 }
 
-void SegmentPool::release(SegId id) {
+void SegmentPool::release_locked(SegId id) {
   assert(id < slots_.size());
   assert(live_ > 0);
   --live_;
   slots_[id] = Segment{};
   free_.push_back(id);
+}
+
+SegId SegmentPool::allocate(const Segment& seg) {
+  if (concurrent_) {
+    // Only the free-list handout is under the lock; the slot assignment
+    // races with nothing (each id is handed to exactly one thread).
+    SegId id;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++live_;
+      assert(!free_.empty() && "concurrent allocate must be covered by "
+                               "reserve_free");
+      id = free_.back();
+      free_.pop_back();
+    }
+    slots_[id] = seg;
+    return id;
+  }
+  return allocate_locked(seg);
+}
+
+void SegmentPool::release(SegId id) {
+  if (concurrent_) {
+    slots_[id] = Segment{};
+    std::lock_guard<std::mutex> lk(mu_);
+    assert(live_ > 0);
+    --live_;
+    free_.push_back(id);
+    return;
+  }
+  release_locked(id);
+}
+
+void SegmentPool::reserve_free(std::size_t n) {
+  assert(!concurrent_ && "reserve from a serial section only");
+  while (free_.size() < n) {
+    slots_.emplace_back();
+    free_.push_back(static_cast<SegId>(slots_.size() - 1));
+  }
 }
 
 }  // namespace grr

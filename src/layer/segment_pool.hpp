@@ -10,6 +10,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "geom/geom.hpp"
@@ -56,6 +57,19 @@ class SegmentPool {
   SegId allocate(const Segment& seg);
   void release(SegId id);
 
+  /// Pre-create free slots until at least `n` are on the free list. In
+  /// concurrent mode allocate() must never grow `slots_` — growth would
+  /// move the vector under readers holding references from other threads —
+  /// so the batch router reserves the whole demand of a parallel install
+  /// wave up front, from the serial section before the wave.
+  void reserve_free(std::size_t n);
+
+  /// Serialize allocate/release behind a mutex. Toggled only from serial
+  /// sections (the batch router brackets its install waves with it); the
+  /// slot contents themselves are written by the allocating thread, which
+  /// is safe because distinct slots are distinct objects.
+  void set_concurrent(bool on) { concurrent_ = on; }
+
   Segment& operator[](SegId id) {
     assert(id < slots_.size());
     return slots_[id];
@@ -72,9 +86,14 @@ class SegmentPool {
   std::size_t capacity() const { return slots_.size(); }
 
  private:
+  SegId allocate_locked(const Segment& seg);
+  void release_locked(SegId id);
+
   std::vector<Segment> slots_;
   std::vector<SegId> free_;
   std::size_t live_ = 0;
+  bool concurrent_ = false;
+  std::mutex mu_;
 };
 
 }  // namespace grr

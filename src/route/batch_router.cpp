@@ -6,10 +6,44 @@
 #include "layer/access_log.hpp"
 #include "route/boxes.hpp"
 #include "route/planner.hpp"
+#include "route/shard_map.hpp"
 #include "route/thread_pool.hpp"
 #include "timing/scoped_timer.hpp"
 
 namespace grr {
+namespace {
+
+/// Smallest admitted prefix worth a wave barrier; shorter prefixes take the
+/// ordered per-plan path (a wave over two or three installs costs more in
+/// synchronization than it buys).
+constexpr std::size_t kMinWaveRun = 4;
+
+/// One admitted plan of a wave run: its exact write cover (the rectangles
+/// try_install will journal), the ShardMap cell that cover falls in, and
+/// the install's private journal/counters, merged back in batch order.
+struct AdmittedPlan {
+  std::size_t pos = 0;  // index into the batch's plan array
+  int shard = ShardMap::kCross;
+  std::vector<Rect> cover;
+  MutationJournal local;
+  TxnCounters counters;
+  bool installed = false;
+};
+
+void merge_counters(TxnCounters& into, const TxnCounters& from) {
+  into.begins += from.begins;
+  into.vias += from.vias;
+  into.hops += from.hops;
+  into.commits += from.commits;
+  into.rollbacks += from.rollbacks;
+  into.rips += from.rips;
+  into.putbacks += from.putbacks;
+  into.putback_failures += from.putback_failures;
+  into.installs += from.installs;
+  into.install_conflicts += from.install_conflicts;
+}
+
+}  // namespace
 
 BatchRouter::BatchRouter(LayerStack& stack, RouterConfig cfg)
     : stack_(stack), cfg_(cfg), serial_(stack, cfg) {}
@@ -33,11 +67,20 @@ bool BatchRouter::route_all(const ConnectionList& conns) {
 bool BatchRouter::route_parallel(const ConnectionList& conns) {
   const GridSpec& spec = stack_.spec();
   const bool audit = access_audit_enabled();
+  // Region-parallel commit needs shards to group by and threads to run
+  // waves on; otherwise the commit phase degenerates to the ordered
+  // per-plan walk of PR 2, bit for bit.
+  const bool sharded = cfg_.shards > 1 && cfg_.threads > 1;
   ThreadPool pool(cfg_.threads);
   std::vector<std::unique_ptr<ConnectionPlanner>> planners;
   planners.reserve(static_cast<std::size_t>(pool.size()));
   RouterConfig worker_cfg = cfg_;
   worker_cfg.access_audit = audit;  // env opt-in reaches the workers too
+  if (sharded && cfg_.shard_plan_lee_budget > 0) {
+    // Bound speculative Lee waste; outcome-neutral (see config.hpp).
+    worker_cfg.max_lee_expansions =
+        std::min(worker_cfg.max_lee_expansions, cfg_.shard_plan_lee_budget);
+  }
   for (int i = 0; i < pool.size(); ++i) {
     planners.push_back(
         std::make_unique<ConnectionPlanner>(stack_, worker_cfg));
@@ -47,8 +90,21 @@ bool BatchRouter::route_parallel(const ConnectionList& conns) {
   MutationJournal journal;
   serial_.set_journal(&journal);
   const ConnectionList& order = serial_.connections();
-  const std::size_t max_batch = std::max<std::size_t>(
-      static_cast<std::size_t>(cfg_.threads) * 8, 32);
+  ShardMap smap(spec.extent(), sharded ? cfg_.shards : 1);
+  if (sharded) {
+    batch_stats_.shard_rows = smap.rows();
+    batch_stats_.shard_cols = smap.cols();
+    batch_stats_.per_shard.assign(static_cast<std::size_t>(smap.count()),
+                                  ShardStats{});
+  }
+  // Sharded batches are wider: admission — not the batch window — decides
+  // what installs concurrently, so the window no longer needs disjointness
+  // and profits from giving admission a longer prefix to work with.
+  const std::size_t max_batch =
+      sharded ? std::max<std::size_t>(
+                    static_cast<std::size_t>(cfg_.threads) * 32, 256)
+              : std::max<std::size_t>(
+                    static_cast<std::size_t>(cfg_.threads) * 8, 32);
 
   // Same outer loop and progress rule as the serial route_all (Sec 8.4).
   std::size_t prev_unrouted = order.size() + 1;
@@ -66,19 +122,27 @@ bool BatchRouter::route_parallel(const ConnectionList& conns) {
     std::vector<std::size_t> batch;  // positions in `order`
     std::vector<RoutePlan> plans;
     std::vector<Rect> boxes;
+    std::vector<char> plan_mask;    // batch members to speculatively plan
+    std::vector<std::size_t> to_plan;
     while (idx < order.size()) {
       if (serial_.db().routed(order[idx].id)) {
         ++idx;
         continue;
       }
-      // Greedy batch: the longest run of currently-unrouted connections,
-      // from the front of the remaining order, whose zero-via boxes are
-      // pairwise disjoint. Order matters — commits must stay in the global
-      // sorted order — and disjointness is only a heuristic to raise the
-      // install rate: the journal check below is what guarantees serial
-      // equivalence.
+      // Greedy batch: the longest run of currently-unrouted connections
+      // from the front of the remaining order. Order matters — commits must
+      // stay in the global sorted order. Without shards the run is bounded
+      // by pairwise-disjoint zero-via boxes, a heuristic to raise the
+      // install rate; with shards the window is contiguous but only the
+      // box-disjoint subset is speculatively planned (plan_mask): the
+      // plans of overlapping connections — bus runs, mostly — would claim
+      // the same channels against the frozen board, conflict, and waste a
+      // full search each, so those members defer to their ordered serial
+      // turn unplanned. Either way the journal check below is what
+      // guarantees serial equivalence.
       batch.clear();
       boxes.clear();
+      plan_mask.clear();
       std::size_t scan = idx;
       while (scan < order.size() && batch.size() < max_batch) {
         const Connection& c = order[scan];
@@ -94,14 +158,19 @@ bool BatchRouter::route_parallel(const ConnectionList& conns) {
             break;
           }
         }
-        if (!disjoint) break;
+        if (!sharded && !disjoint) break;
+        if (disjoint) boxes.push_back(b);
+        plan_mask.push_back(disjoint ? 1 : 0);
         batch.push_back(scan);
-        boxes.push_back(b);
         ++scan;
       }
       const std::size_t n = batch.size();
       ++batch_stats_.batches;
-      batch_stats_.planned += static_cast<long>(n);
+      to_plan.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (plan_mask[i]) to_plan.push_back(i);
+      }
+      batch_stats_.planned += static_cast<long>(to_plan.size());
 
       plans.assign(n, RoutePlan{});
       {
@@ -118,9 +187,9 @@ bool BatchRouter::route_parallel(const ConnectionList& conns) {
         // Workers only read the board; nothing mutates it until the pool
         // returns.
         ScopedTimer t(batch_stats_.sec_plan);
-        pool.for_indices(n, [&](int worker, std::size_t i) {
-          plans[i] = planners[static_cast<std::size_t>(worker)]->plan(
-              order[batch[i]]);
+        pool.for_indices(to_plan.size(), [&](int worker, std::size_t i) {
+          plans[to_plan[i]] = planners[static_cast<std::size_t>(worker)]->plan(
+              order[batch[to_plan[i]]]);
         });
       }
 
@@ -130,7 +199,49 @@ bool BatchRouter::route_parallel(const ConnectionList& conns) {
       ScopedTimer t(batch_stats_.sec_commit);
       journal.clear();
       std::size_t next_idx = batch.back() + 1;
-      for (std::size_t i = 0; i < n; ++i) {
+      std::size_t i = 0;
+      std::size_t no_admit = 0;  // positions to walk without re-admitting
+      // Set when a put-back failure regressed some routed connection to
+      // unrouted: a regressed connection whose position falls between two
+      // batch members must be re-routed at ITS ordered turn, before the
+      // later member. The serial walk would see it when scanning; the batch
+      // must therefore check the position gap before each subsequent member
+      // and abandon from the first regressed position found. (The legacy
+      // non-sharded path abandons the whole batch on any failure instead —
+      // equivalent, and cheap at its small batch sizes, but wasteful at
+      // sharded widths: re-planning abandoned plans dominated the wall
+      // time of rip-heavy giant boards.)
+      bool regressed = false;
+      while (i < n) {
+        if (sharded && regressed && i > 0) {
+          bool stop = false;
+          for (std::size_t p = batch[i - 1] + 1; p < batch[i]; ++p) {
+            if (!serial_.db().routed(order[p].id)) {
+              next_idx = p;
+              stop = true;
+              break;
+            }
+          }
+          if (stop) break;
+        }
+        if (sharded && !regressed && no_admit == 0) {
+          // Fast path: admit the longest conflict-free prefix from here and
+          // install it in channel-exclusive waves. Zero means the prefix
+          // was not worth a wave — fall through to the ordered per-plan
+          // walk, and don't re-run admission until past the positions this
+          // attempt already classified (re-admitting at every step is
+          // quadratic in the batch and was measured to dominate the commit
+          // on rip-heavy giant boards).
+          std::size_t skip = 0;
+          std::size_t consumed = commit_wave_run(order, batch, plans, i, smap,
+                                                 journal, pool, audit, &skip);
+          if (consumed > 0) {
+            i += consumed;
+            continue;
+          }
+          no_admit = skip;
+        }
+        if (no_admit > 0) --no_admit;
         const Connection& c = order[batch[i]];
         const RoutePlan& plan = plans[i];
         bool dirty = !plan.found;
@@ -148,8 +259,10 @@ bool BatchRouter::route_parallel(const ConnectionList& conns) {
         // — once installed below — journalled writes vs. the plan's own
         // geometry. `journal` observes every install rect via the chain, so
         // slicing it around try_install isolates this plan's writes.
+        // Batch members that were never speculatively planned (plan_mask
+        // off) leave no evidence — there was no planner run to audit.
         const std::size_t journal_mark = journal.touched.size();
-        if (audit) {
+        if (audit && plan_mask[i]) {
           PlanAuditRecord rec;
           rec.id = plan.id;
           rec.found = plan.found;
@@ -177,6 +290,7 @@ bool BatchRouter::route_parallel(const ConnectionList& conns) {
           if (txn.try_install(plan)) {
             handled = true;
             ++batch_stats_.installed;
+            if (sharded) ++batch_stats_.direct_installs;
             if (audit) {
               PlanAuditRecord& rec = foot_log_.records.back();
               rec.installed = true;
@@ -206,12 +320,20 @@ bool BatchRouter::route_parallel(const ConnectionList& conns) {
           if (serial_.txn_counters().putback_failures != pb_failures) {
             // A rip-up victim could not be put back: a connection at a
             // later position may have regressed to unrouted, and the
-            // serial loop would re-examine every later position. Discard
-            // the rest of the batch and rescan from the next position.
-            next_idx = batch[i] + 1;
-            break;
+            // serial loop would re-examine every later position.
+            if (sharded) {
+              // Keep going, but gap-scan before each later member (above)
+              // and stop at the first regressed position.
+              regressed = true;
+            } else {
+              // Discard the rest of the batch, rescan from the next
+              // position.
+              next_idx = batch[i] + 1;
+              break;
+            }
           }
         }
+        ++i;
       }
       idx = next_idx;
     }
@@ -220,6 +342,183 @@ bool BatchRouter::route_parallel(const ConnectionList& conns) {
   serial_.set_journal(nullptr);
   serial_.finish();
   return serial_.stats().failed == 0;
+}
+
+std::size_t BatchRouter::commit_wave_run(
+    const ConnectionList& order, const std::vector<std::size_t>& batch,
+    const std::vector<RoutePlan>& plans, std::size_t start,
+    const ShardMap& smap, MutationJournal& journal, ThreadPool& pool,
+    bool audit, std::size_t* skip_hint) {
+  // Admission: extend the prefix while each plan was found and its read
+  // footprint is untouched by this commit's journal AND by the write covers
+  // of everything already admitted. That is exactly the check the ordered
+  // walk would run at the plan's turn — the journal at that turn is the
+  // current journal plus the covers of the installs before it — so every
+  // admitted plan is one the serial walk would install verbatim, and every
+  // admitted plan's validation reads are provably untouched by the other
+  // admitted installs: the installs commute.
+  *skip_hint = 1;
+  std::vector<AdmittedPlan> run;
+  for (std::size_t j = start; j < batch.size(); ++j) {
+    const RoutePlan& plan = plans[j];
+    if (!plan.found) break;
+    bool clean = true;
+    for (const Rect& r : journal.touched) {
+      if (plan.footprint.intersects(r)) {
+        clean = false;
+        break;
+      }
+    }
+    for (std::size_t k = 0; clean && k < run.size(); ++k) {
+      for (const Rect& r : run[k].cover) {
+        if (plan.footprint.intersects(r)) {
+          clean = false;
+          break;
+        }
+      }
+    }
+    if (!clean) break;
+    AdmittedPlan a;
+    a.pos = j;
+    // The cover is the exact rectangle set try_install journals: one via
+    // rect per drill, one span rect per hop span, in that order.
+    for (Point v : plan.vias) a.cover.push_back(stack_.grid_rect_of_via(v));
+    for (const RouteHop& hop : plan.hops) {
+      for (const ChannelSpan& cs : hop.spans) {
+        a.cover.push_back(
+            stack_.grid_rect_of({hop.layer, cs.channel, cs.span}));
+      }
+    }
+    a.shard = a.cover.empty() ? ShardMap::kCross
+                              : smap.shard_of(ShardMap::bbox_of(a.cover));
+    run.push_back(std::move(a));
+  }
+
+  // Group by cell; cross-shard plans install serially after the waves.
+  std::vector<std::vector<AdmittedPlan*>> groups(
+      static_cast<std::size_t>(smap.count()));
+  std::vector<AdmittedPlan*> residual;
+  int distinct = 0;
+  for (AdmittedPlan& a : run) {
+    if (a.shard == ShardMap::kCross) {
+      residual.push_back(&a);
+    } else {
+      auto& g = groups[static_cast<std::size_t>(a.shard)];
+      if (g.empty()) ++distinct;
+      g.push_back(&a);
+    }
+  }
+  if (run.size() < kMinWaveRun || distinct < 2) {
+    *skip_hint = run.size() + 1;
+    return 0;
+  }
+  ++batch_stats_.admitted_runs;
+
+  // The segment pool must not grow while install tasks hold references into
+  // it: pre-create every slot the run can need, then switch the free list
+  // to locked handout for the waves.
+  std::size_t need = 0;
+  for (const AdmittedPlan& a : run) {
+    const RoutePlan& plan = plans[a.pos];
+    need += plan.vias.size() * static_cast<std::size_t>(stack_.num_layers());
+    for (const RouteHop& hop : plan.hops) need += hop.spans.size();
+  }
+  stack_.pool().reserve_free(need);
+  stack_.pool().set_concurrent(true);
+  {
+    ScopedTimer t(batch_stats_.sec_wave);
+    std::vector<int> wave_cells;
+    std::vector<int> active;
+    for (int w = 0; w < smap.num_waves(); ++w) {
+      smap.wave_shards(w, &wave_cells);
+      active.clear();
+      for (int s : wave_cells) {
+        if (!groups[static_cast<std::size_t>(s)].empty()) active.push_back(s);
+      }
+      if (active.empty()) continue;
+      ++batch_stats_.wave_rounds;
+      // Cells of one wave share no row or column band, hence no Channel,
+      // no ViaMap cell and no RouteDB record; the pool hands out slots
+      // under its lock. Each task writes only its own AdmittedPlans and
+      // its own ShardStats element.
+      pool.for_indices(active.size(), [&](int, std::size_t g) {
+        const int s = active[g];
+        ScopedTimer st(
+            batch_stats_.per_shard[static_cast<std::size_t>(s)].sec);
+        for (AdmittedPlan* a : groups[static_cast<std::size_t>(s)]) {
+          RouteTransaction txn(stack_, serial_.db(), order[batch[a->pos]].id,
+                               &a->counters, &a->local);
+          a->installed = txn.try_install(plans[a->pos]);
+        }
+      });
+    }
+  }
+  stack_.pool().set_concurrent(false);
+  for (AdmittedPlan* a : residual) {
+    RouteTransaction txn(stack_, serial_.db(), order[batch[a->pos]].id,
+                         &a->counters, &a->local);
+    a->installed = txn.try_install(plans[a->pos]);
+  }
+
+  // An install miss is impossible — admission re-proved each plan's reads
+  // clean, and the footprint covers the validation reads (FOOT-* checks) —
+  // but stay correct anyway: undo every install at or after the earliest
+  // miss, keep the still-serial-equivalent prefix before it, and let the
+  // ordered walk reprocess the rest. The rips perturb only wall times and
+  // conflict counts, never geometry; repair_rollbacks records that this
+  // never happens.
+  std::size_t keep = run.size();
+  for (std::size_t k = 0; k < run.size(); ++k) {
+    if (!run[k].installed) {
+      keep = k;
+      break;
+    }
+  }
+  for (std::size_t k = keep; k < run.size(); ++k) {
+    if (!run[k].installed) continue;
+    ++batch_stats_.repair_rollbacks;
+    RouteTransaction::rip_out(stack_, serial_.db(), order[batch[run[k].pos]].id,
+                              &serial_.txn_counters_, serial_.mutation_feed());
+  }
+
+  // Replay, in batch order, everything the ordered walk would have done
+  // per install: journal the writes through the serial router's feed (the
+  // reachability cache and the conflict journal both see them), merge the
+  // transaction counters and the plan's search effort, and emit the audit
+  // record. After this the board, the journal and every statistic are
+  // exactly as if the ordered walk had installed the prefix itself.
+  for (std::size_t k = 0; k < keep; ++k) {
+    AdmittedPlan& a = run[k];
+    const RoutePlan& plan = plans[a.pos];
+    for (const Rect& r : a.local.touched) serial_.mutation_feed()->log(r);
+    merge_counters(serial_.txn_counters_, a.counters);
+    ++batch_stats_.installed;
+    if (a.shard == ShardMap::kCross) {
+      ++batch_stats_.residual_installs;
+    } else {
+      ++batch_stats_.wave_installs;
+      ++batch_stats_.per_shard[static_cast<std::size_t>(a.shard)].installs;
+    }
+    RouterStats& st = serial_.stats();
+    st.lee_searches += plan.lee_searches;
+    st.lee_expansions += plan.lee_expansions;
+    st.lee_gap_nodes += plan.lee_gap_nodes;
+    st.sec_zero_via += plan.sec_zero_via;
+    st.sec_one_via += plan.sec_one_via;
+    st.sec_lee += plan.sec_lee;
+    if (audit) {
+      PlanAuditRecord rec;
+      rec.id = plan.id;
+      rec.found = plan.found;
+      rec.declared = plan.footprint;
+      rec.reads = plan.reads;
+      rec.cover = std::move(a.cover);
+      rec.installed = true;
+      rec.writes = std::move(a.local.touched);
+      foot_log_.records.push_back(std::move(rec));
+    }
+  }
+  return keep;
 }
 
 }  // namespace grr

@@ -11,12 +11,35 @@
 // run: the routed set, every route's geometry, and all discrete statistics
 // are identical for any thread count. threads <= 1 delegates outright to
 // the untouched serial Router — the paper-faithful reference.
+//
+// With RouterConfig::shards >= 2 (and threads >= 2) the commit phase is
+// region-parallel as well: the commit thread admits the longest prefix of
+// plans whose read footprints are pairwise disjoint from the journal and
+// from each other's write covers, then installs the admitted plans
+// concurrently, grouped by ShardMap cell in channel-exclusive waves (cells
+// of one wave share no row or column band, hence no Channel object).
+// Admission proves every admitted plan's reads untouched by every other
+// admitted plan's writes, so the installs commute: per-plan validation
+// outcomes and the final board state are independent of install order, and
+// the post-wave replay (journals, counters, statistics, audit records —
+// merged in batch order) restores the exact serial accounting. Cross-shard
+// plans install serially after the waves; conflicted or unfound plans end
+// the prefix and take the ordered serial path above. The bit-identical
+// contract therefore holds at every shard and thread count.
 #pragma once
+
+#include <vector>
 
 #include "route/footprint_audit.hpp"
 #include "route/router.hpp"
 
 namespace grr {
+
+/// Per-ShardMap-cell activity of the region-parallel commit phase.
+struct ShardStats {
+  long installs = 0;  // plans installed under this cell's waves
+  double sec = 0;     // wall time this cell's install tasks ran
+};
 
 struct BatchStats {
   long batches = 0;
@@ -26,6 +49,22 @@ struct BatchStats {
   long serial_reroutes = 0;   // connections re-routed inline
   double sec_plan = 0;        // wall time in parallel planning
   double sec_commit = 0;      // wall time in ordered commit + reroutes
+
+  /// Region-parallel commit (shards >= 2 and threads >= 2; zero otherwise).
+  int shard_rows = 0;          // ShardMap grid actually used
+  int shard_cols = 0;
+  long admitted_runs = 0;      // conflict-free prefixes installed in waves
+  long wave_rounds = 0;        // wave barriers executed (with >= 1 cell)
+  long wave_installs = 0;      // installs performed inside waves
+  long residual_installs = 0;  // admitted cross-shard plans, serial install
+  long direct_installs = 0;    // installs via the per-plan ordered path
+  /// Wave installs undone because a later admitted install missed. The
+  /// footprint contract (FOOT-* checks) makes a miss impossible — the
+  /// repair path exists for defence in depth and this counter proves it
+  /// never ran (SuiteDeterminism asserts 0).
+  long repair_rollbacks = 0;
+  double sec_wave = 0;  // wall time inside install waves
+  std::vector<ShardStats> per_shard;  // indexed by ShardMap cell
 };
 
 class BatchRouter {
@@ -51,6 +90,23 @@ class BatchRouter {
 
  private:
   bool route_parallel(const ConnectionList& conns);
+  /// Sharded commit step: admit the longest conflict-free prefix of plans
+  /// starting at batch position `start`, install it in channel-exclusive
+  /// waves, and replay the per-install journals/counters in batch order.
+  /// Returns the number of batch positions consumed; 0 means the prefix
+  /// was too small to be worth a wave (nothing was installed) and the
+  /// caller takes the ordered per-plan path for position `start`. In that
+  /// case `*skip_hint` is the admitted-prefix length plus one: that many
+  /// upcoming positions need no new admission attempt (the prefix was just
+  /// proven conflict-free — each will install on the ordered path — and
+  /// the position after it is the barrier that ended the prefix). Purely
+  /// a performance hint; the ordered path re-checks everything.
+  std::size_t commit_wave_run(const ConnectionList& order,
+                              const std::vector<std::size_t>& batch,
+                              const std::vector<RoutePlan>& plans,
+                              std::size_t start, const class ShardMap& smap,
+                              MutationJournal& journal, class ThreadPool& pool,
+                              bool audit, std::size_t* skip_hint);
 
   LayerStack& stack_;
   RouterConfig cfg_;

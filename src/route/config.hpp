@@ -82,6 +82,26 @@ struct RouterConfig {
   /// and discrete statistics (only wall times differ).
   int threads = 1;
 
+  /// Spatial shards for the BatchRouter's region-parallel commit phase
+  /// (ShardMap). 0 or 1 keeps the serial ordered commit of PR 2; with
+  /// shards >= 2 and threads >= 2 the commit thread admits the longest
+  /// prefix of conflict-free plans per batch and installs the admitted
+  /// plans concurrently, grouped by shard cell, in channel-exclusive
+  /// waves. Cross-shard plans and conflicted plans fall back to the
+  /// ordered serial path. Outcomes are bit-identical to serial at any
+  /// shard/thread count (SuiteDeterminism holds it to that).
+  int shards = 0;
+
+  /// Lee-expansion budget for speculative planning under the sharded
+  /// commit; 0 means the full max_lee_expansions. Congested boards make
+  /// frozen-board Lee searches expensive and mostly doomed (the serial
+  /// engine would rip up at that turn instead); capping them changes no
+  /// outcome — a capped-out search returns not-found and the connection
+  /// takes its ordered serial turn, while a search that completes under
+  /// the cap is expansion-for-expansion identical to the uncapped one —
+  /// but it bounds the speculative waste. Ignored when shards < 2.
+  std::size_t shard_plan_lee_budget = 10000;
+
   /// Footprint soundness audit: attach a shadow AccessLog to every planner
   /// so each plan carries its *actual* read regions alongside the declared
   /// ReadFootprint, and have the BatchRouter collect a FootprintAuditLog

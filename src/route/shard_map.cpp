@@ -1,0 +1,88 @@
+#include "route/shard_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace grr {
+
+ShardMap::ShardMap(Rect extent, int target_shards) : extent_(extent) {
+  const Coord w = extent.x.empty() ? 0 : extent.x.length();
+  const Coord h = extent.y.empty() ? 0 : extent.y.length();
+  if (target_shards >= 2 && w > 0 && h > 0) {
+    // R <= C with R * C near the target. The Latin-square wave schedule
+    // runs R shards concurrently for C waves, so R is the parallelism and
+    // a square-ish grid maximizes it for a given shard count.
+    int r = std::max(1, static_cast<int>(std::sqrt(
+                            static_cast<double>(target_shards))));
+    int c = std::max(r, (target_shards + r - 1) / r);
+    // A cell narrower than a few grid lines would put almost every cover
+    // on a boundary; clamp to the extent.
+    rows_ = std::min(r, static_cast<int>(std::max<Coord>(1, h / 4)));
+    cols_ = std::min(c, static_cast<int>(std::max<Coord>(1, w / 4)));
+    if (rows_ > cols_) std::swap(rows_, cols_);
+  }
+  row_lo_.resize(static_cast<std::size_t>(rows_) + 1);
+  col_lo_.resize(static_cast<std::size_t>(cols_) + 1);
+  for (int i = 0; i <= rows_; ++i) {
+    row_lo_[static_cast<std::size_t>(i)] =
+        extent.y.lo + static_cast<Coord>((static_cast<long>(h) * i) / rows_);
+  }
+  for (int j = 0; j <= cols_; ++j) {
+    col_lo_[static_cast<std::size_t>(j)] =
+        extent.x.lo + static_cast<Coord>((static_cast<long>(w) * j) / cols_);
+  }
+}
+
+Rect ShardMap::cell(int shard) const {
+  const int r = row_of(shard);
+  const int c = col_of(shard);
+  return {{col_lo_[static_cast<std::size_t>(c)],
+           col_lo_[static_cast<std::size_t>(c) + 1] - 1},
+          {row_lo_[static_cast<std::size_t>(r)],
+           row_lo_[static_cast<std::size_t>(r) + 1] - 1}};
+}
+
+int ShardMap::row_band(Coord y) const {
+  if (!extent_.y.contains(y)) return -1;
+  // Bands are near-equal; a binary search over rows_ + 1 cuts is plenty.
+  const auto it = std::upper_bound(row_lo_.begin() + 1, row_lo_.end(), y);
+  return static_cast<int>(it - row_lo_.begin()) - 1;
+}
+
+int ShardMap::col_band(Coord x) const {
+  if (!extent_.x.contains(x)) return -1;
+  const auto it = std::upper_bound(col_lo_.begin() + 1, col_lo_.end(), x);
+  return static_cast<int>(it - col_lo_.begin()) - 1;
+}
+
+int ShardMap::shard_of(const Rect& r) const {
+  if (r.x.empty() || r.y.empty()) return kCross;
+  const int r0 = row_band(r.y.lo);
+  const int c0 = col_band(r.x.lo);
+  if (r0 < 0 || c0 < 0) return kCross;
+  if (row_band(r.y.hi) != r0 || col_band(r.x.hi) != c0) return kCross;
+  return r0 * cols_ + c0;
+}
+
+Rect ShardMap::bbox_of(const std::vector<Rect>& rects) {
+  Rect box{{0, -1}, {0, -1}};  // empty
+  for (const Rect& r : rects) {
+    if (r.x.empty() || r.y.empty()) continue;
+    if (box.x.empty()) {
+      box = r;
+    } else {
+      box.x = box.x.hull(r.x);
+      box.y = box.y.hull(r.y);
+    }
+  }
+  return box;
+}
+
+void ShardMap::wave_shards(int wave, std::vector<int>* out) const {
+  out->clear();
+  for (int r = 0; r < rows_; ++r) {
+    out->push_back(r * cols_ + (r + wave) % cols_);
+  }
+}
+
+}  // namespace grr

@@ -1,0 +1,75 @@
+// Spatial shard map for the batch router's region-parallel commit phase.
+//
+// The board extent is cut into an R x C grid of rectangular cells
+// (R rows by C columns, R <= C). A plan whose write cover fits inside one
+// cell belongs to that shard; anything that straddles a cell boundary is
+// "cross-shard" and falls back to the ordered serial commit path.
+//
+// The point of the grid shape is physical channel exclusivity, not mere
+// rectangle disjointness: a horizontal channel object spans the full board
+// width at one y, a vertical channel the full height at one x, so two
+// shards can mutate the board concurrently only when their cells share no
+// row band (their horizontal channels are distinct objects) and no column
+// band (ditto vertical channels). The wave schedule below is a Latin
+// square over the grid — wave w holds cells {(r, (r + w) mod C)}, one per
+// row, all in distinct columns — so every cell is installed in exactly one
+// of C waves and the shards inside one wave never touch the same Channel,
+// via-map cell, or pool slot.
+#pragma once
+
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace grr {
+
+class ShardMap {
+ public:
+  /// A cover that straddles cell boundaries (or is empty) maps here.
+  static constexpr int kCross = -1;
+
+  /// Cut `extent` (grid coordinates) into about `target_shards` cells,
+  /// R x C with R <= C. Degenerate extents or target_shards < 2 produce a
+  /// single cell (everything lands in shard 0).
+  ShardMap(Rect extent, int target_shards);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int count() const { return rows_ * cols_; }
+  const Rect& extent() const { return extent_; }
+
+  /// Cell rectangle of one shard. Cells tile the extent exactly.
+  Rect cell(int shard) const;
+
+  int row_of(int shard) const { return shard / cols_; }
+  int col_of(int shard) const { return shard % cols_; }
+
+  /// Shard whose cell wholly contains `r`, or kCross. An empty rect is
+  /// kCross too (the caller installs coverless plans serially).
+  int shard_of(const Rect& r) const;
+
+  /// Bounding box of a set of rectangles (empty rect for an empty set) —
+  /// the binning key for a plan's write cover.
+  static Rect bbox_of(const std::vector<Rect>& rects);
+
+  /// Number of waves in the Latin-square schedule (= cols).
+  int num_waves() const { return cols_; }
+
+  /// The shards of wave w: one per row, pairwise distinct rows AND columns.
+  void wave_shards(int wave, std::vector<int>* out) const;
+
+ private:
+  /// Row band index of a y coordinate / column band index of an x
+  /// coordinate, or -1 if outside the extent.
+  int row_band(Coord y) const;
+  int col_band(Coord x) const;
+
+  Rect extent_;
+  int rows_ = 1;
+  int cols_ = 1;
+  // Interior cut coordinates: row i covers y in [row_lo_[i], row_lo_[i+1]).
+  std::vector<Coord> row_lo_;  // size rows_ + 1
+  std::vector<Coord> col_lo_;  // size cols_ + 1
+};
+
+}  // namespace grr

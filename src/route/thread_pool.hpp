@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -47,18 +48,28 @@ class ThreadPool {
   int size() const { return static_cast<int>(workers_.size()); }
 
   /// Run fn(worker, i) for every i in [0, count); workers claim indices
-  /// dynamically. Blocks until the whole range is done.
+  /// dynamically. Blocks until the whole range is done. If any invocation
+  /// threw, the first exception (in completion order) is rethrown here
+  /// after the drain — the remaining indices still run, and the pool stays
+  /// usable for the next call.
   void for_indices(std::size_t count, const Job& fn) {
     if (count == 0) return;
     std::unique_lock<std::mutex> lk(mu_);
     job_ = &fn;
     count_ = count;
+    error_ = nullptr;
     next_.store(0, std::memory_order_relaxed);
     pending_ = workers_.size();
     ++generation_;
     work_cv_.notify_all();
     done_cv_.wait(lk, [this] { return pending_ == 0; });
     job_ = nullptr;
+    if (error_ != nullptr) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      lk.unlock();
+      std::rethrow_exception(e);
+    }
   }
 
  private:
@@ -78,7 +89,12 @@ class ThreadPool {
       for (std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
            i < count;
            i = next_.fetch_add(1, std::memory_order_relaxed)) {
-        (*job)(id, i);
+        try {
+          (*job)(id, i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(mu_);
+          if (error_ == nullptr) error_ = std::current_exception();
+        }
       }
       {
         std::lock_guard<std::mutex> lk(mu_);
@@ -95,6 +111,7 @@ class ThreadPool {
   std::size_t count_ = 0;
   std::size_t pending_ = 0;
   std::uint64_t generation_ = 0;
+  std::exception_ptr error_ = nullptr;
   bool stop_ = false;
   std::atomic<std::size_t> next_{0};
 };

@@ -21,10 +21,111 @@ long chain_length(const std::vector<Point>& pts) {
   return len;
 }
 
+/// Spatial index over the board's terminator pins for the greedy chain's
+/// nearest-unused-terminator query. The linear scan it replaces is O(all
+/// terminators) per net — the dominant cost of stringing a giant board,
+/// where every net is an ECL transmission line needing a terminator.
+/// nearest() reproduces the scan's selection exactly: the lexicographic
+/// minimum of (manhattan distance, terminator index) over unused entries,
+/// found by examining bucket rings outward until no closer bucket can
+/// exist. Positions are fixed for a board; only the used flags move.
+class TermIndex {
+ public:
+  TermIndex(const Board& board, const std::vector<char>& term_used)
+      : used_(term_used) {
+    const auto& terms = board.terminators();
+    pos_.reserve(terms.size());
+    for (const NetPin& t : terms) pos_.push_back(board.pin_via(t));
+    if (pos_.empty()) return;
+    lo_ = pos_[0];
+    Point hi = pos_[0];
+    for (Point p : pos_) {
+      lo_.x = std::min(lo_.x, p.x);
+      lo_.y = std::min(lo_.y, p.y);
+      hi.x = std::max(hi.x, p.x);
+      hi.y = std::max(hi.y, p.y);
+    }
+    bx_ = (hi.x - lo_.x) / kBucket + 1;
+    by_ = (hi.y - lo_.y) / kBucket + 1;
+    buckets_.resize(static_cast<std::size_t>(bx_) *
+                    static_cast<std::size_t>(by_));
+    for (std::size_t t = 0; t < pos_.size(); ++t) {
+      buckets_[bucket_of(pos_[t])].push_back(t);
+    }
+  }
+
+  /// Index of the unused terminator minimizing (manhattan(p, pos), index),
+  /// or -1 if all are used. Identical to the full linear scan.
+  int nearest(Point p) const {
+    if (pos_.empty()) return -1;
+    long best = std::numeric_limits<long>::max();
+    int best_t = -1;
+    const Coord cx = clamp_bx((p.x - lo_.x) / kBucket);
+    const Coord cy = clamp_by((p.y - lo_.y) / kBucket);
+    const Coord max_ring = std::max(bx_, by_);
+    for (Coord ring = 0; ring < max_ring; ++ring) {
+      // Any point of a ring-k bucket is at least (k-1)*kBucket away, so
+      // once that bound passes the incumbent no closer (or equal-distance,
+      // lower-index) candidate remains undiscovered: equal-distance ones
+      // sit in rings the bound has not excluded yet.
+      if (best_t >= 0 && static_cast<long>(ring - 1) * kBucket > best) break;
+      const Coord x0 = clamp_bx(cx - ring), x1 = clamp_bx(cx + ring);
+      const Coord y0 = clamp_by(cy - ring), y1 = clamp_by(cy + ring);
+      for (Coord gy = y0; gy <= y1; ++gy) {
+        for (Coord gx = x0; gx <= x1; ++gx) {
+          // Ring interior was examined by earlier rings.
+          if (gx != x0 && gx != x1 && gy != y0 && gy != y1 &&
+              ring > 0) {
+            continue;
+          }
+          // Clamping can re-map an outer ring onto border buckets already
+          // visited; the (d, t) minimum is idempotent, so revisits only
+          // cost time, and only at the board edge.
+          for (std::size_t t :
+               buckets_[static_cast<std::size_t>(gy) *
+                            static_cast<std::size_t>(bx_) +
+                        static_cast<std::size_t>(gx)]) {
+            if (used_[t]) continue;
+            const long d = manhattan(p, pos_[t]);
+            if (d < best ||
+                (d == best && static_cast<int>(t) < best_t)) {
+              best = d;
+              best_t = static_cast<int>(t);
+            }
+          }
+        }
+      }
+    }
+    return best_t;
+  }
+
+ private:
+  static constexpr Coord kBucket = 4;  // via-coordinate units
+
+  std::size_t bucket_of(Point p) const {
+    return static_cast<std::size_t>((p.y - lo_.y) / kBucket) *
+               static_cast<std::size_t>(bx_) +
+           static_cast<std::size_t>((p.x - lo_.x) / kBucket);
+  }
+  Coord clamp_bx(Coord v) const {
+    return std::max<Coord>(0, std::min<Coord>(bx_ - 1, v));
+  }
+  Coord clamp_by(Coord v) const {
+    return std::max<Coord>(0, std::min<Coord>(by_ - 1, v));
+  }
+
+  const std::vector<char>& used_;
+  std::vector<Point> pos_;
+  Point lo_{0, 0};
+  Coord bx_ = 1;
+  Coord by_ = 1;
+  std::vector<std::vector<std::size_t>> buckets_;
+};
+
 /// Greedy nearest-neighbor chain from a fixed starting pin. `eligible`
 /// enforces the all-outputs-before-inputs rule for ECL nets.
 Chain greedy_chain(const Board& board, const Net& net, std::size_t start,
-                   const std::vector<char>& term_used) {
+                   const TermIndex& tindex) {
   const std::size_t n = net.pins.size();
   std::vector<char> visited(n, 0);
   std::vector<Point> vias(n);
@@ -59,16 +160,7 @@ Chain greedy_chain(const Board& board, const Net& net, std::size_t start,
   }
 
   if (net.needs_terminator && !board.terminators().empty()) {
-    Point tail = chain.points.back();
-    long best = std::numeric_limits<long>::max();
-    for (std::size_t t = 0; t < board.terminators().size(); ++t) {
-      if (term_used[t]) continue;
-      long d = manhattan(tail, board.pin_via(board.terminators()[t]));
-      if (d < best) {
-        best = d;
-        chain.terminator = static_cast<int>(t);
-      }
-    }
+    chain.terminator = tindex.nearest(chain.points.back());
     if (chain.terminator >= 0) {
       chain.points.push_back(
           board.pin_via(board.terminators()[static_cast<std::size_t>(
@@ -155,6 +247,7 @@ StringingResult string_nets(const Board& board, StringingMethod method,
   StringingResult result;
   result.terminators.assign(nl.nets.size(), NetPin{-1, 0, PinRole::kInput});
   std::vector<char> term_used(board.terminators().size(), 0);
+  TermIndex tindex(board, term_used);
   std::mt19937 rng(seed);
   ConnId next_id = 0;
 
@@ -194,7 +287,7 @@ StringingResult string_nets(const Board& board, StringingMethod method,
       best.length = std::numeric_limits<long>::max();
       for (std::size_t s = 0; s < net.pins.size(); ++s) {
         if (has_output && net.pins[s].role != PinRole::kOutput) continue;
-        Chain c = greedy_chain(board, net, s, term_used);
+        Chain c = greedy_chain(board, net, s, tindex);
         if (c.length < best.length) best = std::move(c);
       }
     }

@@ -101,6 +101,48 @@ GeneratedBoard generate_board(const BoardGenParams& p) {
   const Coord base_window = static_cast<Coord>(
       std::max(4.0, p.locality * (nx + ny) / 2.0));
 
+  // Spatial index over the pin pool for the fanout-input search: pins
+  // bucketed by via position, gathered per net from the buckets inside the
+  // window's bounding box, then re-sorted into pool order so the selection
+  // ("first k unused pins by pool index within the window") is exactly the
+  // linear scan's. The scan is O(pool) per net — at the giant tier that is
+  // a ~126k-pin walk for each of ~10k nets and dominates generation.
+  constexpr Coord kBucket = 32;
+  const Coord bx = (nx + kBucket - 1) / kBucket;
+  const Coord by = (ny + kBucket - 1) / kBucket;
+  std::vector<std::vector<std::size_t>> buckets(
+      static_cast<std::size_t>(bx) * static_cast<std::size_t>(by));
+  if (p.fanout_bucket_grid) {
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      const Point v = pool[i].via;
+      buckets[static_cast<std::size_t>(v.y / kBucket) *
+                  static_cast<std::size_t>(bx) +
+              static_cast<std::size_t>(v.x / kBucket)]
+          .push_back(i);
+    }
+  }
+  std::vector<std::size_t> cand;  // reused per fanout net
+  auto gather_window = [&](Point center, Coord window) {
+    cand.clear();
+    const Coord x0 = std::max<Coord>(0, center.x - window) / kBucket;
+    const Coord x1 = std::min<Coord>(nx - 1, center.x + window) / kBucket;
+    const Coord y0 = std::max<Coord>(0, center.y - window) / kBucket;
+    const Coord y1 = std::min<Coord>(ny - 1, center.y + window) / kBucket;
+    for (Coord gy = y0; gy <= y1; ++gy) {
+      for (Coord gx = x0; gx <= x1; ++gx) {
+        for (std::size_t i :
+             buckets[static_cast<std::size_t>(gy) *
+                         static_cast<std::size_t>(bx) +
+                     static_cast<std::size_t>(gx)]) {
+          if (!used[i] && manhattan(pool[i].via, center) <= window) {
+            cand.push_back(i);
+          }
+        }
+      }
+    }
+    std::sort(cand.begin(), cand.end());
+  };
+
   auto take_unused = [&](std::size_t part, int want,
                          std::vector<std::size_t>* outv) {
     for (std::size_t idx : by_part[part]) {
@@ -185,6 +227,15 @@ GeneratedBoard generate_board(const BoardGenParams& p) {
       for (int widen = 0;
            widen < 4 && static_cast<int>(inputs.size()) < want_inputs;
            ++widen, window *= 2) {
+        if (p.fanout_bucket_grid) {
+          gather_window(pool[out_idx].via, window);
+          for (std::size_t i : cand) {
+            if (static_cast<int>(inputs.size()) >= want_inputs) break;
+            used[i] = 1;
+            inputs.push_back(i);
+          }
+          continue;
+        }
         for (std::size_t i = 0;
              i < pool.size() &&
              static_cast<int>(inputs.size()) < want_inputs;

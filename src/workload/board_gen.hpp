@@ -38,6 +38,13 @@ struct BoardGenParams {
   /// Channel representation the board is built with (outcome-identical;
   /// the ablation benches and equivalence tests flip it).
   ChannelStore channel_store = kDefaultChannelStore;
+  /// Gather fanout-net input candidates from a spatial bucket grid instead
+  /// of scanning the whole pin pool per net. Selection is identical (the
+  /// gathered candidates are re-sorted into pool order, which is what the
+  /// linear scan consumes); only generation time changes — the scan is
+  /// O(pool) per net and dominates board generation at the giant tier.
+  /// BoardGenDeterminism holds the two paths to identical output.
+  bool fanout_bucket_grid = true;
 };
 
 struct GeneratedBoard {

@@ -17,4 +17,21 @@ std::vector<BoardGenParams> table1_suite(double scale = 1.0);
 /// Look up one row by name (e.g. "coproc-6L"); aborts on unknown name.
 BoardGenParams table1_board(const std::string& name, double scale = 1.0);
 
+/// The giant tier: Table 1 rows blown up past 4x linear scale to ~100k+
+/// connections per board. Scaling a Table 1 row naively is hopeless — the
+/// generator's wiring window grows with the board, so channel demand rises
+/// with scale^3 against scale^2 of supply and the board goes over capacity
+/// (dpath-6L already fails at 2x). The giant rows instead hold the
+/// *absolute* wiring window at its 1x size (locality divided by the total
+/// scale, further trimmed per row — see demand_trim in suite.cpp): a
+/// giant board is a large board with locally concentrated wiring,
+/// constant in density, which routes to completion — and is exactly the
+/// workload spatial sharding exists for. `scale`
+/// multiplies the per-row giant scale (1.0 is the full ~100k-connection
+/// tier; tests run a reduced fraction).
+std::vector<BoardGenParams> giant_suite(double scale = 1.0);
+
+/// Look up one giant row by name (e.g. "dpath-6L-giant").
+BoardGenParams giant_board(const std::string& name, double scale = 1.0);
+
 }  // namespace grr

@@ -1,0 +1,127 @@
+// ShardMap invariants the region-parallel commit phase depends on: the
+// cells tile the extent exactly, shard_of bins only wholly-contained
+// rectangles, and the wave schedule is a Latin square (each shard in
+// exactly one wave; within a wave all rows and all columns distinct).
+#include "route/shard_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace grr {
+namespace {
+
+TEST(ShardMap, CellsTileExtentExactly) {
+  const Rect extent{{0, 199}, {0, 99}};
+  for (int target : {2, 4, 8, 16}) {
+    ShardMap smap(extent, target);
+    ASSERT_GE(smap.count(), 1);
+    EXPECT_LE(smap.rows(), smap.cols());
+
+    // Every point of the extent lies in exactly one cell.
+    long long cell_area = 0;
+    for (int s = 0; s < smap.count(); ++s) {
+      const Rect c = smap.cell(s);
+      EXPECT_FALSE(c.empty());
+      EXPECT_TRUE(extent.contains(c));
+      cell_area += c.area();
+      for (int t = s + 1; t < smap.count(); ++t) {
+        EXPECT_FALSE(c.overlaps(smap.cell(t)))
+            << "cells " << s << " and " << t << " overlap at target "
+            << target;
+      }
+    }
+    EXPECT_EQ(cell_area, extent.area()) << "target " << target;
+  }
+}
+
+TEST(ShardMap, DegenerateInputsCollapseToOneCell) {
+  const Rect extent{{0, 99}, {0, 99}};
+  for (int target : {0, 1}) {
+    ShardMap smap(extent, target);
+    EXPECT_EQ(smap.count(), 1);
+    EXPECT_EQ(smap.cell(0), extent);
+    EXPECT_EQ(smap.shard_of(extent), 0);
+  }
+  // A sliver too thin to cut still yields a working single-cell map.
+  ShardMap thin(Rect{{0, 2}, {0, 2}}, 8);
+  EXPECT_EQ(thin.count(), 1);
+  EXPECT_EQ(thin.shard_of(Rect{{1, 1}, {1, 1}}), 0);
+}
+
+TEST(ShardMap, ShardOfBinsContainedRectsAndCrossesBoundaries) {
+  const Rect extent{{0, 199}, {0, 199}};
+  ShardMap smap(extent, 8);
+  ASSERT_GE(smap.count(), 2);
+
+  // A rect strictly inside a cell maps to that cell.
+  for (int s = 0; s < smap.count(); ++s) {
+    const Rect c = smap.cell(s);
+    const Rect inner{{c.x.lo, c.x.lo}, {c.y.lo, c.y.lo}};
+    EXPECT_EQ(smap.shard_of(inner), s);
+    EXPECT_EQ(smap.shard_of(c), s) << "whole cell is contained in itself";
+  }
+
+  // A rect spanning two horizontally adjacent cells is cross-shard.
+  const Rect c0 = smap.cell(0);
+  if (smap.cols() > 1) {
+    const Rect spanning{{c0.x.hi, c0.x.hi + 1}, {c0.y.lo, c0.y.lo}};
+    EXPECT_EQ(smap.shard_of(spanning), ShardMap::kCross);
+  }
+  if (smap.rows() > 1) {
+    const Rect spanning{{c0.x.lo, c0.x.lo}, {c0.y.hi, c0.y.hi + 1}};
+    EXPECT_EQ(smap.shard_of(spanning), ShardMap::kCross);
+  }
+
+  // Empty and out-of-extent rects are cross-shard (serial install path).
+  EXPECT_EQ(smap.shard_of(Rect{}), ShardMap::kCross);
+  EXPECT_EQ(smap.shard_of(Rect{{-5, -1}, {0, 0}}), ShardMap::kCross);
+  EXPECT_EQ(smap.shard_of(Rect{{0, 0}, {199, 205}}), ShardMap::kCross);
+}
+
+TEST(ShardMap, BboxOfSkipsEmptiesAndHullsTheRest) {
+  EXPECT_TRUE(ShardMap::bbox_of({}).empty());
+  EXPECT_TRUE(ShardMap::bbox_of({Rect{}}).empty());
+
+  const std::vector<Rect> rects{{{2, 5}, {10, 12}},
+                                Rect{},  // empty member is ignored
+                                {{0, 1}, {11, 20}}};
+  const Rect hull = ShardMap::bbox_of(rects);
+  EXPECT_EQ(hull, (Rect{{0, 5}, {10, 20}}));
+}
+
+TEST(ShardMap, WaveScheduleIsALatinSquare) {
+  const Rect extent{{0, 399}, {0, 299}};
+  for (int target : {2, 4, 8, 16}) {
+    ShardMap smap(extent, target);
+    std::set<int> seen;
+    std::vector<int> wave;
+    for (int w = 0; w < smap.num_waves(); ++w) {
+      smap.wave_shards(w, &wave);
+      // One cell per row, all rows and all columns pairwise distinct.
+      ASSERT_EQ(static_cast<int>(wave.size()), smap.rows());
+      std::set<int> rows, cols;
+      for (int s : wave) {
+        ASSERT_GE(s, 0);
+        ASSERT_LT(s, smap.count());
+        EXPECT_TRUE(rows.insert(smap.row_of(s)).second);
+        EXPECT_TRUE(cols.insert(smap.col_of(s)).second);
+        EXPECT_TRUE(seen.insert(s).second)
+            << "shard " << s << " scheduled twice (target " << target << ")";
+      }
+    }
+    // Across all waves, every shard is scheduled exactly once.
+    EXPECT_EQ(static_cast<int>(seen.size()), smap.count());
+  }
+}
+
+TEST(ShardMap, WaveShardsClearsOutputVector) {
+  ShardMap smap(Rect{{0, 99}, {0, 99}}, 4);
+  std::vector<int> wave{123, 456};
+  smap.wave_shards(0, &wave);
+  for (int s : wave) EXPECT_LT(s, smap.count());
+}
+
+}  // namespace
+}  // namespace grr

@@ -182,6 +182,93 @@ TEST_P(SuiteDeterminism, FlatStoreMatchesLegacyList) {
   EXPECT_TRUE(audit.ok()) << audit.first_error();
 }
 
+/// The spatial-sharding matrix: serial baseline against shard counts
+/// {1, 2, 8} x both channel stores at four threads — identical discrete
+/// statistics, identical metal span for span, and the wave-repair path
+/// provably never taken. Shared by the Table 1 and giant-tier fixtures.
+void run_shard_matrix(const BoardGenParams& param) {
+  struct Combo {
+    int shards;
+    ChannelStore store;
+    const char* what;
+  };
+  const Combo kCombos[] = {
+      {1, ChannelStore::kList, "shards1/list"},
+      {2, ChannelStore::kList, "shards2/list"},
+      {8, ChannelStore::kList, "shards8/list"},
+      {1, ChannelStore::kFlat, "shards1/flat"},
+      {2, ChannelStore::kFlat, "shards2/flat"},
+      {8, ChannelStore::kFlat, "shards8/flat"},
+  };
+
+  GeneratedBoard base_board = generate_board(param);
+  RouterConfig base_cfg;
+  base_cfg.threads = 1;
+  BatchRouter base(base_board.board->stack(), base_cfg);
+  bool base_ok = base.route_all(base_board.strung.connections);
+  const RouterStats& bs = base.stats();
+
+  for (const Combo& combo : kCombos) {
+    BoardGenParams p = param;
+    p.channel_store = combo.store;
+    GeneratedBoard gb = generate_board(p);
+    RouterConfig cfg;
+    cfg.threads = 4;
+    cfg.shards = combo.shards;
+    BatchRouter br(gb.board->stack(), cfg);
+    bool ok = br.route_all(gb.strung.connections);
+
+    EXPECT_EQ(base_ok, ok) << combo.what;
+    const RouterStats& s = br.stats();
+    EXPECT_EQ(bs.total, s.total) << combo.what;
+    EXPECT_EQ(bs.routed, s.routed) << combo.what;
+    EXPECT_EQ(bs.failed, s.failed) << combo.what;
+    for (int j = 0; j < kNumRouteStrategies; ++j) {
+      EXPECT_EQ(bs.by_strategy[j], s.by_strategy[j])
+          << combo.what << " strategy " << j;
+    }
+    EXPECT_EQ(bs.rip_ups, s.rip_ups) << combo.what;
+    EXPECT_EQ(bs.vias_added, s.vias_added) << combo.what;
+    EXPECT_EQ(bs.lee_searches, s.lee_searches) << combo.what;
+    EXPECT_EQ(bs.lee_expansions, s.lee_expansions) << combo.what;
+    EXPECT_EQ(bs.lee_gap_nodes, s.lee_gap_nodes) << combo.what;
+    EXPECT_EQ(bs.passes, s.passes) << combo.what;
+    ASSERT_NO_FATAL_FAILURE(expect_same_routes(
+        base_board.strung.connections, base.db(), br.db(), combo.what));
+
+    // The footprint contract makes a wave-install miss impossible; the
+    // repair path must never have run.
+    EXPECT_EQ(br.batch_stats().repair_rollbacks, 0) << combo.what;
+    if (combo.shards > 1) {
+      EXPECT_GE(br.batch_stats().shard_rows, 1) << combo.what;
+      EXPECT_GE(br.batch_stats().shard_cols, 1) << combo.what;
+    }
+
+    // The sharded board is audit- and DRC-clean like any other.
+    CheckReport audit =
+        audit_all(gb.board->stack(), br.db(), gb.strung.connections);
+    EXPECT_TRUE(audit.ok()) << combo.what << ": " << audit.first_error();
+    DrcOptions opts;
+    opts.opens = ok;
+    CheckReport drc = drc_check(*gb.board, gb.strung.connections, br.db(), opts);
+    EXPECT_TRUE(drc.findings.empty())
+        << combo.what << ": " << format_finding(drc.findings.front());
+  }
+}
+
+TEST_P(SuiteDeterminism, ShardedCommitMatchesSerial) {
+  run_shard_matrix(GetParam());
+}
+
+class GiantTierDeterminism
+    : public ::testing::TestWithParam<BoardGenParams> {};
+
+TEST_P(GiantTierDeterminism, ShardedCommitMatchesSerial) {
+  // The giant tier at reduced scale: the workload spatial sharding exists
+  // for, held to the same bit-identical contract.
+  run_shard_matrix(GetParam());
+}
+
 TEST_P(SuiteDeterminism, ReachabilityCacheIsInvisible) {
   // The journal-invalidated free-space cache may change only the speed of a
   // run, never its outcome: cache on vs off must agree on every discrete
@@ -246,6 +333,9 @@ INSTANTIATE_TEST_SUITE_P(Table1, SuiteRegression,
 
 INSTANTIATE_TEST_SUITE_P(Table1, SuiteDeterminism,
                          ::testing::ValuesIn(table1_suite(0.4)), row_name);
+
+INSTANTIATE_TEST_SUITE_P(Giant, GiantTierDeterminism,
+                         ::testing::ValuesIn(giant_suite(0.15)), row_name);
 
 TEST(SuiteRegressionTest, FullScaleHardestRowFailsSoftly) {
   // The paper's first row: kdj11 on two layers is beyond capacity. At

@@ -1,0 +1,107 @@
+// ThreadPool contract the batch router leans on: every index runs exactly
+// once, the pool is reusable across calls, and a throwing job surfaces its
+// exception from for_indices without poisoning later calls.
+#include "route/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace grr {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.for_indices(kCount, [&](int worker, std::size_t i) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, 4);
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.for_indices(0, [&](int, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls) {
+  // The batch router alternates plan fan-outs and install waves on one
+  // pool; the generation counter must keep the rounds apart.
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t n = static_cast<std::size_t>(round % 7);
+    pool.for_indices(n, [&](int, std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  long expected = 0;
+  for (int round = 0; round < 50; ++round) expected += round % 7;
+  EXPECT_EQ(total.load(), expected);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 64;
+  std::vector<std::atomic<int>> hits(kCount);
+  EXPECT_THROW(pool.for_indices(kCount,
+                                [&](int, std::size_t i) {
+                                  hits[i].fetch_add(
+                                      1, std::memory_order_relaxed);
+                                  if (i == 7) {
+                                    throw std::runtime_error("index 7");
+                                  }
+                                }),
+               std::runtime_error);
+  // The drain still ran every index, including those after the throw.
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+
+  // The next call starts clean: no stale error, all indices run.
+  std::atomic<long> total{0};
+  pool.for_indices(kCount, [&](int, std::size_t) {
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), static_cast<long>(kCount));
+}
+
+TEST(ThreadPool, OnlyFirstExceptionIsRethrown) {
+  ThreadPool pool(4);
+  std::atomic<int> thrown{0};
+  try {
+    pool.for_indices(32, [&](int, std::size_t) {
+      thrown.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("each index throws");
+    });
+    FAIL() << "for_indices swallowed the exceptions";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(thrown.load(), 32);
+}
+
+TEST(ThreadPool, SingleWorkerCoversTheWholeRange) {
+  ThreadPool pool(1);
+  std::vector<char> hit(100, 0);
+  pool.for_indices(hit.size(), [&](int worker, std::size_t i) {
+    EXPECT_EQ(worker, 0);
+    hit[i] = 1;
+  });
+  for (std::size_t i = 0; i < hit.size(); ++i) {
+    EXPECT_EQ(hit[i], 1) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace grr

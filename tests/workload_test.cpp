@@ -106,6 +106,87 @@ TEST(BoardGenTest, BusFractionShapesNets) {
   }
 }
 
+/// Full structural equality of two generated boards: netlist shape, pin
+/// identities, terminator assignments and the exact connection order the
+/// router will consume. This is the reproducibility contract the giant
+/// tier's benchmarks rest on.
+void expect_same_generated(const GeneratedBoard& a, const GeneratedBoard& b,
+                           const char* what) {
+  const Netlist& na = a.board->netlist();
+  const Netlist& nb = b.board->netlist();
+  ASSERT_EQ(na.nets.size(), nb.nets.size()) << what;
+  for (std::size_t ni = 0; ni < na.nets.size(); ++ni) {
+    ASSERT_EQ(na.nets[ni].pins.size(), nb.nets[ni].pins.size())
+        << what << " net " << ni;
+    ASSERT_EQ(na.nets[ni].klass, nb.nets[ni].klass) << what << " net " << ni;
+    for (std::size_t pi = 0; pi < na.nets[ni].pins.size(); ++pi) {
+      ASSERT_EQ(na.nets[ni].pins[pi].part, nb.nets[ni].pins[pi].part)
+          << what << " net " << ni << " pin " << pi;
+      ASSERT_EQ(na.nets[ni].pins[pi].pin, nb.nets[ni].pins[pi].pin)
+          << what << " net " << ni << " pin " << pi;
+      ASSERT_EQ(na.nets[ni].pins[pi].role, nb.nets[ni].pins[pi].role)
+          << what << " net " << ni << " pin " << pi;
+    }
+  }
+  ASSERT_EQ(a.strung.terminators.size(), b.strung.terminators.size()) << what;
+  for (std::size_t ni = 0; ni < a.strung.terminators.size(); ++ni) {
+    ASSERT_EQ(a.strung.terminators[ni].part, b.strung.terminators[ni].part)
+        << what << " terminator of net " << ni;
+    ASSERT_EQ(a.strung.terminators[ni].pin, b.strung.terminators[ni].pin)
+        << what << " terminator of net " << ni;
+  }
+  ASSERT_EQ(a.strung.connections.size(), b.strung.connections.size()) << what;
+  for (std::size_t i = 0; i < a.strung.connections.size(); ++i) {
+    const Connection& ca = a.strung.connections[i];
+    const Connection& cb = b.strung.connections[i];
+    ASSERT_EQ(ca.id, cb.id) << what << " conn " << i;
+    ASSERT_EQ(ca.a, cb.a) << what << " conn " << i;
+    ASSERT_EQ(ca.b, cb.b) << what << " conn " << i;
+    ASSERT_EQ(ca.net, cb.net) << what << " conn " << i;
+    ASSERT_EQ(ca.klass, cb.klass) << what << " conn " << i;
+  }
+}
+
+TEST(BoardGenDeterminism, GiantTierSeedStable) {
+  // Same seed, same params: identical netlist, terminators, and connection
+  // order — the giant benches and the sharded determinism suite depend on
+  // regenerating the exact same problem in every process.
+  for (const BoardGenParams& p : giant_suite(0.12)) {
+    GeneratedBoard a = generate_board(p);
+    GeneratedBoard b = generate_board(p);
+    ASSERT_NO_FATAL_FAILURE(expect_same_generated(a, b, p.name.c_str()));
+  }
+}
+
+TEST(BoardGenDeterminism, FanoutBucketGridIsInvisible) {
+  // The bucket-grid candidate gather is a generation-time optimization
+  // only: it must pick the very same pins as the linear pool scan.
+  for (const BoardGenParams& base : giant_suite(0.12)) {
+    BoardGenParams on = base;
+    on.fanout_bucket_grid = true;
+    BoardGenParams off = base;
+    off.fanout_bucket_grid = false;
+    GeneratedBoard a = generate_board(on);
+    GeneratedBoard b = generate_board(off);
+    ASSERT_NO_FATAL_FAILURE(
+        expect_same_generated(a, b, base.name.c_str()));
+  }
+}
+
+TEST(GiantSuiteTest, TargetsHundredThousandConnections) {
+  auto suite = giant_suite();
+  ASSERT_GE(suite.size(), 2u);
+  for (const BoardGenParams& p : suite) {
+    EXPECT_GE(p.target_connections, 100000) << p.name;
+    // The giant rows hold the absolute wiring window constant: locality
+    // shrinks as the board grows, keeping demand within capacity.
+    EXPECT_LT(p.locality, table1_board("dpath-6L").locality) << p.name;
+  }
+  // Reduced scale shrinks the problem like the Table 1 suite does.
+  auto small = giant_suite(0.25);
+  EXPECT_LT(small[0].target_connections, suite[0].target_connections / 8);
+}
+
 TEST(Table1SuiteTest, HasAllNineRows) {
   auto suite = table1_suite();
   ASSERT_EQ(suite.size(), 9u);
